@@ -1,0 +1,96 @@
+// B7 — aggregate-formation throughput (paper Definition 6): grouping facts to
+// a requested granularity under the availability / strict / LUB approaches.
+// Expected shape: cost is one hash-group pass over the facts; approaches
+// differ only in per-fact branch work, so throughputs are close; coarser
+// targets produce fewer cells, not faster scans.
+
+#include "bench_common.h"
+
+#include "query/operators.h"
+
+namespace dwred::bench {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<MultidimensionalObject> mo;
+};
+
+Fixture& RawWorkload() {
+  static Fixture fx = [] {
+    Fixture f;
+    ClickstreamWorkload w = MakeWorkload(200000);
+    f.mo = std::move(w.mo);
+    return f;
+  }();
+  return fx;
+}
+
+Fixture& MixedWorkload() {
+  static Fixture fx = [] {
+    Fixture f;
+    ClickstreamWorkload w = MakeWorkload(200000);
+    ReductionSpecification spec = MakePolicy(*w.mo, 2);
+    f.mo = std::make_unique<MultidimensionalObject>(
+        Reduce(*w.mo, spec, DaysFromCivil({2002, 1, 1}), {false}).take());
+    return f;
+  }();
+  return fx;
+}
+
+void RunAgg(benchmark::State& state, const MultidimensionalObject& mo,
+            const char* gran_text, AggregationApproach ap) {
+  auto gran = ParseGranularityList(mo, gran_text).take();
+  size_t cells = 0;
+  for (auto _ : state) {
+    auto agg = AggregateFormation(mo, gran, ap, /*track_provenance=*/false);
+    if (!agg.ok()) {
+      state.SkipWithError(agg.status().ToString().c_str());
+      return;
+    }
+    cells = agg.value().num_facts();
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["input_facts"] = static_cast<double>(mo.num_facts());
+  state.counters["result_cells"] = static_cast<double>(cells);
+  state.SetItemsProcessed(static_cast<int64_t>(mo.num_facts()) *
+                          state.iterations());
+}
+
+void BM_AggToMonthDomain(benchmark::State& state) {
+  RunAgg(state, *RawWorkload().mo, "Time.month, URL.domain",
+         AggregationApproach::kAvailability);
+}
+BENCHMARK(BM_AggToMonthDomain)->Unit(benchmark::kMillisecond);
+
+void BM_AggToQuarterGroup(benchmark::State& state) {
+  RunAgg(state, *RawWorkload().mo, "Time.quarter, URL.domain_grp",
+         AggregationApproach::kAvailability);
+}
+BENCHMARK(BM_AggToQuarterGroup)->Unit(benchmark::kMillisecond);
+
+void BM_AggToYearTop(benchmark::State& state) {
+  RunAgg(state, *RawWorkload().mo, "Time.year, URL.TOP",
+         AggregationApproach::kAvailability);
+}
+BENCHMARK(BM_AggToYearTop)->Unit(benchmark::kMillisecond);
+
+void BM_AggMixedAvailability(benchmark::State& state) {
+  RunAgg(state, *MixedWorkload().mo, "Time.month, URL.domain",
+         AggregationApproach::kAvailability);
+}
+BENCHMARK(BM_AggMixedAvailability)->Unit(benchmark::kMillisecond);
+
+void BM_AggMixedStrict(benchmark::State& state) {
+  RunAgg(state, *MixedWorkload().mo, "Time.month, URL.domain",
+         AggregationApproach::kStrict);
+}
+BENCHMARK(BM_AggMixedStrict)->Unit(benchmark::kMillisecond);
+
+void BM_AggMixedLub(benchmark::State& state) {
+  RunAgg(state, *MixedWorkload().mo, "Time.month, URL.domain",
+         AggregationApproach::kLub);
+}
+BENCHMARK(BM_AggMixedLub)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

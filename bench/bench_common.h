@@ -1,0 +1,56 @@
+#pragma once
+
+// Shared fixtures for the benchmark harness: canonical retention policies
+// over the click-stream workload, sized per benchmark parameter. All
+// generation is seeded and deterministic.
+
+#include <benchmark/benchmark.h>
+
+#include "reduce/semantics.h"
+#include "reduce/soundness.h"
+#include "spec/parser.h"
+#include "workload/clickstream.h"
+
+namespace dwred::bench {
+
+/// Tiered retention policies, by increasing aggressiveness. Tier text
+/// mirrors the paper's examples; every set is Growing + NonCrossing.
+inline const char* kTierMonth =
+    "a[Time.month, URL.domain] s["
+    "NOW - 12 months <= Time.month <= NOW - 6 months]";
+inline const char* kTierQuarter =
+    "a[Time.quarter, URL.domain] s["
+    "NOW - 36 months <= Time.quarter AND Time.quarter <= NOW - 12 months]";
+inline const char* kTierYear =
+    "a[Time.year, URL.domain_grp] s[Time.year <= NOW - 36 months]";
+
+/// Builds a policy with the first `tiers` tiers (0..3) against `mo`.
+inline ReductionSpecification MakePolicy(const MultidimensionalObject& mo,
+                                         int tiers) {
+  ReductionSpecification spec;
+  const char* texts[] = {kTierMonth, kTierQuarter, kTierYear};
+  // Later tiers are prerequisites of earlier ones (Growing): install the
+  // suffix of the list of length `tiers`, from the coarsest up.
+  for (int i = 3 - tiers; i < 3; ++i) {
+    auto a = ParseAction(mo, texts[i], "tier" + std::to_string(i + 1));
+    if (!a.ok()) {
+      benchmark::DoNotOptimize(a.status().message());
+      std::abort();
+    }
+    spec.Add(a.take());
+  }
+  return spec;
+}
+
+/// Canonical 3-year click workload with `n` facts.
+inline ClickstreamWorkload MakeWorkload(size_t n) {
+  ClickstreamConfig cfg;
+  cfg.num_clicks = n;
+  cfg.start = {1999, 1, 1};
+  cfg.span_days = 3 * 365;
+  cfg.num_domains = 200;
+  cfg.urls_per_domain = 20;
+  return MakeClickstream(cfg);
+}
+
+}  // namespace dwred::bench

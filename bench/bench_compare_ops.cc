@@ -1,0 +1,92 @@
+// B6 — cost of the mixed-granularity comparison operators (paper
+// Definition 5): exact same-branch comparisons are O(rollup depth); parallel
+// branches (week vs quarter) drill down to the day GLB and compare
+// materialized sets. Expected shape: the exact path is nanoseconds; Def-5
+// drill-downs cost proportional to the drilled set (amortized by the
+// dimension's memoization).
+
+#include "bench_common.h"
+
+#include "query/compare.h"
+
+namespace dwred::bench {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<MultidimensionalObject> mo;
+  int64_t t;
+};
+
+/// A reduced warehouse whose facts sit at quarter/domain granularity.
+Fixture MakeReduced() {
+  Fixture fx;
+  ClickstreamWorkload w = MakeWorkload(50000);
+  ReductionSpecification spec = MakePolicy(*w.mo, 2);
+  fx.t = DaysFromCivil({2003, 1, 1});
+  fx.mo = std::make_unique<MultidimensionalObject>(
+      Reduce(*w.mo, spec, fx.t, {false}).take());
+  return fx;
+}
+
+void RunAtomBench(benchmark::State& state, const char* pred_text,
+                  SelectionApproach ap) {
+  static Fixture fx = MakeReduced();
+  auto pred = ParsePredicate(*fx.mo, pred_text).take();
+  const size_t n = fx.mo->num_facts();
+  size_t i = 0;
+  for (auto _ : state) {
+    double w = EvalQueryPredOnFact(*pred, *fx.mo, i % n, fx.t, ap);
+    benchmark::DoNotOptimize(w);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ExactQuarterCompare(benchmark::State& state) {
+  // Fact at quarter, predicate at quarter: exact index comparison.
+  RunAtomBench(state, "Time.quarter <= 2001Q2",
+               SelectionApproach::kConservative);
+}
+BENCHMARK(BM_ExactQuarterCompare);
+
+void BM_ExactRollupCompare(benchmark::State& state) {
+  // Fact at quarter, predicate at year: one rollup step.
+  RunAtomBench(state, "Time.year <= 2001", SelectionApproach::kConservative);
+}
+BENCHMARK(BM_ExactRollupCompare);
+
+void BM_Def5MonthUnderQuarter(benchmark::State& state) {
+  // Fact at quarter, predicate at month: drill to months (<= 3 values).
+  RunAtomBench(state, "Time.month <= 2001/5",
+               SelectionApproach::kConservative);
+}
+BENCHMARK(BM_Def5MonthUnderQuarter);
+
+void BM_Def5WeekVsQuarterDrillsToDays(benchmark::State& state) {
+  // Parallel branches: GLB is day; drills the quarter's materialized days.
+  RunAtomBench(state, "Time.week <= 2001W20",
+               SelectionApproach::kConservative);
+}
+BENCHMARK(BM_Def5WeekVsQuarterDrillsToDays);
+
+void BM_Def5WeightedWeekVsQuarter(benchmark::State& state) {
+  RunAtomBench(state, "Time.week <= 2001W20", SelectionApproach::kWeighted);
+}
+BENCHMARK(BM_Def5WeightedWeekVsQuarter);
+
+void BM_Def5UrlUnderDomain(benchmark::State& state) {
+  // Fact at domain, predicate at url: categorical drill-down.
+  RunAtomBench(state, "URL.url = www.site0.com/page0",
+               SelectionApproach::kConservative);
+}
+BENCHMARK(BM_Def5UrlUnderDomain);
+
+void BM_Def5MembershipWeekSet(benchmark::State& state) {
+  RunAtomBench(state,
+               "Time.week IN {2001W1, 2001W2, 2001W3, 2001W4, 2001W5}",
+               SelectionApproach::kConservative);
+}
+BENCHMARK(BM_Def5MembershipWeekSet);
+
+}  // namespace
+}  // namespace dwred::bench

@@ -1,0 +1,90 @@
+// B2 — query latency on reduced vs. unreduced warehouses (the paper's
+// motivation: terabyte warehouses are "hard to manage and query with the
+// desired efficiency"; reduction shrinks the fact set queries scan).
+//
+// Runs the same selection and aggregate-formation queries against the raw
+// 3-year warehouse and against its reduction under deeper and deeper
+// policies. Expected shape: latency tracks the fact count, so deeper
+// policies answer the same historical questions proportionally faster.
+
+#include "bench_common.h"
+
+#include "query/operators.h"
+
+namespace dwred::bench {
+namespace {
+
+struct Prepared {
+  std::unique_ptr<MultidimensionalObject> mo;
+  std::shared_ptr<PredExpr> pred;
+  std::vector<CategoryId> gran;
+  int64_t t;
+};
+
+Prepared Prepare(size_t facts, int tiers) {
+  Prepared p;
+  ClickstreamWorkload w = MakeWorkload(facts);
+  p.t = DaysFromCivil({2003, 1, 1});
+  if (tiers == 0) {
+    p.mo = std::move(w.mo);
+  } else {
+    ReductionSpecification spec = MakePolicy(*w.mo, tiers);
+    auto reduced = Reduce(*w.mo, spec, p.t, {false});
+    p.mo = std::make_unique<MultidimensionalObject>(reduced.take());
+  }
+  p.pred = ParsePredicate(*p.mo,
+                          "URL.domain_grp = .com AND Time.quarter <= 2001Q4")
+               .take();
+  p.gran = ParseGranularityList(*p.mo, "Time.quarter, URL.domain_grp").take();
+  return p;
+}
+
+void BM_SelectionLatency(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto sel = Select(*p.mo, *p.pred, p.t);
+    if (!sel.ok()) {
+      state.SkipWithError(sel.status().ToString().c_str());
+      return;
+    }
+    hits = sel.value().mo.num_facts();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["scanned_facts"] = static_cast<double>(p.mo->num_facts());
+  state.counters["result_facts"] = static_cast<double>(hits);
+  state.SetItemsProcessed(static_cast<int64_t>(p.mo->num_facts()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_SelectionLatency)
+    ->ArgsProduct({{100000}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AggregationLatency(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  size_t cells = 0;
+  for (auto _ : state) {
+    auto agg = AggregateFormation(*p.mo, p.gran,
+                                  AggregationApproach::kAvailability, false);
+    if (!agg.ok()) {
+      state.SkipWithError(agg.status().ToString().c_str());
+      return;
+    }
+    cells = agg.value().num_facts();
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["scanned_facts"] = static_cast<double>(p.mo->num_facts());
+  state.counters["result_cells"] = static_cast<double>(cells);
+  state.SetItemsProcessed(static_cast<int64_t>(p.mo->num_facts()) *
+                          state.iterations());
+}
+
+BENCHMARK(BM_AggregationLatency)
+    ->ArgsProduct({{100000}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

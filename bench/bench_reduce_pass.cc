@@ -1,0 +1,91 @@
+// B8 — cost of one reduction pass (paper Definition 2): per fact, evaluate
+// every action's predicate on the direct cell, take the maximal granularity,
+// roll coordinates up, hash-group and fold measures. Expected shape: linear
+// in facts x actions, with rollup depth a small constant.
+
+#include "bench_common.h"
+
+namespace dwred::bench {
+namespace {
+
+void BM_ReducePass(benchmark::State& state) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  const int tiers = static_cast<int>(state.range(1));
+  ClickstreamWorkload w = MakeWorkload(facts);
+  ReductionSpecification spec = MakePolicy(*w.mo, tiers);
+  const int64_t t = DaysFromCivil({2002, 1, 1});
+
+  for (auto _ : state) {
+    auto reduced = Reduce(*w.mo, spec, t, {/*track_provenance=*/false});
+    if (!reduced.ok()) {
+      state.SkipWithError(reduced.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(reduced.value().num_facts());
+  }
+  state.counters["actions"] = tiers;
+  state.SetItemsProcessed(static_cast<int64_t>(facts) * state.iterations());
+}
+
+BENCHMARK(BM_ReducePass)
+    ->ArgsProduct({{10000, 100000}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: provenance tracking (merged names, constituent ids, responsible
+// actions) vs. bare reduction. The paper requires the warehouse to be able to
+// tell users why data is aggregated the way it is (Section 4); this measures
+// what that bookkeeping costs.
+void BM_ReducePassProvenanceAblation(benchmark::State& state) {
+  const bool track = state.range(0) != 0;
+  ClickstreamWorkload w = MakeWorkload(100000);
+  ReductionSpecification spec = MakePolicy(*w.mo, 3);
+  const int64_t t = DaysFromCivil({2002, 1, 1});
+  ReduceOptions opts;
+  opts.track_provenance = track;
+  for (auto _ : state) {
+    auto reduced = Reduce(*w.mo, spec, t, opts);
+    if (!reduced.ok()) {
+      state.SkipWithError(reduced.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(reduced.value().num_facts());
+  }
+  state.counters["provenance"] = track ? 1 : 0;
+  state.SetItemsProcessed(100000 * state.iterations());
+}
+
+BENCHMARK(BM_ReducePassProvenanceAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Gradual monthly reduction over four years (the steady-state operating
+// cost: each pass re-scans only the surviving facts).
+void BM_GradualMonthlyReduction(benchmark::State& state) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClickstreamWorkload w = MakeWorkload(facts);
+    ReductionSpecification spec = MakePolicy(*w.mo, 3);
+    MultidimensionalObject current = std::move(*w.mo);
+    state.ResumeTiming();
+    for (int ym = 1999 * 12 + 6; ym <= 2003 * 12; ++ym) {
+      auto reduced = Reduce(current, spec,
+                            DaysFromCivil({ym / 12, ym % 12 + 1, 1}), {false});
+      if (!reduced.ok()) {
+        state.SkipWithError(reduced.status().ToString().c_str());
+        return;
+      }
+      current = reduced.take();
+    }
+    state.counters["final_facts"] = static_cast<double>(current.num_facts());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(facts) * state.iterations());
+}
+
+BENCHMARK(BM_GradualMonthlyReduction)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

@@ -1,0 +1,126 @@
+// B3 — specification-check cost (paper Section 5.2: the |A|^2 pairwise
+// NonCrossing algorithm "offers ample performance" because checks run only on
+// specification updates; Section 5.3's Growing check adds the prover-backed
+// boundary-coverage implication).
+//
+// Sweeps |A| for three shapes: an ordered tower (syntactic fast path), a
+// categorically-disjoint unordered family (prover overlap checks), and a
+// NOW-relative tier chain (growth classification + boundary coverage).
+
+#include "bench_common.h"
+
+namespace dwred::bench {
+namespace {
+
+/// |A| actions, all aggregating to the same granularity: every pair is
+/// <=_V-ordered, so NonCrossing uses only the syntactic fast path.
+void BM_CheckOrderedTower(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ClickstreamWorkload w = MakeWorkload(0);
+  ReductionSpecification spec;
+  for (int i = 0; i < n; ++i) {
+    std::string text = "a[Time.quarter, URL.domain] s[Time.quarter <= " +
+                       std::to_string(1990 + (i % 10)) + "Q1]";
+    spec.Add(ParseAction(*w.mo, text, "a" + std::to_string(i)).take());
+  }
+  for (auto _ : state) {
+    Status st = ValidateSpecification(*w.mo, spec);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(st);
+  }
+  state.counters["actions"] = n;
+  state.counters["pairs"] = static_cast<double>(n) * (n - 1) / 2;
+}
+
+BENCHMARK(BM_CheckOrderedTower)->RangeMultiplier(2)->Range(2, 256);
+
+/// |A| unordered actions on disjoint domains: every pair reaches the
+/// prover's categorical-overlap check (which refutes the overlap).
+void BM_CheckDisjointFamily(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ClickstreamWorkload w = MakeWorkload(0);
+  CategoryId domain_cat =
+      w.url_dim->type().CategoryByName("domain").take();
+  const auto& domains = w.url_dim->CategoryExtent(domain_cat);
+  ReductionSpecification spec;
+  for (int i = 0; i < n; ++i) {
+    // Alternate granularities so consecutive actions are unordered; disjoint
+    // single-domain predicates keep the set NonCrossing.
+    const char* gran = (i % 2 == 0) ? "a[Time.quarter, URL.domain]"
+                                    : "a[Time.week, URL.url]";
+    std::string text = std::string(gran) + " s[URL.domain = '" +
+                       w.url_dim->value_name(domains[i % domains.size()]) +
+                       "' AND Time.quarter <= 2001Q4]";
+    // The week-granularity variant needs a week-typed time bound.
+    if (i % 2 == 1) {
+      text = std::string(gran) + " s[URL.domain = '" +
+             w.url_dim->value_name(domains[i % domains.size()]) +
+             "' AND Time.week <= 2001W52]";
+    }
+    spec.Add(ParseAction(*w.mo, text, "a" + std::to_string(i)).take());
+  }
+  for (auto _ : state) {
+    Status st = ValidateSpecification(*w.mo, spec);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(st);
+  }
+  state.counters["actions"] = n;
+}
+
+BENCHMARK(BM_CheckDisjointFamily)->RangeMultiplier(2)->Range(2, 64);
+
+/// Tier chains with NOW-relative bounds: each tier's shrinking lower bound
+/// must be proven covered by the next (Section 5.3's eq. (23) via the
+/// prover).
+void BM_CheckGrowingTiers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));  // chain length
+  ClickstreamWorkload w = MakeWorkload(0);
+  // Tier i aggregates months in [NOW-12(i+1)m, NOW-12i m] to ever-coarser
+  // granularities; the last tier is unbounded below.
+  // Tier i lives at its own time category (the grammar requires predicates
+  // at or above the aggregation category) over [NOW-12(i+1)m, NOW-12i m]
+  // (tier 0 keeps the last 6 months in detail); the final tier is unbounded
+  // below, anchoring the Growing chain.
+  const char* grans[] = {"Time.month, URL.domain",
+                         "Time.quarter, URL.domain",
+                         "Time.quarter, URL.domain_grp",
+                         "Time.year, URL.domain_grp",
+                         "Time.year, URL.TOP"};
+  const char* cats[] = {"month", "quarter", "quarter", "year", "year"};
+  ReductionSpecification spec;
+  for (int i = 0; i < n; ++i) {
+    std::string g = grans[std::min(i, 4)];
+    std::string c = std::string("Time.") + cats[std::min(i, 4)];
+    std::string upper =
+        std::to_string(i == 0 ? 6 : 12 * i) + " months";
+    std::string text;
+    if (i + 1 < n) {
+      text = "a[" + g + "] s[NOW - " + std::to_string(12 * (i + 1)) +
+             " months <= " + c + " AND " + c + " <= NOW - " + upper + "]";
+    } else {
+      text = "a[" + g + "] s[" + c + " <= NOW - " + upper + "]";
+    }
+    spec.Add(ParseAction(*w.mo, text, "t" + std::to_string(i)).take());
+  }
+  for (auto _ : state) {
+    Status st = ValidateSpecification(*w.mo, spec);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(st);
+  }
+  state.counters["tiers"] = n;
+}
+
+BENCHMARK(BM_CheckGrowingTiers)->DenseRange(1, 5, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

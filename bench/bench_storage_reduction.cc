@@ -1,0 +1,75 @@
+// B1 — storage reduction (the paper's headline claim: "huge storage gains
+// while ensuring the retention of essential data", Abstract / Section 1).
+//
+// Sweeps fact count x policy depth; each iteration reduces a 3-year
+// click-stream warehouse at a NOW where the whole history has aged into the
+// policy's tiers. Counters report output facts, bytes and the reduction
+// factor. Expected shape: factors grow with policy depth (year-level tiers
+// collapse thousands of clicks per cell) and with warehouse age.
+
+#include "bench_common.h"
+
+namespace dwred::bench {
+namespace {
+
+void BM_StorageReduction(benchmark::State& state) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  const int tiers = static_cast<int>(state.range(1));
+  ClickstreamWorkload w = MakeWorkload(facts);
+  ReductionSpecification spec = MakePolicy(*w.mo, tiers);
+  const int64_t t = DaysFromCivil({2003, 1, 1});  // history is 1-4 years old
+
+  size_t out_facts = 0, out_bytes = 0;
+  for (auto _ : state) {
+    auto reduced = Reduce(*w.mo, spec, t, {/*track_provenance=*/false});
+    if (!reduced.ok()) {
+      state.SkipWithError(reduced.status().ToString().c_str());
+      return;
+    }
+    out_facts = reduced.value().num_facts();
+    out_bytes = reduced.value().FactBytes();
+    benchmark::DoNotOptimize(out_facts);
+  }
+  state.counters["facts_in"] = static_cast<double>(facts);
+  state.counters["facts_out"] = static_cast<double>(out_facts);
+  state.counters["bytes_in"] = static_cast<double>(w.mo->FactBytes());
+  state.counters["bytes_out"] = static_cast<double>(out_bytes);
+  state.counters["reduction_x"] =
+      out_bytes ? static_cast<double>(w.mo->FactBytes()) /
+                      static_cast<double>(out_bytes)
+                : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(facts) * state.iterations());
+}
+
+BENCHMARK(BM_StorageReduction)
+    ->ArgsProduct({{10000, 100000, 1000000}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+// Storage trajectory as the warehouse ages: reduction factor at increasing
+// NOW, full 3-tier policy (the gradual change of Figure 3 at scale).
+void BM_StorageReductionByAge(benchmark::State& state) {
+  const int years_after = static_cast<int>(state.range(0));
+  ClickstreamWorkload w = MakeWorkload(100000);
+  ReductionSpecification spec = MakePolicy(*w.mo, 3);
+  const int64_t t = DaysFromCivil({2002 + years_after, 1, 1});
+
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto reduced = Reduce(*w.mo, spec, t, {false});
+    if (!reduced.ok()) {
+      state.SkipWithError(reduced.status().ToString().c_str());
+      return;
+    }
+    out_bytes = reduced.value().FactBytes();
+    benchmark::DoNotOptimize(out_bytes);
+  }
+  state.counters["reduction_x"] =
+      static_cast<double>(w.mo->FactBytes()) / static_cast<double>(out_bytes);
+}
+
+BENCHMARK(BM_StorageReductionByAge)
+    ->DenseRange(0, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

@@ -1,0 +1,127 @@
+// B5 — querying the subcube warehouse (paper Section 7.3): per-subcube
+// evaluation plus one final combining aggregation, in both the synchronized
+// state and the un-synchronized state (Figure 9's rewrite, which additionally
+// pulls rows from immediate parents and filters by current responsibility).
+//
+// Expected shape: the synchronized path's cost tracks resident rows; the
+// un-synchronized path pays a responsibility re-check per candidate row, so
+// it costs more — the price of querying without waiting for synchronization.
+
+#include "bench_common.h"
+
+#include "subcube/manager.h"
+
+namespace dwred::bench {
+namespace {
+
+struct Warehouse {
+  std::shared_ptr<Dimension> time_dim, url_dim;
+  std::unique_ptr<SubcubeManager> mgr;
+  std::shared_ptr<PredExpr> pred;
+  std::vector<CategoryId> gran;
+  int64_t t;
+};
+
+Warehouse MakeWarehouse(size_t per_month, bool leave_unsynced) {
+  Warehouse wh;
+  ClickstreamWorkload w = MakeWorkload(0);
+  wh.time_dim = w.time_dim;
+  wh.url_dim = w.url_dim;
+  ReductionSpecification spec = MakePolicy(*w.mo, 3);
+  wh.mgr = std::make_unique<SubcubeManager>(
+      SubcubeManager::Create("Click", w.mo->dimensions(),
+                             std::vector<MeasureType>(w.mo->measure_types()),
+                             spec)
+          .take());
+  uint64_t seed = 3;
+  for (int m = 0; m < 30; ++m) {
+    int year = 2000 + m / 12, month = m % 12 + 1;
+    int64_t lo = DaysFromCivil({year, month, 1});
+    int64_t hi = DaysFromCivil({year, month, DaysInMonth(year, month)});
+    MultidimensionalObject batch =
+        MakeClickBatch(w.time_dim, w.url_dim, lo, hi, per_month, ++seed);
+    (void)wh.mgr->InsertBottomFacts(batch);
+    // Synchronize after every month except (optionally) the last few, so the
+    // un-synchronized variant is at most one tier-level behind.
+    if (!leave_unsynced || m < 24) {
+      (void)wh.mgr->Synchronize(hi + 1);
+    }
+  }
+  wh.t = DaysFromCivil({2002, 7, 1});
+  wh.pred = ParsePredicate(wh.mgr->context(),
+                           "URL.domain_grp = .com AND "
+                           "NOW - 24 months <= Time.month")
+                .take();
+  wh.gran =
+      ParseGranularityList(wh.mgr->context(), "Time.month, URL.domain_grp")
+          .take();
+  return wh;
+}
+
+void BM_QuerySynchronized(benchmark::State& state) {
+  Warehouse wh = MakeWarehouse(static_cast<size_t>(state.range(0)), false);
+  (void)wh.mgr->Synchronize(wh.t);
+  for (auto _ : state) {
+    auto r = wh.mgr->Query(wh.pred.get(), &wh.gran, wh.t, true);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().num_facts());
+  }
+  size_t rows = 0;
+  for (size_t i = 0; i < wh.mgr->num_subcubes(); ++i) {
+    rows += wh.mgr->subcube(i).table.num_rows();
+  }
+  state.counters["resident_rows"] = static_cast<double>(rows);
+}
+
+BENCHMARK(BM_QuerySynchronized)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QuerySynchronizedParallel(benchmark::State& state) {
+  // Section 7.3's "separately and in parallel": one thread per subcube.
+  Warehouse wh = MakeWarehouse(static_cast<size_t>(state.range(0)), false);
+  (void)wh.mgr->Synchronize(wh.t);
+  for (auto _ : state) {
+    auto r = wh.mgr->Query(wh.pred.get(), &wh.gran, wh.t, true,
+                           /*parallel=*/true);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().num_facts());
+  }
+}
+
+BENCHMARK(BM_QuerySynchronizedParallel)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueryUnsynchronized(benchmark::State& state) {
+  Warehouse wh = MakeWarehouse(static_cast<size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    auto r = wh.mgr->Query(wh.pred.get(), &wh.gran, wh.t, false);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().num_facts());
+  }
+  size_t rows = 0;
+  for (size_t i = 0; i < wh.mgr->num_subcubes(); ++i) {
+    rows += wh.mgr->subcube(i).table.num_rows();
+  }
+  state.counters["resident_rows"] = static_cast<double>(rows);
+}
+
+BENCHMARK(BM_QueryUnsynchronized)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

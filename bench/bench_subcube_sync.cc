@@ -1,0 +1,109 @@
+// B4 — subcube synchronization cost (paper Section 7.2: synchronization
+// happens on bulk load / NOW advancing and "is not considered a performance
+// bottleneck").
+//
+// Simulates an operational warehouse: monthly bulk loads over three years
+// with a synchronization after each. Reports rows migrated and load+sync
+// throughput. Expected shape: per-month cost is dominated by the bulk load
+// itself; migration touches only the rows crossing a tier boundary.
+
+#include "bench_common.h"
+
+#include "subcube/manager.h"
+
+namespace dwred::bench {
+namespace {
+
+void BM_MonthlyLoadAndSync(benchmark::State& state) {
+  const size_t per_month = static_cast<size_t>(state.range(0));
+  const int months = 36;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClickstreamWorkload w = MakeWorkload(0);
+    ReductionSpecification spec = MakePolicy(*w.mo, 3);
+    auto mgr_res = SubcubeManager::Create(
+        "Click", w.mo->dimensions(),
+        std::vector<MeasureType>(w.mo->measure_types()), spec);
+    if (!mgr_res.ok()) {
+      state.SkipWithError(mgr_res.status().ToString().c_str());
+      return;
+    }
+    SubcubeManager mgr = mgr_res.take();
+    uint64_t seed = 11;
+    size_t migrated_total = 0;
+    state.ResumeTiming();
+
+    for (int m = 0; m < months; ++m) {
+      int year = 2000 + m / 12, month = m % 12 + 1;
+      int64_t lo = DaysFromCivil({year, month, 1});
+      int64_t hi = DaysFromCivil({year, month, DaysInMonth(year, month)});
+      MultidimensionalObject batch =
+          MakeClickBatch(w.time_dim, w.url_dim, lo, hi, per_month, ++seed);
+      if (auto st = mgr.InsertBottomFacts(batch); !st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+      auto migrated = mgr.Synchronize(hi + 1);
+      if (!migrated.ok()) {
+        state.SkipWithError(migrated.status().ToString().c_str());
+        return;
+      }
+      migrated_total += migrated.value();
+    }
+    state.counters["migrated_rows"] = static_cast<double>(migrated_total);
+    size_t rows = 0;
+    for (size_t i = 0; i < mgr.num_subcubes(); ++i) {
+      rows += mgr.subcube(i).table.num_rows();
+    }
+    state.counters["resident_rows"] = static_cast<double>(rows);
+    state.counters["resident_bytes"] = static_cast<double>(mgr.TotalBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(per_month) * months *
+                          state.iterations());
+}
+
+BENCHMARK(BM_MonthlyLoadAndSync)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// Synchronization alone, on a warehouse where one year of detail ages into
+// the monthly tier at once (worst-case single sync).
+void BM_SingleSyncWave(benchmark::State& state) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClickstreamWorkload w = MakeWorkload(0);
+    ReductionSpecification spec = MakePolicy(*w.mo, 3);
+    auto mgr = SubcubeManager::Create(
+                   "Click", w.mo->dimensions(),
+                   std::vector<MeasureType>(w.mo->measure_types()), spec)
+                   .take();
+    MultidimensionalObject batch = MakeClickBatch(
+        w.time_dim, w.url_dim, DaysFromCivil({2000, 1, 1}),
+        DaysFromCivil({2000, 12, 31}), facts, 7);
+    if (auto st = mgr.InsertBottomFacts(batch); !st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    state.ResumeTiming();
+    auto migrated = mgr.Synchronize(DaysFromCivil({2001, 7, 1}));
+    if (!migrated.ok()) {
+      state.SkipWithError(migrated.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(migrated.value());
+    state.counters["migrated_rows"] = static_cast<double>(migrated.value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(facts) * state.iterations());
+}
+
+BENCHMARK(BM_SingleSyncWave)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

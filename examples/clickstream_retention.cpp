@@ -1,0 +1,110 @@
+// Click-stream retention: the paper's motivating scenario at scale.
+//
+// Generates several years of synthetic clicks, installs a three-tier
+// retention policy (detail -> month after 6 months -> quarter after a year ->
+// year after three years), then advances NOW month by month, reducing
+// gradually, and reports the storage trajectory — the "huge storage gains"
+// the paper's abstract promises, measured.
+//
+//   $ ./clickstream_retention [num_clicks]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "reduce/dynamics.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+#include "workload/clickstream.h"
+
+using namespace dwred;
+
+int main(int argc, char** argv) {
+  size_t num_clicks = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+
+  ClickstreamConfig cfg;
+  cfg.num_clicks = num_clicks;
+  cfg.start = {1999, 1, 1};
+  cfg.span_days = 3 * 365;
+  cfg.num_domains = 200;
+  cfg.urls_per_domain = 20;
+  std::printf("Generating %zu clicks over 1999-2001...\n", num_clicks);
+  ClickstreamWorkload w = MakeClickstream(cfg);
+
+  // Three-tier retention policy. Each tier's NOW-relative lower bound is
+  // covered by the next tier (the Growing property): month-level detail for
+  // clicks 6-12 months old, quarter level for 1-3 years, year level beyond.
+  const char* tiers[] = {
+      "a[Time.month, URL.domain] s["
+      "NOW - 12 months <= Time.month <= NOW - 6 months]",
+      "a[Time.quarter, URL.domain] s["
+      "NOW - 36 months <= Time.quarter AND Time.quarter <= NOW - 12 months]",
+      "a[Time.year, URL.domain_grp] s["
+      "NOW - 72 months <= Time.year AND Time.year <= NOW - 36 months]",
+      // The Section 8 extension: after six years even the yearly summaries
+      // are purged.
+      "d s[Time.year <= NOW - 72 months]",
+  };
+  std::vector<Action> actions;
+  for (int i = 0; i < 4; ++i) {
+    auto a = ParseAction(*w.mo, tiers[i], i == 3 ? "purge" : "tier" + std::to_string(i + 1));
+    if (!a.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n", a.status().ToString().c_str());
+      return 1;
+    }
+    actions.push_back(a.take());
+  }
+  ReductionSpecification spec;
+  auto ins = InsertActions(*w.mo, spec, std::move(actions));
+  if (!ins.ok()) {
+    std::fprintf(stderr, "policy rejected: %s\n",
+                 ins.status().ToString().c_str());
+    return 1;
+  }
+  spec = ins.take();
+  std::printf("Policy validated (NonCrossing + Growing), %zu actions.\n\n",
+              spec.size());
+
+  // Advance NOW month by month from 1999/7 to 2003/12, reducing gradually.
+  size_t original_facts = w.mo->num_facts();
+  size_t original_bytes = w.mo->FactBytes();
+  MultidimensionalObject current = std::move(*w.mo);
+  std::printf("%-10s %12s %14s %12s %10s\n", "NOW", "facts", "bytes",
+              "reduction", "aggregated");
+  for (int ym = 1999 * 12 + 6; ym <= 2008 * 12 + 11; ++ym) {
+    int year = ym / 12;
+    int month = ym % 12 + 1;
+    int64_t t = DaysFromCivil({year, month, 1});
+    ReduceStats stats;
+    auto reduced = Reduce(current, spec, t, {/*track_provenance=*/false},
+                          &stats);
+    if (!reduced.ok()) {
+      std::fprintf(stderr, "reduce failed: %s\n",
+                   reduced.status().ToString().c_str());
+      return 1;
+    }
+    current = reduced.take();
+    if (month == 1 || month == 7) {
+      char when[16];
+      std::snprintf(when, sizeof(when), "%d/%02d", year, month);
+      char factor[24];
+      if (current.FactBytes() > 0) {
+        std::snprintf(factor, sizeof(factor), "%.1fx",
+                      static_cast<double>(original_bytes) /
+                          static_cast<double>(current.FactBytes()));
+      } else {
+        std::snprintf(factor, sizeof(factor), "all purged");
+      }
+      std::printf("%-10s %12zu %14s %12s %10zu\n", when, current.num_facts(),
+                  HumanBytes(current.FactBytes()).c_str(), factor,
+                  stats.facts_aggregated);
+    }
+  }
+
+  std::printf(
+      "\nStarted with %zu facts (%s); the fully aged warehouse retains the\n"
+      "year/domain-group summaries only — the detail was physically deleted\n"
+      "while every SUM stayed exact.\n",
+      original_facts, HumanBytes(original_bytes).c_str());
+  return 0;
+}

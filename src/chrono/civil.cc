@@ -1,0 +1,78 @@
+#include "chrono/civil.h"
+
+#include "common/check.h"
+
+namespace dwred {
+
+bool IsLeapYear(int32_t y) {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+int DaysInMonth(int32_t year, int32_t month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  DWRED_CHECK(month >= 1 && month <= 12);
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+int64_t DaysFromCivil(CivilDate d) {
+  // Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  int64_t y = d.year;
+  const int64_t m = d.month;
+  const int64_t dd = d.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                              // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;      // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                           // [0, 146096]
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);    // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                         // [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;                 // [1, 31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                      // [1, 12]
+  return CivilDate{static_cast<int32_t>(y + (m <= 2)),
+                   static_cast<int32_t>(m), static_cast<int32_t>(d)};
+}
+
+int WeekdayFromDays(int64_t days) {
+  // 1970-01-01 was a Thursday (ISO weekday 4, i.e. index 3 when Monday = 0).
+  int64_t w = (days + 3) % 7;
+  if (w < 0) w += 7;
+  return static_cast<int>(w);
+}
+
+IsoWeek IsoWeekFromDays(int64_t days) {
+  // The ISO week of a day is determined by the Thursday of that week.
+  int64_t thursday = days - WeekdayFromDays(days) + 3;
+  CivilDate td = CivilFromDays(thursday);
+  int64_t jan1 = DaysFromCivil(CivilDate{td.year, 1, 1});
+  int32_t week = static_cast<int32_t>((thursday - jan1) / 7) + 1;
+  return IsoWeek{td.year, week};
+}
+
+int64_t DaysFromIsoWeek(int32_t iso_year, int32_t week) {
+  // ISO week 1 is the week containing January 4th.
+  int64_t jan4 = DaysFromCivil(CivilDate{iso_year, 1, 4});
+  int64_t week1_monday = jan4 - WeekdayFromDays(jan4);
+  return week1_monday + static_cast<int64_t>(week - 1) * 7;
+}
+
+CivilDate AddMonths(CivilDate d, int64_t months) {
+  int64_t total = static_cast<int64_t>(d.year) * 12 + (d.month - 1) + months;
+  int64_t y = total >= 0 ? total / 12 : (total - 11) / 12;
+  int32_t m = static_cast<int32_t>(total - y * 12) + 1;
+  int32_t day = d.day;
+  int dim = DaysInMonth(static_cast<int32_t>(y), m);
+  if (day > dim) day = dim;
+  return CivilDate{static_cast<int32_t>(y), m, day};
+}
+
+}  // namespace dwred

@@ -1,0 +1,53 @@
+#pragma once
+
+// Proleptic-Gregorian calendar arithmetic. Days are counted from the Unix
+// epoch (1970-01-01 = day 0), using Howard Hinnant's branchless civil-date
+// algorithms. ISO-8601 week numbering is provided for the Time dimension's
+// parallel day -> week hierarchy (paper Section 2: day < week < T alongside
+// day < month < quarter < year < T).
+
+#include <cstdint>
+
+namespace dwred {
+
+/// A calendar date (year, month 1..12, day 1..31).
+struct CivilDate {
+  int32_t year = 1970;
+  int32_t month = 1;  ///< 1..12
+  int32_t day = 1;    ///< 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since 1970-01-01 for a civil date (valid for all proleptic-Gregorian
+/// dates representable in int32 years).
+int64_t DaysFromCivil(CivilDate d);
+
+/// Civil date for a day count since 1970-01-01.
+CivilDate CivilFromDays(int64_t days);
+
+/// Day of week for a day count: 0 = Monday ... 6 = Sunday (ISO numbering - 1).
+int WeekdayFromDays(int64_t days);
+
+/// Number of days in the given month of the given year.
+int DaysInMonth(int32_t year, int32_t month);
+
+/// True for Gregorian leap years.
+bool IsLeapYear(int32_t year);
+
+/// ISO-8601 week-year and week number (1..53) of a day count.
+struct IsoWeek {
+  int32_t iso_year;
+  int32_t week;  ///< 1..53
+  friend bool operator==(const IsoWeek&, const IsoWeek&) = default;
+};
+IsoWeek IsoWeekFromDays(int64_t days);
+
+/// Day count of the Monday starting ISO week `week` of ISO year `iso_year`.
+int64_t DaysFromIsoWeek(int32_t iso_year, int32_t week);
+
+/// Adds `months` (may be negative) to a civil date, clamping the day-of-month
+/// to the target month's length (standard calendar-arithmetic convention).
+CivilDate AddMonths(CivilDate d, int64_t months);
+
+}  // namespace dwred

@@ -1,0 +1,321 @@
+#include "chrono/granule.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dwred {
+
+namespace {
+
+// Week index: ISO weeks since the epoch week (whose Monday is 1969-12-29 =
+// day -3, index 0). Shifting by +3 aligns Mondays to multiples of 7 so floor
+// division is exact.
+int64_t WeekIndexOfDay(int64_t day) {
+  int64_t shifted = day + 3;
+  return shifted >= 0 ? shifted / 7 : (shifted - 6) / 7;
+}
+
+int64_t MondayOfWeekIndex(int64_t week_index) { return week_index * 7 - 3; }
+
+int64_t MonthIndex(int32_t year, int32_t month) {
+  return static_cast<int64_t>(year - 1970) * 12 + (month - 1);
+}
+
+int64_t QuarterIndex(int32_t year, int32_t quarter) {
+  return static_cast<int64_t>(year - 1970) * 4 + (quarter - 1);
+}
+
+void MonthFromIndex(int64_t idx, int32_t* year, int32_t* month) {
+  int64_t y = idx >= 0 ? idx / 12 : (idx - 11) / 12;
+  *year = static_cast<int32_t>(1970 + y);
+  *month = static_cast<int32_t>(idx - y * 12) + 1;
+}
+
+void QuarterFromIndex(int64_t idx, int32_t* year, int32_t* quarter) {
+  int64_t y = idx >= 0 ? idx / 4 : (idx - 3) / 4;
+  *year = static_cast<int32_t>(1970 + y);
+  *quarter = static_cast<int32_t>(idx - y * 4) + 1;
+}
+
+}  // namespace
+
+const char* TimeUnitName(TimeUnit unit) {
+  switch (unit) {
+    case TimeUnit::kDay: return "day";
+    case TimeUnit::kWeek: return "week";
+    case TimeUnit::kMonth: return "month";
+    case TimeUnit::kQuarter: return "quarter";
+    case TimeUnit::kYear: return "year";
+    case TimeUnit::kTop: return "TOP";
+  }
+  return "?";
+}
+
+TimeGranule DayGranule(CivilDate d) {
+  return TimeGranule{TimeUnit::kDay, DaysFromCivil(d)};
+}
+
+TimeGranule DayGranule(int64_t days_since_epoch) {
+  return TimeGranule{TimeUnit::kDay, days_since_epoch};
+}
+
+TimeGranule WeekGranule(int32_t iso_year, int32_t week) {
+  return TimeGranule{TimeUnit::kWeek,
+                     WeekIndexOfDay(DaysFromIsoWeek(iso_year, week))};
+}
+
+TimeGranule MonthGranule(int32_t year, int32_t month) {
+  return TimeGranule{TimeUnit::kMonth, MonthIndex(year, month)};
+}
+
+TimeGranule QuarterGranule(int32_t year, int32_t quarter) {
+  return TimeGranule{TimeUnit::kQuarter, QuarterIndex(year, quarter)};
+}
+
+TimeGranule YearGranule(int32_t year) {
+  return TimeGranule{TimeUnit::kYear, year};
+}
+
+TimeGranule TopGranule() { return TimeGranule{TimeUnit::kTop, 0}; }
+
+int64_t FirstDayOf(TimeGranule g) {
+  switch (g.unit) {
+    case TimeUnit::kDay:
+      return g.index;
+    case TimeUnit::kWeek:
+      return MondayOfWeekIndex(g.index);
+    case TimeUnit::kMonth: {
+      int32_t y, m;
+      MonthFromIndex(g.index, &y, &m);
+      return DaysFromCivil(CivilDate{y, m, 1});
+    }
+    case TimeUnit::kQuarter: {
+      int32_t y, q;
+      QuarterFromIndex(g.index, &y, &q);
+      return DaysFromCivil(CivilDate{y, (q - 1) * 3 + 1, 1});
+    }
+    case TimeUnit::kYear:
+      return DaysFromCivil(CivilDate{static_cast<int32_t>(g.index), 1, 1});
+    case TimeUnit::kTop:
+      DWRED_CHECK_MSG(false, "FirstDayOf(TOP) is unbounded");
+  }
+  return 0;
+}
+
+int64_t LastDayOf(TimeGranule g) {
+  switch (g.unit) {
+    case TimeUnit::kDay:
+      return g.index;
+    case TimeUnit::kWeek:
+      return MondayOfWeekIndex(g.index) + 6;
+    case TimeUnit::kMonth: {
+      int32_t y, m;
+      MonthFromIndex(g.index, &y, &m);
+      return DaysFromCivil(CivilDate{y, m, DaysInMonth(y, m)});
+    }
+    case TimeUnit::kQuarter: {
+      int32_t y, q;
+      QuarterFromIndex(g.index, &y, &q);
+      int32_t last_month = q * 3;
+      return DaysFromCivil(CivilDate{y, last_month,
+                                     DaysInMonth(y, last_month)});
+    }
+    case TimeUnit::kYear:
+      return DaysFromCivil(
+          CivilDate{static_cast<int32_t>(g.index), 12, 31});
+    case TimeUnit::kTop:
+      DWRED_CHECK_MSG(false, "LastDayOf(TOP) is unbounded");
+  }
+  return 0;
+}
+
+TimeGranule GranuleOfDay(int64_t day, TimeUnit unit) {
+  switch (unit) {
+    case TimeUnit::kDay:
+      return DayGranule(day);
+    case TimeUnit::kWeek:
+      return TimeGranule{TimeUnit::kWeek, WeekIndexOfDay(day)};
+    case TimeUnit::kMonth: {
+      CivilDate c = CivilFromDays(day);
+      return MonthGranule(c.year, c.month);
+    }
+    case TimeUnit::kQuarter: {
+      CivilDate c = CivilFromDays(day);
+      return QuarterGranule(c.year, (c.month - 1) / 3 + 1);
+    }
+    case TimeUnit::kYear: {
+      CivilDate c = CivilFromDays(day);
+      return YearGranule(c.year);
+    }
+    case TimeUnit::kTop:
+      return TopGranule();
+  }
+  return DayGranule(day);
+}
+
+bool GranuleContains(TimeGranule coarse, TimeGranule fine) {
+  if (coarse.unit == TimeUnit::kTop) return true;
+  if (coarse.unit == fine.unit) return coarse.index == fine.index;
+  if (fine.unit == TimeUnit::kTop) return false;
+  // Containment holds iff every day of `fine` lies within `coarse`. For the
+  // Time hierarchy this reduces to comparing day ranges (weeks may straddle
+  // month boundaries, so a week is contained in a month only when its whole
+  // range is).
+  return FirstDayOf(coarse) <= FirstDayOf(fine) &&
+         LastDayOf(fine) <= LastDayOf(coarse);
+}
+
+std::string FormatGranule(TimeGranule g) {
+  char buf[32];
+  switch (g.unit) {
+    case TimeUnit::kDay: {
+      CivilDate c = CivilFromDays(g.index);
+      std::snprintf(buf, sizeof(buf), "%d/%d/%d", c.year, c.month, c.day);
+      return buf;
+    }
+    case TimeUnit::kWeek: {
+      IsoWeek w = IsoWeekFromDays(MondayOfWeekIndex(g.index));
+      std::snprintf(buf, sizeof(buf), "%dW%d", w.iso_year, w.week);
+      return buf;
+    }
+    case TimeUnit::kMonth: {
+      int32_t y, m;
+      MonthFromIndex(g.index, &y, &m);
+      std::snprintf(buf, sizeof(buf), "%d/%d", y, m);
+      return buf;
+    }
+    case TimeUnit::kQuarter: {
+      int32_t y, q;
+      QuarterFromIndex(g.index, &y, &q);
+      std::snprintf(buf, sizeof(buf), "%dQ%d", y, q);
+      return buf;
+    }
+    case TimeUnit::kYear:
+      std::snprintf(buf, sizeof(buf), "%d",
+                    static_cast<int32_t>(g.index));
+      return buf;
+    case TimeUnit::kTop:
+      return "TOP";
+  }
+  return "?";
+}
+
+Result<TimeGranule> ParseGranule(std::string_view text) {
+  std::string_view s = Trim(text);
+  if (s == "TOP" || s == "T") return TopGranule();
+  // Week: <year>W<week>
+  size_t wpos = s.find('W');
+  if (wpos != std::string_view::npos) {
+    int64_t y, w;
+    if (ParseInt64(s.substr(0, wpos), &y) &&
+        ParseInt64(s.substr(wpos + 1), &w) && w >= 1 && w <= 53) {
+      return WeekGranule(static_cast<int32_t>(y), static_cast<int32_t>(w));
+    }
+    return Status::ParseError("bad week literal: " + std::string(text));
+  }
+  // Quarter: <year>Q<quarter>
+  size_t qpos = s.find('Q');
+  if (qpos != std::string_view::npos) {
+    int64_t y, q;
+    if (ParseInt64(s.substr(0, qpos), &y) &&
+        ParseInt64(s.substr(qpos + 1), &q) && q >= 1 && q <= 4) {
+      return QuarterGranule(static_cast<int32_t>(y), static_cast<int32_t>(q));
+    }
+    return Status::ParseError("bad quarter literal: " + std::string(text));
+  }
+  // Slash-separated: year, year/month, or year/month/day.
+  std::vector<std::string> parts = Split(std::string(s), '/');
+  int64_t nums[3];
+  if (parts.size() > 3) {
+    return Status::ParseError("bad time literal: " + std::string(text));
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!ParseInt64(parts[i], &nums[i])) {
+      return Status::ParseError("bad time literal: " + std::string(text));
+    }
+  }
+  if (parts.size() == 1) return YearGranule(static_cast<int32_t>(nums[0]));
+  if (parts.size() == 2) {
+    if (nums[1] < 1 || nums[1] > 12) {
+      return Status::ParseError("bad month literal: " + std::string(text));
+    }
+    return MonthGranule(static_cast<int32_t>(nums[0]),
+                        static_cast<int32_t>(nums[1]));
+  }
+  if (nums[1] < 1 || nums[1] > 12 || nums[2] < 1 ||
+      nums[2] > DaysInMonth(static_cast<int32_t>(nums[0]),
+                            static_cast<int32_t>(nums[1]))) {
+    return Status::ParseError("bad day literal: " + std::string(text));
+  }
+  return DayGranule(CivilDate{static_cast<int32_t>(nums[0]),
+                              static_cast<int32_t>(nums[1]),
+                              static_cast<int32_t>(nums[2])});
+}
+
+std::string FormatSpan(TimeSpan s) {
+  std::string out = std::to_string(s.count);
+  out += ' ';
+  out += TimeUnitName(s.unit);
+  if (s.count != 1) out += 's';
+  return out;
+}
+
+Result<TimeSpan> ParseSpan(std::string_view text) {
+  std::string_view s = Trim(text);
+  size_t i = 0;
+  while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                          (i == 0 && (s[i] == '-' || s[i] == '+')))) {
+    ++i;
+  }
+  int64_t count;
+  if (i == 0 || !ParseInt64(s.substr(0, i), &count)) {
+    return Status::ParseError("bad span count: " + std::string(text));
+  }
+  std::string_view unit = Trim(s.substr(i));
+  if (!unit.empty() && unit.back() == 's') unit.remove_suffix(1);
+  TimeUnit u;
+  if (unit == "day") u = TimeUnit::kDay;
+  else if (unit == "week") u = TimeUnit::kWeek;
+  else if (unit == "month") u = TimeUnit::kMonth;
+  else if (unit == "quarter") u = TimeUnit::kQuarter;
+  else if (unit == "year") u = TimeUnit::kYear;
+  else return Status::ParseError("bad span unit: " + std::string(text));
+  return TimeSpan{u, count};
+}
+
+int64_t ShiftDays(int64_t day, TimeSpan span) {
+  switch (span.unit) {
+    case TimeUnit::kDay:
+      return day + span.count;
+    case TimeUnit::kWeek:
+      return day + span.count * 7;
+    case TimeUnit::kMonth:
+      return DaysFromCivil(AddMonths(CivilFromDays(day), span.count));
+    case TimeUnit::kQuarter:
+      return DaysFromCivil(AddMonths(CivilFromDays(day), span.count * 3));
+    case TimeUnit::kYear:
+      return DaysFromCivil(AddMonths(CivilFromDays(day), span.count * 12));
+    case TimeUnit::kTop:
+      DWRED_CHECK_MSG(false, "TOP is not a span unit");
+  }
+  return day;
+}
+
+TimeGranule ResolveNowExpression(int64_t now_day, TimeSpan offset,
+                                 TimeUnit unit) {
+  return GranuleOfDay(ShiftDays(now_day, offset), unit);
+}
+
+TimeGranule PreviousGranule(TimeGranule g) {
+  DWRED_CHECK(g.unit != TimeUnit::kTop);
+  return TimeGranule{g.unit, g.index - 1};
+}
+
+TimeGranule NextGranule(TimeGranule g) {
+  DWRED_CHECK(g.unit != TimeUnit::kTop);
+  return TimeGranule{g.unit, g.index + 1};
+}
+
+}  // namespace dwred

@@ -1,0 +1,113 @@
+#pragma once
+
+// Time granules: time values at one of the Time dimension's granularities
+// (day, ISO week, month, quarter, year, T). A granule is (unit, index) where
+// the index is a dense integer at that unit (days since epoch, ISO weeks since
+// the epoch week, months/quarters since 1970, calendar year). Granules are the
+// value domain of the Time dimension and of the time literals in reduction
+// predicates (paper Table 1: `tt`).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "chrono/civil.h"
+#include "common/status.h"
+
+namespace dwred {
+
+/// Granularity units of the Time dimension, ordered bottom-up. Week and Month
+/// are *parallel* (neither contains the other); both contain Day and are
+/// contained in Top — Quarter/Year extend the month branch (paper eq. (2)).
+enum class TimeUnit : uint8_t {
+  kDay = 0,
+  kWeek = 1,
+  kMonth = 2,
+  kQuarter = 3,
+  kYear = 4,
+  kTop = 5,
+};
+
+/// Display name ("day", "week", ...).
+const char* TimeUnitName(TimeUnit unit);
+
+/// A time value at a specific granularity.
+struct TimeGranule {
+  TimeUnit unit = TimeUnit::kDay;
+  int64_t index = 0;  ///< dense index at `unit`; 0 for kTop
+
+  friend bool operator==(const TimeGranule&, const TimeGranule&) = default;
+  /// Ordering is only meaningful between granules of the same unit; the
+  /// mixed-granularity comparison semantics of paper Definition 5 live in the
+  /// query layer.
+  friend auto operator<=>(const TimeGranule& a, const TimeGranule& b) = default;
+};
+
+/// Granule constructors from calendar components.
+TimeGranule DayGranule(CivilDate d);
+TimeGranule DayGranule(int64_t days_since_epoch);
+TimeGranule WeekGranule(int32_t iso_year, int32_t week);
+TimeGranule MonthGranule(int32_t year, int32_t month);
+TimeGranule QuarterGranule(int32_t year, int32_t quarter);
+TimeGranule YearGranule(int32_t year);
+TimeGranule TopGranule();
+
+/// First and last day (inclusive, as days since epoch) covered by a granule.
+/// This is the drill-down set used to compare mixed granularities via their
+/// greatest lower bound, which for any two Time categories is `day`.
+int64_t FirstDayOf(TimeGranule g);
+int64_t LastDayOf(TimeGranule g);
+
+/// The granule of unit `unit` containing the given day. Total for every unit
+/// (day rolls up to every Time category).
+TimeGranule GranuleOfDay(int64_t days_since_epoch, TimeUnit unit);
+
+/// True if `coarse` contains `fine` (drill-down containment). Requires
+/// coarse.unit >= fine.unit in element size; week/month are incomparable
+/// unless one side is day or Top.
+bool GranuleContains(TimeGranule coarse, TimeGranule fine);
+
+/// Formats a granule in the paper's notation: `1999/11/23` (day), `1999W47`
+/// (week), `1999/11` (month), `1999Q4` (quarter), `1999` (year), `TOP`.
+std::string FormatGranule(TimeGranule g);
+
+/// Parses the paper's notation. The unit is inferred from the shape of the
+/// literal.
+Result<TimeGranule> ParseGranule(std::string_view text);
+
+/// An unanchored time span ("6 months", "4 quarters") — paper's `s` domain.
+struct TimeSpan {
+  TimeUnit unit = TimeUnit::kDay;  ///< kTop is not a valid span unit
+  int64_t count = 0;
+
+  friend bool operator==(const TimeSpan&, const TimeSpan&) = default;
+};
+
+/// Formats a span ("6 months").
+std::string FormatSpan(TimeSpan s);
+
+/// Parses "<count> <unit>[s]" ("6 months", "1 day", "4 quarters").
+Result<TimeSpan> ParseSpan(std::string_view text);
+
+/// Shifts a *day* granule by a span (negative counts shift into the past).
+/// Month/quarter/year spans use calendar arithmetic with day-of-month
+/// clamping. This implements the paper's `NOW - 6 months` style expressions,
+/// where NOW is bound to the evaluation day (eq. (9)).
+int64_t ShiftDays(int64_t days_since_epoch, TimeSpan span);
+
+/// Evaluates `NOW + offset` at time `now_day` and coerces the result to
+/// `unit`: the granule of `unit` containing the shifted day. This makes
+/// `Time.month < NOW - 6 months` a same-unit comparison against month values,
+/// as required by the grammar's typing rule (Type(tt) = C_Time_j).
+TimeGranule ResolveNowExpression(int64_t now_day, TimeSpan offset,
+                                 TimeUnit unit);
+
+/// Predecessor of a granule at its own unit (the paper's "t_lb - 1, one unit
+/// in the finest time granularity" is taken at the bound's own granularity
+/// after coercion). Undefined for kTop.
+TimeGranule PreviousGranule(TimeGranule g);
+
+/// Successor of a granule at its own unit. Undefined for kTop.
+TimeGranule NextGranule(TimeGranule g);
+
+}  // namespace dwred

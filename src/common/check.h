@@ -1,0 +1,27 @@
+#pragma once
+
+// Invariant-checking macros. DWRED_CHECK aborts with a diagnostic on breach
+// and is active in all build types: the reduction semantics rely on internal
+// invariants (e.g. every fact maps to exactly one value per dimension) whose
+// silent violation would corrupt irreversible reductions.
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DWRED_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DWRED_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DWRED_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DWRED_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,58 @@
+#pragma once
+
+// Deterministic pseudo-random generation for workload synthesis and
+// property-based tests. All randomness in the repository flows through
+// SplitMix64 seeds so every bench and test run is reproducible.
+
+#include <cstdint>
+#include <vector>
+
+namespace dwred {
+
+/// SplitMix64: tiny, fast, statistically solid 64-bit PRNG (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed ranks in [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^theta. Used to model skewed URL popularity in the
+/// click-stream workload (a handful of pages receive most clicks).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next rank in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  SplitMix64 rng_;
+  std::vector<double> cdf_;  // cumulative probability per rank
+};
+
+}  // namespace dwred

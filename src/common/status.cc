@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+namespace dwred {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCrossingViolation: return "CrossingViolation";
+    case StatusCode::kGrowingViolation: return "GrowingViolation";
+    case StatusCode::kDeleteRejected: return "DeleteRejected";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dwred

@@ -1,0 +1,141 @@
+#pragma once
+
+// Status / Result<T> error handling in the RocksDB idiom: fallible operations
+// in the library return a Status (or a Result<T> carrying a value), never
+// throw. Statuses carry a code and a human-readable message so specification
+// violations (crossing actions, shrinking predicates, parse errors) can be
+// reported to users with diagnostics, as the paper requires for communicating
+// "why data is aggregated the way it is" (Section 4).
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dwred {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad literal, unknown category, ...).
+  kParseError,        ///< Specification text failed to parse (Table 1 grammar).
+  kNotFound,          ///< Named entity (dimension, category, value) not found.
+  kCrossingViolation, ///< Action set violates NonCrossing (Section 4.3).
+  kGrowingViolation,  ///< Action set violates Growing (Section 4.3).
+  kDeleteRejected,    ///< delete-operator precondition failed (Definition 4).
+  kInternal,          ///< Invariant breach inside the library.
+};
+
+/// Human-readable name of a status code (for messages and logs).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status CrossingViolation(std::string msg) {
+    return Status(StatusCode::kCrossingViolation, std::move(msg));
+  }
+  static Status GrowingViolation(std::string msg) {
+    return Status(StatusCode::kGrowingViolation, std::move(msg));
+  }
+  static Status DeleteRejected(std::string msg) {
+    return Status(StatusCode::kDeleteRejected, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or a failure Status. Accessing the value of a failed
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const T& value() const {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& take() {
+    CheckOk();
+    return std::move(std::get<T>(payload_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+ private:
+  /// Accessing the value of a failed Result aborts with the status message
+  /// in every build type (silently reading garbage could corrupt an
+  /// irreversible reduction).
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result accessed without a value: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace dwred
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define DWRED_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::dwred::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on failure returns its Status, otherwise
+/// moves the value into `lhs`.
+#define DWRED_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto DWRED_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!DWRED_CONCAT_(_res_, __LINE__).ok())     \
+    return DWRED_CONCAT_(_res_, __LINE__).status(); \
+  lhs = DWRED_CONCAT_(_res_, __LINE__).take()
+
+#define DWRED_CONCAT_INNER_(a, b) a##b
+#define DWRED_CONCAT_(a, b) DWRED_CONCAT_INNER_(a, b)

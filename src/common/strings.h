@@ -1,0 +1,31 @@
+#pragma once
+
+// Small string helpers shared across modules (parsing, diagnostics, report
+// printing). Kept dependency-free.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwred {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a signed integer; returns false on any non-numeric content.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats a byte count with a binary-unit suffix ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace dwred

@@ -1,0 +1,27 @@
+#pragma once
+
+// Minimal RFC-4180-style CSV reading and writing: quoted fields, embedded
+// commas/quotes/newlines, CRLF tolerance. The warehouse import/export layer
+// (warehouse_io.h) builds on this.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dwred {
+
+/// Parses CSV text into rows of fields. Empty trailing line is ignored.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Renders rows as CSV, quoting fields that need it.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a whole file.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a whole file.
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace dwred

@@ -1,0 +1,319 @@
+#include "io/snapshot.h"
+
+#include <cstring>
+
+#include "spec/parser.h"
+
+namespace dwred {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'W', 'R', 'D'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v) { return Raw(v, 1); }
+  Status U32(uint32_t* v) { return Raw(v, 4); }
+  Status U64(uint64_t* v) { return Raw(v, 8); }
+  Status I64(int64_t* v) { return Raw(v, 8); }
+  Status Str(std::string* s) {
+    uint32_t n;
+    DWRED_RETURN_IF_ERROR(U32(&n));
+    if (pos_ + n > data_.size()) return Truncated();
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Raw(void* p, size_t n) {
+    if (pos_ + n > data_.size()) return Truncated();
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Status Truncated() const {
+    return Status::ParseError("snapshot truncated at offset " +
+                              std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void SaveDimension(Writer* w, const Dimension& dim) {
+  const DimensionType& type = dim.type();
+  w->Str(type.name());
+  w->U8(dim.is_time() ? 1 : 0);
+  w->U32(static_cast<uint32_t>(type.num_categories()));
+  for (CategoryId c = 0; c < type.num_categories(); ++c) {
+    w->Str(type.category_name(c));
+  }
+  // Edges (immediate ancestors).
+  uint32_t nedges = 0;
+  for (CategoryId c = 0; c < type.num_categories(); ++c) {
+    nedges += static_cast<uint32_t>(type.Anc(c).size());
+  }
+  w->U32(nedges);
+  for (CategoryId c = 0; c < type.num_categories(); ++c) {
+    for (CategoryId p : type.Anc(c)) {
+      w->U32(c);
+      w->U32(p);
+    }
+  }
+  // Values (skipping the constructor-created TOP value, id 0).
+  w->U64(dim.num_values());
+  for (ValueId v = 1; v < dim.num_values(); ++v) {
+    w->Str(dim.value_name(v));
+    w->U32(dim.value_category(v));
+    const std::vector<ValueId>& parents = dim.Parents(v);
+    w->U32(static_cast<uint32_t>(parents.size()));
+    for (ValueId p : parents) w->U32(p);
+    if (dim.is_time()) {
+      TimeGranule g = dim.granule(v);
+      w->U8(static_cast<uint8_t>(g.unit));
+      w->I64(g.index);
+    }
+  }
+}
+
+Result<std::shared_ptr<Dimension>> LoadDimension(Reader* r) {
+  std::string name;
+  DWRED_RETURN_IF_ERROR(r->Str(&name));
+  uint8_t is_time;
+  DWRED_RETURN_IF_ERROR(r->U8(&is_time));
+  uint32_t ncats;
+  DWRED_RETURN_IF_ERROR(r->U32(&ncats));
+  if (ncats > 64) return Status::ParseError("snapshot: too many categories");
+
+  DimensionType type(name);
+  for (uint32_t c = 0; c < ncats; ++c) {
+    std::string cat_name;
+    DWRED_RETURN_IF_ERROR(r->Str(&cat_name));
+    type.AddCategory(std::move(cat_name));
+  }
+  uint32_t nedges;
+  DWRED_RETURN_IF_ERROR(r->U32(&nedges));
+  for (uint32_t e = 0; e < nedges; ++e) {
+    uint32_t child, parent;
+    DWRED_RETURN_IF_ERROR(r->U32(&child));
+    DWRED_RETURN_IF_ERROR(r->U32(&parent));
+    DWRED_RETURN_IF_ERROR(type.AddEdge(child, parent));
+  }
+  DWRED_RETURN_IF_ERROR(type.Finalize());
+
+  auto dim = is_time
+                 ? std::make_shared<Dimension>(Dimension::MakeTimeDimension())
+                 : std::make_shared<Dimension>(std::move(type));
+  if (is_time) {
+    // The built-in time type must match the saved one structurally; the
+    // saved categories were written from the same builder.
+    if (dim->type().num_categories() != ncats) {
+      return Status::ParseError("snapshot: time dimension layout mismatch");
+    }
+  }
+
+  uint64_t nvalues;
+  DWRED_RETURN_IF_ERROR(r->U64(&nvalues));
+  for (uint64_t v = 1; v < nvalues; ++v) {
+    std::string vname;
+    DWRED_RETURN_IF_ERROR(r->Str(&vname));
+    uint32_t cat;
+    DWRED_RETURN_IF_ERROR(r->U32(&cat));
+    uint32_t nparents;
+    DWRED_RETURN_IF_ERROR(r->U32(&nparents));
+    std::vector<ValueId> parents(nparents);
+    for (uint32_t p = 0; p < nparents; ++p) {
+      DWRED_RETURN_IF_ERROR(r->U32(&parents[p]));
+      if (parents[p] >= v) {
+        return Status::ParseError("snapshot: forward parent reference");
+      }
+    }
+    TimeGranule g;
+    if (is_time) {
+      uint8_t unit;
+      DWRED_RETURN_IF_ERROR(r->U8(&unit));
+      if (unit > static_cast<uint8_t>(TimeUnit::kTop)) {
+        return Status::ParseError("snapshot: bad time unit");
+      }
+      g.unit = static_cast<TimeUnit>(unit);
+      DWRED_RETURN_IF_ERROR(r->I64(&g.index));
+    }
+    DWRED_ASSIGN_OR_RETURN(
+        ValueId id,
+        dim->RestoreValue(std::move(vname), cat, parents,
+                          is_time ? &g : nullptr));
+    if (id != v) return Status::ParseError("snapshot: value id drift");
+  }
+  return dim;
+}
+
+}  // namespace
+
+std::string SaveWarehouse(const MultidimensionalObject& mo,
+                          const ReductionSpecification& spec) {
+  Writer w;
+  w.U8(kMagic[0]);
+  w.U8(kMagic[1]);
+  w.U8(kMagic[2]);
+  w.U8(kMagic[3]);
+  w.U32(kVersion);
+  w.Str(mo.fact_type());
+
+  w.U32(static_cast<uint32_t>(mo.num_dimensions()));
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    SaveDimension(&w, *mo.dimension(static_cast<DimensionId>(d)));
+  }
+
+  w.U32(static_cast<uint32_t>(mo.num_measures()));
+  for (size_t m = 0; m < mo.num_measures(); ++m) {
+    const MeasureType& mt = mo.measure_type(static_cast<MeasureId>(m));
+    w.Str(mt.name);
+    w.U8(static_cast<uint8_t>(mt.agg));
+  }
+
+  w.U64(mo.num_facts());
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+      w.U32(mo.Coord(f, static_cast<DimensionId>(d)));
+    }
+    for (size_t m = 0; m < mo.num_measures(); ++m) {
+      w.I64(mo.Measure(f, static_cast<MeasureId>(m)));
+    }
+    w.Str(mo.FactName(f));
+    const std::vector<FactId>* prov = mo.Provenance(f);
+    w.U32(prov ? static_cast<uint32_t>(prov->size()) : 0);
+    if (prov) {
+      for (FactId s : *prov) w.U64(s);
+    }
+    w.U32(mo.ResponsibleAction(f));
+  }
+
+  w.U32(static_cast<uint32_t>(spec.size()));
+  for (const Action& a : spec.actions()) {
+    w.Str(a.name);
+    w.Str(a.source_text);
+  }
+  return w.Take();
+}
+
+Result<LoadedWarehouse> LoadWarehouse(std::string_view bytes) {
+  Reader r(bytes);
+  char magic[4];
+  for (char& c : magic) {
+    uint8_t b;
+    DWRED_RETURN_IF_ERROR(r.U8(&b));
+    c = static_cast<char>(b);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::ParseError("not a dwred snapshot (bad magic)");
+  }
+  uint32_t version;
+  DWRED_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kVersion) {
+    return Status::ParseError("unsupported snapshot version " +
+                              std::to_string(version));
+  }
+  std::string fact_type;
+  DWRED_RETURN_IF_ERROR(r.Str(&fact_type));
+
+  uint32_t ndims;
+  DWRED_RETURN_IF_ERROR(r.U32(&ndims));
+  if (ndims == 0 || ndims > 16) {
+    return Status::ParseError("snapshot: implausible dimension count");
+  }
+  std::vector<std::shared_ptr<Dimension>> dims;
+  for (uint32_t d = 0; d < ndims; ++d) {
+    DWRED_ASSIGN_OR_RETURN(auto dim, LoadDimension(&r));
+    dims.push_back(std::move(dim));
+  }
+
+  uint32_t nmeas;
+  DWRED_RETURN_IF_ERROR(r.U32(&nmeas));
+  if (nmeas > 64) return Status::ParseError("snapshot: too many measures");
+  std::vector<MeasureType> measures;
+  for (uint32_t m = 0; m < nmeas; ++m) {
+    MeasureType mt;
+    DWRED_RETURN_IF_ERROR(r.Str(&mt.name));
+    uint8_t agg;
+    DWRED_RETURN_IF_ERROR(r.U8(&agg));
+    if (agg > static_cast<uint8_t>(AggFn::kMax)) {
+      return Status::ParseError("snapshot: bad aggregate function");
+    }
+    mt.agg = static_cast<AggFn>(agg);
+    measures.push_back(std::move(mt));
+  }
+
+  LoadedWarehouse out;
+  out.mo = std::make_unique<MultidimensionalObject>(fact_type, dims, measures);
+
+  uint64_t nfacts;
+  DWRED_RETURN_IF_ERROR(r.U64(&nfacts));
+  std::vector<ValueId> coords(ndims);
+  std::vector<int64_t> meas(nmeas);
+  for (uint64_t f = 0; f < nfacts; ++f) {
+    for (uint32_t d = 0; d < ndims; ++d) {
+      DWRED_RETURN_IF_ERROR(r.U32(&coords[d]));
+    }
+    for (uint32_t m = 0; m < nmeas; ++m) {
+      DWRED_RETURN_IF_ERROR(r.I64(&meas[m]));
+    }
+    DWRED_ASSIGN_OR_RETURN(FactId id, out.mo->AddFact(coords, meas));
+    std::string fname;
+    DWRED_RETURN_IF_ERROR(r.Str(&fname));
+    if (fname != "fact_" + std::to_string(id)) {
+      out.mo->SetFactName(id, std::move(fname));
+    }
+    uint32_t nprov;
+    DWRED_RETURN_IF_ERROR(r.U32(&nprov));
+    std::vector<FactId> prov(nprov);
+    for (uint32_t p = 0; p < nprov; ++p) {
+      DWRED_RETURN_IF_ERROR(r.U64(&prov[p]));
+    }
+    uint32_t responsible;
+    DWRED_RETURN_IF_ERROR(r.U32(&responsible));
+    if (nprov > 0 || responsible != kNoAction) {
+      out.mo->SetProvenance(id, std::move(prov), responsible);
+    }
+  }
+
+  uint32_t nactions;
+  DWRED_RETURN_IF_ERROR(r.U32(&nactions));
+  for (uint32_t a = 0; a < nactions; ++a) {
+    std::string name, text;
+    DWRED_RETURN_IF_ERROR(r.Str(&name));
+    DWRED_RETURN_IF_ERROR(r.Str(&text));
+    DWRED_ASSIGN_OR_RETURN(Action action,
+                           ParseAction(*out.mo, text, std::move(name)));
+    out.spec.Add(std::move(action));
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("snapshot has trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace dwred

@@ -1,0 +1,34 @@
+#pragma once
+
+// Binary warehouse snapshots: a versioned, self-contained serialization of a
+// warehouse (dimensions with their hierarchies and payloads, measures, fact
+// set with names/provenance/responsible actions, and the reduction
+// specification). Reduction is a long-running, irreversible process — the
+// state between NOW advances has to survive restarts.
+//
+// Format: little-endian, length-prefixed strings, magic "DWRD", version 1.
+// Loading validates structure and re-validates every action against the
+// restored warehouse (actions are stored as their source text, so the
+// snapshot stays readable by future parsers).
+
+#include <memory>
+
+#include "mdm/mo.h"
+#include "spec/action.h"
+
+namespace dwred {
+
+/// Serializes the warehouse and its specification.
+std::string SaveWarehouse(const MultidimensionalObject& mo,
+                          const ReductionSpecification& spec);
+
+struct LoadedWarehouse {
+  std::unique_ptr<MultidimensionalObject> mo;
+  ReductionSpecification spec;
+};
+
+/// Restores a snapshot. Fails with ParseError on structural corruption and
+/// with the parser's diagnostics if a stored action no longer parses.
+Result<LoadedWarehouse> LoadWarehouse(std::string_view bytes);
+
+}  // namespace dwred

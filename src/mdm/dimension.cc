@@ -1,0 +1,327 @@
+#include "mdm/dimension.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dwred {
+
+Dimension::Dimension(DimensionType type, bool is_time)
+    : type_(std::move(type)), is_time_(is_time) {
+  DWRED_CHECK_MSG(type_.finalized(), "dimension type must be finalized");
+  extent_.resize(type_.num_categories());
+  by_name_.resize(type_.num_categories());
+  // Create the single TOP value ⊤ (paper: T_D contains exactly one value).
+  names_.emplace_back("T");
+  categories_.push_back(type_.top());
+  parents_.emplace_back();
+  children_.emplace_back();
+  top_value_ = 0;
+  extent_[type_.top()].push_back(top_value_);
+  by_name_[type_.top()]["T"] = top_value_;
+  if (is_time_) {
+    granules_.push_back(TopGranule());
+    granule_index_[GranuleKey(TopGranule())] = top_value_;
+  }
+}
+
+Dimension::Dimension(DimensionType type) : Dimension(std::move(type), false) {}
+
+Dimension Dimension::MakeTimeDimension() {
+  return Dimension(MakeTimeDimensionType(), true);
+}
+
+Result<ValueId> Dimension::AddValue(std::string name, CategoryId category,
+                                    const std::vector<ValueId>& parents) {
+  if (category >= type_.num_categories()) {
+    return Status::InvalidArgument("unknown category id");
+  }
+  if (category == type_.top()) {
+    return Status::InvalidArgument("cannot add values to the TOP category");
+  }
+  auto& names_in_cat = by_name_[category];
+  if (names_in_cat.count(name)) {
+    return Status::InvalidArgument("duplicate value '" + name +
+                                   "' in category " +
+                                   type_.category_name(category));
+  }
+  // Exactly one parent per immediate-ancestor category.
+  const std::vector<CategoryId>& anc = type_.Anc(category);
+  if (parents.size() != anc.size()) {
+    return Status::InvalidArgument(
+        "value '" + name + "' needs one parent per ancestor category (" +
+        std::to_string(anc.size()) + " expected, " +
+        std::to_string(parents.size()) + " given)");
+  }
+  std::vector<ValueId> ordered(anc.size(), kInvalidValue);
+  for (ValueId p : parents) {
+    if (p >= names_.size()) {
+      return Status::InvalidArgument("unknown parent value id");
+    }
+    CategoryId pc = categories_[p];
+    auto it = std::find(anc.begin(), anc.end(), pc);
+    if (it == anc.end()) {
+      return Status::InvalidArgument(
+          "parent '" + names_[p] + "' of '" + name +
+          "' is not in an immediate ancestor category of " +
+          type_.category_name(category));
+    }
+    size_t slot = static_cast<size_t>(it - anc.begin());
+    if (ordered[slot] != kInvalidValue) {
+      return Status::InvalidArgument("two parents in the same category for '" +
+                                     name + "'");
+    }
+    ordered[slot] = p;
+  }
+
+  ValueId id = static_cast<ValueId>(names_.size());
+  names_.push_back(std::move(name));
+  categories_.push_back(category);
+  parents_.push_back(ordered);
+  children_.emplace_back();
+  for (ValueId p : ordered) children_[p].push_back(id);
+  extent_[category].push_back(id);
+  by_name_[category][names_[id]] = id;
+  if (is_time_) granules_.push_back(TimeGranule{});  // filled by EnsureTimeValue
+  drill_memo_.clear();
+  return id;
+}
+
+Result<ValueId> Dimension::AddValue(std::string name, CategoryId category,
+                                    ValueId parent) {
+  return AddValue(std::move(name), category, std::vector<ValueId>{parent});
+}
+
+Result<ValueId> Dimension::ValueByName(CategoryId category,
+                                       std::string_view name) const {
+  if (category >= by_name_.size()) {
+    return Status::InvalidArgument("unknown category id");
+  }
+  auto it = by_name_[category].find(std::string(name));
+  if (it == by_name_[category].end()) {
+    return Status::NotFound("no value '" + std::string(name) +
+                            "' in category " + type_.category_name(category) +
+                            " of dimension " + type_.name());
+  }
+  return it->second;
+}
+
+ValueId Dimension::Rollup(ValueId v, CategoryId category) const {
+  CategoryId c = categories_[v];
+  if (c == category) return v;
+  if (!type_.Leq(c, category)) return kInvalidValue;
+  for (ValueId p : parents_[v]) {
+    if (type_.Leq(categories_[p], category)) {
+      ValueId r = Rollup(p, category);
+      if (r != kInvalidValue) return r;
+    }
+  }
+  return kInvalidValue;
+}
+
+bool Dimension::ValueLeq(ValueId v1, ValueId v2) const {
+  CategoryId c2 = categories_[v2];
+  if (!type_.Leq(categories_[v1], c2)) return false;
+  return Rollup(v1, c2) == v2;
+}
+
+const std::vector<ValueId>& Dimension::DrillDown(ValueId v,
+                                                 CategoryId category) const {
+  uint64_t key = (static_cast<uint64_t>(v) << 6) | category;
+  {
+    std::lock_guard<std::mutex> lock(*drill_mu_);
+    auto it = drill_memo_.find(key);
+    if (it != drill_memo_.end()) return it->second;
+  }
+
+  std::vector<ValueId> out;
+  if (categories_[v] == category) {
+    out.push_back(v);
+  } else {
+    // DFS down the children graph; the hierarchy may be a DAG (parallel
+    // branches), so deduplicate on the way.
+    std::vector<ValueId> stack{v};
+    std::vector<bool> seen(names_.size(), false);
+    seen[v] = true;
+    while (!stack.empty()) {
+      ValueId cur = stack.back();
+      stack.pop_back();
+      for (ValueId ch : children_[cur]) {
+        if (seen[ch]) continue;
+        seen[ch] = true;
+        if (categories_[ch] == category) {
+          out.push_back(ch);
+        }
+        // Descend further only if the target is still below this child.
+        if (type_.Leq(category, categories_[ch]) && categories_[ch] != category) {
+          stack.push_back(ch);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+  }
+  std::lock_guard<std::mutex> lock(*drill_mu_);
+  // Another thread may have raced the computation; emplace keeps the first.
+  auto [ins, _] = drill_memo_.emplace(key, std::move(out));
+  return ins->second;
+}
+
+Result<ValueId> Dimension::EnsureTimeValue(TimeGranule g) {
+  DWRED_CHECK_MSG(is_time_, "EnsureTimeValue on a non-time dimension");
+  ValueId existing = FindTimeValue(g);
+  if (existing != kInvalidValue) return existing;
+  DWRED_CHECK(g.unit != TimeUnit::kTop);  // TOP exists from construction
+
+  CategoryId category = static_cast<CategoryId>(g.unit);
+  // Materialize parents first: one per immediate-ancestor category; the
+  // parent granule is the one containing this granule's first day.
+  std::vector<ValueId> parents;
+  for (CategoryId pc : type_.Anc(category)) {
+    TimeUnit pu = static_cast<TimeUnit>(pc);
+    ValueId pv;
+    if (pu == TimeUnit::kTop) {
+      pv = top_value_;
+    } else {
+      TimeGranule pg = GranuleOfDay(FirstDayOf(g), pu);
+      DWRED_ASSIGN_OR_RETURN(pv, EnsureTimeValue(pg));
+    }
+    parents.push_back(pv);
+  }
+  DWRED_ASSIGN_OR_RETURN(ValueId id,
+                         AddValue(FormatGranule(g), category, parents));
+  granules_[id] = g;
+  granule_index_[GranuleKey(g)] = id;
+  return id;
+}
+
+Result<ValueId> Dimension::RestoreValue(std::string name, CategoryId category,
+                                        const std::vector<ValueId>& parents,
+                                        const TimeGranule* granule) {
+  DWRED_ASSIGN_OR_RETURN(ValueId id,
+                         AddValue(std::move(name), category, parents));
+  if (is_time_) {
+    if (!granule) {
+      return Status::InvalidArgument(
+          "time-dimension value restored without a granule payload");
+    }
+    granules_[id] = *granule;
+    granule_index_[GranuleKey(*granule)] = id;
+  }
+  return id;
+}
+
+ValueId Dimension::FindTimeValue(TimeGranule g) const {
+  auto it = granule_index_.find(GranuleKey(g));
+  return it == granule_index_.end() ? kInvalidValue : it->second;
+}
+
+Result<Dimension> Dimension::Subdimension(const std::vector<CategoryId>& keep,
+                                          std::vector<ValueId>* value_map) const {
+  // Build the induced dimension type.
+  std::vector<bool> kept(type_.num_categories(), false);
+  for (CategoryId c : keep) {
+    if (c >= type_.num_categories()) {
+      return Status::InvalidArgument("unknown category id in subdimension");
+    }
+    kept[c] = true;
+  }
+  if (!kept[type_.top()]) {
+    return Status::InvalidArgument("subdimension must keep the TOP category");
+  }
+
+  DimensionType sub_type(type_.name());
+  std::vector<CategoryId> old_to_new(type_.num_categories(), kInvalidCategory);
+  std::vector<CategoryId> new_to_old;
+  for (CategoryId c = 0; c < type_.num_categories(); ++c) {
+    if (!kept[c]) continue;
+    old_to_new[c] = sub_type.AddCategory(type_.category_name(c));
+    new_to_old.push_back(c);
+  }
+  // Edges: transitive reduction of the induced order.
+  for (CategoryId a : new_to_old) {
+    for (CategoryId b : new_to_old) {
+      if (a == b || !type_.Leq(a, b)) continue;
+      bool direct = true;
+      for (CategoryId c : new_to_old) {
+        if (c != a && c != b && type_.Leq(a, c) && type_.Leq(c, b)) {
+          direct = false;
+          break;
+        }
+      }
+      if (direct) {
+        DWRED_RETURN_IF_ERROR(sub_type.AddEdge(old_to_new[a], old_to_new[b]));
+      }
+    }
+  }
+  DWRED_RETURN_IF_ERROR(sub_type.Finalize());
+
+  Dimension sub(std::move(sub_type), is_time_);
+  if (value_map) value_map->assign(names_.size(), kInvalidValue);
+  if (value_map) (*value_map)[top_value_] = sub.top_value_;
+
+  // Copy values bottom-up so parents exist before children. Values in kept
+  // categories are processed in ascending order of "height" (categories with
+  // more kept ancestors first are not required — process categories from the
+  // top of the new type downwards).
+  // Topological order: a category is placed once every kept category strictly
+  // above it has been placed (std::sort on a partial order would not be a
+  // strict weak ordering).
+  std::vector<CategoryId> order;
+  std::vector<bool> placed(type_.num_categories(), false);
+  while (order.size() < new_to_old.size()) {
+    for (CategoryId c : new_to_old) {
+      if (placed[c]) continue;
+      bool ready = true;
+      for (CategoryId d : new_to_old) {
+        if (d != c && type_.Leq(c, d) && !placed[d]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        placed[c] = true;
+        order.push_back(c);
+      }
+    }
+  }
+  std::vector<ValueId> vmap(names_.size(), kInvalidValue);
+  vmap[top_value_] = sub.top_value_;
+  for (CategoryId oc : order) {
+    if (oc == type_.top()) continue;
+    CategoryId nc = old_to_new[oc];
+    for (ValueId v : extent_[oc]) {
+      std::vector<ValueId> new_parents;
+      for (CategoryId npc : sub.type_.Anc(nc)) {
+        CategoryId opc = new_to_old[npc];
+        ValueId op = Rollup(v, opc);
+        if (op == kInvalidValue) {
+          return Status::Internal("subdimension rollup failed for value " +
+                                  names_[v]);
+        }
+        DWRED_CHECK(vmap[op] != kInvalidValue);
+        new_parents.push_back(vmap[op]);
+      }
+      DWRED_ASSIGN_OR_RETURN(ValueId nv,
+                             sub.AddValue(names_[v], nc, new_parents));
+      vmap[v] = nv;
+      if (is_time_) {
+        sub.granules_[nv] = granules_[v];
+        sub.granule_index_[GranuleKey(granules_[v])] = nv;
+      }
+    }
+  }
+  if (value_map) *value_map = vmap;
+  return sub;
+}
+
+size_t Dimension::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& n : names_) bytes += n.size() + sizeof(std::string);
+  bytes += categories_.size() * sizeof(CategoryId);
+  for (const auto& p : parents_) bytes += p.size() * sizeof(ValueId) + 16;
+  for (const auto& c : children_) bytes += c.size() * sizeof(ValueId) + 16;
+  if (is_time_) bytes += granules_.size() * sizeof(TimeGranule);
+  return bytes;
+}
+
+}  // namespace dwred

@@ -1,0 +1,159 @@
+#pragma once
+
+// Dimension instances (paper Section 3): a dimension D of type T is a set of
+// categories (one per category type here, as in the paper's examples) and a
+// partial order <=_D on the union of their values, where v1 <=_D v2 iff v1 is
+// logically contained in v2.
+//
+// Values are interned: each value has a dense ValueId, a display name, a
+// category, and explicit parent links (one parent per immediate-ancestor
+// category; plural parents arise in non-linear hierarchies, e.g. a day has
+// both a week parent and a month parent). Rollup to an ancestor category is
+// unique (facts map to one value per dimension), drill-down sets are
+// memoized.
+//
+// The Time dimension is a Dimension whose values carry TimeGranule payloads;
+// EnsureTimeValue materializes a granule (and its ancestors) on demand, so
+// arbitrarily long time ranges need no up-front enumeration.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chrono/granule.h"
+#include "common/status.h"
+#include "mdm/dimension_type.h"
+#include "mdm/ids.h"
+
+namespace dwred {
+
+/// One dimension instance: interned values under the containment order.
+class Dimension {
+ public:
+  /// A non-time dimension of the given type. The type must be finalized and
+  /// is copied into the dimension (instances are self-contained).
+  explicit Dimension(DimensionType type);
+
+  /// The Time dimension: MakeTimeDimensionType() with granule payloads.
+  static Dimension MakeTimeDimension();
+
+  const DimensionType& type() const { return type_; }
+  const std::string& name() const { return type_.name(); }
+  bool is_time() const { return is_time_; }
+
+  size_t num_values() const { return categories_.size(); }
+
+  /// The single TOP value ⊤ (created by the constructor).
+  ValueId top_value() const { return top_value_; }
+
+  /// Adds a value in `category` with the given parent values. Each parent
+  /// must live in a distinct immediate-ancestor category of `category`; a
+  /// parent must be supplied for every immediate-ancestor category (the model
+  /// disallows missing values — map to ⊤ explicitly when unknown). Names must
+  /// be unique within a category.
+  Result<ValueId> AddValue(std::string name, CategoryId category,
+                           const std::vector<ValueId>& parents);
+
+  /// Convenience for linear hierarchies: adds a value with a single parent.
+  Result<ValueId> AddValue(std::string name, CategoryId category,
+                           ValueId parent);
+
+  /// Looks up a value by category and name.
+  Result<ValueId> ValueByName(CategoryId category, std::string_view name) const;
+
+  const std::string& value_name(ValueId v) const { return names_[v]; }
+  CategoryId value_category(ValueId v) const { return categories_[v]; }
+
+  /// Direct parents of a value (one per immediate-ancestor category).
+  const std::vector<ValueId>& Parents(ValueId v) const { return parents_[v]; }
+
+  /// The unique ancestor of `v` in `category`, or kInvalidValue when
+  /// `category` is not reachable from v's category (e.g. rolling a week up to
+  /// a month). Rollup(v, category(v)) == v.
+  ValueId Rollup(ValueId v, CategoryId category) const;
+
+  /// v1 <=_D v2: v1 is (transitively) contained in v2 (reflexive).
+  bool ValueLeq(ValueId v1, ValueId v2) const;
+
+  /// All values of `category` contained in `v` (drill-down set; memoized).
+  /// When category(v) and `category` are unrelated, this is the set reachable
+  /// through common descendants (used by Definition 5 after drilling to the
+  /// GLB category, where it is always well-defined).
+  ///
+  /// Thread-safety: safe to call concurrently as long as no thread mutates
+  /// the dimension (AddValue/EnsureTimeValue) at the same time — the memo is
+  /// guarded, and references into it stay valid (per-node stability). The
+  /// subcube engine's parallel query path relies on this.
+  const std::vector<ValueId>& DrillDown(ValueId v, CategoryId category) const;
+
+  /// All values of a category (its extent).
+  const std::vector<ValueId>& CategoryExtent(CategoryId category) const {
+    return extent_[category];
+  }
+
+  // --- Time-dimension payloads -------------------------------------------
+
+  /// Granule payload of a time value. Only valid when is_time().
+  TimeGranule granule(ValueId v) const { return granules_[v]; }
+
+  /// Interns the granule (and its ancestors) as values, returning the id.
+  /// Only valid when is_time().
+  Result<ValueId> EnsureTimeValue(TimeGranule g);
+
+  /// Looks up a granule without creating it.
+  ValueId FindTimeValue(TimeGranule g) const;
+
+  /// Deserialization hook: re-interns a value exactly as saved (AddValue's
+  /// checks apply; for time dimensions the granule payload is registered
+  /// too). Values must be restored in their original id order so parent
+  /// references resolve.
+  Result<ValueId> RestoreValue(std::string name, CategoryId category,
+                               const std::vector<ValueId>& parents,
+                               const TimeGranule* granule);
+
+  /// A subdimension retaining only `keep` categories (which must include the
+  /// top category and be upward-closed enough to keep parents: for every kept
+  /// non-top category, at least one kept ancestor category must exist).
+  /// Parent links are re-wired to the nearest kept ancestor values. Value ids
+  /// are NOT preserved; the mapping old->new is returned via `value_map` if
+  /// non-null. (Paper Section 3, subdimensions.)
+  Result<Dimension> Subdimension(const std::vector<CategoryId>& keep,
+                                 std::vector<ValueId>* value_map) const;
+
+  /// Approximate in-memory footprint of the dimension in bytes (for storage
+  /// accounting in benches).
+  size_t ApproxBytes() const;
+
+ private:
+  Dimension(DimensionType type, bool is_time);
+
+  DimensionType type_;
+  bool is_time_ = false;
+
+  std::vector<std::string> names_;
+  std::vector<CategoryId> categories_;
+  std::vector<std::vector<ValueId>> parents_;
+  std::vector<std::vector<ValueId>> children_;  // inverse of parents_
+  std::vector<std::vector<ValueId>> extent_;    // per category
+  std::vector<std::unordered_map<std::string, ValueId>> by_name_;  // per cat
+  ValueId top_value_ = kInvalidValue;
+
+  // Time payloads (empty for non-time dimensions).
+  std::vector<TimeGranule> granules_;
+  std::unordered_map<int64_t, ValueId> granule_index_;  // key: unit<<56 | idx
+
+  // Drill-down memo: key (v << 6) | category. Guarded for concurrent reads
+  // during parallel query evaluation; mutation of the dimension itself is
+  // not thread-safe. (Heap-allocated so Dimension stays movable.)
+  mutable std::unique_ptr<std::mutex> drill_mu_ =
+      std::make_unique<std::mutex>();
+  mutable std::unordered_map<uint64_t, std::vector<ValueId>> drill_memo_;
+
+  static int64_t GranuleKey(TimeGranule g) {
+    return (static_cast<int64_t>(g.unit) << 56) | (g.index & 0xFFFFFFFFFFFFFFll);
+  }
+};
+
+}  // namespace dwred

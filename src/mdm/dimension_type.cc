@@ -1,0 +1,202 @@
+#include "mdm/dimension_type.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace dwred {
+
+CategoryId DimensionType::AddCategory(std::string name) {
+  DWRED_CHECK_MSG(!finalized_, "AddCategory after Finalize");
+  DWRED_CHECK_MSG(names_.size() < 64, "at most 64 categories per dimension");
+  for (const auto& n : names_) {
+    DWRED_CHECK_MSG(n != name, "duplicate category name");
+  }
+  names_.push_back(std::move(name));
+  anc_.emplace_back();
+  desc_.emplace_back();
+  return static_cast<CategoryId>(names_.size() - 1);
+}
+
+Status DimensionType::AddEdge(CategoryId child, CategoryId parent) {
+  if (child >= names_.size() || parent >= names_.size()) {
+    return Status::InvalidArgument("edge references unknown category");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("self-edge in category hierarchy");
+  }
+  anc_[child].push_back(parent);
+  desc_[parent].push_back(child);
+  return Status::OK();
+}
+
+Status DimensionType::Finalize() {
+  const size_t n = names_.size();
+  if (n == 0) return Status::InvalidArgument("dimension type has no categories");
+
+  // Compute reachability closure by iterating to a fixed point (n <= 64, and
+  // hierarchies are shallow; simplicity over asymptotics).
+  leq_mask_.assign(n, 0);
+  for (size_t c = 0; c < n; ++c) leq_mask_[c] = 1ull << c;
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    changed = false;
+    if (++rounds > n + 1) {
+      return Status::InvalidArgument("cycle in category hierarchy of " + name_);
+    }
+    for (size_t c = 0; c < n; ++c) {
+      uint64_t mask = leq_mask_[c];
+      for (CategoryId p : anc_[c]) mask |= leq_mask_[p];
+      if (mask != leq_mask_[c]) {
+        leq_mask_[c] = mask;
+        changed = true;
+      }
+    }
+  }
+  // Detect cycles: a <= b and b <= a for a != b.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (Leq(static_cast<CategoryId>(a), static_cast<CategoryId>(b)) &&
+          Leq(static_cast<CategoryId>(b), static_cast<CategoryId>(a))) {
+        return Status::InvalidArgument("cycle in category hierarchy of " +
+                                       name_);
+      }
+    }
+  }
+
+  // Unique bottom: the category that is <= every category; unique top: the
+  // category every category is <=.
+  bottom_ = kInvalidCategory;
+  top_ = kInvalidCategory;
+  const uint64_t all = n == 64 ? ~0ull : ((1ull << n) - 1);
+  for (size_t c = 0; c < n; ++c) {
+    if (leq_mask_[c] == all) {
+      if (bottom_ != kInvalidCategory) {
+        return Status::InvalidArgument("multiple bottom categories in " +
+                                       name_);
+      }
+      bottom_ = static_cast<CategoryId>(c);
+    }
+  }
+  uint64_t geq_all = all;
+  for (size_t c = 0; c < n; ++c) geq_all &= leq_mask_[c];
+  if (std::popcount(geq_all) != 1) {
+    return Status::InvalidArgument(
+        "dimension type must have exactly one top category: " + name_);
+  }
+  top_ = static_cast<CategoryId>(std::countr_zero(geq_all));
+  if (bottom_ == kInvalidCategory) {
+    return Status::InvalidArgument(
+        "dimension type must have exactly one bottom category: " + name_);
+  }
+
+  // Linearity: <=_T total.
+  linear_ = true;
+  for (size_t a = 0; a < n && linear_; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (!Leq(static_cast<CategoryId>(a), static_cast<CategoryId>(b)) &&
+          !Leq(static_cast<CategoryId>(b), static_cast<CategoryId>(a))) {
+        linear_ = false;
+        break;
+      }
+    }
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<CategoryId> DimensionType::CategoryByName(std::string_view name) const {
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return static_cast<CategoryId>(c);
+  }
+  return Status::NotFound("no category '" + std::string(name) +
+                          "' in dimension type " + name_);
+}
+
+CategoryId DimensionType::Glb(const std::vector<CategoryId>& cats) const {
+  DWRED_CHECK(finalized_);
+  DWRED_CHECK(!cats.empty());
+  const size_t n = names_.size();
+  // Lower bounds of all inputs.
+  CategoryId best = bottom_;
+  int best_rank = -1;
+  for (size_t c = 0; c < n; ++c) {
+    bool lower_bound = true;
+    for (CategoryId in : cats) {
+      if (!Leq(static_cast<CategoryId>(c), in)) {
+        lower_bound = false;
+        break;
+      }
+    }
+    if (!lower_bound) continue;
+    // Rank by how many categories this one is <= to (fewer = higher in the
+    // order = greater lower bound). popcount of leq mask counts ancestors.
+    int rank = 64 - std::popcount(leq_mask_[c]);
+    if (rank > best_rank) {
+      best_rank = rank;
+      best = static_cast<CategoryId>(c);
+    }
+  }
+  return best;
+}
+
+CategoryId DimensionType::Glb(CategoryId a, CategoryId b) const {
+  if (Leq(a, b)) return a;
+  if (Leq(b, a)) return b;
+  return Glb(std::vector<CategoryId>{a, b});
+}
+
+CategoryId DimensionType::Lub(const std::vector<CategoryId>& cats) const {
+  DWRED_CHECK(finalized_);
+  DWRED_CHECK(!cats.empty());
+  const size_t n = names_.size();
+  CategoryId best = top_;
+  int best_rank = -1;
+  for (size_t c = 0; c < n; ++c) {
+    bool upper_bound = true;
+    for (CategoryId in : cats) {
+      if (!Leq(in, static_cast<CategoryId>(c))) {
+        upper_bound = false;
+        break;
+      }
+    }
+    if (!upper_bound) continue;
+    // Rank by closeness to the inputs: more ancestors = lower in the order =
+    // smaller (better) upper bound.
+    int rank = std::popcount(leq_mask_[c]);
+    if (rank > best_rank) {
+      best_rank = rank;
+      best = static_cast<CategoryId>(c);
+    }
+  }
+  return best;
+}
+
+CategoryId DimensionType::Lub(CategoryId a, CategoryId b) const {
+  if (Leq(a, b)) return b;
+  if (Leq(b, a)) return a;
+  return Lub(std::vector<CategoryId>{a, b});
+}
+
+DimensionType MakeTimeDimensionType() {
+  DimensionType t("Time");
+  CategoryId day = t.AddCategory("day");          // 0 == TimeUnit::kDay
+  CategoryId week = t.AddCategory("week");        // 1 == TimeUnit::kWeek
+  CategoryId month = t.AddCategory("month");      // 2 == TimeUnit::kMonth
+  CategoryId quarter = t.AddCategory("quarter");  // 3 == TimeUnit::kQuarter
+  CategoryId year = t.AddCategory("year");        // 4 == TimeUnit::kYear
+  CategoryId top = t.AddCategory("TOP");          // 5 == TimeUnit::kTop
+  DWRED_CHECK(t.AddEdge(day, week).ok());
+  DWRED_CHECK(t.AddEdge(day, month).ok());
+  DWRED_CHECK(t.AddEdge(week, top).ok());
+  DWRED_CHECK(t.AddEdge(month, quarter).ok());
+  DWRED_CHECK(t.AddEdge(quarter, year).ok());
+  DWRED_CHECK(t.AddEdge(year, top).ok());
+  DWRED_CHECK(t.Finalize().ok());
+  return t;
+}
+
+}  // namespace dwred

@@ -1,0 +1,99 @@
+#pragma once
+
+// Dimension types (paper Section 3): a dimension type T is (C, <=_T, T_T,
+// ⊥_T) — a set of category types under a partial order with unique top and
+// bottom. The order is "containment": C_i <=_T C_j iff each member of C_j's
+// extension logically contains members of C_i's. Hierarchies may be
+// non-linear (the Time dimension's parallel day->week and
+// day->month->quarter->year branches).
+//
+// The partial order is stored as immediate-ancestor edges (the paper's Anc
+// function) with the reflexive-transitive closure precomputed as one bitmask
+// per category, so <=_T tests, GLB and LUB are O(1)-ish bit operations.
+// A dimension type is limited to 64 category types, far beyond any practical
+// warehouse hierarchy.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mdm/ids.h"
+
+namespace dwred {
+
+/// Schema-level description of one dimension's category hierarchy.
+class DimensionType {
+ public:
+  /// Creates an empty (invalid) dimension type; populate with AddCategory /
+  /// AddEdge and call Finalize.
+  explicit DimensionType(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a category type; returns its id. Category names must be unique
+  /// within the dimension type.
+  CategoryId AddCategory(std::string name);
+
+  /// Declares `child` immediately contained in `parent`
+  /// (child <_T parent with no category in between): parent ∈ Anc(child).
+  Status AddEdge(CategoryId child, CategoryId parent);
+
+  /// Validates the hierarchy (acyclic, unique bottom and top, all categories
+  /// connected) and precomputes the reachability closure. Must be called
+  /// before any query method.
+  Status Finalize();
+
+  const std::string& name() const { return name_; }
+  size_t num_categories() const { return names_.size(); }
+  const std::string& category_name(CategoryId c) const { return names_[c]; }
+
+  /// Finds a category by name.
+  Result<CategoryId> CategoryByName(std::string_view name) const;
+
+  CategoryId bottom() const { return bottom_; }
+  CategoryId top() const { return top_; }
+
+  /// The paper's Anc: immediate ancestors of a category type.
+  const std::vector<CategoryId>& Anc(CategoryId c) const { return anc_[c]; }
+  /// Immediate descendants (inverse of Anc).
+  const std::vector<CategoryId>& Desc(CategoryId c) const { return desc_[c]; }
+
+  /// a <=_T b (reflexive).
+  bool Leq(CategoryId a, CategoryId b) const {
+    return (leq_mask_[a] >> b) & 1u;
+  }
+
+  /// True when <=_T is a total order (paper: the hierarchy is "linear").
+  bool IsLinear() const { return linear_; }
+
+  /// Greatest lower bound of a set of categories. The bottom category is
+  /// always a lower bound, so a GLB exists whenever the category poset is a
+  /// (meet-semi)lattice; when several maximal lower bounds exist, the paper
+  /// notes any lower bound will do — we return the one with the largest
+  /// number of ancestors (closest to the inputs), breaking ties by id.
+  CategoryId Glb(const std::vector<CategoryId>& cats) const;
+  CategoryId Glb(CategoryId a, CategoryId b) const;
+
+  /// Least upper bound (dual of Glb; the top category makes one exist).
+  CategoryId Lub(const std::vector<CategoryId>& cats) const;
+  CategoryId Lub(CategoryId a, CategoryId b) const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<CategoryId>> anc_;   // immediate ancestors
+  std::vector<std::vector<CategoryId>> desc_;  // immediate descendants
+  std::vector<uint64_t> leq_mask_;  // leq_mask_[a] bit b set iff a <=_T b
+  CategoryId bottom_ = kInvalidCategory;
+  CategoryId top_ = kInvalidCategory;
+  bool linear_ = false;
+  bool finalized_ = false;
+};
+
+/// Builds the paper's Time dimension type with categories day, week, month,
+/// quarter, year, TOP and the parallel-hierarchy edges of eq. (2). Category
+/// ids coincide with the TimeUnit enum values, so chrono::TimeUnit can be
+/// used interchangeably with CategoryId for this dimension type.
+DimensionType MakeTimeDimensionType();
+
+}  // namespace dwred

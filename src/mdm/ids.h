@@ -1,0 +1,25 @@
+#pragma once
+
+// Dense identifier types used throughout the multidimensional model. Values,
+// categories, dimensions and measures are interned: entities are referred to
+// by small indices into their owning container, which keeps fact storage
+// compact (a fact is an array of ValueIds plus an array of measure values).
+
+#include <cstdint>
+#include <limits>
+
+namespace dwred {
+
+using CategoryId = uint32_t;   ///< Index of a category within its dimension.
+using ValueId = uint32_t;      ///< Index of a value within its dimension.
+using DimensionId = uint32_t;  ///< Index of a dimension within a schema.
+using MeasureId = uint32_t;    ///< Index of a measure within a schema.
+using FactId = uint64_t;       ///< Index of a fact within an MO.
+using ActionId = uint32_t;     ///< Index of an action within a specification.
+
+inline constexpr ValueId kInvalidValue = std::numeric_limits<ValueId>::max();
+inline constexpr CategoryId kInvalidCategory =
+    std::numeric_limits<CategoryId>::max();
+inline constexpr ActionId kNoAction = std::numeric_limits<ActionId>::max();
+
+}  // namespace dwred

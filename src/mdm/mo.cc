@@ -1,0 +1,130 @@
+#include "mdm/mo.h"
+
+#include "common/check.h"
+
+namespace dwred {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "SUM";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+MultidimensionalObject::MultidimensionalObject(
+    std::string fact_type, std::vector<std::shared_ptr<Dimension>> dims,
+    std::vector<MeasureType> measures)
+    : fact_type_(std::move(fact_type)),
+      dims_(std::move(dims)),
+      measures_(std::move(measures)) {
+  DWRED_CHECK_MSG(!dims_.empty(), "an MO needs at least one dimension");
+}
+
+Result<DimensionId> MultidimensionalObject::DimensionByName(
+    std::string_view name) const {
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    if (dims_[d]->name() == name) return static_cast<DimensionId>(d);
+  }
+  return Status::NotFound("no dimension named '" + std::string(name) + "'");
+}
+
+Result<MeasureId> MultidimensionalObject::MeasureByName(
+    std::string_view name) const {
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    if (measures_[m].name == name) return static_cast<MeasureId>(m);
+  }
+  return Status::NotFound("no measure named '" + std::string(name) + "'");
+}
+
+Result<FactId> MultidimensionalObject::AddFact(
+    std::span<const ValueId> coords, std::span<const int64_t> measures) {
+  if (coords.size() != dims_.size()) {
+    return Status::InvalidArgument("fact has wrong number of coordinates");
+  }
+  if (measures.size() != measures_.size()) {
+    return Status::InvalidArgument("fact has wrong number of measures");
+  }
+  for (size_t d = 0; d < coords.size(); ++d) {
+    if (coords[d] >= dims_[d]->num_values()) {
+      return Status::InvalidArgument("fact coordinate " + std::to_string(d) +
+                                     " references an unknown value");
+    }
+  }
+  FactId id = num_facts_++;
+  coords_.insert(coords_.end(), coords.begin(), coords.end());
+  meas_.insert(meas_.end(), measures.begin(), measures.end());
+  return id;
+}
+
+Result<FactId> MultidimensionalObject::AddBottomFact(
+    std::span<const ValueId> coords, std::span<const int64_t> measures) {
+  for (size_t d = 0; d < coords.size() && d < dims_.size(); ++d) {
+    const Dimension& dim = *dims_[d];
+    if (coords[d] < dim.num_values()) {
+      CategoryId c = dim.value_category(coords[d]);
+      if (c != dim.type().bottom() && coords[d] != dim.top_value()) {
+        return Status::InvalidArgument(
+            "user-inserted facts must map to bottom-category values (or ⊤): "
+            "dimension " + dim.name());
+      }
+    }
+  }
+  return AddFact(coords, measures);
+}
+
+std::vector<CategoryId> MultidimensionalObject::Gran(FactId f) const {
+  std::vector<CategoryId> g(dims_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    g[d] = dims_[d]->value_category(Coord(f, static_cast<DimensionId>(d)));
+  }
+  return g;
+}
+
+void MultidimensionalObject::SetFactName(FactId f, std::string name) {
+  if (fact_names_.size() <= f) fact_names_.resize(num_facts_);
+  fact_names_[f] = std::move(name);
+}
+
+std::string MultidimensionalObject::FactName(FactId f) const {
+  if (f < fact_names_.size() && !fact_names_[f].empty()) return fact_names_[f];
+  return "fact_" + std::to_string(f);
+}
+
+void MultidimensionalObject::SetProvenance(FactId f, std::vector<FactId> sources,
+                                           ActionId responsible) {
+  if (provenance_.size() <= f) provenance_.resize(num_facts_);
+  if (responsible_.size() <= f) responsible_.resize(num_facts_, kNoAction);
+  provenance_[f] = std::move(sources);
+  responsible_[f] = responsible;
+}
+
+const std::vector<FactId>* MultidimensionalObject::Provenance(FactId f) const {
+  if (f < provenance_.size() && !provenance_[f].empty()) {
+    return &provenance_[f];
+  }
+  return nullptr;
+}
+
+ActionId MultidimensionalObject::ResponsibleAction(FactId f) const {
+  return f < responsible_.size() ? responsible_[f] : kNoAction;
+}
+
+std::string MultidimensionalObject::FormatFact(FactId f) const {
+  std::string out = FactName(f);
+  out += ": (";
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    if (d > 0) out += ", ";
+    out += dims_[d]->value_name(Coord(f, static_cast<DimensionId>(d)));
+  }
+  out += ") [";
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    if (m > 0) out += ", ";
+    out += std::to_string(Measure(f, static_cast<MeasureId>(m)));
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace dwred

@@ -1,0 +1,127 @@
+#pragma once
+
+// The multidimensional object (paper Section 3): an MO is (S, F, D, R, M) —
+// schema, facts, dimensions, fact-dimension relations, measures. Here the MO
+// owns its fact set in structure-of-arrays layout (one ValueId per dimension
+// per fact — the single fact-dimension relation entry the model mandates —
+// and one int64 per measure per fact); dimensions are shared_ptr so reduced
+// MOs, query results and subcubes share the dimension instances, mirroring
+// the paper's "the reduced object has the same schema and dimensions".
+//
+// Facts carry optional display names (the paper's fact_0 ... fact_6),
+// provenance (the constituent original facts of a reduced fact), and the id
+// of the action *responsible* for their current granularity — Section 4
+// requires being able to tell users why data is aggregated the way it is.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mdm/dimension.h"
+#include "mdm/schema.h"
+
+namespace dwred {
+
+/// A dimensional fact base: facts characterized by one value per dimension,
+/// carrying one value per measure.
+class MultidimensionalObject {
+ public:
+  /// Creates an empty MO over the given dimensions and measures.
+  MultidimensionalObject(std::string fact_type,
+                         std::vector<std::shared_ptr<Dimension>> dims,
+                         std::vector<MeasureType> measures);
+
+  const std::string& fact_type() const { return fact_type_; }
+  size_t num_dimensions() const { return dims_.size(); }
+  size_t num_measures() const { return measures_.size(); }
+  size_t num_facts() const { return num_facts_; }
+
+  const std::shared_ptr<Dimension>& dimension(DimensionId d) const {
+    return dims_[d];
+  }
+  const std::vector<std::shared_ptr<Dimension>>& dimensions() const {
+    return dims_;
+  }
+  const MeasureType& measure_type(MeasureId m) const { return measures_[m]; }
+  const std::vector<MeasureType>& measure_types() const { return measures_; }
+
+  /// Finds a dimension / measure index by name.
+  Result<DimensionId> DimensionByName(std::string_view name) const;
+  Result<MeasureId> MeasureByName(std::string_view name) const;
+
+  /// Appends a fact mapped to `coords[d]` in each dimension d with measure
+  /// values `measures[m]`. Coordinates may be at any granularity (reduction
+  /// and subcube migration insert aggregated facts); use AddBottomFact for
+  /// user-level inserts, which the model requires to be at bottom levels.
+  Result<FactId> AddFact(std::span<const ValueId> coords,
+                         std::span<const int64_t> measures);
+
+  /// AddFact + check that every coordinate lies in its dimension's bottom
+  /// category (or is ⊤, the model's stand-in for "unknown").
+  Result<FactId> AddBottomFact(std::span<const ValueId> coords,
+                               std::span<const int64_t> measures);
+
+  /// The fact's value in dimension d (the single pair (f, v) in R_d).
+  ValueId Coord(FactId f, DimensionId d) const {
+    return coords_[f * dims_.size() + d];
+  }
+  int64_t Measure(FactId f, MeasureId m) const {
+    return meas_[f * measures_.size() + m];
+  }
+
+  /// Overwrites a measure value in place (used by reduction and aggregation
+  /// to fold partial aggregates into a group's output fact).
+  void SetMeasure(FactId f, MeasureId m, int64_t value) {
+    meas_[f * measures_.size() + m] = value;
+  }
+
+  /// f ~> v in dimension d: the fact is characterized by v (directly related
+  /// or an ancestor of the directly related value).
+  bool Characterizes(FactId f, DimensionId d, ValueId v) const {
+    return dims_[d]->ValueLeq(Coord(f, d), v);
+  }
+
+  /// The paper's Gran(f): the tuple of category types of the fact's direct
+  /// values, one per dimension.
+  std::vector<CategoryId> Gran(FactId f) const;
+
+  // --- Presentation & provenance ------------------------------------------
+
+  /// Optional display name; "fact_<id>" when unset.
+  void SetFactName(FactId f, std::string name);
+  std::string FactName(FactId f) const;
+
+  /// Records which original facts a reduced fact aggregates (irreversibility
+  /// bookkeeping) and which action was responsible.
+  void SetProvenance(FactId f, std::vector<FactId> sources,
+                     ActionId responsible);
+  const std::vector<FactId>* Provenance(FactId f) const;
+  ActionId ResponsibleAction(FactId f) const;
+
+  /// Approximate fact-store footprint in bytes (coords + measures), used for
+  /// storage-gain accounting in benches. Dimension footprints are shared and
+  /// reported separately.
+  size_t FactBytes() const {
+    return coords_.size() * sizeof(ValueId) + meas_.size() * sizeof(int64_t);
+  }
+
+  /// One-line rendering of a fact: name, coordinates, measure values.
+  std::string FormatFact(FactId f) const;
+
+ private:
+  std::string fact_type_;
+  std::vector<std::shared_ptr<Dimension>> dims_;
+  std::vector<MeasureType> measures_;
+
+  size_t num_facts_ = 0;
+  std::vector<ValueId> coords_;  // num_facts x num_dimensions
+  std::vector<int64_t> meas_;    // num_facts x num_measures
+
+  std::vector<std::string> fact_names_;           // sparse; "" = default
+  std::vector<std::vector<FactId>> provenance_;   // sparse
+  std::vector<ActionId> responsible_;             // sparse; kNoAction default
+};
+
+}  // namespace dwred

@@ -1,0 +1,97 @@
+#include "mdm/paper_example.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace dwred {
+
+namespace {
+
+/// Unwraps a Result in example construction (the example is static data; any
+/// failure is a programming error).
+template <typename T>
+T MustOk(Result<T> r) {
+  DWRED_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.take();
+}
+
+}  // namespace
+
+IspExample MakeIspExample() {
+  IspExample ex;
+
+  // --- URL dimension: url < domain < domain_grp < TOP (linear). -----------
+  DimensionType url_type("URL");
+  CategoryId url_cat = url_type.AddCategory("url");
+  CategoryId domain_cat = url_type.AddCategory("domain");
+  CategoryId grp_cat = url_type.AddCategory("domain_grp");
+  CategoryId url_top = url_type.AddCategory("TOP");
+  DWRED_CHECK(url_type.AddEdge(url_cat, domain_cat).ok());
+  DWRED_CHECK(url_type.AddEdge(domain_cat, grp_cat).ok());
+  DWRED_CHECK(url_type.AddEdge(grp_cat, url_top).ok());
+  DWRED_CHECK(url_type.Finalize().ok());
+
+  auto url_dim = std::make_shared<Dimension>(url_type);
+  ex.url_cat = url_cat;
+  ex.domain_cat = domain_cat;
+  ex.domain_grp_cat = grp_cat;
+  ex.url_top_cat = url_top;
+
+  ex.grp_com = MustOk(url_dim->AddValue(".com", grp_cat, url_dim->top_value()));
+  ex.grp_edu = MustOk(url_dim->AddValue(".edu", grp_cat, url_dim->top_value()));
+  ex.dom_amazon = MustOk(url_dim->AddValue("amazon.com", domain_cat, ex.grp_com));
+  ex.dom_cnn = MustOk(url_dim->AddValue("cnn.com", domain_cat, ex.grp_com));
+  ex.dom_gatech = MustOk(url_dim->AddValue("gatech.edu", domain_cat, ex.grp_edu));
+  ex.url_gatech =
+      MustOk(url_dim->AddValue("www.cc.gatech.edu", url_cat, ex.dom_gatech));
+  ex.url_cnn = MustOk(url_dim->AddValue("www.cnn.com", url_cat, ex.dom_cnn));
+  ex.url_health =
+      MustOk(url_dim->AddValue("www.cnn.com/health", url_cat, ex.dom_cnn));
+  ex.url_amazon =
+      MustOk(url_dim->AddValue("www.amazon.com/ex...", url_cat, ex.dom_amazon));
+
+  // --- Time dimension (values materialized on demand). --------------------
+  auto time_dim = std::make_shared<Dimension>(Dimension::MakeTimeDimension());
+
+  // --- MO with the four SUM measures. --------------------------------------
+  std::vector<MeasureType> measures = {
+      {"Number_of", AggFn::kSum},
+      {"Dwell_time", AggFn::kSum},
+      {"Delivery_time", AggFn::kSum},
+      {"Datasize", AggFn::kSum},
+  };
+  ex.mo = std::make_unique<MultidimensionalObject>(
+      "Click", std::vector<std::shared_ptr<Dimension>>{time_dim, url_dim},
+      std::move(measures));
+
+  // --- Facts of Table 2. ----------------------------------------------------
+  struct Row {
+    CivilDate day;
+    ValueId url;
+    int64_t number_of, dwell, delivery, datasize;
+  };
+  const std::array<Row, 7> rows = {{
+      {{1999, 11, 23}, ex.url_amazon, 1, 677, 2, 34},
+      {{1999, 12, 4}, ex.url_health, 1, 2335, 5, 52},
+      {{1999, 12, 4}, ex.url_cnn, 1, 154, 2, 42},
+      {{1999, 12, 31}, ex.url_amazon, 1, 12, 1, 34},
+      {{2000, 1, 4}, ex.url_cnn, 1, 654, 4, 47},
+      {{2000, 1, 4}, ex.url_health, 1, 301, 6, 52},
+      {{2000, 1, 20}, ex.url_gatech, 1, 32, 1, 12},
+  }};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    ValueId day = MustOk(time_dim->EnsureTimeValue(DayGranule(r.day)));
+    std::array<ValueId, 2> coords = {day, r.url};
+    std::array<int64_t, 4> meas = {r.number_of, r.dwell, r.delivery,
+                                   r.datasize};
+    FactId f = MustOk(ex.mo->AddBottomFact(coords, meas));
+    ex.facts[i] = f;
+    ex.mo->SetFactName(f, "fact_" + std::to_string(i));
+  }
+
+  return ex;
+}
+
+}  // namespace dwred

@@ -1,0 +1,56 @@
+#pragma once
+
+// The running ISP click-stream example of the paper (Section 2, Appendix A,
+// Table 2, Figure 1): a Click fact type over the Time dimension (parallel
+// day -> {week, month -> quarter -> year} -> TOP hierarchy) and the URL
+// dimension (url < domain < domain_grp < TOP), with measures Number_of,
+// Dwell_time, Delivery_time, Datasize (all SUM; Datasize is stored in KB).
+//
+// Every golden test and repro binary builds the example through this single
+// constructor so the data matches Table 2 in one place.
+
+#include <memory>
+
+#include "common/status.h"
+#include "mdm/mo.h"
+
+namespace dwred {
+
+/// The example MO plus the ids tests refer to.
+struct IspExample {
+  std::unique_ptr<MultidimensionalObject> mo;
+
+  DimensionId time_dim = 0;
+  DimensionId url_dim = 1;
+
+  // URL dimension categories.
+  CategoryId url_cat = 0;
+  CategoryId domain_cat = 0;
+  CategoryId domain_grp_cat = 0;
+  CategoryId url_top_cat = 0;
+
+  // URL dimension values (Table 2's url_id 601..604 in order).
+  ValueId url_gatech = 0;   ///< www.cc.gatech.edu
+  ValueId url_cnn = 0;      ///< www.cnn.com
+  ValueId url_health = 0;   ///< www.cnn.com/health
+  ValueId url_amazon = 0;   ///< www.amazon.com/ex...
+  ValueId dom_gatech = 0;   ///< gatech.edu
+  ValueId dom_cnn = 0;      ///< cnn.com
+  ValueId dom_amazon = 0;   ///< amazon.com
+  ValueId grp_com = 0;      ///< .com
+  ValueId grp_edu = 0;      ///< .edu
+
+  // Measure ids.
+  MeasureId number_of = 0;
+  MeasureId dwell_time = 1;
+  MeasureId delivery_time = 2;
+  MeasureId datasize = 3;
+
+  // Fact ids fact_0 .. fact_6 (same order as Table 2).
+  FactId facts[7] = {0, 1, 2, 3, 4, 5, 6};
+};
+
+/// Builds the example MO exactly as in Table 2 / Figure 1.
+IspExample MakeIspExample();
+
+}  // namespace dwred

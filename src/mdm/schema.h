@@ -1,0 +1,45 @@
+#pragma once
+
+// Measure types and schema metadata (paper Section 3): a measure M is a
+// function from facts to a domain with an associated *distributive* default
+// aggregate function, so that aggregates of aggregates are exact — the
+// property the paper's gradual reduction and two-step subcube combination
+// rely on (Sections 4.4, 7.3).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mdm/ids.h"
+
+namespace dwred {
+
+/// Distributive default aggregate functions. COUNT is expressed as SUM over a
+/// measure holding 1 per base fact (exactly the paper example's Number_of);
+/// AVG is not distributive and is derived as SUM/COUNT at query time.
+enum class AggFn : uint8_t {
+  kSum = 0,
+  kMin = 1,
+  kMax = 2,
+};
+
+const char* AggFnName(AggFn fn);
+
+/// Combines two partial aggregates (distributivity makes this exact).
+inline int64_t CombineMeasure(AggFn fn, int64_t a, int64_t b) {
+  switch (fn) {
+    case AggFn::kSum: return a + b;
+    case AggFn::kMin: return a < b ? a : b;
+    case AggFn::kMax: return a > b ? a : b;
+  }
+  return a;
+}
+
+/// Schema-level description of one measure.
+struct MeasureType {
+  std::string name;
+  AggFn agg = AggFn::kSum;
+};
+
+}  // namespace dwred

@@ -1,0 +1,248 @@
+#include "prover/checks.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dwred {
+
+namespace {
+
+/// Approximate day equivalent of a NOW offset (grid placement only; the
+/// evaluation of bounds at a sample is always exact calendar arithmetic).
+int64_t ApproxOffsetDays(const SymTimeBound& b) {
+  return (b.months * 30437) / 1000 + b.days + b.extra_days;
+}
+
+void CollectAnchorsAndOffsets(const Conjunct& c, std::vector<int64_t>* anchors,
+                              std::vector<int64_t>* offsets) {
+  auto visit = [&](const std::vector<SymTimeBound>& bs) {
+    for (const SymTimeBound& b : bs) {
+      if (b.kind == SymTimeBound::Kind::kFixed) {
+        anchors->push_back(b.fixed_day);
+      } else {
+        offsets->push_back(ApproxOffsetDays(b));
+      }
+    }
+  };
+  visit(c.time.lowers);
+  visit(c.time.uppers);
+}
+
+/// Merges intervals and tests containment of [lo, hi].
+bool UnionContains(std::vector<std::pair<int64_t, int64_t>> intervals,
+                   int64_t lo, int64_t hi) {
+  std::sort(intervals.begin(), intervals.end());
+  int64_t covered_to = lo - 1;
+  for (const auto& [a, b] : intervals) {
+    if (a > covered_to + 1) break;  // gap
+    covered_to = std::max(covered_to, b);
+    if (covered_to >= hi) return true;
+  }
+  return covered_to >= hi;
+}
+
+/// Enumerates the cross product of per-dimension candidate lists. Dimensions
+/// with no candidates (wildcards) are omitted from cells; `dims_used` names
+/// the enumerated dimensions in cell order. Returns false when the product
+/// exceeds `max_cells`.
+bool EnumerateCells(const std::vector<std::vector<ValueId>>& candidates,
+                    const std::vector<DimensionId>& dims_used,
+                    size_t max_cells,
+                    std::vector<std::vector<ValueId>>* cells) {
+  (void)dims_used;
+  size_t total = 1;
+  for (const auto& c : candidates) {
+    if (c.empty()) continue;
+    total *= c.size();
+    if (total > max_cells) return false;
+  }
+  cells->clear();
+  cells->push_back({});
+  for (const auto& c : candidates) {
+    if (c.empty()) continue;
+    std::vector<std::vector<ValueId>> next;
+    next.reserve(cells->size() * c.size());
+    for (const auto& partial : *cells) {
+      for (ValueId v : c) {
+        auto row = partial;
+        row.push_back(v);
+        next.push_back(std::move(row));
+      }
+    }
+    *cells = std::move(next);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<int64_t> BuildSampleGrid(const std::vector<const Conjunct*>& cs,
+                                     const ProverOptions& opts) {
+  std::vector<int64_t> anchors, offsets;
+  for (const Conjunct* c : cs) CollectAnchorsAndOffsets(*c, &anchors, &offsets);
+  if (anchors.empty()) anchors.push_back(10957);  // 2000-01-01
+  offsets.push_back(0);
+
+  std::vector<int64_t> grid;
+  const int64_t half_span = static_cast<int64_t>(opts.grid_years) * 366 / 2;
+  for (int64_t a : anchors) {
+    for (int64_t t = a - half_span; t <= a + half_span; t += 30) {
+      grid.push_back(t);
+    }
+    // Daily samples around every critical NOW where a moving bound crosses
+    // this anchor.
+    for (int64_t o : offsets) {
+      int64_t critical = a - o;
+      for (int64_t t = critical - opts.critical_radius_days;
+           t <= critical + opts.critical_radius_days; ++t) {
+        grid.push_back(t);
+      }
+    }
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+TriBool ConjunctsEverOverlap(const MultidimensionalObject& mo,
+                             const Conjunct& a, const Conjunct& b,
+                             const ProverOptions& opts) {
+  if (a.always_false || b.always_false) return TriBool::kNo;
+
+  // Categorical overlap (time-independent): every dimension must admit a
+  // common value.
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    if (static_cast<int>(d) == a.time_dim) continue;
+    if (a.cats[d].Unconstrained() && b.cats[d].Unconstrained()) continue;
+    CategoryId enum_cat;
+    std::vector<ValueId> common =
+        CandidateValues(*mo.dimension(static_cast<DimensionId>(d)),
+                        {&a.cats[d], &b.cats[d]}, {}, &enum_cat);
+    if (common.empty()) return TriBool::kNo;
+  }
+
+  // Temporal overlap.
+  const TimeConstraint& ta = a.time;
+  const TimeConstraint& tb = b.time;
+  if (ta.Unbounded() && tb.Unbounded()) return TriBool::kYes;
+  bool any_now = ta.HasNowLower() || ta.HasNowUpper() || tb.HasNowLower() ||
+                 tb.HasNowUpper();
+  if (!any_now) {
+    // Fixed intervals: exact. Over-approximate bounds (inexact constraints)
+    // keep kNo sound and make kYes conservative.
+    int64_t lo = std::max(ta.LowerDay(0), tb.LowerDay(0));
+    int64_t hi = std::min(ta.UpperDay(0), tb.UpperDay(0));
+    return lo <= hi ? TriBool::kYes : TriBool::kNo;
+  }
+  for (int64_t t : BuildSampleGrid({&a, &b}, opts)) {
+    int64_t lo = std::max(ta.LowerDay(t), tb.LowerDay(t));
+    int64_t hi = std::min(ta.UpperDay(t), tb.UpperDay(t));
+    if (lo <= hi) return TriBool::kYes;
+  }
+  return TriBool::kNo;
+}
+
+TriBool BoundaryCovered(const MultidimensionalObject& mo,
+                        const Conjunct& shrinking,
+                        const std::vector<const Conjunct*>& covers,
+                        const ProverOptions& opts, std::string* diagnostic) {
+  if (!shrinking.time.HasNowLower()) return TriBool::kYes;
+  if (!shrinking.time.exact) {
+    if (diagnostic) {
+      *diagnostic = "shrinking predicate has a non-interval time constraint";
+    }
+    return TriBool::kUnknown;
+  }
+
+  // Enumerate candidate cells: per dimension the values allowed by the
+  // shrinking conjunct, at a category fine enough to decide every cover's
+  // constraints by rollup.
+  std::vector<std::vector<ValueId>> candidates(mo.num_dimensions());
+  std::vector<DimensionId> dims_used;
+  std::vector<CategoryId> enum_cats(mo.num_dimensions(), kInvalidCategory);
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    if (static_cast<int>(d) == shrinking.time_dim) continue;
+    std::vector<const CatConstraint*> refs;
+    for (const Conjunct* c : covers) refs.push_back(&c->cats[d]);
+    bool any_ref = !shrinking.cats[d].Unconstrained();
+    for (const CatConstraint* r : refs) {
+      if (!r->Unconstrained()) any_ref = true;
+    }
+    if (!any_ref) continue;  // wildcard dimension
+    candidates[d] = CandidateValues(*mo.dimension(static_cast<DimensionId>(d)),
+                                    {&shrinking.cats[d]}, refs, &enum_cats[d]);
+    if (candidates[d].empty()) {
+      // The shrinking conjunct admits no cell on this dimension: vacuous.
+      return TriBool::kYes;
+    }
+    dims_used.push_back(static_cast<DimensionId>(d));
+  }
+  std::vector<std::vector<ValueId>> cells;
+  if (!EnumerateCells(candidates, dims_used, opts.max_cells, &cells)) {
+    if (diagnostic) *diagnostic = "candidate cell enumeration too large";
+    return TriBool::kUnknown;
+  }
+
+  std::vector<const Conjunct*> all = covers;
+  all.push_back(&shrinking);
+  std::vector<int64_t> grid = BuildSampleGrid(all, opts);
+
+  for (int64_t t : grid) {
+    const SymTimeBound* binding = shrinking.time.BindingLower(t);
+    if (!binding || binding->kind != SymTimeBound::Kind::kNow) {
+      continue;  // lower boundary not moving at this NOW: nothing leaves
+    }
+    int64_t lower = shrinking.time.LowerDay(t);
+    int64_t upper = shrinking.time.UpperDay(t);
+    if (lower > upper) continue;  // region empty
+    // The leaving window: the granule sliding past the lower bound.
+    TimeGranule leaving = GranuleOfDay(lower - 1, binding->snap_unit);
+    int64_t w_lo = FirstDayOf(leaving);
+    int64_t w_hi = lower - 1;
+    if (w_lo > w_hi) continue;
+
+    for (const auto& cell : cells) {
+      // Collect the cover intervals applicable to this cell at this time.
+      std::vector<std::pair<int64_t, int64_t>> intervals;
+      for (const Conjunct* c : covers) {
+        if (!c->time.exact || c->always_false) continue;
+        bool cat_ok = true;
+        size_t ci = 0;
+        for (DimensionId d : dims_used) {
+          if (!c->cats[d].Allows(*mo.dimension(d), cell[ci])) {
+            cat_ok = false;
+            break;
+          }
+          ++ci;
+        }
+        if (!cat_ok) continue;
+        int64_t lo = c->time.LowerDay(t);
+        int64_t hi = c->time.UpperDay(t);
+        if (lo <= hi) intervals.emplace_back(lo, hi);
+      }
+      if (!UnionContains(std::move(intervals), w_lo, w_hi)) {
+        if (diagnostic) {
+          std::string cell_str;
+          size_t ci = 0;
+          for (DimensionId d : dims_used) {
+            if (ci) cell_str += ", ";
+            cell_str += mo.dimension(d)->value_name(cell[ci]);
+            ++ci;
+          }
+          *diagnostic =
+              "cell (" + cell_str + ") leaving over days [" +
+              FormatGranule(DayGranule(w_lo)) + " .. " +
+              FormatGranule(DayGranule(w_hi)) + "] at NOW=" +
+              FormatGranule(DayGranule(t)) +
+              " is not covered by any higher action";
+        }
+        return TriBool::kNo;
+      }
+    }
+  }
+  return TriBool::kYes;
+}
+
+}  // namespace dwred

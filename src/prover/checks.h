@@ -1,0 +1,73 @@
+#pragma once
+
+// Decision procedures for the restricted predicate class of the specification
+// language — the role PVS plays in the paper (Sections 5.2 and 5.3). After
+// DNF pre-processing every conjunct is a per-dimension conjunction of a
+// symbolic day-level time interval (bounds fixed or NOW-relative) and
+// categorical set constraints over finite dimension extents. Two questions
+// are asked:
+//
+//  1. Overlap (NonCrossing, Section 5.2 lines 3-4): does there exist a time t
+//     and a cell satisfying both conjuncts? Categorical overlap is decided
+//     exactly by finite-domain enumeration at the GLB category. Temporal
+//     overlap is decided exactly when both intervals are fixed; with
+//     NOW-relative bounds the check evaluates the concrete intervals on a
+//     dense sample grid of NOW values (a base monthly grid plus daily grids
+//     around every "critical" NOW where a moving bound meets a fixed bound).
+//     Unknown is conservative: the caller treats it as overlapping.
+//
+//  2. Boundary coverage (Growing, Section 5.3 eq. (23)): for a shrinking
+//     conjunct (NOW-relative lower bound), is every cell falling over the
+//     lower boundary immediately covered by one of the candidate conjuncts
+//     (those of actions >=_V the shrinking one)? Checked per sample NOW: the
+//     leaving window of days (the granule sliding past the bound) crossed
+//     with the enumerated candidate cells; a cell-day is covered when some
+//     candidate's (exact) interval contains the day and its categorical
+//     constraints allow the cell. Unknown is conservative: the caller rejects
+//     the specification.
+//
+// The sample grids cover the Gregorian calendar's month-length wobble in
+// practice; DESIGN.md documents this substitution for the paper's theorem
+// prover.
+
+#include <string>
+#include <vector>
+
+#include "spec/predicate_analysis.h"
+
+namespace dwred {
+
+enum class TriBool : uint8_t { kNo, kYes, kUnknown };
+
+/// Tuning knobs for the decision procedures.
+struct ProverOptions {
+  /// Base sample grid: first day of each month over this many years around
+  /// the anchor days found in the conjuncts (and around 2000-01-01 when no
+  /// fixed anchor exists).
+  int grid_years = 40;
+  /// Daily sample radius around each critical NOW value.
+  int critical_radius_days = 45;
+  /// Cap on enumerated candidate cells per check.
+  size_t max_cells = 100000;
+};
+
+/// Question 1: can the two conjuncts be simultaneously satisfied by a common
+/// cell at some time?
+TriBool ConjunctsEverOverlap(const MultidimensionalObject& mo,
+                             const Conjunct& a, const Conjunct& b,
+                             const ProverOptions& opts = {});
+
+/// Question 2: whenever a cell leaves `shrinking`'s region over its
+/// NOW-relative lower bound, is it covered by some conjunct in `covers`?
+/// `diagnostic` (optional) receives a human-readable witness on kNo.
+TriBool BoundaryCovered(const MultidimensionalObject& mo,
+                        const Conjunct& shrinking,
+                        const std::vector<const Conjunct*>& covers,
+                        const ProverOptions& opts = {},
+                        std::string* diagnostic = nullptr);
+
+/// The NOW sample grid used by both checks (exposed for tests).
+std::vector<int64_t> BuildSampleGrid(const std::vector<const Conjunct*>& cs,
+                                     const ProverOptions& opts);
+
+}  // namespace dwred

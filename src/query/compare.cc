@@ -1,0 +1,322 @@
+#include "query/compare.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dwred {
+
+const char* SelectionApproachName(SelectionApproach a) {
+  switch (a) {
+    case SelectionApproach::kConservative: return "conservative";
+    case SelectionApproach::kLiberal: return "liberal";
+    case SelectionApproach::kWeighted: return "weighted";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact path: the fact's value rolls up to the atom's category.
+// ---------------------------------------------------------------------------
+
+double EvalExact(const Atom& atom, const Dimension& dim, ValueId at_cat,
+                 int64_t now_day) {
+  if (atom.is_time) {
+    TimeUnit unit = static_cast<TimeUnit>(atom.category);
+    TimeGranule v = dim.granule(at_cat);
+    if (atom.op == CmpOp::kIn || atom.op == CmpOp::kNotIn) {
+      bool found = false;
+      for (const TimeOperand& o : atom.time_operands) {
+        if (o.Resolve(now_day, unit) == v) {
+          found = true;
+          break;
+        }
+      }
+      return (atom.op == CmpOp::kIn) == found ? 1.0 : 0.0;
+    }
+    TimeGranule b = atom.time_operands[0].Resolve(now_day, unit);
+    bool r = false;
+    switch (atom.op) {
+      case CmpOp::kLt: r = v.index < b.index; break;
+      case CmpOp::kLe: r = v.index <= b.index; break;
+      case CmpOp::kGt: r = v.index > b.index; break;
+      case CmpOp::kGe: r = v.index >= b.index; break;
+      case CmpOp::kEq: r = v.index == b.index; break;
+      case CmpOp::kNe: r = v.index != b.index; break;
+      default: break;
+    }
+    return r ? 1.0 : 0.0;
+  }
+  bool r = false;
+  switch (atom.op) {
+    case CmpOp::kEq: r = at_cat == atom.values[0]; break;
+    case CmpOp::kNe: r = at_cat != atom.values[0]; break;
+    case CmpOp::kIn:
+      r = std::binary_search(atom.values.begin(), atom.values.end(), at_cat);
+      break;
+    case CmpOp::kNotIn:
+      r = !std::binary_search(atom.values.begin(), atom.values.end(), at_cat);
+      break;
+    default:
+      DWRED_CHECK_MSG(false, "ordered comparison on categorical dimension");
+  }
+  return r ? 1.0 : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Definition 5 path: drill both sides to the GLB category.
+// ---------------------------------------------------------------------------
+
+/// Sorted, merged index ranges at the GLB granularity.
+struct Ranges {
+  std::vector<std::pair<int64_t, int64_t>> rs;
+
+  int64_t lo() const { return rs.front().first; }
+  int64_t hi() const { return rs.back().second; }
+  bool Contains(int64_t x) const {
+    for (const auto& [a, b] : rs) {
+      if (x < a) return false;
+      if (x <= b) return true;
+    }
+    return false;
+  }
+  int64_t Count() const {
+    int64_t n = 0;
+    for (const auto& [a, b] : rs) n += b - a + 1;
+    return n;
+  }
+  void Merge() {
+    std::sort(rs.begin(), rs.end());
+    std::vector<std::pair<int64_t, int64_t>> out;
+    for (const auto& r : rs) {
+      if (!out.empty() && r.first <= out.back().second + 1) {
+        out.back().second = std::max(out.back().second, r.second);
+      } else {
+        out.push_back(r);
+      }
+    }
+    rs = std::move(out);
+  }
+};
+
+/// The time atom's operand drill-down at `unit`: calendar index ranges.
+Ranges OperandRanges(const Atom& atom, TimeUnit unit, int64_t now_day) {
+  TimeUnit atom_unit = static_cast<TimeUnit>(atom.category);
+  Ranges out;
+  for (const TimeOperand& o : atom.time_operands) {
+    TimeGranule g = o.Resolve(now_day, atom_unit);
+    out.rs.emplace_back(GranuleOfDay(FirstDayOf(g), unit).index,
+                        GranuleOfDay(LastDayOf(g), unit).index);
+  }
+  out.Merge();
+  return out;
+}
+
+/// The fact value's drill-down at the GLB category: indices of *materialized*
+/// time values (as in the paper's examples, where week 1999W48 "consists of
+/// only one day").
+std::vector<int64_t> FactTimeDrill(const Dimension& dim, ValueId v,
+                                   CategoryId glb_cat) {
+  std::vector<int64_t> out;
+  if (dim.value_category(v) == glb_cat) {
+    out.push_back(dim.granule(v).index);
+    return out;
+  }
+  for (ValueId u : dim.DrillDown(v, glb_cat)) {
+    out.push_back(dim.granule(u).index);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double EvalTimeDef5(const Atom& atom, const Dimension& dim, ValueId v,
+                    int64_t now_day, SelectionApproach ap) {
+  CategoryId glb_cat = dim.type().Glb(dim.value_category(v), atom.category);
+  TimeUnit unit = static_cast<TimeUnit>(glb_cat);
+  std::vector<int64_t> A = FactTimeDrill(dim, v, glb_cat);
+  if (A.empty()) return 0.0;
+  Ranges B = OperandRanges(atom, unit, now_day);
+  if (B.rs.empty()) return 0.0;
+
+  auto count_if = [&](auto pred) {
+    int64_t n = 0;
+    for (int64_t a : A) {
+      if (pred(a)) ++n;
+    }
+    return n;
+  };
+  const double sz = static_cast<double>(A.size());
+
+  switch (atom.op) {
+    case CmpOp::kLt:
+      switch (ap) {
+        case SelectionApproach::kConservative: return A.back() < B.lo();
+        case SelectionApproach::kLiberal: return A.front() < B.hi();
+        case SelectionApproach::kWeighted:
+          return count_if([&](int64_t a) { return a < B.lo(); }) / sz;
+      }
+      break;
+    case CmpOp::kLe:
+      switch (ap) {
+        case SelectionApproach::kConservative: return A.back() <= B.hi();
+        case SelectionApproach::kLiberal: return A.front() <= B.hi();
+        case SelectionApproach::kWeighted:
+          return count_if([&](int64_t a) { return a <= B.hi(); }) / sz;
+      }
+      break;
+    case CmpOp::kGt:
+      switch (ap) {
+        case SelectionApproach::kConservative: return A.front() > B.hi();
+        case SelectionApproach::kLiberal: return A.back() > B.lo();
+        case SelectionApproach::kWeighted:
+          return count_if([&](int64_t a) { return a > B.hi(); }) / sz;
+      }
+      break;
+    case CmpOp::kGe:
+      switch (ap) {
+        case SelectionApproach::kConservative: return A.front() >= B.lo();
+        case SelectionApproach::kLiberal: return A.back() >= B.lo();
+        case SelectionApproach::kWeighted:
+          return count_if([&](int64_t a) { return a >= B.lo(); }) / sz;
+      }
+      break;
+    case CmpOp::kEq: {
+      bool identical = static_cast<int64_t>(A.size()) == B.Count() &&
+                       A.front() == B.lo() && A.back() == B.hi();
+      double frac = count_if([&](int64_t a) { return B.Contains(a); }) / sz;
+      switch (ap) {
+        case SelectionApproach::kConservative: return identical;
+        case SelectionApproach::kLiberal: return frac > 0.0;
+        case SelectionApproach::kWeighted: return frac;
+      }
+      break;
+    }
+    case CmpOp::kNe: {
+      // Conservative: certainly different — drill-downs disjoint. Liberal:
+      // possibly different — not a single identical point. (Definition 5's
+      // literal set-inequality reading is the liberal variant; see compare.h.)
+      double frac = count_if([&](int64_t a) { return B.Contains(a); }) / sz;
+      switch (ap) {
+        case SelectionApproach::kConservative: return frac == 0.0;
+        case SelectionApproach::kLiberal:
+          return !(A.size() == 1 && B.Count() == 1 && A.front() == B.lo());
+        case SelectionApproach::kWeighted: return 1.0 - frac;
+      }
+      break;
+    }
+    case CmpOp::kIn: {
+      double frac = count_if([&](int64_t a) { return B.Contains(a); }) / sz;
+      switch (ap) {
+        case SelectionApproach::kConservative: return frac == 1.0;
+        case SelectionApproach::kLiberal: return frac > 0.0;
+        case SelectionApproach::kWeighted: return frac;
+      }
+      break;
+    }
+    case CmpOp::kNotIn: {
+      double frac = count_if([&](int64_t a) { return B.Contains(a); }) / sz;
+      switch (ap) {
+        case SelectionApproach::kConservative: return frac == 0.0;
+        case SelectionApproach::kLiberal: return frac < 1.0;
+        case SelectionApproach::kWeighted: return 1.0 - frac;
+      }
+      break;
+    }
+  }
+  return 0.0;
+}
+
+double EvalCatDef5(const Atom& atom, const Dimension& dim, ValueId v,
+                   SelectionApproach ap) {
+  CategoryId glb_cat = dim.type().Glb(dim.value_category(v), atom.category);
+  std::vector<ValueId> A = dim.DrillDown(v, glb_cat);
+  if (dim.value_category(v) == glb_cat) A = {v};
+  if (A.empty()) return 0.0;
+  std::vector<ValueId> B;
+  for (ValueId lit : atom.values) {
+    if (dim.value_category(lit) == glb_cat) {
+      B.push_back(lit);
+    } else {
+      const auto& dd = dim.DrillDown(lit, glb_cat);
+      B.insert(B.end(), dd.begin(), dd.end());
+    }
+  }
+  std::sort(B.begin(), B.end());
+  B.erase(std::unique(B.begin(), B.end()), B.end());
+
+  int64_t inter = 0;
+  for (ValueId a : A) {
+    if (std::binary_search(B.begin(), B.end(), a)) ++inter;
+  }
+  const double frac = inter / static_cast<double>(A.size());
+  const bool identical = A.size() == B.size() &&
+                         static_cast<size_t>(inter) == A.size();
+
+  bool positive = atom.op == CmpOp::kEq || atom.op == CmpOp::kIn;
+  if (positive) {
+    switch (ap) {
+      case SelectionApproach::kConservative:
+        return atom.op == CmpOp::kEq ? identical : frac == 1.0;
+      case SelectionApproach::kLiberal: return frac > 0.0;
+      case SelectionApproach::kWeighted: return frac;
+    }
+  } else {  // kNe, kNotIn
+    switch (ap) {
+      case SelectionApproach::kConservative: return frac == 0.0;
+      case SelectionApproach::kLiberal:
+        return !(A.size() == 1 && B.size() == 1 && A[0] == B[0]);
+      case SelectionApproach::kWeighted: return 1.0 - frac;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double EvalQueryAtomOnFact(const Atom& atom, const MultidimensionalObject& mo,
+                           FactId f, int64_t now_day, SelectionApproach ap) {
+  const Dimension& dim = *mo.dimension(atom.dim);
+  ValueId v = mo.Coord(f, atom.dim);
+  CategoryId cf = dim.value_category(v);
+  if (dim.type().Leq(cf, atom.category)) {
+    ValueId at_cat = dim.Rollup(v, atom.category);
+    DWRED_CHECK(at_cat != kInvalidValue);
+    return EvalExact(atom, dim, at_cat, now_day);
+  }
+  // Reduced (higher or parallel) granularity: Definition 5.
+  return atom.is_time ? EvalTimeDef5(atom, dim, v, now_day, ap)
+                      : EvalCatDef5(atom, dim, v, ap);
+}
+
+double EvalQueryPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,
+                           FactId f, int64_t now_day, SelectionApproach ap) {
+  switch (e.kind) {
+    case PredExpr::Kind::kTrue: return 1.0;
+    case PredExpr::Kind::kFalse: return 0.0;
+    case PredExpr::Kind::kAtom:
+      return EvalQueryAtomOnFact(e.atom, mo, f, now_day, ap);
+    case PredExpr::Kind::kNot:
+      return 1.0 - EvalQueryPredOnFact(*e.kids[0], mo, f, now_day, ap);
+    case PredExpr::Kind::kAnd: {
+      double w = 1.0;
+      for (const auto& k : e.kids) {
+        w *= EvalQueryPredOnFact(*k, mo, f, now_day, ap);
+        if (w == 0.0) break;
+      }
+      return w;
+    }
+    case PredExpr::Kind::kOr: {
+      double w = 0.0;
+      for (const auto& k : e.kids) {
+        w = std::max(w, EvalQueryPredOnFact(*k, mo, f, now_day, ap));
+        if (w == 1.0) break;
+      }
+      return w;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace dwred

@@ -1,0 +1,48 @@
+#pragma once
+
+// Mixed-granularity comparison semantics (paper Section 6.1, Definition 5)
+// and the three selection approaches.
+//
+// When a fact's available value sits at or below the category a predicate
+// atom names, the comparison is exact: roll the value up and compare (this is
+// the ordinary f ~> v characterization of eq. (36)). When reduction has left
+// the fact at a *higher* or parallel category, both sides are drilled down to
+// their categories' greatest lower bound and compared setwise:
+//
+//   conservative  — the fact is returned only if the comparison is certain
+//                   (paper's default for warehouses);
+//   liberal       — returned if the comparison is possible;
+//   weighted      — returned with the fraction of drill-down values that
+//                   satisfy the comparison.
+//
+// Per Definition 5: strict inequalities quantify ∀∀, reflexive ones ∀∃,
+// equality compares the drill-down sets for identity, and ∈ requires every
+// drill-down value to be matched inside the set's drill-down. (As in the
+// paper's examples, the fact side drills down to the *materialized* dimension
+// values; a time literal's drill-down is its calendar range.)
+
+#include "spec/predicate.h"
+
+namespace dwred {
+
+/// How selection treats facts whose granularity exceeds the predicate's.
+enum class SelectionApproach : uint8_t {
+  kConservative,
+  kLiberal,
+  kWeighted,
+};
+
+const char* SelectionApproachName(SelectionApproach a);
+
+/// Evaluates one query atom on a fact. Returns the satisfaction weight:
+/// 0 / 1 under conservative and liberal, a fraction in [0, 1] under weighted.
+double EvalQueryAtomOnFact(const Atom& atom, const MultidimensionalObject& mo,
+                           FactId f, int64_t now_day, SelectionApproach ap);
+
+/// Evaluates a predicate tree on a fact. Boolean connectives combine weights
+/// as product (AND), max (OR) and complement (NOT); under conservative and
+/// liberal these coincide with ordinary boolean evaluation.
+double EvalQueryPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,
+                           FactId f, int64_t now_day, SelectionApproach ap);
+
+}  // namespace dwred

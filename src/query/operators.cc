@@ -1,0 +1,294 @@
+#include "query/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dwred {
+
+const char* AggregationApproachName(AggregationApproach a) {
+  switch (a) {
+    case AggregationApproach::kAvailability: return "availability";
+    case AggregationApproach::kStrict: return "strict";
+    case AggregationApproach::kLub: return "LUB";
+    case AggregationApproach::kDisaggregated: return "disaggregated";
+  }
+  return "?";
+}
+
+Result<SelectionResult> Select(const MultidimensionalObject& mo,
+                               const PredExpr& pred, int64_t now_day,
+                               SelectionApproach approach) {
+  SelectionResult out{MultidimensionalObject(mo.fact_type(), mo.dimensions(),
+                                             mo.measure_types()),
+                      {}};
+  const size_t ndims = mo.num_dimensions();
+  const size_t nmeas = mo.num_measures();
+  std::vector<ValueId> coords(ndims);
+  std::vector<int64_t> meas(nmeas);
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    double w = EvalQueryPredOnFact(pred, mo, f, now_day, approach);
+    if (w <= 0.0) continue;
+    for (size_t d = 0; d < ndims; ++d) {
+      coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
+    }
+    for (size_t m = 0; m < nmeas; ++m) {
+      meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
+    }
+    DWRED_ASSIGN_OR_RETURN(FactId nf, out.mo.AddFact(coords, meas));
+    out.mo.SetFactName(nf, mo.FactName(f));
+    if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+      out.mo.SetProvenance(nf, *prov, mo.ResponsibleAction(f));
+    }
+    if (approach == SelectionApproach::kWeighted) out.weights.push_back(w);
+  }
+  return out;
+}
+
+Result<MultidimensionalObject> Project(const MultidimensionalObject& mo,
+                                       const std::vector<DimensionId>& dims,
+                                       const std::vector<MeasureId>& measures) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("projection must keep >= 1 dimension");
+  }
+  std::vector<std::shared_ptr<Dimension>> kept_dims;
+  for (DimensionId d : dims) {
+    if (d >= mo.num_dimensions()) {
+      return Status::InvalidArgument("unknown dimension in projection");
+    }
+    kept_dims.push_back(mo.dimension(d));
+  }
+  std::vector<MeasureType> kept_meas;
+  for (MeasureId m : measures) {
+    if (m >= mo.num_measures()) {
+      return Status::InvalidArgument("unknown measure in projection");
+    }
+    kept_meas.push_back(mo.measure_type(m));
+  }
+
+  MultidimensionalObject out(mo.fact_type(), std::move(kept_dims),
+                             std::move(kept_meas));
+  std::vector<ValueId> coords(dims.size());
+  std::vector<int64_t> meas(measures.size());
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    for (size_t d = 0; d < dims.size(); ++d) coords[d] = mo.Coord(f, dims[d]);
+    for (size_t m = 0; m < measures.size(); ++m) {
+      meas[m] = mo.Measure(f, measures[m]);
+    }
+    DWRED_ASSIGN_OR_RETURN(FactId nf, out.AddFact(coords, meas));
+    out.SetFactName(nf, mo.FactName(f));
+    if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+      out.SetProvenance(nf, *prov, mo.ResponsibleAction(f));
+    }
+  }
+  return out;
+}
+
+std::vector<FactId> GroupHigh(const MultidimensionalObject& mo,
+                              std::span<const ValueId> cell,
+                              std::span<const CategoryId> target) {
+  std::vector<FactId> out;
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    bool member = true;
+    for (size_t d = 0; d < mo.num_dimensions() && member; ++d) {
+      auto dd = static_cast<DimensionId>(d);
+      const Dimension& dim = *mo.dimension(dd);
+      CategoryId cell_cat = dim.value_category(cell[d]);
+      // Per eq. (38): for cell values strictly above the requested category
+      // (Type(v_i) >_T C_ij) the fact must map *directly* to the value;
+      // otherwise ordinary characterization (f ~> v) suffices.
+      bool strictly_higher =
+          dim.type().Leq(target[d], cell_cat) && cell_cat != target[d];
+      if (strictly_higher) {
+        member = mo.Coord(f, dd) == cell[d];
+      } else {
+        member = mo.Characterizes(f, dd, cell[d]);
+      }
+    }
+    if (member) out.push_back(f);
+  }
+  return out;
+}
+
+namespace {
+
+struct CellHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<MultidimensionalObject> AggregateFormation(
+    const MultidimensionalObject& mo, const std::vector<CategoryId>& target,
+    AggregationApproach approach, bool track_provenance) {
+  if (target.size() != mo.num_dimensions()) {
+    return Status::InvalidArgument(
+        "aggregate formation needs one category per dimension");
+  }
+  const size_t ndims = mo.num_dimensions();
+  const size_t nmeas = mo.num_measures();
+
+  // LUB approach: per dimension, the least category >= desired that every
+  // fact's value can roll up to.
+  std::vector<CategoryId> lub = target;
+  if (approach == AggregationApproach::kLub) {
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      for (size_t d = 0; d < ndims; ++d) {
+        auto dd = static_cast<DimensionId>(d);
+        CategoryId cf =
+            mo.dimension(dd)->value_category(mo.Coord(f, dd));
+        if (!mo.dimension(dd)->type().Leq(cf, lub[d])) {
+          lub[d] = mo.dimension(dd)->type().Lub(cf, lub[d]);
+        }
+      }
+    }
+  }
+
+  MultidimensionalObject out(mo.fact_type(), mo.dimensions(),
+                             mo.measure_types());
+  struct Group {
+    FactId out_id;
+    std::vector<FactId> sources;
+    bool merged = false;
+  };
+  std::unordered_map<std::vector<ValueId>, Group, CellHash> groups;
+
+  // Folds one contribution (a cell plus measure values) into its group.
+  auto absorb = [&](const std::vector<ValueId>& cell,
+                    std::span<const int64_t> meas, FactId f) -> Status {
+    auto it = groups.find(cell);
+    if (it == groups.end()) {
+      DWRED_ASSIGN_OR_RETURN(FactId nf, out.AddFact(cell, meas));
+      Group g;
+      g.out_id = nf;
+      if (track_provenance) {
+        if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+          g.sources = *prov;
+        } else {
+          g.sources = {f};
+        }
+      }
+      groups.emplace(cell, std::move(g));
+    } else {
+      Group& g = it->second;
+      for (size_t m = 0; m < nmeas; ++m) {
+        auto mm = static_cast<MeasureId>(m);
+        out.SetMeasure(g.out_id, mm,
+                       CombineMeasure(mo.measure_type(mm).agg,
+                                      out.Measure(g.out_id, mm), meas[m]));
+      }
+      g.merged = true;
+      if (track_provenance) {
+        if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+          g.sources.insert(g.sources.end(), prov->begin(), prov->end());
+        } else {
+          g.sources.push_back(f);
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  std::vector<ValueId> cell(ndims);
+  std::vector<int64_t> meas(nmeas);
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    bool drop = false;
+    // Dimensions whose value sits above the requested level and, under the
+    // disaggregated approach, has materialized descendants to split across.
+    std::vector<size_t> split_dims;
+    std::vector<const std::vector<ValueId>*> split_sets;
+    for (size_t d = 0; d < ndims && !drop; ++d) {
+      auto dd = static_cast<DimensionId>(d);
+      const Dimension& dim = *mo.dimension(dd);
+      ValueId v = mo.Coord(f, dd);
+      CategoryId cf = dim.value_category(v);
+      CategoryId want = approach == AggregationApproach::kLub ? lub[d]
+                                                              : target[d];
+      if (dim.type().Leq(cf, want)) {
+        cell[d] = dim.Rollup(v, want);
+        DWRED_CHECK(cell[d] != kInvalidValue);
+      } else {
+        switch (approach) {
+          case AggregationApproach::kAvailability:
+            // Finest available level >= desired: the fact's own value.
+            cell[d] = v;
+            break;
+          case AggregationApproach::kStrict:
+            drop = true;
+            break;
+          case AggregationApproach::kLub:
+            return Status::Internal("LUB category not above fact granularity");
+          case AggregationApproach::kDisaggregated: {
+            const std::vector<ValueId>& desc = dim.DrillDown(v, want);
+            if (desc.empty()) {
+              cell[d] = v;  // no materialized descendants: availability
+            } else {
+              split_dims.push_back(d);
+              split_sets.push_back(&desc);
+              cell[d] = desc[0];  // placeholder, rewritten below
+            }
+            break;
+          }
+        }
+      }
+    }
+    if (drop) continue;
+
+    for (size_t m = 0; m < nmeas; ++m) {
+      meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
+    }
+    if (split_dims.empty()) {
+      DWRED_RETURN_IF_ERROR(absorb(cell, meas, f));
+      continue;
+    }
+
+    // Disaggregation: iterate the cross product of the descendant sets,
+    // splitting SUM measures uniformly (remainders to the leading cells so
+    // totals stay exact) and copying MIN/MAX.
+    int64_t n = 1;
+    for (const auto* s : split_sets) n *= static_cast<int64_t>(s->size());
+    std::vector<size_t> idx(split_dims.size(), 0);
+    std::vector<int64_t> piece(nmeas);
+    for (int64_t k = 0; k < n; ++k) {
+      for (size_t j = 0; j < split_dims.size(); ++j) {
+        cell[split_dims[j]] = (*split_sets[j])[idx[j]];
+      }
+      for (size_t m = 0; m < nmeas; ++m) {
+        if (mo.measure_type(static_cast<MeasureId>(m)).agg == AggFn::kSum) {
+          piece[m] = meas[m] / n + (k < meas[m] % n ? 1 : 0);
+          if (meas[m] < 0) piece[m] = meas[m] / n - (k < -meas[m] % n ? 1 : 0);
+        } else {
+          piece[m] = meas[m];
+        }
+      }
+      DWRED_RETURN_IF_ERROR(absorb(cell, piece, f));
+      for (size_t j = split_dims.size(); j-- > 0;) {
+        if (++idx[j] < split_sets[j]->size()) break;
+        idx[j] = 0;
+      }
+    }
+  }
+
+  if (track_provenance) {
+    for (auto& [key, g] : groups) {
+      std::sort(g.sources.begin(), g.sources.end());
+      g.sources.erase(std::unique(g.sources.begin(), g.sources.end()),
+                      g.sources.end());
+      std::string name = "fact_";
+      for (FactId s : g.sources) name += std::to_string(s);
+      out.SetFactName(g.out_id, std::move(name));
+      out.SetProvenance(g.out_id, g.sources, kNoAction);
+    }
+  }
+  return out;
+}
+
+}  // namespace dwred

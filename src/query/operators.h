@@ -1,0 +1,70 @@
+#pragma once
+
+// The algebraic query operators over (possibly reduced) MOs — paper
+// Section 6: selection with the conservative/liberal/weighted approaches
+// (eq. (36)), projection (eq. (37)), and aggregate formation (Definition 6)
+// with the availability approach (default), plus the strict and LUB
+// approaches the paper enumerates. The disaggregated approach (imprecise
+// answers via disaggregation, ref [13] of the paper) is out of scope and
+// documented as such.
+
+#include "query/compare.h"
+#include "spec/action.h"
+
+namespace dwred {
+
+/// Result of a selection: the restricted MO and, under the weighted
+/// approach, one certainty weight per returned fact.
+struct SelectionResult {
+  MultidimensionalObject mo;
+  std::vector<double> weights;  ///< empty unless weighted
+};
+
+/// σ[p](O): facts characterized by values satisfying p, under the given
+/// approach. Fact names, provenance and responsible actions are preserved.
+Result<SelectionResult> Select(const MultidimensionalObject& mo,
+                               const PredExpr& pred, int64_t now_day,
+                               SelectionApproach approach =
+                                   SelectionApproach::kConservative);
+
+/// π[dims][measures](O): retains the given dimensions and measures; the fact
+/// set is unchanged (duplicate value combinations are kept, as in star
+/// schemas).
+Result<MultidimensionalObject> Project(const MultidimensionalObject& mo,
+                                       const std::vector<DimensionId>& dims,
+                                       const std::vector<MeasureId>& measures);
+
+/// How aggregate formation treats facts already above the requested level
+/// (paper Section 6.3).
+enum class AggregationApproach : uint8_t {
+  kAvailability,  ///< aggregate each fact to the finest available level >= desired
+  kStrict,        ///< drop facts above the desired level
+  kLub,           ///< aggregate everything to the LUB of desired + available
+  /// Split facts above the desired level uniformly across their materialized
+  /// descendant cells at that level. Answers have the requested granularity
+  /// but are *imprecise* (the paper's fourth approach): SUM measures are
+  /// split with exact integer totals (remainders go to the leading cells);
+  /// MIN/MAX are copied, which can only widen their true range. Facts with
+  /// no materialized descendants fall back to the availability behaviour.
+  kDisaggregated,
+};
+
+const char* AggregationApproachName(AggregationApproach a);
+
+/// α[C_1j1, ..., C_njn](O) (Definition 6): groups facts by their values at
+/// the requested granularity — facts mapped directly to higher-granularity
+/// values group at those values (Group_high) — and folds measures with their
+/// default aggregate functions.
+Result<MultidimensionalObject> AggregateFormation(
+    const MultidimensionalObject& mo, const std::vector<CategoryId>& target,
+    AggregationApproach approach = AggregationApproach::kAvailability,
+    bool track_provenance = true);
+
+/// The paper's Group_high (eq. (38)), exposed for tests: all facts
+/// characterized by every value of `cell` and mapped *directly* to those cell
+/// values whose category exceeds the target granularity.
+std::vector<FactId> GroupHigh(const MultidimensionalObject& mo,
+                              std::span<const ValueId> cell,
+                              std::span<const CategoryId> target);
+
+}  // namespace dwred

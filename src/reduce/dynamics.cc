@@ -1,0 +1,68 @@
+#include "reduce/dynamics.h"
+
+#include <algorithm>
+
+namespace dwred {
+
+Result<ReductionSpecification> InsertActions(
+    const MultidimensionalObject& mo, const ReductionSpecification& spec,
+    std::vector<Action> new_actions, const ProverOptions& opts) {
+  ReductionSpecification merged = spec;
+  for (Action& a : new_actions) merged.Add(std::move(a));
+  DWRED_RETURN_IF_ERROR(ValidateSpecification(mo, merged, opts));
+  return merged;
+}
+
+Result<ReductionSpecification> DeleteActions(
+    const MultidimensionalObject& mo, const ReductionSpecification& spec,
+    const std::vector<ActionId>& ids, int64_t now_day,
+    const ProverOptions& opts) {
+  std::vector<bool> deleted(spec.size(), false);
+  for (ActionId id : ids) {
+    if (id >= spec.size()) {
+      return Status::InvalidArgument("unknown action id " + std::to_string(id));
+    }
+    deleted[id] = true;
+  }
+
+  // No-current-effect test (Definition 4): for every deleted action a' and
+  // every fact whose direct cell satisfies Pred(a', t), either the fact is
+  // already strictly above Cat(a'), or a remaining action of equal
+  // granularity also covers the cell.
+  for (ActionId id = 0; id < spec.size(); ++id) {
+    if (!deleted[id]) continue;
+    const Action& a = spec.action(id);
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      if (!EvalPredOnFact(*a.predicate, mo, f, now_day)) continue;
+      std::vector<CategoryId> gran = mo.Gran(f);
+      bool strictly_below = !a.deletes &&
+          GranularityLeq(mo, a.granularity, gran) && a.granularity != gran;
+      if (strictly_below) continue;
+      bool covered = false;
+      for (ActionId j = 0; j < spec.size(); ++j) {
+        if (deleted[j]) continue;
+        const Action& b = spec.action(j);
+        if (b.granularity == a.granularity && b.deletes == a.deletes &&
+            EvalPredOnFact(*b.predicate, mo, f, now_day)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        std::string who = a.name.empty() ? a.ToString(mo) : a.name;
+        return Status::DeleteRejected(
+            "action '" + who + "' is still responsible for " + mo.FactName(f) +
+            " and no remaining action of equal granularity covers it");
+      }
+    }
+  }
+
+  ReductionSpecification remaining;
+  for (ActionId id = 0; id < spec.size(); ++id) {
+    if (!deleted[id]) remaining.Add(spec.action(id));
+  }
+  DWRED_RETURN_IF_ERROR(ValidateSpecification(mo, remaining, opts));
+  return remaining;
+}
+
+}  // namespace dwred

@@ -1,0 +1,33 @@
+#pragma once
+
+// Dynamics of data reduction specifications (paper Section 5): inserting and
+// deleting actions while preserving consistency.
+//
+//  * insert (Definition 3) depends on the action set only: the union must
+//    stay Growing and NonCrossing, otherwise the original specification is
+//    left unchanged and a diagnostic is returned.
+//  * delete (Definition 4) additionally depends on the facts currently in
+//    the MO: a deleted action must have no current effect — every fact whose
+//    direct cell satisfies its predicate must either already sit strictly
+//    above the action's granularity, or be covered by a remaining action of
+//    equal granularity. All-or-nothing: either every requested action is
+//    deletable or none is removed.
+
+#include "reduce/soundness.h"
+
+namespace dwred {
+
+/// Definition 3. On success returns the new specification (spec ∪ actions);
+/// on failure returns the violation and leaves the input untouched.
+Result<ReductionSpecification> InsertActions(
+    const MultidimensionalObject& mo, const ReductionSpecification& spec,
+    std::vector<Action> new_actions, const ProverOptions& opts = {});
+
+/// Definition 4. `now_day` is the deletion time t; `mo` supplies the current
+/// facts for the no-current-effect test.
+Result<ReductionSpecification> DeleteActions(
+    const MultidimensionalObject& mo, const ReductionSpecification& spec,
+    const std::vector<ActionId>& ids, int64_t now_day,
+    const ProverOptions& opts = {});
+
+}  // namespace dwred

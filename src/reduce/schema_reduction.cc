@@ -1,0 +1,181 @@
+#include "reduce/schema_reduction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dwred {
+
+namespace {
+
+struct CellHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<MultidimensionalObject> DropDimension(const MultidimensionalObject& mo,
+                                             DimensionId dim) {
+  if (dim >= mo.num_dimensions()) {
+    return Status::InvalidArgument("unknown dimension");
+  }
+  if (mo.num_dimensions() == 1) {
+    return Status::InvalidArgument("cannot drop the last dimension");
+  }
+  std::vector<std::shared_ptr<Dimension>> kept;
+  std::vector<DimensionId> kept_ids;
+  for (DimensionId d = 0; d < mo.num_dimensions(); ++d) {
+    if (d == dim) continue;
+    kept.push_back(mo.dimension(d));
+    kept_ids.push_back(d);
+  }
+  MultidimensionalObject out(mo.fact_type(), std::move(kept),
+                             mo.measure_types());
+
+  struct Group {
+    FactId out_id;
+    std::vector<FactId> sources;
+  };
+  std::unordered_map<std::vector<ValueId>, Group, CellHash> groups;
+  const size_t nmeas = mo.num_measures();
+  std::vector<ValueId> cell(kept_ids.size());
+  std::vector<int64_t> meas(nmeas);
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    for (size_t d = 0; d < kept_ids.size(); ++d) {
+      cell[d] = mo.Coord(f, kept_ids[d]);
+    }
+    auto it = groups.find(cell);
+    if (it == groups.end()) {
+      for (size_t m = 0; m < nmeas; ++m) {
+        meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
+      }
+      DWRED_ASSIGN_OR_RETURN(FactId nf, out.AddFact(cell, meas));
+      Group g;
+      g.out_id = nf;
+      if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+        g.sources = *prov;
+      } else {
+        g.sources = {f};
+      }
+      groups.emplace(cell, std::move(g));
+    } else {
+      Group& g = it->second;
+      for (size_t m = 0; m < nmeas; ++m) {
+        auto mm = static_cast<MeasureId>(m);
+        out.SetMeasure(g.out_id, mm,
+                       CombineMeasure(mo.measure_type(mm).agg,
+                                      out.Measure(g.out_id, mm),
+                                      mo.Measure(f, mm)));
+      }
+      if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+        g.sources.insert(g.sources.end(), prov->begin(), prov->end());
+      } else {
+        g.sources.push_back(f);
+      }
+    }
+  }
+  for (auto& [key, g] : groups) {
+    std::sort(g.sources.begin(), g.sources.end());
+    g.sources.erase(std::unique(g.sources.begin(), g.sources.end()),
+                    g.sources.end());
+    out.SetProvenance(g.out_id, g.sources, kNoAction);
+  }
+  return out;
+}
+
+Result<MultidimensionalObject> DropMeasure(const MultidimensionalObject& mo,
+                                           MeasureId m) {
+  if (m >= mo.num_measures()) {
+    return Status::InvalidArgument("unknown measure");
+  }
+  std::vector<MeasureType> kept_types;
+  std::vector<MeasureId> kept_ids;
+  for (MeasureId i = 0; i < mo.num_measures(); ++i) {
+    if (i == m) continue;
+    kept_types.push_back(mo.measure_type(i));
+    kept_ids.push_back(i);
+  }
+  MultidimensionalObject out(mo.fact_type(), mo.dimensions(),
+                             std::move(kept_types));
+  std::vector<ValueId> coords(mo.num_dimensions());
+  std::vector<int64_t> meas(kept_ids.size());
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    for (size_t d = 0; d < coords.size(); ++d) {
+      coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
+    }
+    for (size_t i = 0; i < kept_ids.size(); ++i) {
+      meas[i] = mo.Measure(f, kept_ids[i]);
+    }
+    DWRED_ASSIGN_OR_RETURN(FactId nf, out.AddFact(coords, meas));
+    out.SetFactName(nf, mo.FactName(f));
+    if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+      out.SetProvenance(nf, *prov, mo.ResponsibleAction(f));
+    }
+  }
+  return out;
+}
+
+Result<MultidimensionalObject> RaiseBottomCategory(
+    const MultidimensionalObject& mo, DimensionId dim, CategoryId new_bottom) {
+  if (dim >= mo.num_dimensions()) {
+    return Status::InvalidArgument("unknown dimension");
+  }
+  const Dimension& old_dim = *mo.dimension(dim);
+  const DimensionType& type = old_dim.type();
+  if (new_bottom >= type.num_categories()) {
+    return Status::InvalidArgument("unknown category");
+  }
+
+  // Facts must already be at or above the new bottom.
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    CategoryId c = old_dim.value_category(mo.Coord(f, dim));
+    if (!type.Leq(new_bottom, c)) {
+      return Status::InvalidArgument(
+          mo.FactName(f) + " still maps to category " +
+          type.category_name(c) + ", below the new bottom " +
+          type.category_name(new_bottom) + " — reduce the MO first");
+    }
+  }
+
+  // Keep every category at or above the new bottom.
+  std::vector<CategoryId> keep;
+  for (CategoryId c = 0; c < type.num_categories(); ++c) {
+    if (type.Leq(new_bottom, c)) keep.push_back(c);
+  }
+  std::vector<ValueId> value_map;
+  DWRED_ASSIGN_OR_RETURN(Dimension sub, old_dim.Subdimension(keep, &value_map));
+
+  std::vector<std::shared_ptr<Dimension>> dims = mo.dimensions();
+  dims[dim] = std::make_shared<Dimension>(std::move(sub));
+
+  MultidimensionalObject out(mo.fact_type(), std::move(dims),
+                             mo.measure_types());
+  std::vector<ValueId> coords(mo.num_dimensions());
+  std::vector<int64_t> meas(mo.num_measures());
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    for (size_t d = 0; d < coords.size(); ++d) {
+      coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
+    }
+    coords[dim] = value_map[coords[dim]];
+    DWRED_CHECK(coords[dim] != kInvalidValue);
+    for (size_t m = 0; m < meas.size(); ++m) {
+      meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
+    }
+    DWRED_ASSIGN_OR_RETURN(FactId nf, out.AddFact(coords, meas));
+    out.SetFactName(nf, mo.FactName(f));
+    if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+      out.SetProvenance(nf, *prov, mo.ResponsibleAction(f));
+    }
+  }
+  return out;
+}
+
+}  // namespace dwred

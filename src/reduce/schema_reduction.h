@@ -1,0 +1,40 @@
+#pragma once
+
+// Schema-level reduction — the second future-work direction of paper
+// Section 8 ("explore reduction in the number of dimensions and measures")
+// plus the Section 4.4 aside ("it is possible to physically remove
+// bottom-level category types if there is no use for them"):
+//
+//  * DropDimension removes a dimension entirely, folding facts that collapse
+//    onto identical remaining cells (the data-volume analogue of
+//    dimensionality reduction, cf. the paper's related-work contrast with
+//    Last & Maimon);
+//  * DropMeasure removes one measure column;
+//  * RaiseBottomCategory rebuilds one dimension without its categories below
+//    a new bottom and rewrites the fact coordinates — facts must already be
+//    at or above the new bottom (reduce first), since the removal is as
+//    irreversible as aggregation.
+
+#include "mdm/mo.h"
+
+namespace dwred {
+
+/// Removes dimension `dim`; facts with identical remaining coordinates are
+/// folded with the measures' default aggregate functions. Provenance is
+/// merged like Reduce's.
+Result<MultidimensionalObject> DropDimension(const MultidimensionalObject& mo,
+                                             DimensionId dim);
+
+/// Removes measure `m`; facts are otherwise untouched.
+Result<MultidimensionalObject> DropMeasure(const MultidimensionalObject& mo,
+                                           MeasureId m);
+
+/// Rebuilds dimension `dim` keeping only categories at or above
+/// `new_bottom`, and rewrites fact coordinates into the rebuilt dimension.
+/// Fails with InvalidArgument if any fact still sits below `new_bottom` in
+/// that dimension (run Reduce first). The rebuilt dimension is fresh (not
+/// shared with the input MO's other users).
+Result<MultidimensionalObject> RaiseBottomCategory(
+    const MultidimensionalObject& mo, DimensionId dim, CategoryId new_bottom);
+
+}  // namespace dwred

@@ -1,0 +1,245 @@
+#include "reduce/semantics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dwred {
+
+namespace {
+
+/// Hash for cell keys.
+struct CellHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<CategoryId>> MaxSpecGran(const MultidimensionalObject& mo,
+                                            const ReductionSpecification& spec,
+                                            FactId f, int64_t now_day,
+                                            ActionId* responsible,
+                                            bool* deleted) {
+  if (deleted) *deleted = false;
+  std::vector<CategoryId> fact_gran = mo.Gran(f);
+
+  // Maximum over the satisfied actions (totally ordered for NonCrossing
+  // specifications).
+  const std::vector<CategoryId>* action_gran = nullptr;
+  ActionId best_action = kNoAction;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    const Action& a = spec.action(static_cast<ActionId>(i));
+    if (!EvalPredOnFact(*a.predicate, mo, f, now_day)) continue;
+    if (a.deletes) {
+      // Deletion dominates every aggregation level.
+      if (deleted) *deleted = true;
+      if (responsible) *responsible = static_cast<ActionId>(i);
+      return fact_gran;
+    }
+    if (action_gran) {
+      if (GranularityLeq(mo, a.granularity, *action_gran)) continue;
+      if (!GranularityLeq(mo, *action_gran, a.granularity)) {
+        return Status::Internal(
+            "satisfied granularities are not totally ordered for " +
+            mo.FactName(f) + " — specification violates NonCrossing");
+      }
+    }
+    action_gran = &a.granularity;
+    best_action = static_cast<ActionId>(i);
+  }
+  if (responsible) *responsible = best_action;
+  if (!action_gran) return fact_gran;
+
+  // Combine with the fact's own granularity per dimension (Spec_gran always
+  // contains Gran(f)). Tuple comparison suffices for bottom-level facts; the
+  // per-dimension LUB generalizes it to facts mapped to ⊤ in some dimension
+  // ("unknown value"): that dimension stays at ⊤ while the others aggregate.
+  std::vector<CategoryId> best(fact_gran.size());
+  bool higher_than_fact = false;
+  for (size_t d = 0; d < fact_gran.size(); ++d) {
+    const DimensionType& type = mo.dimension(static_cast<DimensionId>(d))->type();
+    best[d] = type.Lub(fact_gran[d], (*action_gran)[d]);
+    if (best[d] != fact_gran[d]) higher_than_fact = true;
+  }
+  if (!higher_than_fact && responsible) {
+    // The action does not lift the fact anywhere: the fact's own granularity
+    // wins (the action may still be the one historically responsible).
+    *responsible = best_action;
+  }
+  return best;
+}
+
+Result<std::vector<ValueId>> CellOf(const MultidimensionalObject& mo,
+                                    const ReductionSpecification& spec,
+                                    FactId f, int64_t now_day) {
+  DWRED_ASSIGN_OR_RETURN(std::vector<CategoryId> gran,
+                         MaxSpecGran(mo, spec, f, now_day));
+  std::vector<ValueId> cell(mo.num_dimensions());
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    auto dd = static_cast<DimensionId>(d);
+    ValueId v = mo.dimension(dd)->Rollup(mo.Coord(f, dd), gran[d]);
+    if (v == kInvalidValue) {
+      return Status::Internal("no rollup of " +
+                              mo.dimension(dd)->value_name(mo.Coord(f, dd)) +
+                              " to the target granularity");
+    }
+    cell[d] = v;
+  }
+  return cell;
+}
+
+Result<CategoryId> AggLevel(const MultidimensionalObject& mo,
+                            const ReductionSpecification& spec,
+                            DimensionId dim, std::span<const ValueId> cell,
+                            int64_t now_day) {
+  const DimensionType& type = mo.dimension(dim)->type();
+  CategoryId best = type.bottom();
+  for (const Action& a : spec.actions()) {
+    if (!EvalPredOnCell(*a.predicate, mo, cell, now_day)) continue;
+    CategoryId c = a.granularity[dim];
+    if (type.Leq(c, best)) continue;
+    if (!type.Leq(best, c)) {
+      return Status::Internal(
+          "AggLevel: incomparable categories specified for one cell — "
+          "specification violates NonCrossing");
+    }
+    best = c;
+  }
+  return best;
+}
+
+Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
+                                      const ReductionSpecification& spec,
+                                      int64_t now_day,
+                                      const ReduceOptions& options,
+                                      ReduceStats* stats) {
+  MultidimensionalObject out(mo.fact_type(), mo.dimensions(),
+                             mo.measure_types());
+  const size_t ndims = mo.num_dimensions();
+  const size_t nmeas = mo.num_measures();
+
+  struct Group {
+    FactId out_id;
+    std::vector<FactId> sources;   // original constituent ids
+    ActionId responsible;
+    bool aggregated;               // any input changed granularity
+  };
+  std::unordered_map<std::vector<ValueId>, Group, CellHash> groups;
+
+  size_t facts_aggregated = 0;
+  size_t facts_deleted = 0;
+  std::vector<ValueId> cell(ndims);
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    ActionId responsible = kNoAction;
+    bool deleted = false;
+    DWRED_ASSIGN_OR_RETURN(
+        std::vector<CategoryId> gran,
+        MaxSpecGran(mo, spec, f, now_day, &responsible, &deleted));
+    if (deleted) {
+      // Deletion action (Section 8 extension): the fact is physically
+      // removed — no cell, no group.
+      ++facts_deleted;
+      continue;
+    }
+    bool changed = false;
+    for (size_t d = 0; d < ndims; ++d) {
+      auto dd = static_cast<DimensionId>(d);
+      ValueId direct = mo.Coord(f, dd);
+      ValueId v = mo.dimension(dd)->Rollup(direct, gran[d]);
+      if (v == kInvalidValue) {
+        return Status::Internal("no rollup to target granularity for " +
+                                mo.FactName(f));
+      }
+      if (v != direct) changed = true;
+      cell[d] = v;
+    }
+    if (changed) ++facts_aggregated;
+
+    auto it = groups.find(cell);
+    if (it == groups.end()) {
+      // First member: materialize the output fact with this fact's measures.
+      int64_t meas_buf[64];
+      DWRED_CHECK(nmeas <= 64);
+      for (size_t m = 0; m < nmeas; ++m) {
+        meas_buf[m] = mo.Measure(f, static_cast<MeasureId>(m));
+      }
+      DWRED_ASSIGN_OR_RETURN(
+          FactId nf,
+          out.AddFact(cell, std::span<const int64_t>(meas_buf, nmeas)));
+      Group g;
+      g.out_id = nf;
+      g.responsible =
+          responsible != kNoAction ? responsible : mo.ResponsibleAction(f);
+      g.aggregated = changed;
+      if (options.track_provenance) {
+        if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+          g.sources = *prov;
+        } else {
+          g.sources = {f};
+        }
+      }
+      groups.emplace(cell, std::move(g));
+    } else {
+      Group& g = it->second;
+      // Fold measures with the default aggregate functions (Definition 2).
+      // Folding happens in place on the output fact.
+      for (size_t m = 0; m < nmeas; ++m) {
+        auto mm = static_cast<MeasureId>(m);
+        int64_t combined = CombineMeasure(mo.measure_type(mm).agg,
+                                          out.Measure(g.out_id, mm),
+                                          mo.Measure(f, mm));
+        // MultidimensionalObject exposes no in-place setter; fold through
+        // the internal update hook below.
+        out.SetMeasure(g.out_id, mm, combined);
+      }
+      g.aggregated = true;
+      if (responsible != kNoAction) g.responsible = responsible;
+      if (options.track_provenance) {
+        if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+          g.sources.insert(g.sources.end(), prov->begin(), prov->end());
+        } else {
+          g.sources.push_back(f);
+        }
+      }
+    }
+  }
+
+  if (options.track_provenance) {
+    for (auto& [key, g] : groups) {
+      if (!g.aggregated && g.sources.size() == 1) {
+        // Unchanged fact: keep its name; record provenance so later passes
+        // and aggregations still know the original constituents.
+        FactId original = g.sources[0];
+        out.SetFactName(g.out_id, "fact_" + std::to_string(original));
+        out.SetProvenance(g.out_id, g.sources, g.responsible);
+        continue;
+      }
+      std::sort(g.sources.begin(), g.sources.end());
+      g.sources.erase(std::unique(g.sources.begin(), g.sources.end()),
+                      g.sources.end());
+      // Paper-style merged names: fact_0 + fact_3 -> "fact_03".
+      std::string name = "fact_";
+      for (FactId s : g.sources) name += std::to_string(s);
+      out.SetFactName(g.out_id, std::move(name));
+      out.SetProvenance(g.out_id, g.sources, g.responsible);
+    }
+  }
+
+  if (stats) {
+    stats->input_facts = mo.num_facts();
+    stats->output_facts = out.num_facts();
+    stats->facts_aggregated = facts_aggregated;
+    stats->facts_deleted = facts_deleted;
+  }
+  return out;
+}
+
+}  // namespace dwred

@@ -1,0 +1,68 @@
+#pragma once
+
+// Reduction semantics (paper Section 4.2 auxiliaries and Definition 2): at a
+// time t, every fact is assigned the maximum granularity specified for it
+// (Spec_gran / Max_<=p), mapped to the cell of dimension values at that
+// granularity (Cell), grouped with the other facts of the same cell, and the
+// groups' measures folded with the measures' default (distributive) aggregate
+// functions. The detail facts are physically deleted — the reduced MO is a
+// new fact set over the same schema and dimensions.
+
+#include "spec/action.h"
+
+namespace dwred {
+
+/// The paper's Spec_gran + Max_<=p: the maximum of the fact's own granularity
+/// and the granularities of every action whose predicate the fact's direct
+/// cell satisfies at `now_day`. Also reports which action supplied the
+/// maximum (kNoAction when the fact's own granularity wins) and, via
+/// `deleted`, whether a satisfied *deletion* action dominates (the Section 8
+/// extension; deletion sits above every granularity).
+/// Fails (Internal) if the satisfied granularities are not totally ordered —
+/// impossible for specifications that passed the NonCrossing check.
+Result<std::vector<CategoryId>> MaxSpecGran(const MultidimensionalObject& mo,
+                                            const ReductionSpecification& spec,
+                                            FactId f, int64_t now_day,
+                                            ActionId* responsible = nullptr,
+                                            bool* deleted = nullptr);
+
+/// The paper's Cell(f, t): the tuple of dimension values, at MaxSpecGran's
+/// granularity, that the fact will be aggregated to.
+Result<std::vector<ValueId>> CellOf(const MultidimensionalObject& mo,
+                                    const ReductionSpecification& spec,
+                                    FactId f, int64_t now_day);
+
+/// The paper's AggLevel_i (eq. (13)): the maximum aggregation level specified
+/// in dimension `dim` for a given cell at `now_day` (bottom when no action
+/// covers the cell).
+Result<CategoryId> AggLevel(const MultidimensionalObject& mo,
+                            const ReductionSpecification& spec,
+                            DimensionId dim, std::span<const ValueId> cell,
+                            int64_t now_day);
+
+/// Statistics of one reduction pass.
+struct ReduceStats {
+  size_t input_facts = 0;
+  size_t output_facts = 0;
+  size_t facts_aggregated = 0;  ///< inputs whose granularity changed
+  size_t facts_deleted = 0;     ///< inputs removed by deletion actions
+};
+
+/// Reduction options.
+struct ReduceOptions {
+  /// Assign merged facts names derived from their original constituents
+  /// ("fact_03" for the merge of fact_0 and fact_3, as in the paper's
+  /// figures) and record provenance + responsible action. Disable for bulk
+  /// benchmarks.
+  bool track_provenance = true;
+};
+
+/// Definition 2: the reduced MO at `now_day`. Shares schema and dimensions
+/// with the input.
+Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
+                                      const ReductionSpecification& spec,
+                                      int64_t now_day,
+                                      const ReduceOptions& options = {},
+                                      ReduceStats* stats = nullptr);
+
+}  // namespace dwred

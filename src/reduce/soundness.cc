@@ -1,0 +1,100 @@
+#include "reduce/soundness.h"
+
+namespace dwred {
+
+Result<CompiledSpec> CompileSpec(const MultidimensionalObject& mo,
+                                 const ReductionSpecification& spec) {
+  CompiledSpec out;
+  out.per_action.reserve(spec.size());
+  for (const Action& a : spec.actions()) {
+    DWRED_ASSIGN_OR_RETURN(auto conjuncts, CompileToDnf(mo, *a.predicate));
+    out.per_action.push_back(std::move(conjuncts));
+  }
+  return out;
+}
+
+GrowthClass ClassifyGrowth(const Conjunct& c) {
+  if (c.time.HasNowLower()) return GrowthClass::kShrinking;
+  if (c.time.HasNowUpper()) return GrowthClass::kGrowing;
+  return GrowthClass::kFixed;
+}
+
+Status CheckNonCrossing(const MultidimensionalObject& mo,
+                        const ReductionSpecification& spec,
+                        const CompiledSpec& compiled,
+                        const ProverOptions& opts) {
+  const auto& actions = spec.actions();
+  for (size_t i = 0; i < actions.size(); ++i) {
+    for (size_t j = i + 1; j < actions.size(); ++j) {
+      // Line 2 of the Section 5.2 algorithm: ordered actions cannot cross.
+      if (ActionLeq(mo, actions[i], actions[j]) ||
+          ActionLeq(mo, actions[j], actions[i])) {
+        continue;
+      }
+      // Lines 3-4: unordered actions must never overlap.
+      for (const Conjunct& ci : compiled.per_action[i]) {
+        for (const Conjunct& cj : compiled.per_action[j]) {
+          TriBool overlap = ConjunctsEverOverlap(mo, ci, cj, opts);
+          if (overlap != TriBool::kNo) {
+            std::string why =
+                overlap == TriBool::kYes ? "can overlap" : "may overlap";
+            return Status::CrossingViolation(
+                "actions '" + (actions[i].name.empty() ? actions[i].ToString(mo)
+                                                       : actions[i].name) +
+                "' and '" + (actions[j].name.empty() ? actions[j].ToString(mo)
+                                                     : actions[j].name) +
+                "' are not <=_V-comparable but their predicates " + why);
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckGrowing(const MultidimensionalObject& mo,
+                    const ReductionSpecification& spec,
+                    const CompiledSpec& compiled,
+                    const ProverOptions& opts) {
+  const auto& actions = spec.actions();
+  for (size_t i = 0; i < actions.size(); ++i) {
+    for (const Conjunct& c : compiled.per_action[i]) {
+      if (ClassifyGrowth(c) != GrowthClass::kShrinking) {
+        continue;  // Theorem 1: growing/fixed conjuncts are always safe.
+      }
+      // Step 2 of the Section 5.3 algorithm: candidate covers are the
+      // conjuncts of actions a_j with a <=_V a_j (the shrinking conjunct's
+      // own siblings included — its own region has moved past the boundary).
+      std::vector<const Conjunct*> covers;
+      for (size_t j = 0; j < actions.size(); ++j) {
+        if (!ActionLeq(mo, actions[i], actions[j])) continue;
+        for (const Conjunct& cj : compiled.per_action[j]) {
+          if (&cj != &c) covers.push_back(&cj);
+        }
+      }
+      // Step 3: the boundary-coverage implication (eq. (23)).
+      std::string diagnostic;
+      TriBool covered = BoundaryCovered(mo, c, covers, opts, &diagnostic);
+      if (covered != TriBool::kYes) {
+        std::string who = actions[i].name.empty() ? actions[i].ToString(mo)
+                                                  : actions[i].name;
+        return Status::GrowingViolation(
+            "action '" + who + "' shrinks (NOW-relative lower bound) and " +
+            (covered == TriBool::kNo ? "is not covered: " + diagnostic
+                                     : "cannot be proven covered: " +
+                                           diagnostic));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateSpecification(const MultidimensionalObject& mo,
+                             const ReductionSpecification& spec,
+                             const ProverOptions& opts) {
+  DWRED_ASSIGN_OR_RETURN(CompiledSpec compiled, CompileSpec(mo, spec));
+  DWRED_RETURN_IF_ERROR(CheckNonCrossing(mo, spec, compiled, opts));
+  return CheckGrowing(mo, spec, compiled, opts);
+}
+
+}  // namespace dwred

@@ -1,0 +1,68 @@
+#pragma once
+
+// The two semantic-soundness properties of data reduction specifications
+// (paper Section 4.3) and their operational checks (Sections 5.2, 5.3):
+//
+//  * NonCrossing: any two actions whose predicates can ever overlap must be
+//    <=_V-comparable — otherwise the winning granularity for the shared facts
+//    would be undefined (and a predicate could become unevaluable after the
+//    other action fires).
+//  * Growing: the aggregation level of any cell is monotone over time in
+//    every dimension — reduction is irreversible, so a shrinking predicate is
+//    only admissible when higher actions take over every cell it releases.
+//
+// The checks follow the paper's algorithms: the syntactic <=_V fast path, the
+// growth classification of bounds (fixed / growing / shrinking — cases A-H),
+// Theorem 1's "growing actions are always safe" shortcut, and the three-step
+// boundary-coverage implication (eq. (23)) discharged by the prover module.
+
+#include "prover/checks.h"
+#include "spec/action.h"
+
+namespace dwred {
+
+/// DNF-compiled view of a whole specification (Section 5.3 pre-processing;
+/// one entry per action, one conjunct list per entry).
+struct CompiledSpec {
+  std::vector<std::vector<Conjunct>> per_action;
+};
+
+/// Compiles every action's predicate to DNF conjuncts.
+Result<CompiledSpec> CompileSpec(const MultidimensionalObject& mo,
+                                 const ReductionSpecification& spec);
+
+/// Growth classification of one conjunct (paper Section 5.3 cases A-H). With
+/// NOW +/- fixed offsets, moving bounds always move forward: a NOW-relative
+/// upper bound grows the region (cases B/D), a NOW-relative lower bound
+/// shrinks it (case F). Cases C/E/G/H (backward-moving bounds) are not
+/// expressible in the language.
+enum class GrowthClass : uint8_t {
+  kFixed,      ///< case A: no NOW-relative bound
+  kGrowing,    ///< cases B/D: NOW-relative upper bound only
+  kShrinking,  ///< cases F/H-analogue: NOW-relative lower bound present
+};
+GrowthClass ClassifyGrowth(const Conjunct& c);
+
+/// Checks the NonCrossing property (paper eq. (14)) for the whole set,
+/// pairwise per the Section 5.2 algorithm. Returns CrossingViolation naming
+/// the offending pair. The prover's Unknown answers are treated as overlap
+/// (conservative rejection).
+Status CheckNonCrossing(const MultidimensionalObject& mo,
+                        const ReductionSpecification& spec,
+                        const CompiledSpec& compiled,
+                        const ProverOptions& opts = {});
+
+/// Checks the Growing property (paper eq. (17)) for the whole set: every
+/// shrinking conjunct's boundary must be covered by the conjuncts of
+/// >=_V actions (eq. (23)). Returns GrowingViolation with a witness cell.
+Status CheckGrowing(const MultidimensionalObject& mo,
+                    const ReductionSpecification& spec,
+                    const CompiledSpec& compiled,
+                    const ProverOptions& opts = {});
+
+/// Compiles and runs both checks.
+Status ValidateSpecification(const MultidimensionalObject& mo,
+                             const ReductionSpecification& spec,
+                             const ProverOptions& opts = {});
+
+}  // namespace dwred

@@ -1,0 +1,50 @@
+#include "spec/action.h"
+
+#include <algorithm>
+
+namespace dwred {
+
+std::string Action::ToString(const MultidimensionalObject& mo) const {
+  if (deletes) {
+    std::string out = "p(d s[";
+    out += predicate ? predicate->ToString(mo) : "true";
+    out += "](O))";
+    return out;
+  }
+  std::string out = "p(a[";
+  for (size_t d = 0; d < granularity.size(); ++d) {
+    if (d) out += ", ";
+    const Dimension& dim = *mo.dimension(static_cast<DimensionId>(d));
+    out += dim.name() + "." + dim.type().category_name(granularity[d]);
+  }
+  out += "] s[";
+  out += predicate ? predicate->ToString(mo) : "true";
+  out += "](O))";
+  return out;
+}
+
+bool GranularityLeq(const MultidimensionalObject& mo,
+                    const std::vector<CategoryId>& g1,
+                    const std::vector<CategoryId>& g2) {
+  for (size_t d = 0; d < g1.size(); ++d) {
+    if (!mo.dimension(static_cast<DimensionId>(d))->type().Leq(g1[d], g2[d])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ReductionSpecification::Remove(const std::vector<ActionId>& ids) {
+  std::vector<bool> drop(actions_.size(), false);
+  for (ActionId id : ids) {
+    if (id < actions_.size()) drop[id] = true;
+  }
+  std::vector<Action> kept;
+  kept.reserve(actions_.size());
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    if (!drop[i]) kept.push_back(std::move(actions_[i]));
+  }
+  actions_ = std::move(kept);
+}
+
+}  // namespace dwred

@@ -1,0 +1,90 @@
+#pragma once
+
+// Data-reduction actions (paper Section 4.1): an action
+// p(α[C_1j1, ..., C_njn] σ[P](O)) aggregates the facts satisfying P to the
+// granularity (C_1j1, ..., C_njn) and deletes the detail facts. The Clist
+// must name exactly one category per dimension, and may not aggregate any
+// dimension above the categories P references in that dimension (so P stays
+// evaluable on the aggregated facts).
+//
+// Actions are resolved against a concrete MO: the granularity is a vector of
+// CategoryIds indexed by dimension, the predicate an AST of resolved atoms.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spec/predicate.h"
+
+namespace dwred {
+
+/// One reduction action: an aggregation action p(α[Clist] σ[P](O)), or — the
+/// extension the paper's Section 8 calls for — a deletion action
+/// p(d σ[P](O)) that physically removes the matching facts instead of
+/// aggregating them.
+struct Action {
+  /// The paper's Cat(a): target category per dimension (size = ndims). For a
+  /// deletion action this holds the top categories (deletion sits above
+  /// every aggregation level in the <=_V order).
+  std::vector<CategoryId> granularity;
+  /// The selection predicate P.
+  std::shared_ptr<PredExpr> predicate;
+  /// Original specification text (diagnostics / provenance).
+  std::string source_text;
+  /// Optional display name ("a1", "a2", ...).
+  std::string name;
+  /// True for a deletion action. Deletion is one step more irreversible than
+  /// aggregation: nothing remains, so only another deletion action can cover
+  /// a shrinking deletion in the Growing check.
+  bool deletes = false;
+
+  /// The paper's Cat_i(a).
+  CategoryId Cat(DimensionId d) const { return granularity[d]; }
+
+  /// Renders the action in the paper's notation.
+  std::string ToString(const MultidimensionalObject& mo) const;
+};
+
+/// Granularity tuple ordering <=_p (paper eq. (6)): g1 <=_p g2 iff every
+/// component is <=_T. Returns false when any component pair is unrelated.
+bool GranularityLeq(const MultidimensionalObject& mo,
+                    const std::vector<CategoryId>& g1,
+                    const std::vector<CategoryId>& g2);
+
+/// Action ordering <=_V (paper eq. (3)), extended so deletion dominates
+/// every aggregation level: a <=_V d for every a when d deletes, and a
+/// deletion action is only below other deletion actions.
+inline bool ActionLeq(const MultidimensionalObject& mo, const Action& a1,
+                      const Action& a2) {
+  if (a2.deletes) return true;
+  if (a1.deletes) return false;
+  return GranularityLeq(mo, a1.granularity, a2.granularity);
+}
+
+/// A data reduction specification V = (A, <=_V) (paper Definition 1): a set
+/// of actions under the granularity-induced partial order. The set itself is
+/// a dumb container; the NonCrossing/Growing validation and the insert/delete
+/// operators live in the reduce module.
+class ReductionSpecification {
+ public:
+  ReductionSpecification() = default;
+
+  ActionId Add(Action a) {
+    actions_.push_back(std::move(a));
+    return static_cast<ActionId>(actions_.size() - 1);
+  }
+
+  size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  const Action& action(ActionId id) const { return actions_[id]; }
+  const std::vector<Action>& actions() const { return actions_; }
+
+  /// Removes the given actions (ids refer to the current vector; remaining
+  /// actions are compacted, preserving order).
+  void Remove(const std::vector<ActionId>& ids);
+
+ private:
+  std::vector<Action> actions_;
+};
+
+}  // namespace dwred

@@ -1,0 +1,590 @@
+#include "spec/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <optional>
+
+#include "common/strings.h"
+
+namespace dwred {
+
+namespace {
+
+enum class TokKind {
+  kWord,     // bare word: letters/digits/./_/ (also time literals, values)
+  kQuoted,   // 'quoted value'
+  kNumber,   // pure digits (subset of word; classified for span parsing)
+  kSym,      // punctuation / operator
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> out;
+    size_t i = 0;
+    auto issymch = [](char c) {
+      return strchr("[](){},<>=!+-", c) != nullptr;
+    };
+    while (i < s_.size()) {
+      char c = s_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        size_t j = s_.find('\'', i + 1);
+        if (j == std::string_view::npos) {
+          return Status::ParseError("unterminated quoted value at offset " +
+                                    std::to_string(i));
+        }
+        out.push_back({TokKind::kQuoted,
+                       std::string(s_.substr(i + 1, j - i - 1)), i});
+        i = j + 1;
+        continue;
+      }
+      if (issymch(c)) {
+        // Two-char operators.
+        if (i + 1 < s_.size()) {
+          std::string_view two = s_.substr(i, 2);
+          if (two == "<=" || two == ">=" || two == "!=" || two == "==") {
+            out.push_back({TokKind::kSym, std::string(two == "==" ? "=" : two),
+                           i});
+            i += 2;
+            continue;
+          }
+        }
+        out.push_back({TokKind::kSym, std::string(1, c), i});
+        ++i;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_' || c == '/') {
+        size_t j = i;
+        bool all_digits = true;
+        while (j < s_.size()) {
+          char d = s_[j];
+          if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+              d == '_' || d == '/') {
+            if (!std::isdigit(static_cast<unsigned char>(d))) {
+              all_digits = false;
+            }
+            ++j;
+          } else {
+            break;
+          }
+        }
+        out.push_back({all_digits ? TokKind::kNumber : TokKind::kWord,
+                       std::string(s_.substr(i, j - i)), i});
+        i = j;
+        continue;
+      }
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(i));
+    }
+    out.push_back({TokKind::kEnd, "", s_.size()});
+    return out;
+  }
+
+ private:
+  std::string_view s_;
+};
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A reference to one dimension category ("Time.month").
+struct DimRef {
+  DimensionId dim;
+  CategoryId category;
+};
+
+/// A parsed operand before classification.
+struct Operand {
+  enum class Kind { kDimRef, kNowExpr, kLiteral } kind;
+  DimRef dimref{};          // kDimRef
+  TimeOperand now{};        // kNowExpr
+  std::string literal;      // kLiteral (time literal or value name)
+};
+
+class Parser {
+ public:
+  Parser(const MultidimensionalObject& mo, std::vector<Token> toks)
+      : mo_(mo), toks_(std::move(toks)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& Next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool ConsumeSym(std::string_view s) {
+    if (Peek().kind == TokKind::kSym && Peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeWord(std::string_view w) {
+    if (Peek().kind == TokKind::kWord && IEquals(Peek().text, w)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& what) {
+    return Status::ParseError(what + " near offset " +
+                              std::to_string(Peek().pos) + " ('" +
+                              Peek().text + "')");
+  }
+
+  // --- Dimension references ------------------------------------------------
+
+  std::optional<DimRef> TryResolveDimRef(std::string_view word) {
+    size_t dot = word.rfind('.');
+    while (dot != std::string_view::npos) {
+      auto dres = mo_.DimensionByName(word.substr(0, dot));
+      if (dres.ok()) {
+        auto cres =
+            mo_.dimension(dres.value())->type().CategoryByName(word.substr(dot + 1));
+        if (cres.ok()) return DimRef{dres.value(), cres.value()};
+      }
+      dot = dot == 0 ? std::string_view::npos : word.rfind('.', dot - 1);
+    }
+    return std::nullopt;
+  }
+
+  // --- Predicate grammar ---------------------------------------------------
+
+  Result<std::shared_ptr<PredExpr>> ParseOr() {
+    DWRED_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    std::vector<std::shared_ptr<PredExpr>> kids{lhs};
+    while (ConsumeWord("OR")) {
+      DWRED_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      kids.push_back(rhs);
+    }
+    return kids.size() == 1 ? kids[0] : PredExpr::Or(std::move(kids));
+  }
+
+  Result<std::shared_ptr<PredExpr>> ParseAnd() {
+    DWRED_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    std::vector<std::shared_ptr<PredExpr>> kids{lhs};
+    while (ConsumeWord("AND")) {
+      DWRED_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      kids.push_back(rhs);
+    }
+    return kids.size() == 1 ? kids[0] : PredExpr::And(std::move(kids));
+  }
+
+  Result<std::shared_ptr<PredExpr>> ParseUnary() {
+    if (ConsumeWord("NOT")) {
+      DWRED_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+      return PredExpr::Not(inner);
+    }
+    if (ConsumeSym("(")) {
+      DWRED_ASSIGN_OR_RETURN(auto inner, ParseOr());
+      if (!ConsumeSym(")")) return Err("expected ')'");
+      return inner;
+    }
+    if (ConsumeWord("TRUE")) return PredExpr::True();
+    if (ConsumeWord("FALSE")) return PredExpr::False();
+    return ParseAtomChain();
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kQuoted) {
+      Next();
+      return Operand{Operand::Kind::kLiteral, {}, {}, t.text};
+    }
+    if (t.kind == TokKind::kWord && IEquals(t.text, "NOW")) {
+      Next();
+      TimeOperand now;
+      now.is_now = true;
+      while (Peek().kind == TokKind::kSym &&
+             (Peek().text == "+" || Peek().text == "-")) {
+        // Only a span may follow (+/- <n> <unit>); otherwise this +/- belongs
+        // to an enclosing context (not expected in this grammar).
+        bool negative = Next().text == "-";
+        if (Peek().kind != TokKind::kNumber) return Err("expected span count");
+        int64_t count;
+        if (!ParseInt64(Next().text, &count)) return Err("bad span count");
+        if (Peek().kind != TokKind::kWord) return Err("expected span unit");
+        DWRED_ASSIGN_OR_RETURN(
+            TimeSpan span, ParseSpan(std::to_string(count) + " " + Next().text));
+        if (negative) span.count = -span.count;
+        switch (span.unit) {
+          case TimeUnit::kDay: now.now_days += span.count; break;
+          case TimeUnit::kWeek: now.now_days += span.count * 7; break;
+          case TimeUnit::kMonth: now.now_months += span.count; break;
+          case TimeUnit::kQuarter: now.now_months += span.count * 3; break;
+          case TimeUnit::kYear: now.now_months += span.count * 12; break;
+          case TimeUnit::kTop: return Err("TOP is not a span unit");
+        }
+      }
+      return Operand{Operand::Kind::kNowExpr, {}, now, {}};
+    }
+    if (t.kind == TokKind::kWord || t.kind == TokKind::kNumber) {
+      Next();
+      if (t.kind == TokKind::kWord) {
+        if (auto dr = TryResolveDimRef(t.text)) {
+          return Operand{Operand::Kind::kDimRef, *dr, {}, {}};
+        }
+      }
+      return Operand{Operand::Kind::kLiteral, {}, {}, t.text};
+    }
+    return Err("expected operand");
+  }
+
+  Result<CmpOp> ParseCmp() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kSym) {
+      if (t.text == "<") { Next(); return CmpOp::kLt; }
+      if (t.text == "<=") { Next(); return CmpOp::kLe; }
+      if (t.text == ">") { Next(); return CmpOp::kGt; }
+      if (t.text == ">=") { Next(); return CmpOp::kGe; }
+      if (t.text == "=") { Next(); return CmpOp::kEq; }
+      if (t.text == "!=") { Next(); return CmpOp::kNe; }
+    }
+    return Err("expected comparison operator");
+  }
+
+  bool PeekIsCmp() const {
+    const Token& t = Peek();
+    return t.kind == TokKind::kSym &&
+           (t.text == "<" || t.text == "<=" || t.text == ">" ||
+            t.text == ">=" || t.text == "=" || t.text == "!=");
+  }
+
+  /// Builds a resolved atom from a column, operator and literal operand.
+  Result<Atom> MakeAtom(DimRef col, CmpOp op, const Operand& rhs) {
+    const Dimension& dim = *mo_.dimension(col.dim);
+    Atom a;
+    a.dim = col.dim;
+    a.category = col.category;
+    a.op = op;
+    a.is_time = dim.is_time();
+    if (a.is_time) {
+      TimeUnit unit = static_cast<TimeUnit>(col.category);
+      if (rhs.kind == Operand::Kind::kNowExpr) {
+        a.time_operands.push_back(rhs.now);
+      } else if (rhs.kind == Operand::Kind::kLiteral) {
+        DWRED_ASSIGN_OR_RETURN(TimeGranule g, ParseGranule(rhs.literal));
+        if (g.unit != unit) {
+          return Status::ParseError(
+              "time literal '" + rhs.literal + "' has granularity " +
+              TimeUnitName(g.unit) + " but is compared with category " +
+              TimeUnitName(unit) + " (grammar requires Type(tt) = C)");
+        }
+        TimeOperand opnd;
+        opnd.is_now = false;
+        opnd.fixed = g;
+        a.time_operands.push_back(opnd);
+      } else {
+        return Status::ParseError("cannot compare two dimension references");
+      }
+      return a;
+    }
+    // Categorical: only equality/membership are defined on interned values.
+    if (op != CmpOp::kEq && op != CmpOp::kNe && op != CmpOp::kIn &&
+        op != CmpOp::kNotIn) {
+      return Status::ParseError(
+          "ordered comparison on categorical dimension " + dim.name() +
+          " (operator not defined for this value type)");
+    }
+    if (rhs.kind != Operand::Kind::kLiteral) {
+      return Status::ParseError("expected a value literal for dimension " +
+                                dim.name());
+    }
+    auto vres = dim.ValueByName(col.category, rhs.literal);
+    if (!vres.ok()) return vres.status();
+    a.values.push_back(vres.value());
+    return a;
+  }
+
+  Result<std::shared_ptr<PredExpr>> ParseAtomChain() {
+    DWRED_ASSIGN_OR_RETURN(Operand first, ParseOperand());
+
+    // IN / NOT IN.
+    bool negated_in = false;
+    size_t save = pos_;
+    if (ConsumeWord("NOT")) {
+      if (IEquals(Peek().text, "IN")) {
+        negated_in = true;
+      } else {
+        pos_ = save;
+      }
+    }
+    if (ConsumeWord("IN")) {
+      if (first.kind != Operand::Kind::kDimRef) {
+        return Err("left side of IN must be a Dimension.category reference");
+      }
+      if (!ConsumeSym("{")) return Err("expected '{' after IN");
+      Atom a;
+      const Dimension& dim = *mo_.dimension(first.dimref.dim);
+      a.dim = first.dimref.dim;
+      a.category = first.dimref.category;
+      a.op = negated_in ? CmpOp::kNotIn : CmpOp::kIn;
+      a.is_time = dim.is_time();
+      while (true) {
+        DWRED_ASSIGN_OR_RETURN(Operand el, ParseOperand());
+        if (a.is_time) {
+          TimeUnit unit = static_cast<TimeUnit>(a.category);
+          if (el.kind == Operand::Kind::kNowExpr) {
+            a.time_operands.push_back(el.now);
+          } else if (el.kind == Operand::Kind::kLiteral) {
+            DWRED_ASSIGN_OR_RETURN(TimeGranule g, ParseGranule(el.literal));
+            if (g.unit != unit) {
+              return Status::ParseError("set element '" + el.literal +
+                                        "' has the wrong granularity");
+            }
+            TimeOperand opnd;
+            opnd.fixed = g;
+            a.time_operands.push_back(opnd);
+          } else {
+            return Err("bad set element");
+          }
+        } else {
+          if (el.kind != Operand::Kind::kLiteral) return Err("bad set element");
+          auto vres = dim.ValueByName(a.category, el.literal);
+          if (!vres.ok()) return vres.status();
+          a.values.push_back(vres.value());
+        }
+        if (ConsumeSym(",")) continue;
+        if (ConsumeSym("}")) break;
+        return Err("expected ',' or '}' in set");
+      }
+      std::sort(a.values.begin(), a.values.end());
+      return PredExpr::MakeAtom(std::move(a));
+    }
+
+    // Comparison chain: x op y [op z].
+    DWRED_ASSIGN_OR_RETURN(CmpOp op1, ParseCmp());
+    DWRED_ASSIGN_OR_RETURN(Operand second, ParseOperand());
+
+    if (PeekIsCmp()) {
+      // a op1 b op2 c: b must be the column.
+      DWRED_ASSIGN_OR_RETURN(CmpOp op2, ParseCmp());
+      DWRED_ASSIGN_OR_RETURN(Operand third, ParseOperand());
+      if (second.kind != Operand::Kind::kDimRef) {
+        return Err("middle of a comparison chain must be a column reference");
+      }
+      DWRED_ASSIGN_OR_RETURN(Atom left,
+                             MakeAtom(second.dimref, MirrorOp(op1), first));
+      DWRED_ASSIGN_OR_RETURN(Atom right, MakeAtom(second.dimref, op2, third));
+      return PredExpr::And({PredExpr::MakeAtom(std::move(left)),
+                            PredExpr::MakeAtom(std::move(right))});
+    }
+
+    if (first.kind == Operand::Kind::kDimRef &&
+        second.kind == Operand::Kind::kDimRef) {
+      return Err("cannot compare two column references");
+    }
+    if (first.kind == Operand::Kind::kDimRef) {
+      DWRED_ASSIGN_OR_RETURN(Atom a, MakeAtom(first.dimref, op1, second));
+      return PredExpr::MakeAtom(std::move(a));
+    }
+    if (second.kind == Operand::Kind::kDimRef) {
+      DWRED_ASSIGN_OR_RETURN(Atom a,
+                             MakeAtom(second.dimref, MirrorOp(op1), first));
+      return PredExpr::MakeAtom(std::move(a));
+    }
+    return Err("comparison needs a Dimension.category reference on one side");
+  }
+
+  // --- Action --------------------------------------------------------------
+
+  Result<Action> ParseActionBody(std::string_view original_text,
+                                 std::string name) {
+    // Optional "p(" wrapper.
+    if (Peek().kind == TokKind::kWord && IEquals(Peek().text, "p") &&
+        Peek(1).kind == TokKind::kSym && Peek(1).text == "(") {
+      Next();
+      Next();
+    }
+    Action action;
+    action.granularity.assign(mo_.num_dimensions(), kInvalidCategory);
+
+    // Deletion actions (the Section 8 extension): "d s[Pexp]" — no Clist;
+    // the action sits above every aggregation level.
+    if (Peek().kind == TokKind::kWord &&
+        (IEquals(Peek().text, "d") || IEquals(Peek().text, "delete"))) {
+      Next();
+      action.deletes = true;
+      for (size_t d = 0; d < mo_.num_dimensions(); ++d) {
+        action.granularity[d] = mo_.dimension(static_cast<DimensionId>(d))
+                                    ->type()
+                                    .top();
+      }
+      return ParseSelectionAndFinish(std::move(action), original_text,
+                                     std::move(name));
+    }
+
+    if (!(Peek().kind == TokKind::kWord &&
+          (IEquals(Peek().text, "a") || IEquals(Peek().text, "alpha") ||
+           IEquals(Peek().text, "aggregate")))) {
+      return Err("expected aggregation operator 'a[...]' or deletion 'd'");
+    }
+    Next();
+    if (!ConsumeSym("[")) return Err("expected '[' after 'a'");
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind != TokKind::kWord) return Err("expected Dimension.category");
+      auto dr = TryResolveDimRef(t.text);
+      if (!dr) {
+        return Status::ParseError("unknown Dimension.category '" + t.text +
+                                  "'");
+      }
+      Next();
+      if (action.granularity[dr->dim] != kInvalidCategory) {
+        return Status::ParseError("two Clist entries for dimension " +
+                                  mo_.dimension(dr->dim)->name());
+      }
+      action.granularity[dr->dim] = dr->category;
+      if (ConsumeSym(",")) continue;
+      if (ConsumeSym("]")) break;
+      return Err("expected ',' or ']' in Clist");
+    }
+    for (size_t d = 0; d < mo_.num_dimensions(); ++d) {
+      if (action.granularity[d] == kInvalidCategory) {
+        return Status::ParseError(
+            "Clist must contain exactly one category per dimension; missing " +
+            mo_.dimension(static_cast<DimensionId>(d))->name());
+      }
+    }
+
+    return ParseSelectionAndFinish(std::move(action), original_text,
+                                   std::move(name));
+  }
+
+  Result<Action> ParseSelectionAndFinish(Action action,
+                                         std::string_view original_text,
+                                         std::string name) {
+    if (!(Peek().kind == TokKind::kWord &&
+          (IEquals(Peek().text, "s") || IEquals(Peek().text, "sigma") ||
+           IEquals(Peek().text, "where")))) {
+      return Err("expected selection operator 's[...]'");
+    }
+    Next();
+    if (!ConsumeSym("[")) return Err("expected '[' after 's'");
+    DWRED_ASSIGN_OR_RETURN(action.predicate, ParseOr());
+    if (!ConsumeSym("]")) return Err("expected ']' after predicate");
+
+    // Optional "(O)" / "(Obj)" and closing ")" noise.
+    if (ConsumeSym("(")) {
+      if (Peek().kind == TokKind::kWord) Next();
+      if (!ConsumeSym(")")) return Err("expected ')' after object name");
+    }
+    ConsumeSym(")");
+    if (!AtEnd()) return Err("trailing input after action");
+
+    // Semantic constraint: the action may not aggregate a dimension above a
+    // category its predicate references in that dimension (Section 4.1).
+    // Deletion actions are exempt — they never produce facts the predicate
+    // would have to be re-evaluated on; the user is responsible for
+    // predicating at or above the granularities aggregation actions produce
+    // (see DESIGN.md on the deletion extension).
+    if (!action.deletes) {
+      Status st = CheckPredicateCategories(*action.predicate, action);
+      if (!st.ok()) return st;
+    }
+
+    action.source_text = std::string(original_text);
+    action.name = std::move(name);
+    return action;
+  }
+
+  Status CheckPredicateCategories(const PredExpr& e, const Action& action) {
+    if (e.kind == PredExpr::Kind::kAtom) {
+      const Atom& a = e.atom;
+      const DimensionType& t = mo_.dimension(a.dim)->type();
+      if (!t.Leq(action.granularity[a.dim], a.category)) {
+        return Status::InvalidArgument(
+            "action aggregates " + mo_.dimension(a.dim)->name() + " to " +
+            t.category_name(action.granularity[a.dim]) +
+            ", above predicate category " + t.category_name(a.category) +
+            " — the predicate would become unevaluable (Section 4.1)");
+      }
+      return Status::OK();
+    }
+    for (const auto& k : e.kids) {
+      DWRED_RETURN_IF_ERROR(CheckPredicateCategories(*k, action));
+    }
+    return Status::OK();
+  }
+
+  const MultidimensionalObject& mo_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Action> ParseAction(const MultidimensionalObject& mo,
+                           std::string_view text, std::string name) {
+  Lexer lex(text);
+  DWRED_ASSIGN_OR_RETURN(auto toks, lex.Lex());
+  Parser p(mo, std::move(toks));
+  return p.ParseActionBody(text, std::move(name));
+}
+
+Result<std::shared_ptr<PredExpr>> ParsePredicate(
+    const MultidimensionalObject& mo, std::string_view text) {
+  Lexer lex(text);
+  DWRED_ASSIGN_OR_RETURN(auto toks, lex.Lex());
+  Parser p(mo, std::move(toks));
+  auto res = p.ParseOr();
+  if (!res.ok()) return res;
+  if (!p.AtEnd()) return Status::ParseError("trailing input after predicate");
+  return res;
+}
+
+Result<std::vector<CategoryId>> ParseGranularityList(
+    const MultidimensionalObject& mo, std::string_view text) {
+  std::vector<CategoryId> out(mo.num_dimensions(), kInvalidCategory);
+  for (const std::string& part : Split(text, ',')) {
+    std::string_view ref = Trim(part);
+    size_t dot = ref.rfind('.');
+    if (dot == std::string_view::npos) {
+      return Status::ParseError("expected Dimension.category: " +
+                                std::string(ref));
+    }
+    DWRED_ASSIGN_OR_RETURN(DimensionId d,
+                           mo.DimensionByName(ref.substr(0, dot)));
+    DWRED_ASSIGN_OR_RETURN(
+        CategoryId c, mo.dimension(d)->type().CategoryByName(ref.substr(dot + 1)));
+    if (out[d] != kInvalidCategory) {
+      return Status::ParseError("dimension listed twice: " + std::string(ref));
+    }
+    out[d] = c;
+  }
+  for (size_t d = 0; d < out.size(); ++d) {
+    if (out[d] == kInvalidCategory) {
+      return Status::ParseError(
+          "granularity list missing dimension " +
+          mo.dimension(static_cast<DimensionId>(d))->name());
+    }
+  }
+  return out;
+}
+
+}  // namespace dwred

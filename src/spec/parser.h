@@ -1,0 +1,53 @@
+#pragma once
+
+// Parser for the data-reduction specification language (paper Table 1).
+//
+// Concrete syntax (ASCII rendering of the paper's notation):
+//
+//   action    := [ "p(" ] "a" "[" clist "]" "s" "[" pred "]" [ "(O)" ] [ ")" ]
+//   clist     := dimref ("," dimref)*            -- one category per dimension
+//   dimref    := <Dimension> "." <category>
+//   pred      := or-expr in the usual precedence (NOT > AND > OR), with
+//                parentheses, TRUE, FALSE
+//   atom      := operand cmp operand [cmp operand]     -- chains a <= b <= c
+//              | dimref [NOT] IN "{" operand ("," operand)* "}"
+//   cmp       := "<" | "<=" | ">" | ">=" | "=" | "!="
+//   operand   := dimref | timeexpr | value
+//   timeexpr  := time literal ("1999/12/4", "1999W47", "1999/12", "1999Q4",
+//                "1999") | NOW (("+"|"-") <n> unit)*
+//   value     := bare word ([A-Za-z0-9./_]+) or 'single quoted string',
+//                resolved in the category named by the dimref side
+//
+// Examples (the paper's a1 and a2):
+//   a[Time.month, URL.domain] s[URL.domain_grp = .com AND
+//       NOW - 12 months <= Time.month <= NOW - 6 months]
+//   a[Time.quarter, URL.domain] s[URL.domain_grp = .com AND
+//       Time.quarter <= NOW - 4 quarters]
+//
+// The parser resolves everything against the MO (dimensions, categories,
+// interned values, granule typing) and enforces the grammar's semantic
+// constraints: exactly one Clist entry per dimension; time literals typed at
+// the category they are compared with; ordered comparisons only on the Time
+// dimension; and Cat_i(a) <=_T the category of every predicate atom on
+// dimension i, so predicates remain evaluable after aggregation.
+
+#include <string_view>
+
+#include "spec/action.h"
+
+namespace dwred {
+
+/// Parses a full action specification.
+Result<Action> ParseAction(const MultidimensionalObject& mo,
+                           std::string_view text, std::string name = "");
+
+/// Parses a bare predicate (used by the query layer's selection operator).
+Result<std::shared_ptr<PredExpr>> ParsePredicate(
+    const MultidimensionalObject& mo, std::string_view text);
+
+/// Parses a comma-separated granularity list "Time.month, URL.domain" (used
+/// by the query layer's aggregate-formation operator).
+Result<std::vector<CategoryId>> ParseGranularityList(
+    const MultidimensionalObject& mo, std::string_view text);
+
+}  // namespace dwred

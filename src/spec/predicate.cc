@@ -1,0 +1,260 @@
+#include "spec/predicate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dwred {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kIn: return "IN";
+    case CmpOp::kNotIn: return "NOT IN";
+  }
+  return "?";
+}
+
+CmpOp NegateOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    case CmpOp::kIn: return CmpOp::kNotIn;
+    case CmpOp::kNotIn: return CmpOp::kIn;
+  }
+  return op;
+}
+
+CmpOp MirrorOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;  // =, != and set ops are symmetric
+  }
+}
+
+TimeGranule TimeOperand::Resolve(int64_t now_day, TimeUnit unit) const {
+  if (!is_now) return fixed;
+  int64_t d = ShiftDays(now_day, TimeSpan{TimeUnit::kMonth, now_months});
+  d += now_days;
+  return GranuleOfDay(d, unit);
+}
+
+std::string TimeOperand::ToString(TimeUnit unit) const {
+  if (!is_now) return FormatGranule(fixed);
+  std::string out = "NOW";
+  (void)unit;
+  if (now_months != 0) {
+    out += now_months < 0 ? " - " : " + ";
+    int64_t m = now_months < 0 ? -now_months : now_months;
+    if (m % 12 == 0) {
+      out += std::to_string(m / 12) + (m == 12 ? " year" : " years");
+    } else {
+      out += std::to_string(m) + (m == 1 ? " month" : " months");
+    }
+  }
+  if (now_days != 0) {
+    out += now_days < 0 ? " - " : " + ";
+    int64_t d = now_days < 0 ? -now_days : now_days;
+    if (d % 7 == 0) {
+      out += std::to_string(d / 7) + (d == 7 ? " week" : " weeks");
+    } else {
+      out += std::to_string(d) + (d == 1 ? " day" : " days");
+    }
+  }
+  return out;
+}
+
+std::string Atom::ToString(const MultidimensionalObject& mo) const {
+  const Dimension& d = *mo.dimension(dim);
+  std::string out = d.name() + "." + d.type().category_name(category) + " ";
+  out += CmpOpName(op);
+  out += ' ';
+  auto unit = static_cast<TimeUnit>(category);
+  if (op == CmpOp::kIn || op == CmpOp::kNotIn) {
+    out += '{';
+    if (is_time) {
+      for (size_t i = 0; i < time_operands.size(); ++i) {
+        if (i) out += ", ";
+        out += time_operands[i].ToString(unit);
+      }
+    } else {
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (i) out += ", ";
+        out += d.value_name(values[i]);
+      }
+    }
+    out += '}';
+  } else if (is_time) {
+    out += time_operands[0].ToString(unit);
+  } else {
+    out += d.value_name(values[0]);
+  }
+  return out;
+}
+
+std::shared_ptr<PredExpr> PredExpr::True() {
+  auto e = std::make_shared<PredExpr>();
+  e->kind = Kind::kTrue;
+  return e;
+}
+std::shared_ptr<PredExpr> PredExpr::False() {
+  auto e = std::make_shared<PredExpr>();
+  e->kind = Kind::kFalse;
+  return e;
+}
+std::shared_ptr<PredExpr> PredExpr::MakeAtom(Atom a) {
+  auto e = std::make_shared<PredExpr>();
+  e->kind = Kind::kAtom;
+  e->atom = std::move(a);
+  return e;
+}
+std::shared_ptr<PredExpr> PredExpr::Not(std::shared_ptr<PredExpr> inner) {
+  auto e = std::make_shared<PredExpr>();
+  e->kind = Kind::kNot;
+  e->kids.push_back(std::move(inner));
+  return e;
+}
+std::shared_ptr<PredExpr> PredExpr::And(
+    std::vector<std::shared_ptr<PredExpr>> es) {
+  if (es.size() == 1) return es[0];
+  auto e = std::make_shared<PredExpr>();
+  e->kind = Kind::kAnd;
+  e->kids = std::move(es);
+  return e;
+}
+std::shared_ptr<PredExpr> PredExpr::Or(
+    std::vector<std::shared_ptr<PredExpr>> es) {
+  if (es.size() == 1) return es[0];
+  auto e = std::make_shared<PredExpr>();
+  e->kind = Kind::kOr;
+  e->kids = std::move(es);
+  return e;
+}
+
+std::string PredExpr::ToString(const MultidimensionalObject& mo) const {
+  switch (kind) {
+    case Kind::kTrue: return "true";
+    case Kind::kFalse: return "false";
+    case Kind::kAtom: return atom.ToString(mo);
+    case Kind::kNot: return "NOT (" + kids[0]->ToString(mo) + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (i) out += sep;
+        out += kids[i]->ToString(mo);
+      }
+      out += ')';
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+bool CompareGranules(CmpOp op, TimeGranule a, TimeGranule b) {
+  DWRED_CHECK(a.unit == b.unit);
+  switch (op) {
+    case CmpOp::kLt: return a.index < b.index;
+    case CmpOp::kLe: return a.index <= b.index;
+    case CmpOp::kGt: return a.index > b.index;
+    case CmpOp::kGe: return a.index >= b.index;
+    case CmpOp::kEq: return a.index == b.index;
+    case CmpOp::kNe: return a.index != b.index;
+    default: DWRED_CHECK_MSG(false, "set op in CompareGranules");
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalAtomOnCell(const Atom& atom, const MultidimensionalObject& mo,
+                    std::span<const ValueId> cell, int64_t now_day) {
+  const Dimension& dim = *mo.dimension(atom.dim);
+  ValueId direct = cell[atom.dim];
+  ValueId at_cat = dim.Rollup(direct, atom.category);
+  if (at_cat == kInvalidValue) return false;
+
+  if (atom.is_time) {
+    TimeUnit unit = static_cast<TimeUnit>(atom.category);
+    TimeGranule v = dim.granule(at_cat);
+    if (atom.op == CmpOp::kIn || atom.op == CmpOp::kNotIn) {
+      bool found = false;
+      for (const TimeOperand& opnd : atom.time_operands) {
+        if (opnd.Resolve(now_day, unit) == v) {
+          found = true;
+          break;
+        }
+      }
+      return atom.op == CmpOp::kIn ? found : !found;
+    }
+    return CompareGranules(atom.op, v, atom.time_operands[0].Resolve(now_day, unit));
+  }
+
+  // Categorical: =, !=, IN, NOT IN on interned values.
+  switch (atom.op) {
+    case CmpOp::kEq: return at_cat == atom.values[0];
+    case CmpOp::kNe: return at_cat != atom.values[0];
+    case CmpOp::kIn:
+      return std::binary_search(atom.values.begin(), atom.values.end(), at_cat);
+    case CmpOp::kNotIn:
+      return !std::binary_search(atom.values.begin(), atom.values.end(),
+                                 at_cat);
+    default:
+      // Ordered comparisons require an ordered domain; the grammar permits
+      // them "if op is defined for elements of this type" — interned
+      // categorical values define only equality and membership.
+      DWRED_CHECK_MSG(false, "ordered comparison on a categorical dimension");
+  }
+  return false;
+}
+
+bool EvalPredOnCell(const PredExpr& e, const MultidimensionalObject& mo,
+                    std::span<const ValueId> cell, int64_t now_day) {
+  switch (e.kind) {
+    case PredExpr::Kind::kTrue: return true;
+    case PredExpr::Kind::kFalse: return false;
+    case PredExpr::Kind::kAtom: return EvalAtomOnCell(e.atom, mo, cell, now_day);
+    case PredExpr::Kind::kNot:
+      return !EvalPredOnCell(*e.kids[0], mo, cell, now_day);
+    case PredExpr::Kind::kAnd:
+      for (const auto& k : e.kids) {
+        if (!EvalPredOnCell(*k, mo, cell, now_day)) return false;
+      }
+      return true;
+    case PredExpr::Kind::kOr:
+      for (const auto& k : e.kids) {
+        if (EvalPredOnCell(*k, mo, cell, now_day)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool EvalPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,
+                    FactId f, int64_t now_day) {
+  // Build the fact's direct cell view.
+  size_t n = mo.num_dimensions();
+  ValueId cell_buf[16];
+  DWRED_CHECK_MSG(n <= 16, "more than 16 dimensions");
+  for (size_t d = 0; d < n; ++d) {
+    cell_buf[d] = mo.Coord(f, static_cast<DimensionId>(d));
+  }
+  return EvalPredOnCell(e, mo, std::span<const ValueId>(cell_buf, n), now_day);
+}
+
+}  // namespace dwred

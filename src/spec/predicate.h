@@ -1,0 +1,108 @@
+#pragma once
+
+// Selection predicates of the data-reduction specification language (paper
+// Table 1). A predicate is a boolean combination of atoms; an atom compares
+// one dimension category against a literal, a NOW-relative time expression,
+// or a literal set:
+//
+//   C_Time_j  op  tt           tt ::= fixed time | NOW ± span ± span ...
+//   C_Time_j  IN  {tt, ...}
+//   C_i_j     op  d            d a dimension value literal
+//   C_i_j     IN  {d, ...}
+//   true | false
+//
+// Atoms are resolved against a concrete MO at parse time (dimension ids,
+// category ids, interned ValueIds, time granules), so evaluation is cheap.
+// The DNF transform (paper Section 5.3 pre-processing) and the per-conjunct,
+// per-dimension compiled constraints used by the NonCrossing/Growing checkers
+// live in predicate_analysis.h.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chrono/granule.h"
+#include "common/status.h"
+#include "mdm/mo.h"
+
+namespace dwred {
+
+/// Comparison operators of the grammar.
+enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe, kIn, kNotIn };
+
+const char* CmpOpName(CmpOp op);
+/// Logical negation of an operator (for pushing NOT inward).
+CmpOp NegateOp(CmpOp op);
+/// Mirror of an operator (for `lit op column` -> `column op' lit`).
+CmpOp MirrorOp(CmpOp op);
+
+/// A time operand: a fixed granule or NOW shifted by spans. The operand is
+/// typed at the category it is compared against (grammar: Type(tt) = C); a
+/// NOW expression is coerced to that category's granularity when NOW is bound
+/// (eq. (9)).
+struct TimeOperand {
+  bool is_now = false;
+  TimeGranule fixed{};              ///< when !is_now
+  int64_t now_months = 0;           ///< month-family offset (months/quarters/years)
+  int64_t now_days = 0;             ///< day-family offset (days/weeks)
+
+  /// The concrete granule at `unit` once NOW is bound to `now_day`.
+  TimeGranule Resolve(int64_t now_day, TimeUnit unit) const;
+
+  std::string ToString(TimeUnit unit) const;
+};
+
+/// One comparison atom, fully resolved against an MO.
+struct Atom {
+  DimensionId dim = 0;
+  CategoryId category = kInvalidCategory;
+  CmpOp op = CmpOp::kEq;
+  bool is_time = false;
+
+  // Time operands (category's unit is the granularity).
+  std::vector<TimeOperand> time_operands;  ///< 1 for binary ops, n for IN
+
+  // Categorical operands (ValueIds in `category`).
+  std::vector<ValueId> values;  ///< 1 for binary ops, n for IN; sorted for IN
+
+  std::string ToString(const MultidimensionalObject& mo) const;
+};
+
+/// Boolean expression tree over atoms.
+struct PredExpr {
+  enum class Kind : uint8_t { kTrue, kFalse, kAtom, kNot, kAnd, kOr };
+  Kind kind = Kind::kTrue;
+  Atom atom;                                    ///< kAtom
+  std::vector<std::shared_ptr<PredExpr>> kids;  ///< kNot (1), kAnd/kOr (>=2)
+
+  static std::shared_ptr<PredExpr> True();
+  static std::shared_ptr<PredExpr> False();
+  static std::shared_ptr<PredExpr> MakeAtom(Atom a);
+  static std::shared_ptr<PredExpr> Not(std::shared_ptr<PredExpr> e);
+  static std::shared_ptr<PredExpr> And(std::vector<std::shared_ptr<PredExpr>> es);
+  static std::shared_ptr<PredExpr> Or(std::vector<std::shared_ptr<PredExpr>> es);
+
+  std::string ToString(const MultidimensionalObject& mo) const;
+};
+
+/// Evaluates one atom against a cell (one direct value per dimension) at time
+/// `now_day`. The cell value in the atom's dimension is rolled up to the
+/// atom's category; if the rollup does not exist (value in an unrelated or
+/// higher category) the atom is unsatisfied — the grammar's constraint that
+/// actions aggregate no higher than their predicate categories guarantees
+/// evaluability for the facts an action governs (paper Section 4.1).
+bool EvalAtomOnCell(const Atom& atom, const MultidimensionalObject& mo,
+                    std::span<const ValueId> cell, int64_t now_day);
+
+/// Evaluates a predicate tree against a cell.
+bool EvalPredOnCell(const PredExpr& e, const MultidimensionalObject& mo,
+                    std::span<const ValueId> cell, int64_t now_day);
+
+/// Evaluates a predicate tree against a fact's direct cell. This is the
+/// membership test of the paper's Pred(a, t) (eq. (9)) restricted to the
+/// cells facts actually map to (eq. (11)).
+bool EvalPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,
+                    FactId f, int64_t now_day);
+
+}  // namespace dwred

@@ -1,0 +1,305 @@
+#include "spec/predicate_analysis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dwred {
+
+int64_t SymTimeBound::EvalDay(int64_t now_day) const {
+  if (kind == Kind::kFixed) return fixed_day;
+  int64_t d = ShiftDays(now_day, TimeSpan{TimeUnit::kMonth, months}) + days;
+  TimeGranule g = GranuleOfDay(d, snap_unit);
+  return (snap_first ? FirstDayOf(g) : LastDayOf(g)) + extra_days;
+}
+
+bool TimeConstraint::HasNowLower() const {
+  for (const auto& b : lowers) {
+    if (b.kind == SymTimeBound::Kind::kNow) return true;
+  }
+  return false;
+}
+
+bool TimeConstraint::HasNowUpper() const {
+  for (const auto& b : uppers) {
+    if (b.kind == SymTimeBound::Kind::kNow) return true;
+  }
+  return false;
+}
+
+int64_t TimeConstraint::LowerDay(int64_t now_day) const {
+  int64_t lo = kDayNegInf;
+  for (const auto& b : lowers) lo = std::max(lo, b.EvalDay(now_day));
+  return lo;
+}
+
+int64_t TimeConstraint::UpperDay(int64_t now_day) const {
+  int64_t hi = kDayPosInf;
+  for (const auto& b : uppers) hi = std::min(hi, b.EvalDay(now_day));
+  return hi;
+}
+
+const SymTimeBound* TimeConstraint::BindingLower(int64_t now_day) const {
+  const SymTimeBound* best = nullptr;
+  int64_t best_day = kDayNegInf;
+  for (const auto& b : lowers) {
+    int64_t d = b.EvalDay(now_day);
+    if (d >= best_day) {
+      best_day = d;
+      best = &b;
+    }
+  }
+  return best;
+}
+
+bool CatConstraint::Allows(const Dimension& dim, ValueId v) const {
+  for (const SetConstraint& sc : constraints) {
+    ValueId r = dim.Rollup(v, sc.category);
+    if (r == kInvalidValue) return false;
+    bool in = std::binary_search(sc.values.begin(), sc.values.end(), r);
+    if (sc.include != in) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Negation-normal form + DNF on atom lists.
+// ---------------------------------------------------------------------------
+
+struct NnfConjunct {
+  std::vector<Atom> atoms;
+};
+
+/// DNF as a list of conjuncts; `is_true` marks the tautology (one empty
+/// conjunct); an empty list is false.
+using Dnf = std::vector<NnfConjunct>;
+
+Result<Dnf> ToDnf(const PredExpr& e, bool negated, size_t max_conjuncts) {
+  switch (e.kind) {
+    case PredExpr::Kind::kTrue:
+      if (negated) return Dnf{};
+      return Dnf{NnfConjunct{}};
+    case PredExpr::Kind::kFalse:
+      if (negated) return Dnf{NnfConjunct{}};
+      return Dnf{};
+    case PredExpr::Kind::kAtom: {
+      Atom a = e.atom;
+      if (negated) a.op = NegateOp(a.op);
+      return Dnf{NnfConjunct{{std::move(a)}}};
+    }
+    case PredExpr::Kind::kNot:
+      return ToDnf(*e.kids[0], !negated, max_conjuncts);
+    case PredExpr::Kind::kAnd:
+    case PredExpr::Kind::kOr: {
+      bool is_or = (e.kind == PredExpr::Kind::kOr) != negated;
+      if (is_or) {
+        Dnf out;
+        for (const auto& k : e.kids) {
+          DWRED_ASSIGN_OR_RETURN(Dnf sub, ToDnf(*k, negated, max_conjuncts));
+          for (auto& c : sub) out.push_back(std::move(c));
+          if (out.size() > max_conjuncts) {
+            return Status::InvalidArgument("predicate DNF too large");
+          }
+        }
+        return out;
+      }
+      // AND: distribute.
+      Dnf acc{NnfConjunct{}};
+      for (const auto& k : e.kids) {
+        DWRED_ASSIGN_OR_RETURN(Dnf sub, ToDnf(*k, negated, max_conjuncts));
+        Dnf next;
+        for (const auto& a : acc) {
+          for (const auto& b : sub) {
+            NnfConjunct merged = a;
+            merged.atoms.insert(merged.atoms.end(), b.atoms.begin(),
+                                b.atoms.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_conjuncts) {
+              return Status::InvalidArgument("predicate DNF too large");
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+// ---------------------------------------------------------------------------
+// Atom compilation.
+// ---------------------------------------------------------------------------
+
+SymTimeBound MakeBound(const TimeOperand& opnd, TimeUnit unit, bool snap_first,
+                       int64_t extra) {
+  SymTimeBound b;
+  if (opnd.is_now) {
+    b.kind = SymTimeBound::Kind::kNow;
+    b.months = opnd.now_months;
+    b.days = opnd.now_days;
+    b.snap_unit = unit;
+    b.snap_first = snap_first;
+    b.extra_days = extra;
+  } else {
+    b.kind = SymTimeBound::Kind::kFixed;
+    b.fixed_day =
+        (snap_first ? FirstDayOf(opnd.fixed) : LastDayOf(opnd.fixed)) + extra;
+  }
+  return b;
+}
+
+void CompileTimeAtom(const Atom& a, TimeConstraint* tc) {
+  TimeUnit unit = static_cast<TimeUnit>(a.category);
+  if (unit == TimeUnit::kTop) {
+    // Constraints at TOP are vacuous (= T is true, != T is false — the parser
+    // cannot produce them since TOP has no literals; IN at TOP likewise).
+    return;
+  }
+  switch (a.op) {
+    case CmpOp::kLe:  // day <= LastDayOf(g)
+      tc->uppers.push_back(MakeBound(a.time_operands[0], unit, false, 0));
+      break;
+    case CmpOp::kLt:  // day <= FirstDayOf(g) - 1
+      tc->uppers.push_back(MakeBound(a.time_operands[0], unit, true, -1));
+      break;
+    case CmpOp::kGe:  // day >= FirstDayOf(g)
+      tc->lowers.push_back(MakeBound(a.time_operands[0], unit, true, 0));
+      break;
+    case CmpOp::kGt:  // day >= LastDayOf(g) + 1
+      tc->lowers.push_back(MakeBound(a.time_operands[0], unit, false, 1));
+      break;
+    case CmpOp::kEq:
+      tc->lowers.push_back(MakeBound(a.time_operands[0], unit, true, 0));
+      tc->uppers.push_back(MakeBound(a.time_operands[0], unit, false, 0));
+      break;
+    case CmpOp::kIn:
+      if (a.time_operands.size() == 1) {
+        tc->lowers.push_back(MakeBound(a.time_operands[0], unit, true, 0));
+        tc->uppers.push_back(MakeBound(a.time_operands[0], unit, false, 0));
+      } else {
+        // Outer bounds over-approximate the union; mark inexact.
+        bool all_fixed = true;
+        for (const auto& o : a.time_operands) {
+          if (o.is_now) all_fixed = false;
+        }
+        if (all_fixed) {
+          int64_t lo = kDayPosInf, hi = kDayNegInf;
+          for (const auto& o : a.time_operands) {
+            lo = std::min(lo, FirstDayOf(o.fixed));
+            hi = std::max(hi, LastDayOf(o.fixed));
+          }
+          SymTimeBound lob, hib;
+          lob.fixed_day = lo;
+          hib.fixed_day = hi;
+          tc->lowers.push_back(lob);
+          tc->uppers.push_back(hib);
+        }
+        tc->exact = false;
+      }
+      break;
+    case CmpOp::kNe:
+    case CmpOp::kNotIn:
+      // Not a single interval; no bounds, inexact.
+      tc->exact = false;
+      break;
+    default:
+      break;
+  }
+}
+
+void CompileCatAtom(const Atom& a, CatConstraint* cc) {
+  SetConstraint sc;
+  sc.category = a.category;
+  sc.values = a.values;
+  std::sort(sc.values.begin(), sc.values.end());
+  sc.include = (a.op == CmpOp::kEq || a.op == CmpOp::kIn);
+  cc->constraints.push_back(std::move(sc));
+}
+
+}  // namespace
+
+bool Conjunct::SatisfiableAt(const MultidimensionalObject& mo,
+                             int64_t now_day) const {
+  if (always_false) return false;
+  if (time_dim >= 0 && !time.Unbounded()) {
+    if (time.LowerDay(now_day) > time.UpperDay(now_day)) return false;
+  }
+  for (size_t d = 0; d < cats.size(); ++d) {
+    if (static_cast<int>(d) == time_dim || cats[d].Unconstrained()) continue;
+    CategoryId enum_cat;
+    std::vector<ValueId> cand = CandidateValues(
+        *mo.dimension(static_cast<DimensionId>(d)), {&cats[d]}, {}, &enum_cat);
+    if (cand.empty()) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Conjunct>> CompileToDnf(const MultidimensionalObject& mo,
+                                           const PredExpr& pred,
+                                           size_t max_conjuncts) {
+  DWRED_ASSIGN_OR_RETURN(Dnf dnf, ToDnf(pred, false, max_conjuncts));
+
+  // Identify the time dimension (at most one in this model).
+  int time_dim = -1;
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    if (mo.dimension(static_cast<DimensionId>(d))->is_time()) {
+      time_dim = static_cast<int>(d);
+      break;
+    }
+  }
+
+  std::vector<Conjunct> out;
+  for (auto& nc : dnf) {
+    Conjunct c;
+    c.time_dim = time_dim;
+    c.cats.resize(mo.num_dimensions());
+    c.atoms = std::move(nc.atoms);
+    for (const Atom& a : c.atoms) {
+      if (a.is_time) {
+        CompileTimeAtom(a, &c.time);
+      } else {
+        CompileCatAtom(a, &c.cats[a.dim]);
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<ValueId> CandidateValues(
+    const Dimension& dim, const std::vector<const CatConstraint*>& filters,
+    const std::vector<const CatConstraint*>& reference,
+    CategoryId* enum_cat_out) {
+  // Collect every referenced category.
+  std::vector<CategoryId> cats;
+  auto collect = [&cats](const CatConstraint* cc) {
+    if (!cc) return;
+    for (const SetConstraint& sc : cc->constraints) cats.push_back(sc.category);
+  };
+  for (const CatConstraint* cc : filters) collect(cc);
+  for (const CatConstraint* cc : reference) collect(cc);
+  if (cats.empty()) {
+    *enum_cat_out = kInvalidCategory;
+    return {};
+  }
+  CategoryId enum_cat = dim.type().Glb(cats);
+  *enum_cat_out = enum_cat;
+
+  std::vector<ValueId> out;
+  for (ValueId v : dim.CategoryExtent(enum_cat)) {
+    bool ok = true;
+    for (const CatConstraint* cc : filters) {
+      if (cc && !cc->Allows(dim, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace dwred

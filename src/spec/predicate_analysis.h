@@ -1,0 +1,126 @@
+#pragma once
+
+// Predicate normalization and compiled constraints — the pre-processing step
+// of paper Section 5.3: predicates are put in disjunctive normal form and
+// each action conceptually split into one action per conjunct, so that every
+// conjunct is a conjunction of (range) predicates per dimension.
+//
+// Each conjunct is compiled into
+//  * a symbolic day-level time interval for the Time dimension: inclusive
+//    lower/upper bounds that are fixed days or NOW-relative expressions
+//    (month-family and day-family offsets) snapped to the granule of the
+//    category they constrain; and
+//  * per-dimension categorical set constraints evaluated by rollup.
+//
+// These compiled forms drive the operational NonCrossing check (Section 5.2),
+// the Growing check's growth classification and boundary-coverage implication
+// (Section 5.3), and the subcube engine's disjoint-region reasoning
+// (Section 7).
+
+#include <optional>
+#include <vector>
+
+#include "spec/action.h"
+
+namespace dwred {
+
+/// An inclusive day-level time bound, possibly NOW-relative.
+struct SymTimeBound {
+  enum class Kind : uint8_t { kFixed, kNow };
+  Kind kind = Kind::kFixed;
+  int64_t fixed_day = 0;  ///< kFixed: the inclusive bound, already snapped
+
+  // kNow: bound(t) = Snap(ShiftDays(t, months via calendar) + days) + extra.
+  int64_t months = 0;
+  int64_t days = 0;
+  int64_t extra_days = 0;
+  TimeUnit snap_unit = TimeUnit::kDay;
+  bool snap_first = true;  ///< snap to FirstDayOf (else LastDayOf)
+
+  /// Concrete inclusive day bound once NOW is bound to `now_day`.
+  int64_t EvalDay(int64_t now_day) const;
+};
+
+/// Conjoined time constraints of one conjunct, as day-interval bounds.
+/// The realized interval at time t is
+///   [ max over lowers (or -inf), min over uppers (or +inf) ].
+struct TimeConstraint {
+  std::vector<SymTimeBound> lowers;
+  std::vector<SymTimeBound> uppers;
+  /// False when some atom is not representable as a single interval (!=,
+  /// multi-element IN, NOT IN): the bounds then over-approximate the true
+  /// set. Over-approximation is safe for overlap detection (conservative
+  /// rejection) but not for coverage claims.
+  bool exact = true;
+
+  bool Unbounded() const { return lowers.empty() && uppers.empty(); }
+  bool HasNowLower() const;
+  bool HasNowUpper() const;
+
+  /// Concrete inclusive bounds at `now_day` (kDayNegInf/kDayPosInf if absent).
+  int64_t LowerDay(int64_t now_day) const;
+  int64_t UpperDay(int64_t now_day) const;
+
+  /// The bound achieving LowerDay at `now_day` (nullptr if unbounded below).
+  const SymTimeBound* BindingLower(int64_t now_day) const;
+};
+
+inline constexpr int64_t kDayNegInf = INT64_MIN / 4;
+inline constexpr int64_t kDayPosInf = INT64_MAX / 4;
+
+/// One primitive categorical set constraint: rollup(v, category) must (not)
+/// be in `values`.
+struct SetConstraint {
+  CategoryId category = kInvalidCategory;
+  bool include = true;
+  std::vector<ValueId> values;  ///< sorted
+};
+
+/// All categorical constraints of one conjunct on one dimension.
+struct CatConstraint {
+  std::vector<SetConstraint> constraints;
+
+  bool Unconstrained() const { return constraints.empty(); }
+
+  /// True when a value (of any category) satisfies every set constraint,
+  /// mirroring atom evaluation: a rollup that does not exist fails an include
+  /// and fails an exclude (the atom would evaluate false either way).
+  bool Allows(const Dimension& dim, ValueId v) const;
+};
+
+/// One DNF conjunct, compiled.
+struct Conjunct {
+  std::vector<Atom> atoms;           ///< the (possibly negated) atoms
+  TimeConstraint time;               ///< constraints on the time dimension
+  int time_dim = -1;                 ///< index of the time dimension, -1 none
+  std::vector<CatConstraint> cats;   ///< per dimension (empty for time dim)
+  bool always_false = false;
+
+  /// Exact satisfiability of the conjunct's atoms by some cell of *existing*
+  /// dimension values at concrete time `now_day`.
+  bool SatisfiableAt(const MultidimensionalObject& mo, int64_t now_day) const;
+};
+
+/// Puts a predicate in DNF (NOT pushed onto atoms, AND distributed over OR)
+/// and compiles each conjunct. Conjuncts that are syntactically false are
+/// dropped; an always-true predicate yields one unconstrained conjunct.
+/// Fails if the DNF exceeds `max_conjuncts` (guards pathological inputs).
+Result<std::vector<Conjunct>> CompileToDnf(const MultidimensionalObject& mo,
+                                           const PredExpr& pred,
+                                           size_t max_conjuncts = 4096);
+
+/// Candidate cell values for enumerating one dimension's region: the extent
+/// of the enumeration category — the GLB of every category referenced by
+/// `filters` and `reference` on this dimension — filtered to the values
+/// allowed by every constraint in `filters`. `reference` constraints only
+/// contribute their categories to the GLB (so later Allows() tests against
+/// them are decided by rollup). Null entries are skipped. Returns the
+/// enumeration category via `enum_cat_out`; when nothing references the
+/// dimension the dimension is a wildcard and an empty vector is returned with
+/// `enum_cat_out` = kInvalidCategory.
+std::vector<ValueId> CandidateValues(
+    const Dimension& dim, const std::vector<const CatConstraint*>& filters,
+    const std::vector<const CatConstraint*>& reference,
+    CategoryId* enum_cat_out);
+
+}  // namespace dwred

@@ -1,0 +1,116 @@
+#include "storage/fact_table.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dwred {
+
+FactTable::FactTable(size_t num_dims, size_t num_measures)
+    : dim_cols_(num_dims), meas_cols_(num_measures) {}
+
+RowId FactTable::Append(std::span<const ValueId> coords,
+                        std::span<const int64_t> measures) {
+  DWRED_CHECK(coords.size() == dim_cols_.size());
+  DWRED_CHECK(measures.size() == meas_cols_.size());
+  for (size_t d = 0; d < coords.size(); ++d) dim_cols_[d].push_back(coords[d]);
+  for (size_t m = 0; m < measures.size(); ++m) {
+    meas_cols_[m].push_back(measures[m]);
+  }
+  return num_rows_++;
+}
+
+void FactTable::ReadCoords(RowId r, ValueId* out) const {
+  for (size_t d = 0; d < dim_cols_.size(); ++d) out[d] = dim_cols_[d][r];
+}
+
+void FactTable::EraseRows(const std::vector<bool>& erase) {
+  DWRED_CHECK(erase.size() == num_rows_);
+  size_t w = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (erase[r]) continue;
+    if (w != r) {
+      for (auto& col : dim_cols_) col[w] = col[r];
+      for (auto& col : meas_cols_) col[w] = col[r];
+    }
+    ++w;
+  }
+  for (auto& col : dim_cols_) col.resize(w);
+  for (auto& col : meas_cols_) col.resize(w);
+  num_rows_ = w;
+}
+
+void FactTable::CompactCells(std::span<const AggFn> aggs) {
+  DWRED_CHECK(aggs.size() == meas_cols_.size());
+  struct KeyHash {
+    size_t operator()(const std::vector<ValueId>& v) const {
+      size_t h = 0xcbf29ce484222325ull;
+      for (ValueId x : v) {
+        h ^= x;
+        h *= 0x100000001b3ull;
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<ValueId>, RowId, KeyHash> first;
+  std::vector<bool> erase(num_rows_, false);
+  std::vector<ValueId> key(dim_cols_.size());
+  bool any = false;
+  for (RowId r = 0; r < num_rows_; ++r) {
+    for (size_t d = 0; d < dim_cols_.size(); ++d) key[d] = dim_cols_[d][r];
+    auto it = first.find(key);
+    if (it == first.end()) {
+      first.emplace(key, r);
+    } else {
+      RowId keep = it->second;
+      for (size_t m = 0; m < meas_cols_.size(); ++m) {
+        meas_cols_[m][keep] =
+            CombineMeasure(aggs[m], meas_cols_[m][keep], meas_cols_[m][r]);
+      }
+      erase[r] = true;
+      any = true;
+    }
+  }
+  if (any) EraseRows(erase);
+}
+
+size_t FactTable::Bytes() const {
+  return num_rows_ * (dim_cols_.size() * sizeof(ValueId) +
+                      meas_cols_.size() * sizeof(int64_t));
+}
+
+MultidimensionalObject FactTable::ToMO(
+    const std::string& fact_type,
+    const std::vector<std::shared_ptr<Dimension>>& dims,
+    const std::vector<MeasureType>& measures) const {
+  DWRED_CHECK(dims.size() == dim_cols_.size());
+  DWRED_CHECK(measures.size() == meas_cols_.size());
+  MultidimensionalObject mo(fact_type, dims, measures);
+  std::vector<ValueId> coords(dim_cols_.size());
+  std::vector<int64_t> meas(meas_cols_.size());
+  for (RowId r = 0; r < num_rows_; ++r) {
+    for (size_t d = 0; d < coords.size(); ++d) coords[d] = dim_cols_[d][r];
+    for (size_t m = 0; m < meas.size(); ++m) meas[m] = meas_cols_[m][r];
+    auto res = mo.AddFact(coords, meas);
+    DWRED_CHECK(res.ok());
+  }
+  return mo;
+}
+
+void FactTable::AppendFrom(const MultidimensionalObject& mo) {
+  DWRED_CHECK(mo.num_dimensions() == dim_cols_.size());
+  DWRED_CHECK(mo.num_measures() == meas_cols_.size());
+  std::vector<ValueId> coords(dim_cols_.size());
+  std::vector<int64_t> meas(meas_cols_.size());
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    for (size_t d = 0; d < coords.size(); ++d) {
+      coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
+    }
+    for (size_t m = 0; m < meas.size(); ++m) {
+      meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
+    }
+    Append(coords, meas);
+  }
+}
+
+}  // namespace dwred

@@ -1,0 +1,74 @@
+#pragma once
+
+// Columnar star-schema fact storage — the physical substrate of the subcube
+// implementation strategy (paper Section 7). A FactTable stores facts of one
+// fixed granularity as dense columns: one ValueId column per dimension (the
+// foreign keys of a star schema) and one int64 column per measure. It
+// supports the operations the strategy needs: bulk append, predicate scans,
+// physical deletion of migrated rows, cell-level compaction (the "aggregated
+// one final time" step of Section 7.2), and byte-level accounting for the
+// storage-gain experiments.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mdm/mo.h"
+
+namespace dwred {
+
+/// Row index within a FactTable.
+using RowId = uint64_t;
+
+/// Columnar fact storage of one subcube.
+class FactTable {
+ public:
+  FactTable(size_t num_dims, size_t num_measures);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_dims() const { return dim_cols_.size(); }
+  size_t num_measures() const { return meas_cols_.size(); }
+
+  /// Appends one row.
+  RowId Append(std::span<const ValueId> coords,
+               std::span<const int64_t> measures);
+
+  ValueId Coord(RowId r, size_t d) const { return dim_cols_[d][r]; }
+  int64_t Measure(RowId r, size_t m) const { return meas_cols_[m][r]; }
+  void SetMeasure(RowId r, size_t m, int64_t v) { meas_cols_[m][r] = v; }
+
+  /// Copies a row's coordinates into `out` (size num_dims).
+  void ReadCoords(RowId r, ValueId* out) const;
+
+  /// Physically deletes the rows whose flag is set (paper: reduction ends in
+  /// physical deletion of the detail facts). Compacts columns in place;
+  /// row ids are invalidated.
+  void EraseRows(const std::vector<bool>& erase);
+
+  /// Merges rows with identical coordinates by folding measures with `aggs`
+  /// (one AggFn per measure). Used after subcube migration, where data
+  /// arriving from several parents may populate the same cell.
+  void CompactCells(std::span<const AggFn> aggs);
+
+  /// Exact byte footprint of the stored columns.
+  size_t Bytes() const;
+
+  /// Materializes the rows as an MO over the given dimensions and measure
+  /// types (shared with the rest of the warehouse) so the algebraic query
+  /// operators apply directly.
+  MultidimensionalObject ToMO(
+      const std::string& fact_type,
+      const std::vector<std::shared_ptr<Dimension>>& dims,
+      const std::vector<MeasureType>& measures) const;
+
+  /// Appends every fact of an MO (granularities are the caller's concern).
+  void AppendFrom(const MultidimensionalObject& mo);
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<std::vector<ValueId>> dim_cols_;
+  std::vector<std::vector<int64_t>> meas_cols_;
+};
+
+}  // namespace dwred

@@ -1,0 +1,489 @@
+#include "subcube/manager.h"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+
+#include "common/check.h"
+#include "spec/predicate_analysis.h"
+
+namespace dwred {
+
+Result<TimeSpan> RecommendedSyncInterval(const MultidimensionalObject& mo,
+                                         const ReductionSpecification& spec) {
+  // Collect the granularities at which NOW-relative bounds snap.
+  std::vector<bool> used(static_cast<size_t>(TimeUnit::kTop) + 1, false);
+  for (const Action& a : spec.actions()) {
+    DWRED_ASSIGN_OR_RETURN(auto conjuncts, CompileToDnf(mo, *a.predicate));
+    for (const Conjunct& c : conjuncts) {
+      for (const auto* bounds : {&c.time.lowers, &c.time.uppers}) {
+        for (const SymTimeBound& b : *bounds) {
+          if (b.kind == SymTimeBound::Kind::kNow) {
+            used[static_cast<size_t>(b.snap_unit)] = true;
+          }
+        }
+      }
+    }
+  }
+  int seen = 0;
+  for (size_t u = 0; u < used.size(); ++u) {
+    if (!used[u]) continue;
+    ++seen;
+    if (seen == 2) return TimeSpan{static_cast<TimeUnit>(u), 1};
+  }
+  // Fewer than two distinct NOW granularities: the single one (or daily).
+  for (size_t u = 0; u < used.size(); ++u) {
+    if (used[u]) return TimeSpan{static_cast<TimeUnit>(u), 1};
+  }
+  return TimeSpan{TimeUnit::kDay, 1};
+}
+
+SubcubeManager::SubcubeManager(std::string fact_type,
+                               std::vector<std::shared_ptr<Dimension>> dims,
+                               std::vector<MeasureType> measures,
+                               ReductionSpecification spec)
+    : fact_type_(std::move(fact_type)),
+      dims_(std::move(dims)),
+      measures_(std::move(measures)),
+      spec_(std::move(spec)),
+      ctx_(fact_type_, dims_, measures_) {}
+
+Result<SubcubeManager> SubcubeManager::Create(
+    std::string fact_type, std::vector<std::shared_ptr<Dimension>> dims,
+    std::vector<MeasureType> measures, ReductionSpecification spec) {
+  SubcubeManager m(std::move(fact_type), std::move(dims), std::move(measures),
+                   std::move(spec));
+  DWRED_RETURN_IF_ERROR(m.BuildLayout());
+  return m;
+}
+
+Status SubcubeManager::BuildLayout() {
+  cubes_.clear();
+  const size_t ndims = dims_.size();
+  const size_t nmeas = measures_.size();
+
+  // Bottom cube (the residual action a'_⊥ of eq. (44)).
+  auto bottom = std::make_unique<Subcube>(ndims, nmeas);
+  bottom->name = "K0";
+  for (const auto& d : dims_) {
+    bottom->granularity.push_back(d->type().bottom());
+  }
+  cubes_.push_back(std::move(bottom));
+
+  // One cube per distinct action granularity (Section 7.1 groups disjoint
+  // actions of identical granularity into one subcube). Deletion actions own
+  // no storage: their facts cease to exist.
+  for (ActionId a = 0; a < spec_.size(); ++a) {
+    if (spec_.action(a).deletes) continue;
+    const std::vector<CategoryId>& g = spec_.action(a).granularity;
+    size_t found = cubes_.size();
+    for (size_t i = 0; i < cubes_.size(); ++i) {
+      if (cubes_[i]->granularity == g) {
+        found = i;
+        break;
+      }
+    }
+    if (found == cubes_.size()) {
+      auto cube = std::make_unique<Subcube>(ndims, nmeas);
+      cube->name = "K" + std::to_string(cubes_.size());
+      cube->granularity = g;
+      cubes_.push_back(std::move(cube));
+    }
+    cubes_[found]->actions.push_back(a);
+  }
+
+  // Immediate parents: transitive reduction of the strict granularity order.
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    cubes_[i]->parents.clear();
+    for (size_t j = 0; j < cubes_.size(); ++j) {
+      if (i == j) continue;
+      const auto& gi = cubes_[i]->granularity;
+      const auto& gj = cubes_[j]->granularity;
+      if (!(GranularityLeq(ctx_, gj, gi) && gj != gi)) continue;
+      bool direct = true;
+      for (size_t k = 0; k < cubes_.size() && direct; ++k) {
+        if (k == i || k == j) continue;
+        const auto& gk = cubes_[k]->granularity;
+        if (GranularityLeq(ctx_, gj, gk) && gj != gk &&
+            GranularityLeq(ctx_, gk, gi) && gk != gi) {
+          direct = false;
+        }
+      }
+      if (direct) cubes_[i]->parents.push_back(j);
+    }
+  }
+  return Status::OK();
+}
+
+Status SubcubeManager::InsertBottomFacts(const MultidimensionalObject& batch) {
+  if (batch.num_dimensions() != dims_.size() ||
+      batch.num_measures() != measures_.size()) {
+    return Status::InvalidArgument("batch schema mismatch");
+  }
+  for (FactId f = 0; f < batch.num_facts(); ++f) {
+    for (size_t d = 0; d < dims_.size(); ++d) {
+      auto dd = static_cast<DimensionId>(d);
+      ValueId v = batch.Coord(f, dd);
+      CategoryId c = dims_[d]->value_category(v);
+      if (c != dims_[d]->type().bottom() && v != dims_[d]->top_value()) {
+        return Status::InvalidArgument(
+            "new data must enter at the bottom granularity (dimension " +
+            dims_[d]->name() + ")");
+      }
+    }
+  }
+  cubes_[0]->table.AppendFrom(batch);
+  return Status::OK();
+}
+
+namespace {
+
+/// The granularity implied by a cell's value categories.
+std::vector<CategoryId> CellGranularity(
+    const std::vector<std::shared_ptr<Dimension>>& dims,
+    std::span<const ValueId> cell) {
+  std::vector<CategoryId> g(dims.size());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    g[d] = dims[d]->value_category(cell[d]);
+  }
+  return g;
+}
+
+}  // namespace
+
+Result<size_t> SubcubeManager::ResponsibleCube(std::span<const ValueId> cell,
+                                               int64_t now_day) const {
+  std::vector<CategoryId> cell_gran = CellGranularity(dims_, cell);
+  const std::vector<CategoryId>* action_gran = nullptr;
+  for (ActionId a = 0; a < spec_.size(); ++a) {
+    const Action& act = spec_.action(a);
+    if (!EvalPredOnCell(*act.predicate, ctx_, cell, now_day)) continue;
+    if (act.deletes) return kDeletedCell;
+    if (action_gran) {
+      if (GranularityLeq(ctx_, act.granularity, *action_gran)) continue;
+      if (!GranularityLeq(ctx_, *action_gran, act.granularity)) {
+        return Status::Internal(
+            "responsible-action granularities are not totally ordered "
+            "(NonCrossing violation)");
+      }
+    }
+    action_gran = &act.granularity;
+  }
+  // Per-dimension LUB with the cell's own granularity — ⊤-mapped
+  // coordinates ("unknown value") stay at ⊤ while the other dimensions
+  // follow the responsible action.
+  std::vector<CategoryId> best = cell_gran;
+  if (action_gran) {
+    for (size_t d = 0; d < best.size(); ++d) {
+      best[d] = dims_[d]->type().Lub(cell_gran[d], (*action_gran)[d]);
+    }
+  }
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    if (cubes_[i]->granularity == best) return i;
+  }
+  // A ⊤-mapped coordinate lifts `best` above the responsible action's
+  // granularity; such rows live in the responsible action's cube with their
+  // coarse coordinate as-is (queries use availability semantics anyway).
+  if (action_gran) {
+    for (size_t i = 0; i < cubes_.size(); ++i) {
+      if (cubes_[i]->granularity == *action_gran) return i;
+    }
+  }
+  // The cell's granularity matches no cube (e.g. after a specification
+  // change): place it in the minimal cube at or above it.
+  size_t chosen = cubes_.size();
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    if (!GranularityLeq(ctx_, best, cubes_[i]->granularity)) continue;
+    if (chosen == cubes_.size() ||
+        GranularityLeq(ctx_, cubes_[i]->granularity,
+                       cubes_[chosen]->granularity)) {
+      chosen = i;
+    }
+  }
+  if (chosen == cubes_.size()) {
+    // Last resort (e.g. a fresh fact ⊤-mapped in some dimension, claimed by
+    // no action): it stays in the bottom cube with its coordinates as-is.
+    return size_t{0};
+  }
+  return chosen;
+}
+
+Result<std::vector<ValueId>> SubcubeManager::RollCell(
+    std::span<const ValueId> cell,
+    const std::vector<CategoryId>& gran) const {
+  std::vector<ValueId> out(cell.size());
+  for (size_t d = 0; d < cell.size(); ++d) {
+    out[d] = dims_[d]->Rollup(cell[d], gran[d]);
+    if (out[d] == kInvalidValue) {
+      // A coordinate already above the cube's granularity (⊤-mapped values,
+      // or rows kept after a specification change) stays as-is; queries
+      // handle it with the availability semantics.
+      CategoryId c = dims_[d]->value_category(cell[d]);
+      if (dims_[d]->type().Leq(gran[d], c)) {
+        out[d] = cell[d];
+        continue;
+      }
+      return Status::Internal("cell value cannot roll up to cube granularity");
+    }
+  }
+  return out;
+}
+
+Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
+  std::vector<AggFn> aggs;
+  for (const auto& m : measures_) aggs.push_back(m.agg);
+
+  size_t migrated = 0;
+  const size_t ndims = dims_.size();
+  const size_t nmeas = measures_.size();
+  std::vector<ValueId> cell(ndims);
+  std::vector<int64_t> meas(nmeas);
+
+  // Snapshot row counts: rows appended during this pass already sit in their
+  // responsible cube and need no re-examination.
+  std::vector<size_t> snapshot;
+  for (const auto& c : cubes_) snapshot.push_back(c->table.num_rows());
+
+  std::vector<bool> received(cubes_.size(), false);
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    Subcube& cube = *cubes_[i];
+    std::vector<bool> erase(cube.table.num_rows(), false);
+    for (RowId r = 0; r < snapshot[i]; ++r) {
+      cube.table.ReadCoords(r, cell.data());
+      DWRED_ASSIGN_OR_RETURN(size_t target, ResponsibleCube(cell, now_day));
+      if (target == i) continue;
+      if (target == kDeletedCell) {
+        // A deletion action claims the row: physical deletion, no migration.
+        erase[r] = true;
+        ++migrated;
+        continue;
+      }
+      DWRED_ASSIGN_OR_RETURN(std::vector<ValueId> rolled,
+                             RollCell(cell, cubes_[target]->granularity));
+      for (size_t m = 0; m < nmeas; ++m) meas[m] = cube.table.Measure(r, m);
+      cubes_[target]->table.Append(rolled, meas);
+      erase[r] = true;
+      received[target] = true;
+      ++migrated;
+    }
+    erase.resize(cube.table.num_rows(), false);
+    cube.table.EraseRows(erase);
+  }
+  // Cells that received data from several places are aggregated one final
+  // time (Section 7.2).
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    if (received[i]) cubes_[i]->table.CompactCells(aggs);
+  }
+  return migrated;
+}
+
+Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
+    const PredExpr* pred, const std::vector<CategoryId>* target,
+    int64_t now_day, bool assume_synchronized, bool parallel) const {
+  // One evaluation per subcube; in parallel mode each runs on its own thread
+  // (only shared *reads*: dimensions, spec, sibling tables).
+  auto eval_one = [&](size_t i) -> Result<MultidimensionalObject> {
+    const size_t ndims = dims_.size();
+    std::vector<ValueId> cell(ndims);
+    const Subcube& cube = *cubes_[i];
+    MultidimensionalObject base = cube.table.ToMO(fact_type_, dims_, measures_);
+    if (!assume_synchronized) {
+      // Figure 9: evaluate on α[G_i]σ[P_i](K_i ∪ parents) — pull un-migrated
+      // facts from ancestor cubes, keep only the facts this cube is
+      // currently responsible for, pre-aggregate to the cube's granularity.
+      // The paper pulls from immediate parents under its
+      // one-level-out-of-sync assumption (Section 7.2); pulling from every
+      // strictly-lower cube generalizes that to arbitrarily stale
+      // warehouses (facts can leapfrog a tier whose window slid past
+      // between synchronizations).
+      std::vector<size_t> ancestors;
+      for (size_t p = 0; p < cubes_.size(); ++p) {
+        if (p == i) continue;
+        const auto& gp = cubes_[p]->granularity;
+        if (GranularityLeq(ctx_, gp, cube.granularity) &&
+            gp != cube.granularity) {
+          ancestors.push_back(p);
+        }
+      }
+      MultidimensionalObject unioned(fact_type_, dims_, measures_);
+      unioned = std::move(base);
+      for (size_t p : ancestors) {
+        MultidimensionalObject pm =
+            cubes_[p]->table.ToMO(fact_type_, dims_, measures_);
+        for (FactId f = 0; f < pm.num_facts(); ++f) {
+          for (size_t d = 0; d < ndims; ++d) {
+            cell[d] = pm.Coord(f, static_cast<DimensionId>(d));
+          }
+          std::vector<int64_t> meas(measures_.size());
+          for (size_t m = 0; m < measures_.size(); ++m) {
+            meas[m] = pm.Measure(f, static_cast<MeasureId>(m));
+          }
+          auto res = unioned.AddFact(cell, meas);
+          if (!res.ok()) return res.status();
+        }
+      }
+      // σ[P_i]: current responsibility filter.
+      MultidimensionalObject filtered(fact_type_, dims_, measures_);
+      for (FactId f = 0; f < unioned.num_facts(); ++f) {
+        for (size_t d = 0; d < ndims; ++d) {
+          cell[d] = unioned.Coord(f, static_cast<DimensionId>(d));
+        }
+        DWRED_ASSIGN_OR_RETURN(size_t resp, ResponsibleCube(cell, now_day));
+        if (resp != i) continue;
+        std::vector<int64_t> meas(measures_.size());
+        for (size_t m = 0; m < measures_.size(); ++m) {
+          meas[m] = unioned.Measure(f, static_cast<MeasureId>(m));
+        }
+        auto res = filtered.AddFact(cell, meas);
+        if (!res.ok()) return res.status();
+      }
+      // α[G_i].
+      DWRED_ASSIGN_OR_RETURN(
+          base, AggregateFormation(filtered, cube.granularity,
+                                   AggregationApproach::kAvailability,
+                                   /*track_provenance=*/false));
+    }
+    if (pred) {
+      DWRED_ASSIGN_OR_RETURN(
+          SelectionResult sel,
+          Select(base, *pred, now_day, SelectionApproach::kConservative));
+      base = std::move(sel.mo);
+    }
+    if (target) {
+      DWRED_ASSIGN_OR_RETURN(
+          base, AggregateFormation(base, *target,
+                                   AggregationApproach::kAvailability,
+                                   /*track_provenance=*/false));
+    }
+    return base;
+  };
+
+  std::vector<MultidimensionalObject> subresults;
+  if (!parallel || cubes_.size() < 2) {
+    for (size_t i = 0; i < cubes_.size(); ++i) {
+      DWRED_ASSIGN_OR_RETURN(MultidimensionalObject sub, eval_one(i));
+      subresults.push_back(std::move(sub));
+    }
+    return subresults;
+  }
+
+  std::vector<std::optional<Result<MultidimensionalObject>>> slots(
+      cubes_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(cubes_.size());
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    threads.emplace_back([&, i] { slots[i].emplace(eval_one(i)); });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    if (!slots[i]->ok()) return slots[i]->status();
+    subresults.push_back(std::move(slots[i]->value()));
+  }
+  return subresults;
+}
+
+Result<MultidimensionalObject> SubcubeManager::Query(
+    const PredExpr* pred, const std::vector<CategoryId>* target,
+    int64_t now_day, bool assume_synchronized, bool parallel) const {
+  DWRED_ASSIGN_OR_RETURN(
+      std::vector<MultidimensionalObject> subs,
+      QuerySubresults(pred, target, now_day, assume_synchronized, parallel));
+  // Union of disjoint subresults ...
+  MultidimensionalObject unioned(fact_type_, dims_, measures_);
+  std::vector<ValueId> cell(dims_.size());
+  std::vector<int64_t> meas(measures_.size());
+  for (const auto& s : subs) {
+    for (FactId f = 0; f < s.num_facts(); ++f) {
+      for (size_t d = 0; d < dims_.size(); ++d) {
+        cell[d] = s.Coord(f, static_cast<DimensionId>(d));
+      }
+      for (size_t m = 0; m < measures_.size(); ++m) {
+        meas[m] = s.Measure(f, static_cast<MeasureId>(m));
+      }
+      auto res = unioned.AddFact(cell, meas);
+      if (!res.ok()) return res.status();
+    }
+  }
+  // ... then one final combining aggregation (distributivity makes the
+  // two-step aggregation exact, Section 7.3).
+  if (target) {
+    return AggregateFormation(unioned, *target,
+                              AggregationApproach::kAvailability,
+                              /*track_provenance=*/false);
+  }
+  return unioned;
+}
+
+Status SubcubeManager::ChangeSpecification(ReductionSpecification new_spec,
+                                           int64_t now_day) {
+  // Stash every row, swap the specification, rebuild the layout, then
+  // redistribute (Section 7.2's infrequent synchronization: "data is moved
+  // from all old subcubes, not only from parent cubes").
+  struct Row {
+    std::vector<ValueId> cell;
+    std::vector<int64_t> meas;
+  };
+  std::vector<Row> rows;
+  const size_t ndims = dims_.size();
+  const size_t nmeas = measures_.size();
+  for (const auto& c : cubes_) {
+    for (RowId r = 0; r < c->table.num_rows(); ++r) {
+      Row row;
+      row.cell.resize(ndims);
+      c->table.ReadCoords(r, row.cell.data());
+      row.meas.resize(nmeas);
+      for (size_t m = 0; m < nmeas; ++m) row.meas[m] = c->table.Measure(r, m);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  spec_ = std::move(new_spec);
+  DWRED_RETURN_IF_ERROR(BuildLayout());
+
+  std::vector<AggFn> aggs;
+  for (const auto& m : measures_) aggs.push_back(m.agg);
+  for (const Row& row : rows) {
+    auto target_res = ResponsibleCube(row.cell, now_day);
+    if (!target_res.ok()) return target_res.status();
+    size_t target = target_res.value();
+    if (target == kDeletedCell) continue;  // claimed by a deletion action
+    auto rolled = RollCell(row.cell, cubes_[target]->granularity);
+    if (!rolled.ok()) return rolled.status();
+    cubes_[target]->table.Append(rolled.value(), row.meas);
+  }
+  for (auto& c : cubes_) c->table.CompactCells(aggs);
+  return Status::OK();
+}
+
+size_t SubcubeManager::TotalBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : cubes_) bytes += c->table.Bytes();
+  return bytes;
+}
+
+std::string SubcubeManager::DescribeLayout() const {
+  std::string out;
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    const Subcube& c = *cubes_[i];
+    out += c.name + " (";
+    for (size_t d = 0; d < dims_.size(); ++d) {
+      if (d) out += ", ";
+      out += dims_[d]->type().category_name(c.granularity[d]);
+    }
+    out += ") actions={";
+    for (size_t a = 0; a < c.actions.size(); ++a) {
+      if (a) out += ",";
+      const std::string& n = spec_.action(c.actions[a]).name;
+      out += n.empty() ? std::to_string(c.actions[a]) : n;
+    }
+    out += "} parents={";
+    for (size_t p = 0; p < c.parents.size(); ++p) {
+      if (p) out += ",";
+      out += cubes_[c.parents[p]]->name;
+    }
+    out += "} rows=" + std::to_string(c.table.num_rows()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dwred

@@ -1,0 +1,145 @@
+#pragma once
+
+// The implementation strategy of paper Section 7: the warehouse is stored as
+// a set of physical *subcubes*, one per granularity group of the (disjoint)
+// action set plus one bottom-granularity subcube that receives all new data.
+// For every fact, exactly one action is responsible for its current
+// granularity (Section 4), so each fact lives in exactly one subcube: the one
+// whose granularity the <=_V-maximal satisfied action specifies (facts
+// satisfying no action live in the bottom cube — the residual action a'_⊥ of
+// eq. (44)).
+//
+// As NOW advances, facts stop satisfying their cube's region and must migrate
+// to the responsible child cube (Section 7.2, Figure 7): Synchronize() scans
+// every cube bottom-up, moves rows directly to their responsible cube at its
+// granularity, and compacts cells that received data from several parents
+// ("aggregated one final time").
+//
+// Queries (Section 7.3, Figures 8 and 9) are evaluated per subcube and the
+// subresults combined with one final availability-approach aggregation —
+// sound because default aggregate functions are distributive. In the
+// un-synchronized state, each subcube's subquery is evaluated on
+// α[G_i]σ[P_i](K_i ∪ parents): the cube's own rows plus its immediate
+// parents' rows, filtered to the facts the cube is *currently* responsible
+// for, aggregated to the cube's granularity.
+
+#include <memory>
+#include <string>
+
+#include "query/operators.h"
+#include "spec/action.h"
+#include "storage/fact_table.h"
+
+namespace dwred {
+
+/// One physical subcube.
+struct Subcube {
+  std::string name;                      ///< "K0", "K1", ...
+  std::vector<CategoryId> granularity;   ///< fixed granularity of the cube
+  std::vector<ActionId> actions;         ///< disjoint actions grouped here
+  FactTable table;
+  std::vector<size_t> parents;           ///< immediate parents (data sources)
+
+  Subcube(size_t ndims, size_t nmeas) : table(ndims, nmeas) {}
+};
+
+/// The synchronization cadence Section 7.2 calls sufficient for the
+/// one-level-out-of-sync assumption: once per "significant time period" —
+/// the second-lowest granularity at which NOW appears in the specification
+/// (e.g. NOW used at month and quarter -> synchronize once per quarter).
+/// With NOW at fewer than two distinct granularities, the single (or, with
+/// no NOW at all, day) granularity is returned — synchronizing that often is
+/// trivially sufficient.
+Result<TimeSpan> RecommendedSyncInterval(const MultidimensionalObject& mo,
+                                         const ReductionSpecification& spec);
+
+/// A data warehouse physically organized as subcubes.
+class SubcubeManager {
+ public:
+  /// Builds the subcube layout for a validated specification. The bottom
+  /// cube is always subcube 0.
+  static Result<SubcubeManager> Create(
+      std::string fact_type, std::vector<std::shared_ptr<Dimension>> dims,
+      std::vector<MeasureType> measures, ReductionSpecification spec);
+
+  size_t num_subcubes() const { return cubes_.size(); }
+  const Subcube& subcube(size_t i) const { return *cubes_[i]; }
+  const ReductionSpecification& spec() const { return spec_; }
+
+  /// A facts-free MO over the warehouse's dimensions and measures — the
+  /// context against which predicates and granularity lists are parsed.
+  const MultidimensionalObject& context() const { return ctx_; }
+
+  /// Bulk-loads new detail facts (bottom granularity) into the bottom cube.
+  Status InsertBottomFacts(const MultidimensionalObject& batch);
+
+  /// Sentinel returned by ResponsibleCube when a deletion action (the
+  /// Section 8 extension) claims the cell: the fact must be physically
+  /// removed rather than migrated.
+  static constexpr size_t kDeletedCell = static_cast<size_t>(-1);
+
+  /// The index of the subcube responsible for a fact with the given direct
+  /// cell at time `now_day` (0 = bottom cube; kDeletedCell when a deletion
+  /// action claims the cell).
+  Result<size_t> ResponsibleCube(std::span<const ValueId> cell,
+                                 int64_t now_day) const;
+
+  /// Migrates every fact to its responsible subcube at that cube's
+  /// granularity and compacts receiving cubes (Section 7.2). Returns the
+  /// number of migrated rows.
+  Result<size_t> Synchronize(int64_t now_day);
+
+  /// Evaluates σ[pred] then (optionally) α[target] over the subcubes,
+  /// combining per-cube subresults with a final availability aggregation.
+  /// `pred` may be null (no selection); `target` may be null (no aggregate
+  /// formation). With `assume_synchronized` the per-cube rewrite of Figure 9
+  /// (pull un-migrated rows from immediate parents, filter by current
+  /// responsibility, pre-aggregate to the cube's granularity) is skipped.
+  /// With `parallel`, subcubes are evaluated on one thread each — Section
+  /// 7.3's "separately and in parallel"; sound because per-cube evaluation
+  /// only reads shared state and the final combine is a single-threaded
+  /// distributive fold.
+  Result<MultidimensionalObject> Query(const PredExpr* pred,
+                                       const std::vector<CategoryId>* target,
+                                       int64_t now_day,
+                                       bool assume_synchronized,
+                                       bool parallel = false) const;
+
+  /// Per-cube subresults of a query (exposed to reproduce Figure 8's S0..S4).
+  Result<std::vector<MultidimensionalObject>> QuerySubresults(
+      const PredExpr* pred, const std::vector<CategoryId>* target,
+      int64_t now_day, bool assume_synchronized, bool parallel = false) const;
+
+  /// Replaces the specification (Section 7.2's infrequent synchronization):
+  /// rebuilds the cube layout and redistributes every fact to its responsible
+  /// cube under the new specification.
+  Status ChangeSpecification(ReductionSpecification new_spec, int64_t now_day);
+
+  /// Total fact-storage bytes across the subcubes.
+  size_t TotalBytes() const;
+
+  /// One line per subcube: name, granularity, actions, rows.
+  std::string DescribeLayout() const;
+
+ private:
+  SubcubeManager(std::string fact_type,
+                 std::vector<std::shared_ptr<Dimension>> dims,
+                 std::vector<MeasureType> measures,
+                 ReductionSpecification spec);
+
+  Status BuildLayout();
+
+  /// Rolls a cell up to a cube's granularity. Fails if some coordinate
+  /// cannot be rolled up (would indicate a NonCrossing violation).
+  Result<std::vector<ValueId>> RollCell(std::span<const ValueId> cell,
+                                        const std::vector<CategoryId>& gran) const;
+
+  std::string fact_type_;
+  std::vector<std::shared_ptr<Dimension>> dims_;
+  std::vector<MeasureType> measures_;
+  ReductionSpecification spec_;
+  MultidimensionalObject ctx_;  ///< facts-free evaluation context
+  std::vector<std::unique_ptr<Subcube>> cubes_;
+};
+
+}  // namespace dwred

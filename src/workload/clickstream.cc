@@ -1,0 +1,122 @@
+#include "workload/clickstream.h"
+
+#include "common/check.h"
+
+namespace dwred {
+
+namespace {
+
+template <typename T>
+T MustOk(Result<T> r) {
+  DWRED_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.take();
+}
+
+std::shared_ptr<Dimension> BuildUrlDimension(size_t num_domains,
+                                             size_t urls_per_domain) {
+  DimensionType url_type("URL");
+  CategoryId url_cat = url_type.AddCategory("url");
+  CategoryId domain_cat = url_type.AddCategory("domain");
+  CategoryId grp_cat = url_type.AddCategory("domain_grp");
+  CategoryId top = url_type.AddCategory("TOP");
+  DWRED_CHECK(url_type.AddEdge(url_cat, domain_cat).ok());
+  DWRED_CHECK(url_type.AddEdge(domain_cat, grp_cat).ok());
+  DWRED_CHECK(url_type.AddEdge(grp_cat, top).ok());
+  DWRED_CHECK(url_type.Finalize().ok());
+
+  auto dim = std::make_shared<Dimension>(url_type);
+  static const char* kGroups[] = {".com", ".edu", ".org", ".net"};
+  ValueId groups[4];
+  for (int g = 0; g < 4; ++g) {
+    groups[g] = MustOk(dim->AddValue(kGroups[g], grp_cat, dim->top_value()));
+  }
+  for (size_t d = 0; d < num_domains; ++d) {
+    int g = static_cast<int>(d % 4);
+    std::string tail = kGroups[g];
+    ValueId dom = MustOk(dim->AddValue("site" + std::to_string(d) + tail,
+                                       domain_cat, groups[g]));
+    for (size_t u = 0; u < urls_per_domain; ++u) {
+      MustOk(dim->AddValue("www.site" + std::to_string(d) + tail + "/page" +
+                               std::to_string(u),
+                           url_cat, dom));
+    }
+  }
+  return dim;
+}
+
+}  // namespace
+
+ClickstreamWorkload MakeClickstream(const ClickstreamConfig& config) {
+  ClickstreamWorkload w;
+  w.config = config;
+  w.url_dim = BuildUrlDimension(config.num_domains, config.urls_per_domain);
+  w.time_dim = std::make_shared<Dimension>(Dimension::MakeTimeDimension());
+
+  std::vector<MeasureType> measures = {
+      {"Number_of", AggFn::kSum},
+      {"Dwell_time", AggFn::kSum},
+      {"Delivery_time", AggFn::kSum},
+      {"Datasize", AggFn::kSum},
+  };
+  w.mo = std::make_unique<MultidimensionalObject>(
+      "Click",
+      std::vector<std::shared_ptr<Dimension>>{w.time_dim, w.url_dim},
+      std::move(measures));
+
+  int64_t start_day = DaysFromCivil(config.start);
+  MultidimensionalObject batch =
+      MakeClickBatch(w.time_dim, w.url_dim, start_day,
+                     start_day + config.span_days - 1, config.num_clicks,
+                     config.seed);
+  // Move the batch's facts into the workload MO (same dimensions).
+  std::vector<ValueId> coords(2);
+  std::vector<int64_t> meas(4);
+  for (FactId f = 0; f < batch.num_facts(); ++f) {
+    coords[0] = batch.Coord(f, 0);
+    coords[1] = batch.Coord(f, 1);
+    for (size_t m = 0; m < 4; ++m) {
+      meas[m] = batch.Measure(f, static_cast<MeasureId>(m));
+    }
+    MustOk(w.mo->AddFact(coords, meas));
+  }
+  return w;
+}
+
+MultidimensionalObject MakeClickBatch(
+    const std::shared_ptr<Dimension>& time_dim,
+    const std::shared_ptr<Dimension>& url_dim, int64_t start_day,
+    int64_t end_day, size_t num_clicks, uint64_t seed) {
+  DWRED_CHECK(end_day >= start_day);
+  std::vector<MeasureType> measures = {
+      {"Number_of", AggFn::kSum},
+      {"Dwell_time", AggFn::kSum},
+      {"Delivery_time", AggFn::kSum},
+      {"Datasize", AggFn::kSum},
+  };
+  MultidimensionalObject batch(
+      "Click", std::vector<std::shared_ptr<Dimension>>{time_dim, url_dim},
+      std::move(measures));
+
+  CategoryId url_cat = MustOk(url_dim->type().CategoryByName("url"));
+  const std::vector<ValueId>& urls = url_dim->CategoryExtent(url_cat);
+  DWRED_CHECK(!urls.empty());
+
+  SplitMix64 rng(seed);
+  ZipfGenerator zipf(urls.size(), 0.99, seed ^ 0x5eedULL);
+
+  std::vector<ValueId> coords(2);
+  std::vector<int64_t> meas(4);
+  for (size_t i = 0; i < num_clicks; ++i) {
+    int64_t day = rng.Range(start_day, end_day);
+    coords[0] = MustOk(time_dim->EnsureTimeValue(DayGranule(day)));
+    coords[1] = urls[zipf.Next()];
+    meas[0] = 1;                           // Number_of
+    meas[1] = rng.Range(1, 3000);          // Dwell_time (s)
+    meas[2] = rng.Range(1, 10);            // Delivery_time (s)
+    meas[3] = rng.Range(1, 512);           // Datasize (KB)
+    MustOk(batch.AddBottomFact(coords, meas));
+  }
+  return batch;
+}
+
+}  // namespace dwred

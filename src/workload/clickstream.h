@@ -1,0 +1,45 @@
+#pragma once
+
+// Synthetic ISP click-stream workload — the paper's motivating scenario
+// (Section 2) at benchmark scale. URL popularity is Zipf-distributed (a few
+// pages draw most clicks), URLs roll up into domains and domain groups, and
+// clicks carry the paper's four SUM measures. Deterministic given the seed.
+
+#include <memory>
+
+#include "common/rng.h"
+#include "mdm/mo.h"
+
+namespace dwred {
+
+struct ClickstreamConfig {
+  uint64_t seed = 42;
+  size_t num_domains = 100;
+  size_t urls_per_domain = 10;
+  double zipf_theta = 0.99;       ///< URL popularity skew
+  CivilDate start{1999, 1, 1};    ///< first click day
+  int span_days = 365;            ///< clicks spread uniformly over this range
+  size_t num_clicks = 100000;
+};
+
+/// The generated warehouse: shared dimensions plus a populated MO.
+struct ClickstreamWorkload {
+  std::shared_ptr<Dimension> time_dim;
+  std::shared_ptr<Dimension> url_dim;
+  std::unique_ptr<MultidimensionalObject> mo;
+  ClickstreamConfig config;
+};
+
+/// Builds the URL dimension (urls < domains < domain groups {.com, .edu,
+/// .org, .net} < TOP) and a click MO per the config.
+ClickstreamWorkload MakeClickstream(const ClickstreamConfig& config);
+
+/// Generates one bulk-load batch of clicks over [start_day, end_day] against
+/// existing dimensions (used by the subcube warehouse example and benches).
+/// Returns an MO sharing `time_dim`/`url_dim` with `num_clicks` bottom facts.
+MultidimensionalObject MakeClickBatch(
+    const std::shared_ptr<Dimension>& time_dim,
+    const std::shared_ptr<Dimension>& url_dim, int64_t start_day,
+    int64_t end_day, size_t num_clicks, uint64_t seed);
+
+}  // namespace dwred

@@ -1,0 +1,97 @@
+#include "workload/retail.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dwred {
+
+namespace {
+
+template <typename T>
+T MustOk(Result<T> r) {
+  DWRED_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.take();
+}
+
+/// Builds a linear 3-level dimension (bottom < mid < top-level < TOP).
+std::shared_ptr<Dimension> BuildLinearDim(
+    const std::string& dim_name, const char* level0, const char* level1,
+    const char* level2, size_t n2, size_t n1_per_2, size_t n0_per_1) {
+  DimensionType type(dim_name);
+  CategoryId c0 = type.AddCategory(level0);
+  CategoryId c1 = type.AddCategory(level1);
+  CategoryId c2 = type.AddCategory(level2);
+  CategoryId top = type.AddCategory("TOP");
+  DWRED_CHECK(type.AddEdge(c0, c1).ok());
+  DWRED_CHECK(type.AddEdge(c1, c2).ok());
+  DWRED_CHECK(type.AddEdge(c2, top).ok());
+  DWRED_CHECK(type.Finalize().ok());
+
+  auto dim = std::make_shared<Dimension>(type);
+  for (size_t i2 = 0; i2 < n2; ++i2) {
+    ValueId v2 = MustOk(dim->AddValue(std::string(level2) + std::to_string(i2),
+                                      c2, dim->top_value()));
+    for (size_t i1 = 0; i1 < n1_per_2; ++i1) {
+      ValueId v1 = MustOk(
+          dim->AddValue(std::string(level1) + std::to_string(i2) + "_" +
+                            std::to_string(i1),
+                        c1, v2));
+      for (size_t i0 = 0; i0 < n0_per_1; ++i0) {
+        MustOk(dim->AddValue(std::string(level0) + std::to_string(i2) + "_" +
+                                 std::to_string(i1) + "_" +
+                                 std::to_string(i0),
+                             c0, v1));
+      }
+    }
+  }
+  return dim;
+}
+
+}  // namespace
+
+RetailWorkload MakeRetail(const RetailConfig& config) {
+  RetailWorkload w;
+  w.config = config;
+  w.time_dim = std::make_shared<Dimension>(Dimension::MakeTimeDimension());
+  w.product_dim =
+      BuildLinearDim("Product", "sku", "brand", "category",
+                     config.num_categories, config.brands_per_category,
+                     config.skus_per_brand);
+  w.store_dim =
+      BuildLinearDim("Store", "store", "city", "region", config.num_regions,
+                     config.cities_per_region, config.stores_per_city);
+
+  std::vector<MeasureType> measures = {
+      {"Quantity", AggFn::kSum},
+      {"Revenue", AggFn::kSum},
+  };
+  w.mo = std::make_unique<MultidimensionalObject>(
+      "Sale",
+      std::vector<std::shared_ptr<Dimension>>{w.time_dim, w.product_dim,
+                                              w.store_dim},
+      std::move(measures));
+
+  CategoryId sku_cat = MustOk(w.product_dim->type().CategoryByName("sku"));
+  CategoryId store_cat = MustOk(w.store_dim->type().CategoryByName("store"));
+  const auto& skus = w.product_dim->CategoryExtent(sku_cat);
+  const auto& stores = w.store_dim->CategoryExtent(store_cat);
+
+  SplitMix64 rng(config.seed);
+  ZipfGenerator sku_zipf(skus.size(), 0.8, config.seed ^ 0xabcdULL);
+  int64_t start_day = DaysFromCivil(config.start);
+
+  std::vector<ValueId> coords(3);
+  std::vector<int64_t> meas(2);
+  for (size_t i = 0; i < config.num_sales; ++i) {
+    int64_t day = rng.Range(start_day, start_day + config.span_days - 1);
+    coords[0] = MustOk(w.time_dim->EnsureTimeValue(DayGranule(day)));
+    coords[1] = skus[sku_zipf.Next()];
+    coords[2] = stores[rng.Below(stores.size())];
+    meas[0] = rng.Range(1, 10);            // Quantity
+    meas[1] = meas[0] * rng.Range(5, 500); // Revenue
+    MustOk(w.mo->AddBottomFact(coords, meas));
+  }
+  return w;
+}
+
+}  // namespace dwred

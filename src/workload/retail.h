@@ -1,0 +1,39 @@
+#pragma once
+
+// Synthetic retail-sales workload: a three-dimensional warehouse (Time,
+// Product: sku < brand < category < TOP, Store: store < city < region < TOP)
+// with quantity/revenue SUM measures. Exercises reduction and querying on an
+// MO with more than two dimensions and two non-time hierarchies — the class
+// of warehouses the paper's introduction motivates alongside click-streams.
+
+#include <memory>
+
+#include "mdm/mo.h"
+
+namespace dwred {
+
+struct RetailConfig {
+  uint64_t seed = 7;
+  size_t num_categories = 8;
+  size_t brands_per_category = 5;
+  size_t skus_per_brand = 20;
+  size_t num_regions = 4;
+  size_t cities_per_region = 5;
+  size_t stores_per_city = 4;
+  CivilDate start{2000, 1, 1};
+  int span_days = 730;
+  size_t num_sales = 100000;
+};
+
+struct RetailWorkload {
+  std::shared_ptr<Dimension> time_dim;
+  std::shared_ptr<Dimension> product_dim;
+  std::shared_ptr<Dimension> store_dim;
+  std::unique_ptr<MultidimensionalObject> mo;
+  RetailConfig config;
+};
+
+/// Builds the dimensions and a populated sales MO per the config.
+RetailWorkload MakeRetail(const RetailConfig& config);
+
+}  // namespace dwred

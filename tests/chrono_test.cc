@@ -1,0 +1,216 @@
+// Calendar substrate tests: civil-date round trips, ISO weeks (validated
+// against the paper's Table 2 week column), granule ranges, parsing, and
+// NOW-relative arithmetic.
+
+#include "chrono/granule.h"
+
+#include <gtest/gtest.h>
+
+namespace dwred {
+namespace {
+
+TEST(CivilTest, EpochIsDayZero) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+  EXPECT_EQ(CivilFromDays(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(CivilTest, RoundTripAcrossCenturies) {
+  for (int64_t day = -200000; day <= 200000; day += 97) {
+    EXPECT_EQ(DaysFromCivil(CivilFromDays(day)), day) << day;
+  }
+}
+
+TEST(CivilTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_TRUE(IsLeapYear(1996));
+  EXPECT_FALSE(IsLeapYear(1999));
+  EXPECT_EQ(DaysInMonth(2000, 2), 29);
+  EXPECT_EQ(DaysInMonth(1999, 2), 28);
+  EXPECT_EQ(DaysInMonth(1999, 12), 31);
+}
+
+TEST(CivilTest, WeekdayKnownDates) {
+  // 1970-01-01 was a Thursday (Monday = 0).
+  EXPECT_EQ(WeekdayFromDays(0), 3);
+  // 1999-11-23 was a Tuesday.
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil({1999, 11, 23})), 1);
+  // 2000-01-01 was a Saturday.
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil({2000, 1, 1})), 5);
+}
+
+TEST(CivilTest, IsoWeeksMatchPaperTable2) {
+  // Table 2: 1999/11/23 -> 1999W47, 1999/12/4 -> 1999W48,
+  // 1999/12/31 -> 1999W52, 2000/1/4 -> 2000W1, 2000/1/20 -> 2000W3.
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({1999, 11, 23})),
+            (IsoWeek{1999, 47}));
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({1999, 12, 4})), (IsoWeek{1999, 48}));
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({1999, 12, 31})),
+            (IsoWeek{1999, 52}));
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({2000, 1, 4})), (IsoWeek{2000, 1}));
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({2000, 1, 20})), (IsoWeek{2000, 3}));
+}
+
+TEST(CivilTest, IsoWeekYearBoundaries) {
+  // 1998-12-31 (Thursday) is 1998W53; 1999-01-01 (Friday) too.
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({1998, 12, 31})),
+            (IsoWeek{1998, 53}));
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({1999, 1, 1})), (IsoWeek{1998, 53}));
+  // 2001-01-01 is a Monday: 2001W1.
+  EXPECT_EQ(IsoWeekFromDays(DaysFromCivil({2001, 1, 1})), (IsoWeek{2001, 1}));
+}
+
+TEST(CivilTest, IsoWeekRoundTrip) {
+  for (int64_t day = DaysFromCivil({1995, 1, 1});
+       day < DaysFromCivil({2005, 1, 1}); day += 13) {
+    IsoWeek w = IsoWeekFromDays(day);
+    int64_t monday = DaysFromIsoWeek(w.iso_year, w.week);
+    EXPECT_LE(monday, day);
+    EXPECT_LT(day - monday, 7);
+    EXPECT_EQ(WeekdayFromDays(monday), 0);
+  }
+}
+
+TEST(CivilTest, AddMonthsClampsDay) {
+  EXPECT_EQ(AddMonths({2000, 1, 31}, 1), (CivilDate{2000, 2, 29}));
+  EXPECT_EQ(AddMonths({1999, 1, 31}, 1), (CivilDate{1999, 2, 28}));
+  EXPECT_EQ(AddMonths({2000, 3, 15}, -12), (CivilDate{1999, 3, 15}));
+  EXPECT_EQ(AddMonths({1999, 12, 5}, 1), (CivilDate{2000, 1, 5}));
+}
+
+TEST(GranuleTest, DayRangesOfGranules) {
+  TimeGranule q4 = QuarterGranule(1999, 4);
+  EXPECT_EQ(FirstDayOf(q4), DaysFromCivil({1999, 10, 1}));
+  EXPECT_EQ(LastDayOf(q4), DaysFromCivil({1999, 12, 31}));
+
+  TimeGranule w48 = WeekGranule(1999, 48);
+  EXPECT_EQ(FirstDayOf(w48), DaysFromCivil({1999, 11, 29}));
+  EXPECT_EQ(LastDayOf(w48), DaysFromCivil({1999, 12, 5}));
+
+  TimeGranule feb = MonthGranule(2000, 2);
+  EXPECT_EQ(LastDayOf(feb) - FirstDayOf(feb) + 1, 29);
+
+  TimeGranule y = YearGranule(2000);
+  EXPECT_EQ(LastDayOf(y) - FirstDayOf(y) + 1, 366);
+}
+
+TEST(GranuleTest, GranuleOfDayRollsUpCorrectly) {
+  int64_t day = DaysFromCivil({1999, 12, 4});
+  EXPECT_EQ(GranuleOfDay(day, TimeUnit::kWeek), WeekGranule(1999, 48));
+  EXPECT_EQ(GranuleOfDay(day, TimeUnit::kMonth), MonthGranule(1999, 12));
+  EXPECT_EQ(GranuleOfDay(day, TimeUnit::kQuarter), QuarterGranule(1999, 4));
+  EXPECT_EQ(GranuleOfDay(day, TimeUnit::kYear), YearGranule(1999));
+  EXPECT_EQ(GranuleOfDay(day, TimeUnit::kTop), TopGranule());
+}
+
+TEST(GranuleTest, Containment) {
+  EXPECT_TRUE(GranuleContains(QuarterGranule(1999, 4), MonthGranule(1999, 12)));
+  EXPECT_FALSE(GranuleContains(QuarterGranule(1999, 4), MonthGranule(2000, 1)));
+  // Week 1999W52 (Dec 27 - Jan 2) straddles the year boundary: contained in
+  // neither 1999/12 nor 2000/1.
+  EXPECT_FALSE(GranuleContains(MonthGranule(1999, 12), WeekGranule(1999, 52)));
+  EXPECT_FALSE(GranuleContains(MonthGranule(2000, 1), WeekGranule(1999, 52)));
+  EXPECT_TRUE(GranuleContains(TopGranule(), YearGranule(1999)));
+  EXPECT_TRUE(
+      GranuleContains(MonthGranule(1999, 12), DayGranule(CivilDate{1999, 12, 4})));
+}
+
+TEST(GranuleTest, FormatMatchesPaperNotation) {
+  EXPECT_EQ(FormatGranule(DayGranule(CivilDate{1999, 11, 23})), "1999/11/23");
+  EXPECT_EQ(FormatGranule(WeekGranule(1999, 47)), "1999W47");
+  EXPECT_EQ(FormatGranule(MonthGranule(1999, 12)), "1999/12");
+  EXPECT_EQ(FormatGranule(QuarterGranule(1999, 4)), "1999Q4");
+  EXPECT_EQ(FormatGranule(YearGranule(1999)), "1999");
+  EXPECT_EQ(FormatGranule(TopGranule()), "TOP");
+}
+
+TEST(GranuleTest, ParseRoundTrip) {
+  const char* cases[] = {"1999/11/23", "1999W47", "1999/12",
+                         "1999Q4",     "1999",    "TOP"};
+  for (const char* c : cases) {
+    auto r = ParseGranule(c);
+    ASSERT_TRUE(r.ok()) << c;
+    EXPECT_EQ(FormatGranule(r.value()), c);
+  }
+}
+
+TEST(GranuleTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseGranule("1999/13").ok());
+  EXPECT_FALSE(ParseGranule("1999/2/30").ok());
+  EXPECT_FALSE(ParseGranule("1999Q5").ok());
+  EXPECT_FALSE(ParseGranule("1999W54").ok());
+  EXPECT_FALSE(ParseGranule("19x9").ok());
+  EXPECT_FALSE(ParseGranule("1999/1/2/3").ok());
+}
+
+TEST(GranuleTest, SpanParseAndFormat) {
+  auto r = ParseSpan("6 months");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (TimeSpan{TimeUnit::kMonth, 6}));
+  EXPECT_EQ(FormatSpan(r.value()), "6 months");
+  EXPECT_EQ(ParseSpan("1 day").value(), (TimeSpan{TimeUnit::kDay, 1}));
+  EXPECT_EQ(ParseSpan("4 quarters").value(), (TimeSpan{TimeUnit::kQuarter, 4}));
+  EXPECT_FALSE(ParseSpan("six months").ok());
+  EXPECT_FALSE(ParseSpan("6 fortnights").ok());
+}
+
+TEST(GranuleTest, ShiftDaysCalendarArithmetic) {
+  int64_t d = DaysFromCivil({2000, 11, 5});
+  EXPECT_EQ(ShiftDays(d, {TimeUnit::kMonth, -6}), DaysFromCivil({2000, 5, 5}));
+  EXPECT_EQ(ShiftDays(d, {TimeUnit::kQuarter, -4}),
+            DaysFromCivil({1999, 11, 5}));
+  EXPECT_EQ(ShiftDays(d, {TimeUnit::kYear, -1}), DaysFromCivil({1999, 11, 5}));
+  EXPECT_EQ(ShiftDays(d, {TimeUnit::kWeek, 2}), d + 14);
+  EXPECT_EQ(ShiftDays(d, {TimeUnit::kDay, -30}), d - 30);
+}
+
+TEST(GranuleTest, ResolveNowExpressionCoercesToUnit) {
+  // The paper's a2 predicate at 2000/11/5: NOW - 4 quarters at category
+  // quarter is 1999Q4.
+  int64_t now = DaysFromCivil({2000, 11, 5});
+  EXPECT_EQ(ResolveNowExpression(now, {TimeUnit::kQuarter, -4},
+                                 TimeUnit::kQuarter),
+            QuarterGranule(1999, 4));
+  // a1's bounds at 2000/6/5: months 1999/6 .. 1999/12.
+  now = DaysFromCivil({2000, 6, 5});
+  EXPECT_EQ(ResolveNowExpression(now, {TimeUnit::kMonth, -12},
+                                 TimeUnit::kMonth),
+            MonthGranule(1999, 6));
+  EXPECT_EQ(ResolveNowExpression(now, {TimeUnit::kMonth, -6}, TimeUnit::kMonth),
+            MonthGranule(1999, 12));
+}
+
+TEST(GranuleTest, PrevNextGranule) {
+  EXPECT_EQ(PreviousGranule(MonthGranule(2000, 1)), MonthGranule(1999, 12));
+  EXPECT_EQ(NextGranule(QuarterGranule(1999, 4)), QuarterGranule(2000, 1));
+  EXPECT_EQ(NextGranule(YearGranule(1999)), YearGranule(2000));
+}
+
+class GranuleSweepTest : public ::testing::TestWithParam<TimeUnit> {};
+
+TEST_P(GranuleSweepTest, DayRangePartitionsTimeline) {
+  // Property: consecutive granules of one unit tile the timeline with no gap
+  // or overlap.
+  TimeUnit unit = GetParam();
+  int64_t day = DaysFromCivil({1998, 1, 1});
+  TimeGranule g = GranuleOfDay(day, unit);
+  for (int i = 0; i < 120; ++i) {
+    TimeGranule n = NextGranule(g);
+    EXPECT_EQ(LastDayOf(g) + 1, FirstDayOf(n)) << TimeUnitName(unit);
+    // Every day in the granule maps back to the granule.
+    EXPECT_EQ(GranuleOfDay(FirstDayOf(g), unit), g);
+    EXPECT_EQ(GranuleOfDay(LastDayOf(g), unit), g);
+    g = n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnits, GranuleSweepTest,
+                         ::testing::Values(TimeUnit::kDay, TimeUnit::kWeek,
+                                           TimeUnit::kMonth, TimeUnit::kQuarter,
+                                           TimeUnit::kYear),
+                         [](const auto& info) {
+                           return TimeUnitName(info.param);
+                         });
+
+}  // namespace
+}  // namespace dwred

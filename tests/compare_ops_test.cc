@@ -1,0 +1,143 @@
+// Systematic sweep over Definition 5's comparison operators: every operator
+// against literals of every Time category, evaluated on a reduced MO whose
+// facts sit at day, month and quarter granularities. Checks the semantic
+// invariants that must hold regardless of granularity mix:
+//
+//   * conservative <= weighted <= liberal (refinement ordering);
+//   * the exact path (fact at or below the literal's category) makes all
+//     three approaches agree;
+//   * conservative < and >= are mutually exclusive; liberal < or >= always
+//     holds (B nonempty);
+//   * weighted(=) + weighted(!=) = 1 and weighted(IN) + weighted(NOT IN) = 1.
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "query/compare.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+struct SweepCase {
+  const char* literal;   // a time literal, its category inferred
+  const char* category;  // the category name it belongs to
+};
+
+class CompareSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    ex_ = std::make_unique<IspExample>(MakeIspExample());
+    ReductionSpecification spec;
+    spec.Add(ParseAction(*ex_->mo, paper::kA1, "a1").take());
+    spec.Add(ParseAction(*ex_->mo, paper::kA2, "a2").take());
+    t_ = DaysFromCivil({2000, 11, 5});
+    reduced_ = std::make_unique<MultidimensionalObject>(
+        Reduce(*ex_->mo, spec, t_).take());
+  }
+
+  double Eval(const std::string& pred_text, FactId f, SelectionApproach ap) {
+    auto pred = ParsePredicate(*reduced_, pred_text);
+    EXPECT_TRUE(pred.ok()) << pred_text << ": " << pred.status().ToString();
+    return EvalQueryPredOnFact(*pred.value(), *reduced_, f, t_, ap);
+  }
+
+  std::unique_ptr<IspExample> ex_;
+  std::unique_ptr<MultidimensionalObject> reduced_;
+  int64_t t_ = 0;
+};
+
+TEST_P(CompareSweepTest, RefinementOrderingAcrossApproaches) {
+  const SweepCase& c = GetParam();
+  for (const char* op : {"<", "<=", ">", ">=", "=", "!="}) {
+    std::string pred = std::string("Time.") + c.category + " " + op + " " +
+                       c.literal;
+    for (FactId f = 0; f < reduced_->num_facts(); ++f) {
+      double cons = Eval(pred, f, SelectionApproach::kConservative);
+      double wgt = Eval(pred, f, SelectionApproach::kWeighted);
+      double lib = Eval(pred, f, SelectionApproach::kLiberal);
+      EXPECT_LE(cons, wgt + 1e-12) << pred << " fact " << f;
+      EXPECT_LE(wgt, lib + 1e-12) << pred << " fact " << f;
+      EXPECT_TRUE(cons == 0.0 || cons == 1.0);
+      EXPECT_TRUE(lib == 0.0 || lib == 1.0);
+    }
+  }
+}
+
+TEST_P(CompareSweepTest, ExactPathAgreesAcrossApproaches) {
+  const SweepCase& c = GetParam();
+  const Dimension& time = *reduced_->dimension(0);
+  CategoryId lit_cat = time.type().CategoryByName(c.category).take();
+  for (const char* op : {"<", "<=", ">", ">=", "="}) {
+    std::string pred = std::string("Time.") + c.category + " " + op + " " +
+                       c.literal;
+    for (FactId f = 0; f < reduced_->num_facts(); ++f) {
+      CategoryId fact_cat = time.value_category(reduced_->Coord(f, 0));
+      if (!time.type().Leq(fact_cat, lit_cat)) continue;  // Def-5 path
+      double cons = Eval(pred, f, SelectionApproach::kConservative);
+      double wgt = Eval(pred, f, SelectionApproach::kWeighted);
+      double lib = Eval(pred, f, SelectionApproach::kLiberal);
+      EXPECT_EQ(cons, lib) << pred << " fact " << f;
+      EXPECT_EQ(cons, wgt) << pred << " fact " << f;
+    }
+  }
+}
+
+TEST_P(CompareSweepTest, OrderDuality) {
+  const SweepCase& c = GetParam();
+  std::string lt = std::string("Time.") + c.category + " < " + c.literal;
+  std::string ge = std::string("Time.") + c.category + " >= " + c.literal;
+  for (FactId f = 0; f < reduced_->num_facts(); ++f) {
+    double c_lt = Eval(lt, f, SelectionApproach::kConservative);
+    double c_ge = Eval(ge, f, SelectionApproach::kConservative);
+    EXPECT_FALSE(c_lt == 1.0 && c_ge == 1.0) << "both certain for fact " << f;
+    double l_lt = Eval(lt, f, SelectionApproach::kLiberal);
+    double l_ge = Eval(ge, f, SelectionApproach::kLiberal);
+    EXPECT_TRUE(l_lt == 1.0 || l_ge == 1.0)
+        << "neither possible for fact " << f;
+  }
+}
+
+TEST_P(CompareSweepTest, EqualityComplement) {
+  const SweepCase& c = GetParam();
+  std::string eq = std::string("Time.") + c.category + " = " + c.literal;
+  std::string ne = std::string("Time.") + c.category + " != " + c.literal;
+  std::string in =
+      std::string("Time.") + c.category + " IN {" + c.literal + "}";
+  std::string nin =
+      std::string("Time.") + c.category + " NOT IN {" + c.literal + "}";
+  for (FactId f = 0; f < reduced_->num_facts(); ++f) {
+    EXPECT_NEAR(Eval(eq, f, SelectionApproach::kWeighted) +
+                    Eval(ne, f, SelectionApproach::kWeighted),
+                1.0, 1e-9)
+        << "fact " << f;
+    EXPECT_NEAR(Eval(in, f, SelectionApproach::kWeighted) +
+                    Eval(nin, f, SelectionApproach::kWeighted),
+                1.0, 1e-9)
+        << "fact " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Literals, CompareSweepTest,
+    ::testing::Values(SweepCase{"1999/12/4", "day"},
+                      SweepCase{"1999/11/23", "day"},
+                      SweepCase{"1999W48", "week"},
+                      SweepCase{"2000W1", "week"},
+                      SweepCase{"1999/12", "month"},
+                      SweepCase{"2000/1", "month"},
+                      SweepCase{"1999Q4", "quarter"},
+                      SweepCase{"2000Q1", "quarter"},
+                      SweepCase{"1999", "year"}, SweepCase{"2000", "year"}),
+    [](const auto& info) {
+      std::string n = std::string(info.param.category) + "_";
+      for (char ch : std::string(info.param.literal)) {
+        n += std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace dwred

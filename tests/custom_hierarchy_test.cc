@@ -1,0 +1,223 @@
+// The library beyond the paper's two example dimensions: custom non-linear
+// hierarchies (a Location dimension with parallel state/metro branches, the
+// analogue of Time's week/month split), facts mapped to ⊤ (the model's
+// representation of unknown values), and the full reduce/query pipeline over
+// them.
+
+#include <gtest/gtest.h>
+
+#include "query/operators.h"
+#include "reduce/semantics.h"
+#include "reduce/soundness.h"
+#include "subcube/manager.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+/// Location: store < {state, metro} < country < TOP — a non-linear,
+/// user-defined hierarchy (metros straddle no state boundaries here, but the
+/// branches are parallel: states don't roll up to metros or vice versa).
+struct GeoWarehouse {
+  std::shared_ptr<Dimension> time;
+  std::shared_ptr<Dimension> loc;
+  std::unique_ptr<MultidimensionalObject> mo;
+  CategoryId store_cat, state_cat, metro_cat, country_cat;
+  ValueId usa, ca, ny, bay_metro, nyc_metro;
+  ValueId sf_store, oak_store, nyc_store, unknown_store_fact_time;
+};
+
+GeoWarehouse MakeGeo() {
+  GeoWarehouse g;
+  DimensionType type("Location");
+  g.store_cat = type.AddCategory("store");
+  g.state_cat = type.AddCategory("state");
+  g.metro_cat = type.AddCategory("metro");
+  g.country_cat = type.AddCategory("country");
+  CategoryId top = type.AddCategory("TOP");
+  EXPECT_TRUE(type.AddEdge(g.store_cat, g.state_cat).ok());
+  EXPECT_TRUE(type.AddEdge(g.store_cat, g.metro_cat).ok());
+  EXPECT_TRUE(type.AddEdge(g.state_cat, g.country_cat).ok());
+  EXPECT_TRUE(type.AddEdge(g.metro_cat, g.country_cat).ok());
+  EXPECT_TRUE(type.AddEdge(g.country_cat, top).ok());
+  EXPECT_TRUE(type.Finalize().ok());
+  EXPECT_FALSE(type.IsLinear());
+
+  g.loc = std::make_shared<Dimension>(type);
+  g.usa = g.loc->AddValue("USA", g.country_cat, g.loc->top_value()).take();
+  g.ca = g.loc->AddValue("CA", g.state_cat, g.usa).take();
+  g.ny = g.loc->AddValue("NY", g.state_cat, g.usa).take();
+  g.bay_metro = g.loc->AddValue("BayArea", g.metro_cat, g.usa).take();
+  g.nyc_metro = g.loc->AddValue("NYCMetro", g.metro_cat, g.usa).take();
+  g.sf_store =
+      g.loc->AddValue("SF-1", g.store_cat, {g.ca, g.bay_metro}).take();
+  g.oak_store =
+      g.loc->AddValue("OAK-1", g.store_cat, {g.ca, g.bay_metro}).take();
+  g.nyc_store =
+      g.loc->AddValue("NYC-1", g.store_cat, {g.ny, g.nyc_metro}).take();
+
+  g.time = std::make_shared<Dimension>(Dimension::MakeTimeDimension());
+  std::vector<MeasureType> measures = {{"Sales", AggFn::kSum}};
+  g.mo = std::make_unique<MultidimensionalObject>(
+      "Sale", std::vector<std::shared_ptr<Dimension>>{g.time, g.loc},
+      measures);
+
+  auto add = [&](CivilDate day, ValueId store, int64_t sales) {
+    ValueId d = g.time->EnsureTimeValue(DayGranule(day)).take();
+    std::vector<ValueId> coords = {d, store};
+    std::vector<int64_t> m = {sales};
+    EXPECT_TRUE(g.mo->AddBottomFact(coords, m).ok());
+  };
+  add({2000, 1, 10}, g.sf_store, 100);
+  add({2000, 1, 15}, g.oak_store, 50);
+  add({2000, 2, 1}, g.nyc_store, 200);
+  // A sale with an unknown store: mapped to ⊤ (the model's stand-in).
+  ValueId d = g.time->EnsureTimeValue(DayGranule(CivilDate{2000, 2, 2})).take();
+  std::vector<ValueId> coords = {d, g.loc->top_value()};
+  std::vector<int64_t> m = {7};
+  EXPECT_TRUE(g.mo->AddBottomFact(coords, m).ok());
+  return g;
+}
+
+TEST(CustomHierarchyTest, ParallelBranchLattice) {
+  GeoWarehouse g = MakeGeo();
+  const DimensionType& t = g.loc->type();
+  EXPECT_EQ(t.Glb(g.state_cat, g.metro_cat), g.store_cat);
+  EXPECT_EQ(t.Lub(g.state_cat, g.metro_cat), g.country_cat);
+  EXPECT_FALSE(t.Leq(g.state_cat, g.metro_cat));
+  // Rollup along both branches from one store.
+  EXPECT_EQ(g.loc->Rollup(g.sf_store, g.state_cat), g.ca);
+  EXPECT_EQ(g.loc->Rollup(g.sf_store, g.metro_cat), g.bay_metro);
+  EXPECT_EQ(g.loc->Rollup(g.sf_store, g.country_cat), g.usa);
+}
+
+TEST(CustomHierarchyTest, CrossingIntoParallelGeoBranchesRejected) {
+  GeoWarehouse g = MakeGeo();
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*g.mo,
+                       "a[Time.quarter, Location.state] s["
+                       "Time.quarter <= NOW - 4 quarters]",
+                       "by_state")
+               .take());
+  spec.Add(ParseAction(*g.mo,
+                       "a[Time.month, Location.metro] s["
+                       "Time.month <= NOW - 12 months]",
+                       "by_metro")
+               .take());
+  Status st = ValidateSpecification(*g.mo, spec);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCrossingViolation);
+}
+
+TEST(CustomHierarchyTest, ReduceAlongChosenBranch) {
+  GeoWarehouse g = MakeGeo();
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*g.mo,
+                       "a[Time.month, Location.metro] s["
+                       "Time.month <= NOW - 6 months]",
+                       "by_metro")
+               .take());
+  auto reduced = Reduce(*g.mo, spec, DaysFromCivil({2001, 1, 1}));
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  const MultidimensionalObject& r = reduced.value();
+  // SF + OAK fold into (2000/1, BayArea); NYC into (2000/2, NYCMetro); the
+  // ⊤-mapped fact aggregates to (2000/2, T) — ⊤ rolls to itself.
+  ASSERT_EQ(r.num_facts(), 3u);
+  int64_t bay = 0, nyc = 0, unknown = 0;
+  for (FactId f = 0; f < r.num_facts(); ++f) {
+    const std::string& n = g.loc->value_name(r.Coord(f, 1));
+    if (n == "BayArea") bay = r.Measure(f, 0);
+    if (n == "NYCMetro") nyc = r.Measure(f, 0);
+    if (n == "T") unknown = r.Measure(f, 0);
+  }
+  EXPECT_EQ(bay, 150);
+  EXPECT_EQ(nyc, 200);
+  EXPECT_EQ(unknown, 7);
+}
+
+TEST(CustomHierarchyTest, TopMappedFactsBehaveInQueries) {
+  GeoWarehouse g = MakeGeo();
+  int64_t t = DaysFromCivil({2000, 3, 1});
+  // Selection on a state can never certainly include the ⊤-mapped fact, but
+  // liberal may.
+  auto pred = ParsePredicate(*g.mo, "Location.state = CA").take();
+  auto cons = Select(*g.mo, *pred, t).take();
+  EXPECT_EQ(cons.mo.num_facts(), 2u);  // SF + OAK
+  auto lib = Select(*g.mo, *pred, t, SelectionApproach::kLiberal).take();
+  EXPECT_EQ(lib.mo.num_facts(), 3u);  // + the unknown-store sale
+  // Aggregation to country keeps the unknown at ⊤ (availability approach).
+  auto gran = ParseGranularityList(*g.mo, "Time.month, Location.country").take();
+  auto agg = AggregateFormation(*g.mo, gran).take();
+  int64_t total = 0;
+  for (FactId f = 0; f < agg.num_facts(); ++f) total += agg.Measure(f, 0);
+  EXPECT_EQ(total, 357);
+}
+
+TEST(CustomHierarchyTest, SubcubeEngineHandlesTopMappedRows) {
+  // The physical engine with ⊤-mapped rows: the unknown-store sale follows
+  // the time tiers, its Location coordinate staying at ⊤ inside the metro
+  // cube.
+  GeoWarehouse g = MakeGeo();
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*g.mo,
+                       "a[Time.month, Location.metro] s["
+                       "Time.month <= NOW - 6 months]",
+                       "by_metro")
+               .take());
+  auto mgr = SubcubeManager::Create(
+                 "Sale", g.mo->dimensions(),
+                 std::vector<MeasureType>(g.mo->measure_types()), spec)
+                 .take();
+  ASSERT_TRUE(mgr.InsertBottomFacts(*g.mo).ok());
+  ASSERT_TRUE(mgr.Synchronize(DaysFromCivil({2001, 1, 1})).ok());
+  EXPECT_EQ(mgr.subcube(0).table.num_rows(), 0u);
+  EXPECT_EQ(mgr.subcube(1).table.num_rows(), 3u);
+  auto all =
+      mgr.Query(nullptr, nullptr, DaysFromCivil({2001, 1, 1}), true).take();
+  int64_t total = 0, unknown = 0;
+  for (FactId f = 0; f < all.num_facts(); ++f) {
+    total += all.Measure(f, 0);
+    if (g.loc->value_name(all.Coord(f, 1)) == "T") unknown += all.Measure(f, 0);
+  }
+  EXPECT_EQ(total, 357);
+  EXPECT_EQ(unknown, 7);
+}
+
+TEST(CustomHierarchyTest, RecommendedSyncIntervalSecondLowestNowGranularity) {
+  GeoWarehouse g = MakeGeo();
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*g.mo,
+                       "a[Time.month, Location.metro] s["
+                       "NOW - 12 months <= Time.month <= NOW - 6 months]",
+                       "m")
+               .take());
+  spec.Add(ParseAction(*g.mo,
+                       "a[Time.quarter, Location.metro] s["
+                       "Time.quarter <= NOW - 4 quarters]",
+                       "q")
+               .take());
+  auto interval = RecommendedSyncInterval(*g.mo, spec);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_EQ(interval.value(), (TimeSpan{TimeUnit::kQuarter, 1}));
+
+  ReductionSpecification single;
+  single.Add(ParseAction(*g.mo,
+                         "a[Time.month, Location.metro] s["
+                         "Time.month <= NOW - 6 months]",
+                         "m")
+                 .take());
+  EXPECT_EQ(RecommendedSyncInterval(*g.mo, single).value(),
+            (TimeSpan{TimeUnit::kMonth, 1}));
+
+  ReductionSpecification fixed;
+  fixed.Add(ParseAction(*g.mo,
+                        "a[Time.month, Location.metro] s["
+                        "Time.month <= 1999/12]",
+                        "f")
+                .take());
+  EXPECT_EQ(RecommendedSyncInterval(*g.mo, fixed).value(),
+            (TimeSpan{TimeUnit::kDay, 1}));
+}
+
+}  // namespace
+}  // namespace dwred

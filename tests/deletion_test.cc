@@ -1,0 +1,207 @@
+// Tests for the deletion-action extension (paper Section 8 names "the
+// deletion of facts" as future work): p(d s[P](O)) physically removes the
+// matching facts. Deletion sits above every aggregation level in <=_V, so it
+// composes with the NonCrossing/Growing machinery: it can cover any
+// shrinking aggregation action, and a shrinking deletion can only be covered
+// by another deletion.
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "reduce/dynamics.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+#include "subcube/manager.h"
+
+namespace dwred {
+namespace {
+
+class DeletionTest : public ::testing::Test {
+ protected:
+  Action Parse(const char* text, const char* name = "") {
+    auto r = ParseAction(*ex_.mo, text, name);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.take();
+  }
+
+  IspExample ex_ = MakeIspExample();
+};
+
+TEST_F(DeletionTest, ParsesAndPrints) {
+  Action d = Parse("p(d s[Time.quarter <= NOW - 8 quarters](O))", "purge");
+  EXPECT_TRUE(d.deletes);
+  EXPECT_EQ(d.granularity[ex_.time_dim],
+            ex_.mo->dimension(ex_.time_dim)->type().top());
+  std::string s = d.ToString(*ex_.mo);
+  EXPECT_EQ(s.rfind("p(d s[", 0), 0u) << s;
+  // The "delete" long form works too.
+  Action d2 = Parse("delete s[URL.domain_grp = .edu]");
+  EXPECT_TRUE(d2.deletes);
+}
+
+TEST_F(DeletionTest, DeletionDominatesInActionOrder) {
+  Action a2 = Parse(paper::kA2, "a2");
+  Action d = Parse("d s[Time.quarter <= NOW - 8 quarters]", "purge");
+  EXPECT_TRUE(ActionLeq(*ex_.mo, a2, d));
+  EXPECT_FALSE(ActionLeq(*ex_.mo, d, a2));
+  EXPECT_TRUE(ActionLeq(*ex_.mo, d, d));
+}
+
+TEST_F(DeletionTest, ReduceDeletesMatchingFacts) {
+  ReductionSpecification spec;
+  spec.Add(Parse("d s[Time.month <= 1999/12]", "purge99"));
+  ReduceStats stats;
+  auto reduced =
+      Reduce(*ex_.mo, spec, DaysFromCivil({2001, 1, 1}), {}, &stats);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  // Facts 0..3 (1999) removed; facts 4..6 (2000) survive untouched.
+  EXPECT_EQ(reduced.value().num_facts(), 3u);
+  EXPECT_EQ(stats.facts_deleted, 4u);
+  EXPECT_EQ(stats.facts_aggregated, 0u);
+  for (FactId f = 0; f < reduced.value().num_facts(); ++f) {
+    const Dimension& time = *reduced.value().dimension(ex_.time_dim);
+    TimeGranule g = time.granule(reduced.value().Coord(f, ex_.time_dim));
+    EXPECT_GE(FirstDayOf(g), DaysFromCivil({2000, 1, 1}));
+  }
+}
+
+TEST_F(DeletionTest, TieredPolicyEndingInDeletion) {
+  // month -> quarter -> gone: the full lifecycle. Each tier covers the
+  // previous; the deletion anchors the chain.
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA1, "a1"));
+  spec.Add(Parse(
+      "a[Time.quarter, URL.domain] s[URL.domain_grp = .com AND "
+      "NOW - 16 quarters <= Time.quarter AND Time.quarter <= NOW - 4 quarters]",
+      "a2"));
+  spec.Add(Parse("d s[Time.quarter <= NOW - 16 quarters]", "purge"));
+  EXPECT_TRUE(ValidateSpecification(*ex_.mo, spec).ok());
+
+  // Far in the future everything .com is gone; gatech (never aggregated)
+  // is deleted too once old enough.
+  ReduceStats stats;
+  auto reduced =
+      Reduce(*ex_.mo, spec, DaysFromCivil({2010, 1, 1}), {}, &stats);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced.value().num_facts(), 0u);
+  EXPECT_EQ(stats.facts_deleted, 7u);
+}
+
+TEST_F(DeletionTest, ShrinkingAggregationCoveredByDeletion) {
+  // a1 shrinks; a deletion action (above it in <=_V) may take over its cells.
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA1, "a1"));
+  spec.Add(Parse("d s[Time.quarter <= NOW - 4 quarters]", "purge"));
+  EXPECT_TRUE(ValidateSpecification(*ex_.mo, spec).ok());
+}
+
+TEST_F(DeletionTest, ShrinkingDeletionNeedsDeletionCover) {
+  // A windowed (shrinking) deletion alone violates Growing: cells leaving
+  // the window would have to be un-deleted.
+  ReductionSpecification shrinking;
+  shrinking.Add(Parse(
+      "d s[NOW - 24 months <= Time.month AND Time.month <= NOW - 12 months]",
+      "window"));
+  Status st = ValidateSpecification(*ex_.mo, shrinking);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kGrowingViolation);
+
+  // An aggregation action cannot cover it (aggregation is below deletion)...
+  ReductionSpecification with_agg = shrinking;
+  with_agg.Add(Parse("a[Time.month, URL.domain_grp] s["
+                     "Time.month <= NOW - 24 months]",
+                     "agg"));
+  EXPECT_FALSE(ValidateSpecification(*ex_.mo, with_agg).ok());
+
+  // ... but another deletion can.
+  ReductionSpecification with_del = shrinking;
+  with_del.Add(Parse("d s[Time.month <= NOW - 24 months]", "purge"));
+  EXPECT_TRUE(ValidateSpecification(*ex_.mo, with_del).ok())
+      << ValidateSpecification(*ex_.mo, with_del).ToString();
+}
+
+TEST_F(DeletionTest, DeletionNeverCrossesAggregation) {
+  // Deletion is comparable to everything, so no pair involving it can cross.
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA2, "a2"));
+  spec.Add(Parse(paper::kA4Week, "a4w"));  // a2/a4w alone would cross...
+  spec.Add(Parse("d s[Time.year <= NOW - 10 years]", "purge"));
+  Status st = ValidateSpecification(*ex_.mo, spec);
+  // ... and still does: deletion doesn't repair unrelated crossings.
+  EXPECT_EQ(st.code(), StatusCode::kCrossingViolation);
+
+  ReductionSpecification clean;
+  clean.Add(Parse(paper::kA2, "a2"));
+  clean.Add(Parse("d s[Time.year <= NOW - 10 years]", "purge"));
+  EXPECT_TRUE(ValidateSpecification(*ex_.mo, clean).ok());
+}
+
+TEST_F(DeletionTest, SubcubeSyncPhysicallyRemovesRows) {
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*ex_.mo, paper::kA1, "a1").take());
+  spec.Add(ParseAction(*ex_.mo, paper::kA2, "a2").take());
+  spec.Add(Parse("d s[Time.quarter <= NOW - 12 quarters]", "purge"));
+  auto mgr = SubcubeManager::Create(
+                 "Click", ex_.mo->dimensions(),
+                 std::vector<MeasureType>(ex_.mo->measure_types()), spec)
+                 .take();
+  // Deletion actions own no subcube.
+  EXPECT_EQ(mgr.num_subcubes(), 3u);
+  ASSERT_TRUE(mgr.InsertBottomFacts(*ex_.mo).ok());
+  ASSERT_TRUE(mgr.Synchronize(DaysFromCivil({2000, 11, 5})).ok());
+  size_t rows_before = 0;
+  for (size_t i = 0; i < mgr.num_subcubes(); ++i) {
+    rows_before += mgr.subcube(i).table.num_rows();
+  }
+  EXPECT_EQ(rows_before, 4u);  // the Figure 3 state
+
+  // At 2002/11 the purge horizon (NOW - 12 quarters = 1999Q4) swallows the
+  // 1999 rows; the 2000Q1 rows survive at quarter level.
+  ASSERT_TRUE(mgr.Synchronize(DaysFromCivil({2002, 11, 1})).ok());
+  auto remaining = mgr.Query(nullptr, nullptr, DaysFromCivil({2002, 11, 1}),
+                             true);
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(remaining.value().num_facts(), 2u);
+  // One more year and everything is gone.
+  ASSERT_TRUE(mgr.Synchronize(DaysFromCivil({2003, 11, 1})).ok());
+  auto empty = mgr.Query(nullptr, nullptr, DaysFromCivil({2003, 11, 1}), true);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().num_facts(), 0u);
+}
+
+TEST_F(DeletionTest, DeleteOperatorOnDeletionActions) {
+  // A still-effective deletion action cannot be removed from the spec...
+  ReductionSpecification spec;
+  spec.Add(Parse("d s[Time.month <= 1999/12]", "purge"));
+  auto rejected = DeleteActions(*ex_.mo, spec, {0}, DaysFromCivil({2000, 6, 1}));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDeleteRejected);
+
+  // ... unless an identical remaining deletion action covers the same facts.
+  ReductionSpecification two;
+  two.Add(Parse("d s[Time.month <= 1999/12]", "purge_a"));
+  two.Add(Parse("d s[Time.month <= 1999/12]", "purge_b"));
+  auto ok = DeleteActions(*ex_.mo, two, {0}, DaysFromCivil({2000, 6, 1}));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().size(), 1u);
+}
+
+TEST_F(DeletionTest, MaxSpecGranReportsDeletion) {
+  ReductionSpecification spec;
+  spec.Add(Parse("d s[Time.month <= 1999/12]", "purge"));
+  bool deleted = false;
+  ActionId responsible = kNoAction;
+  auto g = MaxSpecGran(*ex_.mo, spec, ex_.facts[0],
+                       DaysFromCivil({2000, 6, 1}), &responsible, &deleted);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(deleted);
+  EXPECT_EQ(responsible, 0u);
+  deleted = true;
+  (void)MaxSpecGran(*ex_.mo, spec, ex_.facts[6], DaysFromCivil({2000, 6, 1}),
+                    &responsible, &deleted);
+  EXPECT_FALSE(deleted);
+}
+
+}  // namespace
+}  // namespace dwred

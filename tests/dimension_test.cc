@@ -1,0 +1,189 @@
+// Dimension-type lattice and dimension-instance tests: the partial order
+// <=_T, Anc, GLB/LUB (paper Section 6.1), linearity, value rollup/drilldown,
+// the containment order <=_D, subdimensions, and the on-demand Time
+// dimension.
+
+#include "mdm/dimension.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+
+namespace dwred {
+namespace {
+
+TEST(DimensionTypeTest, TimeTypeStructure) {
+  DimensionType t = MakeTimeDimensionType();
+  EXPECT_EQ(t.num_categories(), 6u);
+  EXPECT_EQ(t.category_name(t.bottom()), "day");
+  EXPECT_EQ(t.category_name(t.top()), "TOP");
+  EXPECT_FALSE(t.IsLinear());  // paper: Time's hierarchy is non-linear
+
+  CategoryId day = 0, week = 1, month = 2, quarter = 3, year = 4, top = 5;
+  EXPECT_TRUE(t.Leq(day, week));
+  EXPECT_TRUE(t.Leq(day, year));
+  EXPECT_TRUE(t.Leq(month, year));
+  EXPECT_FALSE(t.Leq(week, month));
+  EXPECT_FALSE(t.Leq(month, week));
+  EXPECT_TRUE(t.Leq(week, top));
+  EXPECT_TRUE(t.Leq(day, day));
+  EXPECT_FALSE(t.Leq(year, quarter));
+
+  // Anc per the paper: Anc(day) = {week, month}.
+  EXPECT_EQ(t.Anc(day).size(), 2u);
+  EXPECT_EQ(t.Anc(quarter), std::vector<CategoryId>{year});
+}
+
+TEST(DimensionTypeTest, GlbLubOnParallelHierarchy) {
+  DimensionType t = MakeTimeDimensionType();
+  CategoryId day = 0, week = 1, month = 2, quarter = 3, year = 4, top = 5;
+  // Paper Section 6.1: GLB(week, quarter) = day.
+  EXPECT_EQ(t.Glb(week, quarter), day);
+  EXPECT_EQ(t.Glb(month, quarter), month);
+  EXPECT_EQ(t.Glb(quarter, month), month);
+  EXPECT_EQ(t.Glb(week, week), week);
+  EXPECT_EQ(t.Lub(week, month), top);
+  EXPECT_EQ(t.Lub(month, quarter), quarter);
+  EXPECT_EQ(t.Lub(day, year), year);
+  EXPECT_EQ(t.Glb({week, month, quarter}), day);
+}
+
+TEST(DimensionTypeTest, UrlTypeIsLinear) {
+  IspExample ex = MakeIspExample();
+  const DimensionType& t = ex.mo->dimension(ex.url_dim)->type();
+  EXPECT_TRUE(t.IsLinear());
+  EXPECT_EQ(t.bottom(), ex.url_cat);
+  EXPECT_TRUE(t.Leq(ex.url_cat, ex.domain_grp_cat));
+  EXPECT_EQ(t.Glb(ex.domain_cat, ex.domain_grp_cat), ex.domain_cat);
+}
+
+TEST(DimensionTypeTest, RejectsCycles) {
+  DimensionType t("Bad");
+  CategoryId a = t.AddCategory("a");
+  CategoryId b = t.AddCategory("b");
+  ASSERT_TRUE(t.AddEdge(a, b).ok());
+  ASSERT_TRUE(t.AddEdge(b, a).ok());
+  EXPECT_FALSE(t.Finalize().ok());
+}
+
+TEST(DimensionTypeTest, RejectsTwoTops) {
+  DimensionType t("Bad");
+  CategoryId a = t.AddCategory("a");
+  t.AddCategory("b");  // no edges: two maximal categories
+  (void)a;
+  EXPECT_FALSE(t.Finalize().ok());
+}
+
+TEST(DimensionTest, ValueRollupAlongLinearHierarchy) {
+  IspExample ex = MakeIspExample();
+  const Dimension& url = *ex.mo->dimension(ex.url_dim);
+  EXPECT_EQ(url.Rollup(ex.url_health, ex.domain_cat), ex.dom_cnn);
+  EXPECT_EQ(url.Rollup(ex.url_health, ex.domain_grp_cat), ex.grp_com);
+  EXPECT_EQ(url.Rollup(ex.url_health, url.type().top()), url.top_value());
+  EXPECT_EQ(url.Rollup(ex.dom_cnn, ex.domain_cat), ex.dom_cnn);
+  // Downward rollup does not exist.
+  EXPECT_EQ(url.Rollup(ex.dom_cnn, ex.url_cat), kInvalidValue);
+}
+
+TEST(DimensionTest, ValueLeqIsContainment) {
+  IspExample ex = MakeIspExample();
+  const Dimension& url = *ex.mo->dimension(ex.url_dim);
+  EXPECT_TRUE(url.ValueLeq(ex.url_health, ex.dom_cnn));
+  EXPECT_TRUE(url.ValueLeq(ex.url_health, ex.grp_com));
+  EXPECT_TRUE(url.ValueLeq(ex.url_health, url.top_value()));
+  EXPECT_TRUE(url.ValueLeq(ex.url_health, ex.url_health));
+  EXPECT_FALSE(url.ValueLeq(ex.url_health, ex.dom_amazon));
+  EXPECT_FALSE(url.ValueLeq(ex.dom_cnn, ex.url_health));
+  EXPECT_FALSE(url.ValueLeq(ex.grp_edu, ex.grp_com));
+}
+
+TEST(DimensionTest, DrillDownMaterializedValues) {
+  IspExample ex = MakeIspExample();
+  const Dimension& url = *ex.mo->dimension(ex.url_dim);
+  std::vector<ValueId> urls_of_cnn = url.DrillDown(ex.dom_cnn, ex.url_cat);
+  EXPECT_EQ(urls_of_cnn.size(), 2u);
+  std::vector<ValueId> com_domains = url.DrillDown(ex.grp_com, ex.domain_cat);
+  EXPECT_EQ(com_domains.size(), 2u);  // amazon.com, cnn.com
+  std::vector<ValueId> all_urls =
+      url.DrillDown(url.top_value(), ex.url_cat);
+  EXPECT_EQ(all_urls.size(), 4u);
+}
+
+TEST(DimensionTest, RejectsDuplicateAndBadValues) {
+  IspExample ex = MakeIspExample();
+  auto url = ex.mo->dimension(ex.url_dim);
+  // Duplicate name within a category.
+  EXPECT_FALSE(url->AddValue(".com", ex.domain_grp_cat, url->top_value()).ok());
+  // Parent in the wrong category (grandparent instead of parent).
+  EXPECT_FALSE(url->AddValue("x.org", ex.domain_cat, url->top_value()).ok());
+  // Adding to TOP is forbidden.
+  EXPECT_FALSE(url->AddValue("another-top", url->type().top(),
+                             std::vector<ValueId>{})
+                   .ok());
+}
+
+TEST(DimensionTest, TimeDimensionOnDemand) {
+  Dimension time = Dimension::MakeTimeDimension();
+  ASSERT_TRUE(time.is_time());
+  auto day = time.EnsureTimeValue(DayGranule(CivilDate{1999, 12, 4}));
+  ASSERT_TRUE(day.ok());
+  // Ancestors materialize automatically: week, month, quarter, year, TOP.
+  EXPECT_NE(time.FindTimeValue(WeekGranule(1999, 48)), kInvalidValue);
+  EXPECT_NE(time.FindTimeValue(MonthGranule(1999, 12)), kInvalidValue);
+  EXPECT_NE(time.FindTimeValue(QuarterGranule(1999, 4)), kInvalidValue);
+  EXPECT_NE(time.FindTimeValue(YearGranule(1999)), kInvalidValue);
+
+  // Idempotent.
+  auto again = time.EnsureTimeValue(DayGranule(CivilDate{1999, 12, 4}));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), day.value());
+
+  // Rollup follows the calendar.
+  ValueId q = time.Rollup(day.value(), static_cast<CategoryId>(TimeUnit::kQuarter));
+  EXPECT_EQ(time.granule(q), QuarterGranule(1999, 4));
+  ValueId w = time.Rollup(day.value(), static_cast<CategoryId>(TimeUnit::kWeek));
+  EXPECT_EQ(time.granule(w), WeekGranule(1999, 48));
+  // week does not roll up to month.
+  EXPECT_EQ(time.Rollup(w, static_cast<CategoryId>(TimeUnit::kMonth)),
+            kInvalidValue);
+}
+
+TEST(DimensionTest, SubdimensionDropLowerCategories) {
+  // Paper Section 3's example: drop url and domain, keep domain_grp and TOP.
+  IspExample ex = MakeIspExample();
+  const Dimension& url = *ex.mo->dimension(ex.url_dim);
+  std::vector<ValueId> vmap;
+  auto sub = url.Subdimension({ex.domain_grp_cat, ex.url_top_cat}, &vmap);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  const Dimension& s = sub.value();
+  EXPECT_EQ(s.type().num_categories(), 2u);
+  EXPECT_EQ(s.num_values(), 3u);  // T, .com, .edu
+  EXPECT_NE(vmap[ex.grp_com], kInvalidValue);
+  EXPECT_EQ(vmap[ex.url_health], kInvalidValue);  // dropped category
+  // Order is the restriction of <=_D.
+  EXPECT_TRUE(s.ValueLeq(vmap[ex.grp_com], s.top_value()));
+}
+
+TEST(DimensionTest, SubdimensionSkipMiddleCategoryRewiresParents) {
+  IspExample ex = MakeIspExample();
+  const Dimension& url = *ex.mo->dimension(ex.url_dim);
+  std::vector<ValueId> vmap;
+  auto sub = url.Subdimension({ex.url_cat, ex.domain_grp_cat, ex.url_top_cat},
+                              &vmap);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  const Dimension& s = sub.value();
+  // urls now report domain_grp as immediate ancestor.
+  auto grp = s.type().CategoryByName("domain_grp");
+  ASSERT_TRUE(grp.ok());
+  EXPECT_EQ(s.Rollup(vmap[ex.url_health], grp.value()), vmap[ex.grp_com]);
+  EXPECT_TRUE(s.ValueLeq(vmap[ex.url_health], vmap[ex.grp_com]));
+}
+
+TEST(DimensionTest, SubdimensionMustKeepTop) {
+  IspExample ex = MakeIspExample();
+  const Dimension& url = *ex.mo->dimension(ex.url_dim);
+  EXPECT_FALSE(url.Subdimension({ex.url_cat, ex.domain_cat}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dwred

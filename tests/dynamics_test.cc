@@ -1,0 +1,125 @@
+// Specification-dynamics tests (paper Section 5.1, Definitions 3 and 4): the
+// insert operator's all-or-nothing consistency check and the delete
+// operator's no-current-effect test, including the paper's a7/a8 example of
+// stopping a NOW-relative action.
+
+#include "reduce/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+class DynamicsTest : public ::testing::Test {
+ protected:
+  Action Parse(const char* text, const char* name) {
+    auto r = ParseAction(*ex_.mo, text, name);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.take();
+  }
+
+  IspExample ex_ = MakeIspExample();
+};
+
+TEST_F(DynamicsTest, InsertValidatesTheUnion) {
+  ReductionSpecification empty;
+  // Inserting the shrinking a1 alone fails; inserting {a1, a2} together
+  // succeeds (Definition 3 checks the union, and sets are inserted jointly).
+  auto solo = InsertActions(*ex_.mo, empty, {Parse(paper::kA1, "a1")});
+  ASSERT_FALSE(solo.ok());
+  EXPECT_EQ(solo.status().code(), StatusCode::kGrowingViolation);
+
+  auto both = InsertActions(
+      *ex_.mo, empty, {Parse(paper::kA1, "a1"), Parse(paper::kA2, "a2")});
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_EQ(both.value().size(), 2u);
+}
+
+TEST_F(DynamicsTest, FailedInsertLeavesSpecUntouched) {
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA2, "a2"));
+  auto bad = InsertActions(*ex_.mo, spec, {Parse(paper::kA4Week, "a4")});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(spec.size(), 1u);  // caller's spec unchanged
+}
+
+TEST_F(DynamicsTest, PaperA7A8DeleteExample) {
+  // Section 5.1: in month 2000/12, a8 aggregates exactly the facts a7 does,
+  // at the same granularity, so a7 can be deleted after inserting a8.
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA7, "a7"));
+  auto with_a8 = InsertActions(*ex_.mo, spec, {Parse(paper::kA8, "a8")});
+  ASSERT_TRUE(with_a8.ok());
+
+  int64_t t = DaysFromCivil({2000, 12, 5});
+  auto deleted = DeleteActions(*ex_.mo, with_a8.value(), {0}, t);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(deleted.value().size(), 1u);
+  EXPECT_EQ(deleted.value().action(0).name, "a8");
+}
+
+TEST_F(DynamicsTest, DeleteRejectedWithoutEquivalentCover) {
+  // Deleting a7 while it still has an effect (and nothing equal covers the
+  // affected facts) is refused.
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA7, "a7"));
+  int64_t t = DaysFromCivil({2000, 12, 5});
+  auto deleted = DeleteActions(*ex_.mo, spec, {0}, t);
+  ASSERT_FALSE(deleted.ok());
+  EXPECT_EQ(deleted.status().code(), StatusCode::kDeleteRejected);
+}
+
+TEST_F(DynamicsTest, DeleteAllowedWhenActionHasNoEffectOnFacts) {
+  // An action whose predicate selects no current fact deletes cleanly — the
+  // paper's motivation for checking against the actual MO instance rather
+  // than all possible instances.
+  ReductionSpecification spec;
+  spec.Add(Parse("a[Time.month, URL.domain] s[Time.month <= 1990/12]", "old"));
+  int64_t t = DaysFromCivil({2000, 12, 5});
+  auto deleted = DeleteActions(*ex_.mo, spec, {0}, t);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_TRUE(deleted.value().empty());
+}
+
+TEST_F(DynamicsTest, DeleteAllowedWhenFactsAlreadyStrictlyAbove) {
+  // Facts already reduced strictly above an action's granularity: the action
+  // is not responsible for them (Definition 4's Cat(a) <_p Gran(f) branch).
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA1, "a1"));
+  spec.Add(Parse(paper::kA2, "a2"));
+  int64_t t = DaysFromCivil({2002, 6, 5});
+  // By 2002, everything a1 could touch is at quarter level via a2.
+  auto reduced = Reduce(*ex_.mo, spec, t);
+  ASSERT_TRUE(reduced.ok());
+  auto deleted = DeleteActions(reduced.value(), spec, {0}, t);
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(deleted.value().size(), 1u);
+}
+
+TEST_F(DynamicsTest, DeleteIsAllOrNothing) {
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA7, "a7"));
+  spec.Add(Parse("a[Time.month, URL.domain] s[Time.month <= 1990/12]", "old"));
+  int64_t t = DaysFromCivil({2000, 12, 5});
+  // "old" alone is deletable, but bundling the still-effective a7 fails the
+  // whole request; nothing is removed.
+  auto deleted = DeleteActions(*ex_.mo, spec, {0, 1}, t);
+  ASSERT_FALSE(deleted.ok());
+  EXPECT_EQ(spec.size(), 2u);
+}
+
+TEST_F(DynamicsTest, DeleteRejectsUnknownId) {
+  ReductionSpecification spec;
+  spec.Add(Parse(paper::kA8, "a8"));
+  auto deleted = DeleteActions(*ex_.mo, spec, {5}, 0);
+  ASSERT_FALSE(deleted.ok());
+  EXPECT_EQ(deleted.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,230 @@
+// Cross-module integration properties on randomized workloads:
+//
+//  * physical/semantic agreement — the subcube warehouse (Section 7) holds
+//    exactly the facts of Definition 2's reduced MO at every point in time;
+//  * gradual == direct reduction (a consequence of Growing + distributive
+//    aggregates);
+//  * un-synchronized queries equal synchronized ones (Figure 9's soundness);
+//  * aggregate totals are invariant under reduction (reduction deletes
+//    detail, never measure mass);
+//  * conservative ⊆ liberal selection on reduced data, across operators.
+//
+// All workloads are seeded; the suites are parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "query/operators.h"
+#include "reduce/dynamics.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+#include "subcube/manager.h"
+#include "workload/clickstream.h"
+
+namespace dwred {
+namespace {
+
+std::map<std::string, std::vector<int64_t>> Snapshot(
+    const MultidimensionalObject& mo) {
+  std::map<std::string, std::vector<int64_t>> out;
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    std::string key;
+    for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+      if (d) key += "|";
+      key += mo.dimension(static_cast<DimensionId>(d))
+                 ->value_name(mo.Coord(f, static_cast<DimensionId>(d)));
+    }
+    std::vector<int64_t> meas;
+    for (size_t m = 0; m < mo.num_measures(); ++m) {
+      meas.push_back(mo.Measure(f, static_cast<MeasureId>(m)));
+    }
+    auto [it, inserted] = out.emplace(key, meas);
+    if (!inserted) {
+      // Union duplicate cells by summing (the comparisons below only ever
+      // hit this for unreduced duplicate day/url cells).
+      for (size_t m = 0; m < meas.size(); ++m) it->second[m] += meas[m];
+    }
+  }
+  return out;
+}
+
+ReductionSpecification TieredPolicy(const MultidimensionalObject& mo) {
+  ReductionSpecification spec;
+  const char* texts[] = {
+      "a[Time.month, URL.domain] s["
+      "NOW - 12 months <= Time.month <= NOW - 6 months]",
+      "a[Time.quarter, URL.domain] s["
+      "NOW - 36 months <= Time.quarter AND Time.quarter <= NOW - 12 months]",
+      "a[Time.year, URL.domain_grp] s[Time.year <= NOW - 36 months]",
+  };
+  for (int i = 0; i < 3; ++i) {
+    spec.Add(ParseAction(mo, texts[i], "tier" + std::to_string(i + 1)).take());
+  }
+  return spec;
+}
+
+class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ClickstreamWorkload MakeW(size_t n) {
+    ClickstreamConfig cfg;
+    cfg.seed = GetParam();
+    cfg.num_clicks = n;
+    cfg.start = {1999, 1, 1};
+    cfg.span_days = 3 * 365;
+    cfg.num_domains = 40;
+    cfg.urls_per_domain = 6;
+    return MakeClickstream(cfg);
+  }
+};
+
+TEST_P(RandomWorkloadTest, SubcubeWarehouseEqualsSemanticReduction) {
+  ClickstreamWorkload w = MakeW(4000);
+  ReductionSpecification spec = TieredPolicy(*w.mo);
+  ASSERT_TRUE(ValidateSpecification(*w.mo, spec).ok());
+
+  auto mgr = SubcubeManager::Create(
+                 "Click", w.mo->dimensions(),
+                 std::vector<MeasureType>(w.mo->measure_types()), spec)
+                 .take();
+  ASSERT_TRUE(mgr.InsertBottomFacts(*w.mo).ok());
+
+  MultidimensionalObject semantic = std::move(*w.mo);
+  for (int year = 2000; year <= 2004; ++year) {
+    for (int month : {3, 9}) {
+      int64_t t = DaysFromCivil({year, month, 1});
+      ASSERT_TRUE(mgr.Synchronize(t).ok());
+      semantic =
+          Reduce(semantic, spec, t, {/*track_provenance=*/false}).take();
+      auto physical = mgr.Query(nullptr, nullptr, t, true);
+      ASSERT_TRUE(physical.ok());
+      EXPECT_EQ(Snapshot(physical.value()), Snapshot(semantic))
+          << "diverged at " << year << "/" << month;
+    }
+  }
+}
+
+TEST_P(RandomWorkloadTest, GradualEqualsDirectReduction) {
+  ClickstreamWorkload w = MakeW(4000);
+  ReductionSpecification spec = TieredPolicy(*w.mo);
+  int64_t t_final = DaysFromCivil({2004, 1, 1});
+
+  auto direct = Reduce(*w.mo, spec, t_final, {false}).take();
+  MultidimensionalObject gradual = std::move(*w.mo);
+  for (int ym = 1999 * 12 + 3; ym <= 2003 * 12 + 11; ym += 2) {
+    gradual =
+        Reduce(gradual, spec, DaysFromCivil({ym / 12, ym % 12 + 1, 7}), {false})
+            .take();
+  }
+  gradual = Reduce(gradual, spec, t_final, {false}).take();
+  EXPECT_EQ(Snapshot(gradual), Snapshot(direct));
+}
+
+TEST_P(RandomWorkloadTest, ReductionPreservesSumTotals) {
+  ClickstreamWorkload w = MakeW(3000);
+  ReductionSpecification spec = TieredPolicy(*w.mo);
+  auto totals = [](const MultidimensionalObject& mo) {
+    std::vector<int64_t> t(mo.num_measures(), 0);
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      for (size_t m = 0; m < mo.num_measures(); ++m) {
+        t[m] += mo.Measure(f, static_cast<MeasureId>(m));
+      }
+    }
+    return t;
+  };
+  std::vector<int64_t> before = totals(*w.mo);
+  for (int year : {2000, 2001, 2002, 2003, 2005}) {
+    auto reduced = Reduce(*w.mo, spec, DaysFromCivil({year, 6, 1}), {false});
+    ASSERT_TRUE(reduced.ok());
+    EXPECT_EQ(totals(reduced.value()), before) << year;
+  }
+}
+
+TEST_P(RandomWorkloadTest, UnsyncQueryEqualsSyncQuery) {
+  ClickstreamWorkload w = MakeW(3000);
+  ReductionSpecification spec = TieredPolicy(*w.mo);
+  auto mgr = SubcubeManager::Create(
+                 "Click", w.mo->dimensions(),
+                 std::vector<MeasureType>(w.mo->measure_types()), spec)
+                 .take();
+  ASSERT_TRUE(mgr.InsertBottomFacts(*w.mo).ok());
+  ASSERT_TRUE(mgr.Synchronize(DaysFromCivil({2001, 1, 1})).ok());
+
+  // Advance within the one-level-out-of-sync window and compare.
+  int64_t t = DaysFromCivil({2001, 8, 1});
+  auto gran = ParseGranularityList(mgr.context(), "Time.month, URL.domain_grp")
+                  .take();
+  auto unsync = mgr.Query(nullptr, &gran, t, false);
+  ASSERT_TRUE(unsync.ok());
+  ASSERT_TRUE(mgr.Synchronize(t).ok());
+  auto sync = mgr.Query(nullptr, &gran, t, true);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_EQ(Snapshot(unsync.value()), Snapshot(sync.value()));
+}
+
+TEST_P(RandomWorkloadTest, ConservativeSubsetOfLiberalOnReducedData) {
+  ClickstreamWorkload w = MakeW(2000);
+  ReductionSpecification spec = TieredPolicy(*w.mo);
+  int64_t t = DaysFromCivil({2002, 6, 1});
+  auto reduced = Reduce(*w.mo, spec, t, {false}).take();
+
+  const char* preds[] = {
+      "Time.month <= 2000/6",
+      "Time.week <= 2000W26",
+      "Time.day >= 2001/1/1",
+      "Time.quarter = 2000Q2",
+      "URL.url = www.site0.com/page0",
+      "URL.domain != site2.org",
+      "Time.month <= 2000/6 AND URL.domain_grp = .com",
+  };
+  for (const char* p : preds) {
+    auto pred = ParsePredicate(reduced, p).take();
+    auto cons = Select(reduced, *pred, t).take();
+    auto lib = Select(reduced, *pred, t, SelectionApproach::kLiberal).take();
+    auto wgt = Select(reduced, *pred, t, SelectionApproach::kWeighted).take();
+    EXPECT_LE(cons.mo.num_facts(), wgt.mo.num_facts()) << p;
+    EXPECT_LE(wgt.mo.num_facts(), lib.mo.num_facts()) << p;
+    for (double wv : wgt.weights) {
+      EXPECT_GT(wv, 0.0);
+      EXPECT_LE(wv, 1.0);
+    }
+  }
+}
+
+TEST_P(RandomWorkloadTest, AggLevelIsMonotoneOverTime) {
+  // The Growing property, checked empirically: per-cell aggregation levels
+  // never decrease as NOW advances (paper eq. (17)).
+  ClickstreamWorkload w = MakeW(500);
+  ReductionSpecification spec = TieredPolicy(*w.mo);
+  const MultidimensionalObject& mo = *w.mo;
+  std::vector<std::vector<CategoryId>> prev(mo.num_facts());
+  bool first = true;
+  for (int ym = 1999 * 12; ym <= 2004 * 12; ym += 3) {
+    int64_t t = DaysFromCivil({ym / 12, ym % 12 + 1, 1});
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      std::vector<ValueId> cell = {mo.Coord(f, 0), mo.Coord(f, 1)};
+      std::vector<CategoryId> levels;
+      for (DimensionId d = 0; d < 2; ++d) {
+        auto lvl = AggLevel(mo, spec, d, cell, t);
+        ASSERT_TRUE(lvl.ok());
+        levels.push_back(lvl.value());
+      }
+      if (!first) {
+        for (DimensionId d = 0; d < 2; ++d) {
+          EXPECT_TRUE(
+              mo.dimension(d)->type().Leq(prev[f][d], levels[d]))
+              << "cell of fact " << f << " regressed in dimension " << d
+              << " at " << FormatGranule(DayGranule(t));
+        }
+      }
+      prev[f] = levels;
+    }
+    first = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace dwred

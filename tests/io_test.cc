@@ -1,0 +1,178 @@
+// CSV and warehouse import/export tests: RFC-4180 corner cases, dimension
+// rollup tables (the paper's Table 2 layout), mixed-granularity fact round
+// trips, and specification files.
+
+#include "io/warehouse_io.h"
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+TEST(CsvTest, BasicRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1][2], "3");
+}
+
+TEST(CsvTest, QuotingAndEscapes) {
+  auto rows = ParseCsv("\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0], "a,b");
+  EXPECT_EQ(rows.value()[0][1], "say \"hi\"");
+  EXPECT_EQ(rows.value()[0][2], "line\nbreak");
+}
+
+TEST(CsvTest, CrlfAndMissingFinalNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1][1], "d");
+}
+
+TEST(CsvTest, Malformed) {
+  EXPECT_FALSE(ParseCsv("a,\"unterminated\n").ok());
+  EXPECT_FALSE(ParseCsv("a,b\"c\n").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with\"quote"},
+      {"", "x", "multi\nline"},
+  };
+  auto back = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), rows);
+}
+
+TEST(WarehouseIoTest, DimensionCsvRoundTrip) {
+  const char* csv =
+      "url,domain,domain_grp\n"
+      "www.cc.gatech.edu,gatech.edu,.edu\n"
+      "www.cnn.com,cnn.com,.com\n"
+      "www.cnn.com/health,cnn.com,.com\n"
+      "www.amazon.com/ex...,amazon.com,.com\n";
+  auto dim = ReadDimensionCsv("URL", csv);
+  ASSERT_TRUE(dim.ok()) << dim.status().ToString();
+  const Dimension& d = dim.value();
+  EXPECT_EQ(d.type().num_categories(), 4u);  // + TOP
+  EXPECT_EQ(d.num_values(), 1 + 4 + 3 + 2);  // T + urls + domains + groups
+  auto url_cat = d.type().CategoryByName("url").take();
+  auto grp_cat = d.type().CategoryByName("domain_grp").take();
+  ValueId health = d.ValueByName(url_cat, "www.cnn.com/health").take();
+  EXPECT_EQ(d.value_name(d.Rollup(health, grp_cat)), ".com");
+
+  auto out = WriteDimensionCsv(d);
+  ASSERT_TRUE(out.ok());
+  auto reparsed = ReadDimensionCsv("URL", out.value());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().num_values(), d.num_values());
+}
+
+TEST(WarehouseIoTest, InconsistentRollupRejected) {
+  const char* csv =
+      "url,domain\n"
+      "a,x.com\n"
+      "a,y.com\n";  // same url under two domains
+  auto dim = ReadDimensionCsv("URL", csv);
+  ASSERT_FALSE(dim.ok());
+  EXPECT_NE(dim.status().message().find("inconsistently"), std::string::npos);
+}
+
+TEST(WarehouseIoTest, TimeDimensionCsvExportRejected) {
+  Dimension time = Dimension::MakeTimeDimension();
+  EXPECT_FALSE(WriteDimensionCsv(time).ok());  // non-linear
+}
+
+TEST(WarehouseIoTest, FactCsvRoundTripMixedGranularity) {
+  // Reduce the paper example, export, import into a fresh MO over the same
+  // dimensions, compare.
+  IspExample ex = MakeIspExample();
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*ex.mo, paper::kA1, "a1").take());
+  spec.Add(ParseAction(*ex.mo, paper::kA2, "a2").take());
+  auto reduced = Reduce(*ex.mo, spec, DaysFromCivil({2000, 11, 5})).take();
+
+  std::string csv = WriteFactCsv(reduced);
+  MultidimensionalObject back("Click", reduced.dimensions(),
+                              std::vector<MeasureType>(reduced.measure_types()));
+  ASSERT_TRUE(ReadFactCsv(&back, csv).ok());
+  ASSERT_EQ(back.num_facts(), reduced.num_facts());
+  for (FactId f = 0; f < back.num_facts(); ++f) {
+    EXPECT_EQ(back.Coord(f, 0), reduced.Coord(f, 0));
+    EXPECT_EQ(back.Coord(f, 1), reduced.Coord(f, 1));
+    for (MeasureId m = 0; m < 4; ++m) {
+      EXPECT_EQ(back.Measure(f, m), reduced.Measure(f, m));
+    }
+  }
+}
+
+TEST(WarehouseIoTest, FactCsvMaterializesUnknownTimeValues) {
+  IspExample ex = MakeIspExample();
+  std::string csv =
+      "Time:category,Time:value,URL:category,URL:value,"
+      "Number_of,Dwell_time,Delivery_time,Datasize\n"
+      "month,2005/7,domain,cnn.com,3,100,5,42\n";
+  ASSERT_TRUE(ReadFactCsv(ex.mo.get(), csv).ok());
+  EXPECT_EQ(ex.mo->num_facts(), 8u);
+  const Dimension& time = *ex.mo->dimension(ex.time_dim);
+  EXPECT_NE(time.FindTimeValue(MonthGranule(2005, 7)), kInvalidValue);
+}
+
+TEST(WarehouseIoTest, FactCsvErrors) {
+  IspExample ex = MakeIspExample();
+  // Unknown categorical value.
+  EXPECT_FALSE(
+      ReadFactCsv(ex.mo.get(),
+                  "Time:category,Time:value,URL:category,URL:value,"
+                  "Number_of,Dwell_time,Delivery_time,Datasize\n"
+                  "day,1999/11/23,domain,nosuch.example,1,1,1,1\n")
+          .ok());
+  // Granularity mismatch between category and time spelling.
+  EXPECT_FALSE(
+      ReadFactCsv(ex.mo.get(),
+                  "Time:category,Time:value,URL:category,URL:value,"
+                  "Number_of,Dwell_time,Delivery_time,Datasize\n"
+                  "month,1999/11/23,domain,cnn.com,1,1,1,1\n")
+          .ok());
+  // Bad measure.
+  EXPECT_FALSE(
+      ReadFactCsv(ex.mo.get(),
+                  "Time:category,Time:value,URL:category,URL:value,"
+                  "Number_of,Dwell_time,Delivery_time,Datasize\n"
+                  "day,1999/11/23,domain,cnn.com,one,1,1,1\n")
+          .ok());
+  // Wrong column count.
+  EXPECT_FALSE(ReadFactCsv(ex.mo.get(), "a,b\n1,2\n").ok());
+}
+
+TEST(WarehouseIoTest, SpecificationFile) {
+  IspExample ex = MakeIspExample();
+  std::string text =
+      "# the paper's specification\n"
+      "a1: a[Time.month, URL.domain] s[URL.domain_grp = .com AND "
+      "NOW - 12 months <= Time.month <= NOW - 6 months]\n"
+      "\n"
+      "a2: a[Time.quarter, URL.domain] s[URL.domain_grp = .com AND "
+      "Time.quarter <= NOW - 4 quarters]\n"
+      "purge: d s[Time.year <= NOW - 10 years]\n";
+  auto actions = ReadSpecificationText(*ex.mo, text);
+  ASSERT_TRUE(actions.ok()) << actions.status().ToString();
+  ASSERT_EQ(actions.value().size(), 3u);
+  EXPECT_EQ(actions.value()[0].name, "a1");
+  EXPECT_TRUE(actions.value()[2].deletes);
+
+  // A bad line reports a parse error.
+  EXPECT_FALSE(ReadSpecificationText(*ex.mo, "oops: not an action\n").ok());
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,117 @@
+// MO tests: the fact base of paper Section 3 — fact-dimension relations,
+// characterization (f ~> v), Gran, bottom-insert enforcement, names and
+// provenance — validated on the Table 2 example.
+
+#include "mdm/mo.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+
+namespace dwred {
+namespace {
+
+TEST(MoTest, PaperExampleMatchesTable2) {
+  IspExample ex = MakeIspExample();
+  const MultidimensionalObject& mo = *ex.mo;
+  EXPECT_EQ(mo.fact_type(), "Click");
+  EXPECT_EQ(mo.num_dimensions(), 2u);
+  EXPECT_EQ(mo.num_measures(), 4u);
+  ASSERT_EQ(mo.num_facts(), 7u);
+
+  // fact_1: 1999/12/4, www.cnn.com/health, (1, 2335, 5, 52).
+  const Dimension& time = *mo.dimension(ex.time_dim);
+  EXPECT_EQ(time.granule(mo.Coord(ex.facts[1], ex.time_dim)),
+            DayGranule(CivilDate{1999, 12, 4}));
+  EXPECT_EQ(mo.Coord(ex.facts[1], ex.url_dim), ex.url_health);
+  EXPECT_EQ(mo.Measure(ex.facts[1], ex.number_of), 1);
+  EXPECT_EQ(mo.Measure(ex.facts[1], ex.dwell_time), 2335);
+  EXPECT_EQ(mo.Measure(ex.facts[1], ex.delivery_time), 5);
+  EXPECT_EQ(mo.Measure(ex.facts[1], ex.datasize), 52);
+
+  EXPECT_EQ(mo.FactName(ex.facts[3]), "fact_3");
+}
+
+TEST(MoTest, CharacterizationFollowsHierarchies) {
+  IspExample ex = MakeIspExample();
+  const MultidimensionalObject& mo = *ex.mo;
+  // fact_1 ~> www.cnn.com/health ~> cnn.com ~> .com ~> T.
+  EXPECT_TRUE(mo.Characterizes(ex.facts[1], ex.url_dim, ex.url_health));
+  EXPECT_TRUE(mo.Characterizes(ex.facts[1], ex.url_dim, ex.dom_cnn));
+  EXPECT_TRUE(mo.Characterizes(ex.facts[1], ex.url_dim, ex.grp_com));
+  EXPECT_FALSE(mo.Characterizes(ex.facts[1], ex.url_dim, ex.dom_amazon));
+  // fact_1 ~> 1999W48 and ~> 1999Q4 (parallel hierarchy).
+  const Dimension& time = *mo.dimension(ex.time_dim);
+  ValueId w48 = time.FindTimeValue(WeekGranule(1999, 48));
+  ValueId q4 = time.FindTimeValue(QuarterGranule(1999, 4));
+  ASSERT_NE(w48, kInvalidValue);
+  ASSERT_NE(q4, kInvalidValue);
+  EXPECT_TRUE(mo.Characterizes(ex.facts[1], ex.time_dim, w48));
+  EXPECT_TRUE(mo.Characterizes(ex.facts[1], ex.time_dim, q4));
+}
+
+TEST(MoTest, GranReportsBottomForUserFacts) {
+  IspExample ex = MakeIspExample();
+  std::vector<CategoryId> g = ex.mo->Gran(ex.facts[0]);
+  EXPECT_EQ(g[ex.time_dim],
+            ex.mo->dimension(ex.time_dim)->type().bottom());
+  EXPECT_EQ(g[ex.url_dim], ex.url_cat);
+}
+
+TEST(MoTest, AddBottomFactRejectsAggregatedCoords) {
+  IspExample ex = MakeIspExample();
+  // A month value is not a bottom coordinate.
+  auto time = ex.mo->dimension(ex.time_dim);
+  ValueId month = time->FindTimeValue(MonthGranule(1999, 12));
+  ASSERT_NE(month, kInvalidValue);
+  std::vector<ValueId> coords = {month, ex.url_cnn};
+  std::vector<int64_t> meas = {1, 1, 1, 1};
+  EXPECT_FALSE(ex.mo->AddBottomFact(coords, meas).ok());
+  // But AddFact (library-internal path) accepts it.
+  EXPECT_TRUE(ex.mo->AddFact(coords, meas).ok());
+  // Mapping to ⊤ is allowed for user inserts ("unknown value").
+  std::vector<ValueId> coords_top = {ex.mo->dimension(ex.time_dim)->top_value(),
+                                     ex.url_cnn};
+  EXPECT_TRUE(ex.mo->AddBottomFact(coords_top, meas).ok());
+}
+
+TEST(MoTest, AddFactValidatesArity) {
+  IspExample ex = MakeIspExample();
+  std::vector<ValueId> coords = {0};  // wrong arity
+  std::vector<int64_t> meas = {1, 1, 1, 1};
+  EXPECT_FALSE(ex.mo->AddFact(coords, meas).ok());
+  std::vector<ValueId> coords2 = {0, ex.url_cnn};
+  std::vector<int64_t> meas2 = {1, 1};
+  EXPECT_FALSE(ex.mo->AddFact(coords2, meas2).ok());
+}
+
+TEST(MoTest, ProvenanceAndNames) {
+  IspExample ex = MakeIspExample();
+  ex.mo->SetProvenance(ex.facts[0], {ex.facts[0], ex.facts[3]}, 1);
+  const std::vector<FactId>* prov = ex.mo->Provenance(ex.facts[0]);
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(prov->size(), 2u);
+  EXPECT_EQ(ex.mo->ResponsibleAction(ex.facts[0]), 1u);
+  EXPECT_EQ(ex.mo->Provenance(ex.facts[1]), nullptr);
+  EXPECT_EQ(ex.mo->ResponsibleAction(ex.facts[1]), kNoAction);
+}
+
+TEST(MoTest, MeasureLookupByName) {
+  IspExample ex = MakeIspExample();
+  auto m = ex.mo->MeasureByName("Dwell_time");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value(), ex.dwell_time);
+  EXPECT_FALSE(ex.mo->MeasureByName("NoSuch").ok());
+  auto d = ex.mo->DimensionByName("URL");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), ex.url_dim);
+}
+
+TEST(MoTest, FormatFact) {
+  IspExample ex = MakeIspExample();
+  EXPECT_EQ(ex.mo->FormatFact(ex.facts[6]),
+            "fact_6: (2000/1/20, www.cc.gatech.edu) [1, 32, 1, 12]");
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,61 @@
+#pragma once
+
+// The action specifications of the paper's running example, in the library's
+// concrete syntax, named by their equation numbers:
+//
+//   a1 (eq. 4), a2 (eq. 5), a3 (eq. 15, deliberately ill-formed), a4
+//   (eq. 16), a7 (eq. 21), a8 (eq. 22), and the Section 5.3 example set
+//   (eqs. 24-26).
+
+namespace dwred::paper {
+
+inline constexpr const char* kA1 =
+    "p(a[Time.month, URL.domain] s[URL.domain_grp = .com AND "
+    "NOW - 12 months <= Time.month <= NOW - 6 months](O))";
+
+inline constexpr const char* kA2 =
+    "p(a[Time.quarter, URL.domain] s[URL.domain_grp = .com AND "
+    "Time.quarter <= NOW - 4 quarters](O))";
+
+// Eq. (15): aggregates URL above its own predicate's category — rejected by
+// the grammar's semantic constraint (Section 4.1).
+inline constexpr const char* kA3 =
+    "p(a[Time.month, URL.domain_grp] s[URL.url = www.cnn.com/health AND "
+    "Time.month <= 1999/12](O))";
+
+// Eq. (16): crosses a2 (aggregates higher on URL, lower/parallel on Time).
+// Note the paper's a4 predicates on Time.month while aggregating Time to
+// week; since week is not <=_Time month, that already violates the Section
+// 4.1 constraint (the predicate would be unevaluable on week-level facts), so
+// the parser rejects the verbatim a4 too.
+inline constexpr const char* kA4 =
+    "p(a[Time.week, URL.url] s[URL.url = www.cnn.com/health AND "
+    "Time.month <= 1999/12](O))";
+
+// A well-formed variant of a4 (week-typed time predicate) that still crosses
+// a2: unordered granularities (week vs quarter, url vs domain) with
+// overlapping predicates.
+inline constexpr const char* kA4Week =
+    "p(a[Time.week, URL.url] s[URL.url = www.cnn.com/health AND "
+    "Time.week <= 1999W52](O))";
+
+inline constexpr const char* kA7 =
+    "p(a[Time.month, URL.domain] s[Time.month <= NOW - 12 months](O))";
+
+inline constexpr const char* kA8 =
+    "p(a[Time.month, URL.domain] s[Time.month <= 1999/12](O))";
+
+// Section 5.3 example, eqs. (24)-(26).
+inline constexpr const char* kS53A1 =
+    "a[Time.month, URL.domain] s[NOW - 4 years < Time.year AND "
+    "Time.year < NOW AND URL.TOP = T]";
+
+inline constexpr const char* kS53A2 =
+    "a[Time.quarter, URL.domain] s[Time.year <= NOW - 4 years AND "
+    "URL.domain_grp = .com]";
+
+inline constexpr const char* kS53A3 =
+    "a[Time.quarter, URL.domain_grp] s[Time.year <= NOW - 4 years AND "
+    "URL.domain_grp = .edu]";
+
+}  // namespace dwred::paper

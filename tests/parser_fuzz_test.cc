@@ -1,0 +1,97 @@
+// Parser robustness: randomized mutations of valid specification and
+// predicate texts must never crash or corrupt state — every malformed input
+// surfaces as a ParseError/NotFound/InvalidArgument Status. (The library is
+// exception-free; a crash here would take the warehouse down with it.)
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+const char* kSeeds[] = {
+    paper::kA1,
+    paper::kA2,
+    paper::kA7,
+    paper::kA8,
+    paper::kS53A1,
+    paper::kS53A2,
+    "d s[Time.year <= NOW - 10 years]",
+    "a[Time.week, URL.url] s[Time.week IN {1999W47, 1999W48} AND "
+    "URL.domain IN {cnn.com, 'gatech.edu'}]",
+    "a[Time.day, URL.url] s[NOT (URL.domain != cnn.com OR false)]",
+};
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, MutatedInputsNeverCrash) {
+  IspExample ex = MakeIspExample();
+  SplitMix64 rng(GetParam());
+  const char charset[] = "as[]{}()<>=!,.0123456789NOWmonthquarter ";
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text = kSeeds[rng.Below(std::size(kSeeds))];
+    int mutations = 1 + static_cast<int>(rng.Below(6));
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      switch (rng.Below(3)) {
+        case 0:  // replace a character
+          text[rng.Below(text.size())] =
+              charset[rng.Below(sizeof(charset) - 1)];
+          break;
+        case 1:  // delete a span
+          text.erase(rng.Below(text.size()),
+                     1 + rng.Below(5));
+          break;
+        case 2:  // duplicate a span
+          {
+            size_t pos = rng.Below(text.size());
+            size_t len = std::min<size_t>(1 + rng.Below(8),
+                                          text.size() - pos);
+            text.insert(pos, text.substr(pos, len));
+          }
+          break;
+      }
+    }
+    auto action = ParseAction(*ex.mo, text);
+    if (action.ok()) ++parsed_ok;  // some mutations stay valid — fine
+    auto pred = ParsePredicate(*ex.mo, text);
+    (void)pred;
+  }
+  // The example MO must be untouched by any amount of failed parsing.
+  EXPECT_EQ(ex.mo->num_facts(), 7u);
+}
+
+TEST_P(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  IspExample ex = MakeIspExample();
+  SplitMix64 rng(GetParam() ^ 0xdeadULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string text;
+    size_t len = rng.Below(120);
+    for (size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(32 + rng.Below(95));
+    }
+    EXPECT_NO_FATAL_FAILURE({
+      auto a = ParseAction(*ex.mo, text);
+      (void)a;
+      auto p = ParsePredicate(*ex.mo, text);
+      (void)p;
+      auto g = ParseGranularityList(*ex.mo, text);
+      (void)g;
+      auto t = ParseGranule(text);
+      (void)t;
+      auto s = ParseSpan(text);
+      (void)s;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,190 @@
+// Tests for the DNF pre-processing of Section 5.3 and the compiled
+// per-dimension constraints: bound snapping, inexactness marking, candidate
+// enumeration, and satisfiability.
+
+#include "spec/predicate_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  std::vector<Conjunct> Compile(const char* text) {
+    auto pred = ParsePredicate(*ex_.mo, text);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    auto dnf = CompileToDnf(*ex_.mo, *pred.value());
+    EXPECT_TRUE(dnf.ok()) << dnf.status().ToString();
+    return dnf.take();
+  }
+
+  IspExample ex_ = MakeIspExample();
+};
+
+TEST_F(AnalysisTest, DisjunctionSplitsIntoConjuncts) {
+  auto dnf = Compile("URL.domain_grp = .com OR URL.domain_grp = .edu");
+  EXPECT_EQ(dnf.size(), 2u);
+}
+
+TEST_F(AnalysisTest, DistributionOverConjunction) {
+  auto dnf = Compile(
+      "(URL.domain_grp = .com OR URL.domain_grp = .edu) AND "
+      "(Time.month <= 1999/12 OR Time.month >= 2001/1)");
+  EXPECT_EQ(dnf.size(), 4u);
+}
+
+TEST_F(AnalysisTest, NegationPushesOntoAtoms) {
+  auto dnf = Compile("NOT (URL.domain = cnn.com AND Time.month <= 1999/12)");
+  // De Morgan: != OR >.
+  ASSERT_EQ(dnf.size(), 2u);
+  bool saw_ne = false, saw_gt = false;
+  for (const auto& c : dnf) {
+    for (const Atom& a : c.atoms) {
+      if (a.op == CmpOp::kNe) saw_ne = true;
+      if (a.op == CmpOp::kGt) saw_gt = true;
+    }
+  }
+  EXPECT_TRUE(saw_ne);
+  EXPECT_TRUE(saw_gt);
+}
+
+TEST_F(AnalysisTest, TrueFalseNormalization) {
+  EXPECT_EQ(Compile("false").size(), 0u);
+  auto dnf = Compile("true");
+  ASSERT_EQ(dnf.size(), 1u);
+  EXPECT_TRUE(dnf[0].atoms.empty());
+  EXPECT_EQ(Compile("NOT true").size(), 0u);
+  EXPECT_EQ(Compile("true OR URL.domain = cnn.com").size(), 2u);
+}
+
+TEST_F(AnalysisTest, BoundSnappingToGranuleEdges) {
+  // Time.month < 1999/12 == day <= 1999/11/30;
+  // Time.month <= 1999/12 == day <= 1999/12/31;
+  // Time.quarter > 1999Q4 == day >= 2000/1/1.
+  auto lt = Compile("Time.month < 1999/12");
+  EXPECT_EQ(lt[0].time.UpperDay(0), DaysFromCivil({1999, 11, 30}));
+  auto le = Compile("Time.month <= 1999/12");
+  EXPECT_EQ(le[0].time.UpperDay(0), DaysFromCivil({1999, 12, 31}));
+  auto gt = Compile("Time.quarter > 1999Q4");
+  EXPECT_EQ(gt[0].time.LowerDay(0), DaysFromCivil({2000, 1, 1}));
+  auto eq = Compile("Time.week = 1999W48");
+  EXPECT_EQ(eq[0].time.LowerDay(0), DaysFromCivil({1999, 11, 29}));
+  EXPECT_EQ(eq[0].time.UpperDay(0), DaysFromCivil({1999, 12, 5}));
+}
+
+TEST_F(AnalysisTest, NowBoundsEvaluatePerNow) {
+  auto c = Compile("Time.month <= NOW - 6 months");
+  const TimeConstraint& tc = c[0].time;
+  EXPECT_TRUE(tc.HasNowUpper());
+  EXPECT_FALSE(tc.HasNowLower());
+  // At NOW = 2000/11/5 the bound is the last day of 2000/5.
+  EXPECT_EQ(tc.UpperDay(DaysFromCivil({2000, 11, 5})),
+            DaysFromCivil({2000, 5, 31}));
+  // A month later it moves one month.
+  EXPECT_EQ(tc.UpperDay(DaysFromCivil({2000, 12, 5})),
+            DaysFromCivil({2000, 6, 30}));
+}
+
+TEST_F(AnalysisTest, InequalityAtomsMarkTimeInexact) {
+  EXPECT_FALSE(Compile("Time.month != 1999/12")[0].time.exact);
+  EXPECT_TRUE(Compile("Time.month = 1999/12")[0].time.exact);
+  EXPECT_FALSE(
+      Compile("Time.week IN {1999W47, 1999W52}")[0].time.exact);
+  // Single-element IN is an interval.
+  EXPECT_TRUE(Compile("Time.week IN {1999W47}")[0].time.exact);
+}
+
+TEST_F(AnalysisTest, MultiElementInStillBoundsTheRange) {
+  auto c = Compile("Time.week IN {1999W47, 1999W52}");
+  EXPECT_EQ(c[0].time.LowerDay(0), FirstDayOf(WeekGranule(1999, 47)));
+  EXPECT_EQ(c[0].time.UpperDay(0), LastDayOf(WeekGranule(1999, 52)));
+}
+
+TEST_F(AnalysisTest, CatConstraintAllowsByRollup) {
+  auto c = Compile("URL.domain_grp = .com AND URL.domain != cnn.com");
+  const CatConstraint& cc = c[0].cats[ex_.url_dim];
+  const Dimension& url = *ex_.mo->dimension(ex_.url_dim);
+  EXPECT_TRUE(cc.Allows(url, ex_.url_amazon));
+  EXPECT_FALSE(cc.Allows(url, ex_.url_cnn));      // excluded via cnn.com
+  EXPECT_FALSE(cc.Allows(url, ex_.url_gatech));   // not .com
+  EXPECT_TRUE(cc.Allows(url, ex_.dom_amazon));    // works at domain level too
+}
+
+TEST_F(AnalysisTest, CandidateValuesEnumerateAtGlb) {
+  auto left = Compile("URL.domain_grp = .com");
+  auto right = Compile("URL.url = www.cnn.com/health");
+  CategoryId enum_cat;
+  std::vector<ValueId> cand = CandidateValues(
+      *ex_.mo->dimension(ex_.url_dim), {&left[0].cats[ex_.url_dim]},
+      {&right[0].cats[ex_.url_dim]}, &enum_cat);
+  EXPECT_EQ(enum_cat, ex_.url_cat);  // GLB(domain_grp, url) = url
+  EXPECT_EQ(cand.size(), 3u);        // the three .com urls
+}
+
+TEST_F(AnalysisTest, CandidateValuesUnconstrainedDimensionIsWildcard) {
+  auto c = Compile("Time.month <= 1999/12");
+  CategoryId enum_cat;
+  std::vector<ValueId> cand =
+      CandidateValues(*ex_.mo->dimension(ex_.url_dim),
+                      {&c[0].cats[ex_.url_dim]}, {}, &enum_cat);
+  EXPECT_EQ(enum_cat, kInvalidCategory);
+  EXPECT_TRUE(cand.empty());
+}
+
+TEST_F(AnalysisTest, SatisfiabilityDetectsEmptyRegions) {
+  auto empty_time = Compile("Time.month <= 1999/1 AND Time.month >= 1999/6");
+  EXPECT_FALSE(empty_time[0].SatisfiableAt(*ex_.mo, 0));
+  auto empty_cat =
+      Compile("URL.domain_grp = .com AND URL.domain_grp = .edu");
+  EXPECT_FALSE(empty_cat[0].SatisfiableAt(*ex_.mo, 0));
+  auto sat = Compile("URL.domain_grp = .com AND Time.month <= 1999/12");
+  EXPECT_TRUE(sat[0].SatisfiableAt(*ex_.mo, 0));
+}
+
+TEST_F(AnalysisTest, DnfBlowupIsBounded) {
+  // (a OR b) AND (a OR b) AND ... 12 times = 4096 conjuncts: at the limit.
+  std::string text = "(URL.domain_grp = .com OR URL.domain_grp = .edu)";
+  std::string big = text;
+  for (int i = 0; i < 11; ++i) big += " AND " + text;
+  auto pred = ParsePredicate(*ex_.mo, big);
+  ASSERT_TRUE(pred.ok());
+  auto dnf = CompileToDnf(*ex_.mo, *pred.value(), /*max_conjuncts=*/1024);
+  EXPECT_FALSE(dnf.ok());
+  auto dnf_big = CompileToDnf(*ex_.mo, *pred.value(), /*max_conjuncts=*/5000);
+  EXPECT_TRUE(dnf_big.ok());
+}
+
+class GrowthClassSweep
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(GrowthClassSweep, Classification) {
+  // 0 = fixed, 1 = growing, 2 = shrinking.
+  IspExample ex = MakeIspExample();
+  auto pred = ParsePredicate(*ex.mo, GetParam().first);
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  auto dnf = CompileToDnf(*ex.mo, *pred.value());
+  ASSERT_TRUE(dnf.ok());
+  const Conjunct& c = dnf.value()[0];
+  int cls = c.time.HasNowLower() ? 2 : (c.time.HasNowUpper() ? 1 : 0);
+  EXPECT_EQ(cls, GetParam().second) << GetParam().first;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GrowthClassSweep,
+    ::testing::Values(
+        std::pair{"Time.month <= 1999/12", 0},                    // case A
+        std::pair{"Time.month >= 1999/1", 0},                     // case A
+        std::pair{"URL.domain = cnn.com", 0},                     // non-time
+        std::pair{"Time.month <= NOW - 6 months", 1},             // case B
+        std::pair{"Time.month >= 1999/1 AND Time.month <= NOW", 1},  // case D
+        std::pair{"Time.month >= NOW - 12 months", 2},            // case F
+        std::pair{"NOW - 12 months <= Time.month AND "
+                  "Time.month <= NOW - 6 months", 2},             // case F
+        std::pair{"Time.quarter > NOW - 8 quarters", 2}));        // case F
+
+}  // namespace
+}  // namespace dwred

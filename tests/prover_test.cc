@@ -1,0 +1,190 @@
+// Direct tests of the prover module — the decision procedures that stand in
+// for the paper's PVS usage: conjunct overlap (NonCrossing, Section 5.2
+// lines 3-4) and boundary coverage (Growing, eq. (23)) — plus the sample-grid
+// construction they rely on.
+
+#include "prover/checks.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+class ProverTest : public ::testing::Test {
+ protected:
+  Conjunct Compile(const char* pred_text) {
+    auto pred = ParsePredicate(*ex_.mo, pred_text);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    auto dnf = CompileToDnf(*ex_.mo, *pred.value());
+    EXPECT_TRUE(dnf.ok());
+    EXPECT_EQ(dnf.value().size(), 1u) << pred_text;
+    return dnf.value()[0];
+  }
+
+  IspExample ex_ = MakeIspExample();
+};
+
+TEST_F(ProverTest, FixedIntervalOverlapIsExact) {
+  Conjunct a = Compile("Time.quarter <= 1999Q4");
+  Conjunct b = Compile("Time.quarter >= 2000Q1");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, a, b), TriBool::kNo);
+  Conjunct c = Compile("Time.quarter >= 1999Q4");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, a, c), TriBool::kYes);
+  // Adjacent but disjoint at day granularity.
+  Conjunct d = Compile("Time.day <= 1999/12/31");
+  Conjunct e = Compile("Time.day >= 2000/1/1");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, d, e), TriBool::kNo);
+}
+
+TEST_F(ProverTest, CategoricalDisjointnessRefutesOverlap) {
+  Conjunct a = Compile("URL.domain_grp = .com");
+  Conjunct b = Compile("URL.domain_grp = .edu");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, a, b), TriBool::kNo);
+  // Cross-category: a url under .com overlaps the .com constraint.
+  Conjunct c = Compile("URL.url = www.cnn.com/health");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, a, c), TriBool::kYes);
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, b, c), TriBool::kNo);
+}
+
+TEST_F(ProverTest, ExclusionConstraintsIntersectCorrectly) {
+  Conjunct a = Compile("URL.domain != cnn.com");
+  Conjunct b = Compile("URL.domain = cnn.com");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, a, b), TriBool::kNo);
+  Conjunct c = Compile("URL.domain_grp = .com");
+  // .com minus cnn.com still contains amazon.com.
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, a, c), TriBool::kYes);
+}
+
+TEST_F(ProverTest, MovingVsFixedIntervalsMeetEventually) {
+  // A NOW-relative window sweeps over any fixed interval at some NOW.
+  Conjunct moving =
+      Compile("NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months");
+  Conjunct fixed = Compile("Time.month = 1980/3");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, moving, fixed), TriBool::kYes);
+  Conjunct fixed_future = Compile("Time.month = 2031/7");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, moving, fixed_future),
+            TriBool::kYes);
+}
+
+TEST_F(ProverTest, LockstepMovingIntervalsKeepTheirGap) {
+  // Both windows move with NOW and never meet: [NOW-24m, NOW-18m] vs
+  // [NOW-12m, NOW-6m].
+  Conjunct older =
+      Compile("NOW - 24 months <= Time.month AND Time.month <= NOW - 18 months");
+  Conjunct newer =
+      Compile("NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, older, newer), TriBool::kNo);
+  // Touching windows do overlap (shared boundary month).
+  Conjunct touching =
+      Compile("NOW - 18 months <= Time.month AND Time.month <= NOW - 12 months");
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, older, touching), TriBool::kYes);
+}
+
+TEST_F(ProverTest, MixedUnitOffsetsCompareCalendarExactly) {
+  // NOW - 4 quarters and NOW - 12 months bound the same days.
+  Conjunct q = Compile("Time.quarter <= NOW - 4 quarters");
+  Conjunct m = Compile("Time.quarter >= NOW - 12 months");
+  // Overlap exactly at the boundary quarter.
+  EXPECT_EQ(ConjunctsEverOverlap(*ex_.mo, q, m), TriBool::kYes);
+}
+
+TEST_F(ProverTest, BoundaryCoverageAcceptsTheA1A2Pattern) {
+  Conjunct a1 =
+      Compile("URL.domain_grp = .com AND "
+              "NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months");
+  Conjunct a2 =
+      Compile("URL.domain_grp = .com AND Time.quarter <= NOW - 4 quarters");
+  std::string diag;
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, a1, {&a2}, {}, &diag), TriBool::kYes)
+      << diag;
+}
+
+TEST_F(ProverTest, BoundaryCoverageRejectsGaps) {
+  Conjunct a1 =
+      Compile("URL.domain_grp = .com AND "
+              "NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months");
+  Conjunct late =
+      Compile("URL.domain_grp = .com AND Time.quarter <= NOW - 8 quarters");
+  std::string diag;
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, a1, {&late}, {}, &diag), TriBool::kNo);
+  EXPECT_FALSE(diag.empty());
+}
+
+TEST_F(ProverTest, BoundaryCoverageRejectsCategoricalGaps) {
+  Conjunct a1 =
+      Compile("NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months");
+  Conjunct com_only =
+      Compile("URL.domain_grp = .com AND Time.quarter <= NOW - 4 quarters");
+  std::string diag;
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, a1, {&com_only}, {}, &diag),
+            TriBool::kNo);
+  EXPECT_NE(diag.find(".edu"), std::string::npos) << diag;
+}
+
+TEST_F(ProverTest, BoundaryCoverageByUnionOfCategoricalPieces) {
+  // The Section 5.3 shape: the boundary is covered by the union of a .com
+  // catcher and an .edu catcher.
+  Conjunct a1 =
+      Compile("NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months");
+  Conjunct com_part =
+      Compile("URL.domain_grp = .com AND Time.quarter <= NOW - 4 quarters");
+  Conjunct edu_part =
+      Compile("URL.domain_grp = .edu AND Time.quarter <= NOW - 4 quarters");
+  std::string diag;
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, a1, {&com_part, &edu_part}, {}, &diag),
+            TriBool::kYes)
+      << diag;
+}
+
+TEST_F(ProverTest, BoundaryCoverageByTemporalUnion) {
+  // Two covers that split the timeline: one takes quarters up to a fixed
+  // boundary far in the past, the other the NOW-relative recent past; the
+  // union covers every leaving window.
+  Conjunct a1 =
+      Compile("NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months");
+  Conjunct recent =
+      Compile("NOW - 40 quarters <= Time.quarter AND "
+              "Time.quarter <= NOW - 4 quarters");
+  Conjunct ancient = Compile("Time.quarter <= NOW - 40 quarters");
+  std::string diag;
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, a1, {&recent, &ancient}, {}, &diag),
+            TriBool::kYes)
+      << diag;
+}
+
+TEST_F(ProverTest, NonShrinkingConjunctIsTriviallyCovered) {
+  Conjunct fixed = Compile("Time.month <= 1999/12");
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, fixed, {}, {}), TriBool::kYes);
+  Conjunct growing = Compile("Time.month <= NOW - 6 months");
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, growing, {}, {}), TriBool::kYes);
+}
+
+TEST_F(ProverTest, UnsatisfiableShrinkerIsVacuouslyCovered) {
+  Conjunct a = Compile(
+      "URL.domain_grp = .com AND URL.domain_grp = .edu AND "
+      "NOW - 12 months <= Time.month");
+  EXPECT_EQ(BoundaryCovered(*ex_.mo, a, {}, {}), TriBool::kYes);
+}
+
+TEST_F(ProverTest, SampleGridCoversAnchorsAndCriticalNows) {
+  Conjunct moving = Compile("Time.month <= NOW - 6 months");
+  Conjunct fixed = Compile("Time.month = 1999/12");
+  std::vector<int64_t> grid = BuildSampleGrid({&moving, &fixed}, {});
+  ASSERT_FALSE(grid.empty());
+  // Sorted and unique.
+  for (size_t i = 1; i < grid.size(); ++i) EXPECT_LT(grid[i - 1], grid[i]);
+  // Contains daily samples around the critical NOW where NOW - 6 months hits
+  // 1999/12 (i.e. around 2000/6).
+  int64_t critical = DaysFromCivil({2000, 6, 15});
+  bool near = false;
+  for (int64_t t : grid) {
+    if (std::abs(t - critical) <= 2) near = true;
+  }
+  EXPECT_TRUE(near);
+}
+
+}  // namespace
+}  // namespace dwred

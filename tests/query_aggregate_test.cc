@@ -1,0 +1,270 @@
+// Projection and aggregate-formation tests (paper Sections 6.2, 6.3): the
+// Figure 4 projection golden, Group_high's worked examples, the Figure 5
+// availability-approach aggregation golden, and the strict/LUB variants.
+
+#include "query/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+class QueryAggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.Add(ParseAction(*ex_.mo, paper::kA1, "a1").take());
+    spec_.Add(ParseAction(*ex_.mo, paper::kA2, "a2").take());
+    t_ = DaysFromCivil({2000, 11, 5});
+    auto r = Reduce(*ex_.mo, spec_, t_);
+    ASSERT_TRUE(r.ok());
+    reduced_ = std::make_unique<MultidimensionalObject>(r.take());
+    for (FactId f = 0; f < reduced_->num_facts(); ++f) {
+      by_name_[reduced_->FactName(f)] = f;
+    }
+  }
+
+  static std::map<std::string, std::vector<int64_t>> Snapshot(
+      const MultidimensionalObject& mo) {
+    std::map<std::string, std::vector<int64_t>> out;
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      std::string key;
+      for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+        if (d) key += "|";
+        key += mo.dimension(static_cast<DimensionId>(d))
+                   ->value_name(mo.Coord(f, static_cast<DimensionId>(d)));
+      }
+      std::vector<int64_t> meas;
+      for (size_t m = 0; m < mo.num_measures(); ++m) {
+        meas.push_back(mo.Measure(f, static_cast<MeasureId>(m)));
+      }
+      out[key] = meas;
+    }
+    return out;
+  }
+
+  IspExample ex_ = MakeIspExample();
+  ReductionSpecification spec_;
+  std::unique_ptr<MultidimensionalObject> reduced_;
+  std::map<std::string, FactId> by_name_;
+  int64_t t_ = 0;
+};
+
+TEST_F(QueryAggregateTest, Figure4ProjectionOntoUrl) {
+  // π[URL][Number_of, Dwell_time](O) at 2000/11/5.
+  auto proj = Project(*reduced_, {ex_.url_dim}, {ex_.number_of, ex_.dwell_time});
+  ASSERT_TRUE(proj.ok()) << proj.status().ToString();
+  const MultidimensionalObject& p = proj.value();
+  EXPECT_EQ(p.num_dimensions(), 1u);
+  EXPECT_EQ(p.num_measures(), 2u);
+  // Figure 4: four facts — amazon.com (2, 689), cnn.com twice (2, 2489) and
+  // (2, 955) since projection keeps duplicates, gatech's url (1, 32).
+  EXPECT_EQ(p.num_facts(), 4u);
+  std::multiset<std::pair<std::string, int64_t>> rows;
+  for (FactId f = 0; f < p.num_facts(); ++f) {
+    rows.emplace(p.dimension(0)->value_name(p.Coord(f, 0)), p.Measure(f, 1));
+  }
+  std::multiset<std::pair<std::string, int64_t>> expected_rows = {
+      {"amazon.com", 689},
+      {"cnn.com", 2489},
+      {"cnn.com", 955},
+      {"www.cc.gatech.edu", 32},
+  };
+  EXPECT_EQ(rows, expected_rows);
+  int cnn_count = 0;
+  for (FactId f = 0; f < p.num_facts(); ++f) {
+    if (p.dimension(0)->value_name(p.Coord(f, 0)) == "cnn.com") ++cnn_count;
+  }
+  EXPECT_EQ(cnn_count, 2);
+  EXPECT_EQ(p.measure_type(0).name, "Number_of");
+  EXPECT_EQ(p.measure_type(1).name, "Dwell_time");
+}
+
+TEST_F(QueryAggregateTest, GroupHighWorkedExamples) {
+  // Section 6.3's Group_high examples on the reduced MO.
+  const Dimension& time = *reduced_->dimension(ex_.time_dim);
+  ValueId q4 = time.FindTimeValue(QuarterGranule(1999, 4));
+  ValueId y1999 = time.FindTimeValue(YearGranule(1999));
+  ValueId jan = time.FindTimeValue(MonthGranule(2000, 1));
+  ASSERT_NE(q4, kInvalidValue);
+  ASSERT_NE(y1999, kInvalidValue);
+  ASSERT_NE(jan, kInvalidValue);
+  std::vector<CategoryId> target = {
+      static_cast<CategoryId>(TimeUnit::kMonth), ex_.domain_cat};
+
+  // Group_high((1999Q4, amazon.com), (month, domain)) = {fact_03}.
+  std::vector<ValueId> cell1 = {q4, ex_.dom_amazon};
+  auto g1 = GroupHigh(*reduced_, cell1, target);
+  ASSERT_EQ(g1.size(), 1u);
+  EXPECT_EQ(reduced_->FactName(g1[0]), "fact_03");
+
+  // Group_high((1999, amazon.com), ...) = ∅ (no fact maps *directly* to the
+  // year value).
+  std::vector<ValueId> cell2 = {y1999, ex_.dom_amazon};
+  EXPECT_TRUE(GroupHigh(*reduced_, cell2, target).empty());
+
+  // Group_high((2000/1, gatech.edu), ...) = {fact_6}.
+  std::vector<ValueId> cell3 = {jan, ex_.dom_gatech};
+  auto g3 = GroupHigh(*reduced_, cell3, target);
+  ASSERT_EQ(g3.size(), 1u);
+  EXPECT_EQ(reduced_->FactName(g3[0]), "fact_6");
+}
+
+TEST_F(QueryAggregateTest, Figure5AvailabilityAggregation) {
+  // Q5 = α[Time.month, URL.domain](O): fact_03/fact_12 stay at quarter (no
+  // finer level available), fact_45 stays, fact_6 aggregates to month/domain.
+  std::vector<CategoryId> target = {
+      static_cast<CategoryId>(TimeUnit::kMonth), ex_.domain_cat};
+  auto agg = AggregateFormation(*reduced_, target);
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  std::map<std::string, std::vector<int64_t>> expected = {
+      {"1999Q4|amazon.com", {2, 689, 3, 68}},
+      {"1999Q4|cnn.com", {2, 2489, 7, 94}},
+      {"2000/1|cnn.com", {2, 955, 10, 99}},
+      {"2000/1|gatech.edu", {1, 32, 1, 12}},
+  };
+  EXPECT_EQ(Snapshot(agg.value()), expected);
+}
+
+TEST_F(QueryAggregateTest, Q4YearDomainAggregation) {
+  // Q4 = α[Time.year, URL.domain](O): year and domain are available for all
+  // facts, so the result has uniform granularity.
+  std::vector<CategoryId> target = {
+      static_cast<CategoryId>(TimeUnit::kYear), ex_.domain_cat};
+  auto agg = AggregateFormation(*reduced_, target);
+  ASSERT_TRUE(agg.ok());
+  std::map<std::string, std::vector<int64_t>> expected = {
+      {"1999|amazon.com", {2, 689, 3, 68}},
+      {"1999|cnn.com", {2, 2489, 7, 94}},
+      {"2000|cnn.com", {2, 955, 10, 99}},
+      {"2000|gatech.edu", {1, 32, 1, 12}},
+  };
+  EXPECT_EQ(Snapshot(agg.value()), expected);
+}
+
+TEST_F(QueryAggregateTest, StrictApproachDropsCoarseFacts) {
+  std::vector<CategoryId> target = {
+      static_cast<CategoryId>(TimeUnit::kMonth), ex_.domain_cat};
+  auto agg = AggregateFormation(*reduced_, target,
+                                AggregationApproach::kStrict);
+  ASSERT_TRUE(agg.ok());
+  // The two quarter-level facts are dropped.
+  std::map<std::string, std::vector<int64_t>> expected = {
+      {"2000/1|cnn.com", {2, 955, 10, 99}},
+      {"2000/1|gatech.edu", {1, 32, 1, 12}},
+  };
+  EXPECT_EQ(Snapshot(agg.value()), expected);
+}
+
+TEST_F(QueryAggregateTest, LubApproachUnifiesGranularity) {
+  std::vector<CategoryId> target = {
+      static_cast<CategoryId>(TimeUnit::kMonth), ex_.domain_cat};
+  auto agg = AggregateFormation(*reduced_, target, AggregationApproach::kLub);
+  ASSERT_TRUE(agg.ok());
+  // LUB(month, quarter) = quarter: everything lands at quarter/domain.
+  std::map<std::string, std::vector<int64_t>> expected = {
+      {"1999Q4|amazon.com", {2, 689, 3, 68}},
+      {"1999Q4|cnn.com", {2, 2489, 7, 94}},
+      {"2000Q1|cnn.com", {2, 955, 10, 99}},
+      {"2000Q1|gatech.edu", {1, 32, 1, 12}},
+  };
+  EXPECT_EQ(Snapshot(agg.value()), expected);
+}
+
+TEST_F(QueryAggregateTest, DisaggregatedApproachSplitsUniformly) {
+  // The paper's fourth approach: quarter-level facts are split across their
+  // materialized months, giving a uniform month/domain answer whose SUM
+  // totals stay exact (but are imprecise per cell).
+  std::vector<CategoryId> target = {
+      static_cast<CategoryId>(TimeUnit::kMonth), ex_.domain_cat};
+  auto agg = AggregateFormation(*reduced_, target,
+                                AggregationApproach::kDisaggregated);
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  const MultidimensionalObject& r = agg.value();
+  // All cells at exactly (month, domain).
+  for (FactId f = 0; f < r.num_facts(); ++f) {
+    EXPECT_EQ(r.Gran(f)[ex_.time_dim],
+              static_cast<CategoryId>(TimeUnit::kMonth));
+    EXPECT_EQ(r.Gran(f)[ex_.url_dim], ex_.domain_cat);
+  }
+  // fact_03 (1999Q4, amazon.com)[2,689,3,68] splits over the two
+  // materialized months 1999/11 and 1999/12: 1+1, 345+344, 2+1, 34+34.
+  std::map<std::string, std::vector<int64_t>> snap = Snapshot(r);
+  ASSERT_TRUE(snap.count("1999/11|amazon.com"));
+  ASSERT_TRUE(snap.count("1999/12|amazon.com"));
+  EXPECT_EQ(snap["1999/11|amazon.com"][ex_.number_of] +
+                snap["1999/12|amazon.com"][ex_.number_of],
+            2);
+  EXPECT_EQ(snap["1999/11|amazon.com"][ex_.dwell_time] +
+                snap["1999/12|amazon.com"][ex_.dwell_time],
+            689);
+  // Global SUM totals are preserved exactly.
+  int64_t dwell = 0, number = 0;
+  for (FactId f = 0; f < r.num_facts(); ++f) {
+    number += r.Measure(f, ex_.number_of);
+    dwell += r.Measure(f, ex_.dwell_time);
+  }
+  EXPECT_EQ(number, 7);
+  EXPECT_EQ(dwell, 4165);
+}
+
+TEST_F(QueryAggregateTest, TwoStepAggregationEqualsDirect) {
+  // Distributivity: α[year, domain_grp] == α over α[month, domain] pieces.
+  std::vector<CategoryId> mid = {static_cast<CategoryId>(TimeUnit::kMonth),
+                                 ex_.domain_cat};
+  std::vector<CategoryId> top = {static_cast<CategoryId>(TimeUnit::kYear),
+                                 ex_.domain_grp_cat};
+  auto direct = AggregateFormation(*reduced_, top);
+  ASSERT_TRUE(direct.ok());
+  auto step1 = AggregateFormation(*reduced_, mid);
+  ASSERT_TRUE(step1.ok());
+  auto step2 = AggregateFormation(step1.value(), top);
+  ASSERT_TRUE(step2.ok());
+  EXPECT_EQ(Snapshot(direct.value()), Snapshot(step2.value()));
+}
+
+TEST_F(QueryAggregateTest, AggregateToTopCollapsesEverything) {
+  std::vector<CategoryId> target = {
+      static_cast<CategoryId>(TimeUnit::kTop),
+      ex_.mo->dimension(ex_.url_dim)->type().top()};
+  auto agg = AggregateFormation(*reduced_, target);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg.value().num_facts(), 1u);
+  // Totals over Table 2: 7 clicks, 4165 dwell, 21 delivery, 273 KB.
+  EXPECT_EQ(agg.value().Measure(0, ex_.number_of), 7);
+  EXPECT_EQ(agg.value().Measure(0, ex_.dwell_time), 4165);
+  EXPECT_EQ(agg.value().Measure(0, ex_.delivery_time), 21);
+  EXPECT_EQ(agg.value().Measure(0, ex_.datasize), 273);
+}
+
+TEST_F(QueryAggregateTest, MinMaxMeasuresAggregateDistributively) {
+  // Build a small MO with MIN/MAX measures to exercise non-SUM folds.
+  auto time = std::make_shared<Dimension>(Dimension::MakeTimeDimension());
+  std::vector<MeasureType> ms = {{"fastest", AggFn::kMin},
+                                 {"slowest", AggFn::kMax}};
+  MultidimensionalObject mo(
+      "Ping", std::vector<std::shared_ptr<Dimension>>{time}, ms);
+  for (int d = 1; d <= 3; ++d) {
+    ValueId day =
+        time->EnsureTimeValue(DayGranule(CivilDate{2000, 1, d})).take();
+    std::vector<ValueId> coords = {day};
+    std::vector<int64_t> meas = {10 * d, 10 * d};
+    ASSERT_TRUE(mo.AddBottomFact(coords, meas).ok());
+  }
+  std::vector<CategoryId> target = {static_cast<CategoryId>(TimeUnit::kMonth)};
+  auto agg = AggregateFormation(mo, target);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg.value().num_facts(), 1u);
+  EXPECT_EQ(agg.value().Measure(0, 0), 10);  // MIN
+  EXPECT_EQ(agg.value().Measure(0, 1), 30);  // MAX
+}
+
+}  // namespace
+}  // namespace dwred

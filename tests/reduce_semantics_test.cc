@@ -1,0 +1,194 @@
+// Reduction-semantics goldens: the Section 4.2 auxiliary functions
+// (Spec_gran, Cell, AggLevel) and Definition 2's reduced MO, asserted against
+// the paper's worked values and the three snapshots of Figure 3.
+
+#include "reduce/semantics.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+class ReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.Add(ParseAction(*ex_.mo, paper::kA1, "a1").take());
+    spec_.Add(ParseAction(*ex_.mo, paper::kA2, "a2").take());
+  }
+
+  /// Snapshot of an MO as a map "(cell) -> measures" for order-insensitive
+  /// comparison.
+  static std::map<std::string, std::vector<int64_t>> Snapshot(
+      const MultidimensionalObject& mo) {
+    std::map<std::string, std::vector<int64_t>> out;
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      std::string key;
+      for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+        if (d) key += "|";
+        key += mo.dimension(static_cast<DimensionId>(d))
+                   ->value_name(mo.Coord(f, static_cast<DimensionId>(d)));
+      }
+      std::vector<int64_t> meas;
+      for (size_t m = 0; m < mo.num_measures(); ++m) {
+        meas.push_back(mo.Measure(f, static_cast<MeasureId>(m)));
+      }
+      out[key] = meas;
+    }
+    return out;
+  }
+
+  IspExample ex_ = MakeIspExample();
+  ReductionSpecification spec_;
+};
+
+TEST_F(ReduceTest, MaxSpecGranForFact1MatchesPaperExample) {
+  // Paper Section 4.2: at 2000/11/5, Spec_gran(fact_1) contains
+  // (day, url), (month, domain*) and (quarter, domain); the max is
+  // (quarter, domain).
+  int64_t t = DaysFromCivil({2000, 11, 5});
+  ActionId responsible = kNoAction;
+  auto g = MaxSpecGran(*ex_.mo, spec_, ex_.facts[1], t, &responsible);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value()[ex_.time_dim],
+            static_cast<CategoryId>(TimeUnit::kQuarter));
+  EXPECT_EQ(g.value()[ex_.url_dim], ex_.domain_cat);
+  EXPECT_EQ(responsible, 1u);  // a2
+}
+
+TEST_F(ReduceTest, CellOfFact1IsQ4Cnn) {
+  // Paper: Cell(fact_1, 2000/11/5) = (1999Q4, cnn.com).
+  int64_t t = DaysFromCivil({2000, 11, 5});
+  auto cell = CellOf(*ex_.mo, spec_, ex_.facts[1], t);
+  ASSERT_TRUE(cell.ok());
+  const Dimension& time = *ex_.mo->dimension(ex_.time_dim);
+  EXPECT_EQ(time.granule(cell.value()[ex_.time_dim]), QuarterGranule(1999, 4));
+  EXPECT_EQ(cell.value()[ex_.url_dim], ex_.dom_cnn);
+}
+
+TEST_F(ReduceTest, AggLevelPerDimension) {
+  int64_t t = DaysFromCivil({2000, 11, 5});
+  // fact_1's direct cell.
+  std::vector<ValueId> cell = {ex_.mo->Coord(ex_.facts[1], ex_.time_dim),
+                               ex_.mo->Coord(ex_.facts[1], ex_.url_dim)};
+  auto lt = AggLevel(*ex_.mo, spec_, ex_.time_dim, cell, t);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt.value(), static_cast<CategoryId>(TimeUnit::kQuarter));
+  auto lu = AggLevel(*ex_.mo, spec_, ex_.url_dim, cell, t);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_EQ(lu.value(), ex_.domain_cat);
+  // fact_6 (gatech.edu): no action covers it -> bottom levels.
+  std::vector<ValueId> cell6 = {ex_.mo->Coord(ex_.facts[6], ex_.time_dim),
+                                ex_.mo->Coord(ex_.facts[6], ex_.url_dim)};
+  EXPECT_EQ(AggLevel(*ex_.mo, spec_, ex_.time_dim, cell6, t).value(),
+            static_cast<CategoryId>(TimeUnit::kDay));
+  EXPECT_EQ(AggLevel(*ex_.mo, spec_, ex_.url_dim, cell6, t).value(),
+            ex_.url_cat);
+}
+
+TEST_F(ReduceTest, Figure3SnapshotAt2000_4_5_NothingReduced) {
+  auto reduced = Reduce(*ex_.mo, spec_, DaysFromCivil({2000, 4, 5}));
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_EQ(reduced.value().num_facts(), 7u);
+  EXPECT_EQ(Snapshot(reduced.value()), Snapshot(*ex_.mo));
+}
+
+TEST_F(ReduceTest, Figure3SnapshotAt2000_6_5) {
+  ReduceStats stats;
+  auto reduced = Reduce(*ex_.mo, spec_, DaysFromCivil({2000, 6, 5}), {}, &stats);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  // fact_1 + fact_2 -> fact_12 at (1999/12, cnn.com); fact_0 and fact_3
+  // aggregate individually to (1999/11, amazon.com) and (1999/12,
+  // amazon.com); facts 4..6 unchanged.
+  std::map<std::string, std::vector<int64_t>> expected = {
+      {"1999/11|amazon.com", {1, 677, 2, 34}},
+      {"1999/12|amazon.com", {1, 12, 1, 34}},
+      {"1999/12|cnn.com", {2, 2489, 7, 94}},
+      {"2000/1/4|www.cnn.com", {1, 654, 4, 47}},
+      {"2000/1/4|www.cnn.com/health", {1, 301, 6, 52}},
+      {"2000/1/20|www.cc.gatech.edu", {1, 32, 1, 12}},
+  };
+  EXPECT_EQ(Snapshot(reduced.value()), expected);
+  EXPECT_EQ(stats.input_facts, 7u);
+  EXPECT_EQ(stats.output_facts, 6u);
+  EXPECT_EQ(stats.facts_aggregated, 4u);
+}
+
+TEST_F(ReduceTest, Figure3SnapshotAt2000_11_5) {
+  auto reduced = Reduce(*ex_.mo, spec_, DaysFromCivil({2000, 11, 5}));
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  std::map<std::string, std::vector<int64_t>> expected = {
+      {"1999Q4|amazon.com", {2, 689, 3, 68}},   // fact_03
+      {"1999Q4|cnn.com", {2, 2489, 7, 94}},     // fact_12
+      {"2000/1|cnn.com", {2, 955, 10, 99}},     // fact_45
+      {"2000/1/20|www.cc.gatech.edu", {1, 32, 1, 12}},  // fact_6
+  };
+  EXPECT_EQ(Snapshot(reduced.value()), expected);
+}
+
+TEST_F(ReduceTest, MergedFactNamesAndProvenanceMatchPaper) {
+  auto reduced = Reduce(*ex_.mo, spec_, DaysFromCivil({2000, 11, 5}));
+  ASSERT_TRUE(reduced.ok());
+  const MultidimensionalObject& r = reduced.value();
+  std::map<std::string, FactId> by_name;
+  for (FactId f = 0; f < r.num_facts(); ++f) by_name[r.FactName(f)] = f;
+  ASSERT_TRUE(by_name.count("fact_03"));
+  ASSERT_TRUE(by_name.count("fact_12"));
+  ASSERT_TRUE(by_name.count("fact_45"));
+  ASSERT_TRUE(by_name.count("fact_6"));
+
+  const std::vector<FactId>* prov = r.Provenance(by_name["fact_03"]);
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(*prov, (std::vector<FactId>{0, 3}));
+  // a2 (index 1) is responsible for fact_03's granularity — the paper
+  // requires being able to tell which action caused an aggregation.
+  EXPECT_EQ(r.ResponsibleAction(by_name["fact_03"]), 1u);
+  // fact_45 was aggregated by a1 (index 0).
+  EXPECT_EQ(r.ResponsibleAction(by_name["fact_45"]), 0u);
+  EXPECT_EQ(r.ResponsibleAction(by_name["fact_6"]), kNoAction);
+}
+
+TEST_F(ReduceTest, ReductionIsIdempotentAtFixedTime) {
+  int64_t t = DaysFromCivil({2000, 11, 5});
+  auto once = Reduce(*ex_.mo, spec_, t);
+  ASSERT_TRUE(once.ok());
+  auto twice = Reduce(once.value(), spec_, t);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(Snapshot(once.value()), Snapshot(twice.value()));
+}
+
+TEST_F(ReduceTest, GradualReductionEqualsDirectReduction) {
+  // Property (consequence of Growing + distributivity): reducing at 2000/6/5
+  // and then at 2000/11/5 gives the same facts as reducing the original MO
+  // directly at 2000/11/5.
+  int64_t t1 = DaysFromCivil({2000, 6, 5});
+  int64_t t2 = DaysFromCivil({2000, 11, 5});
+  auto step = Reduce(*ex_.mo, spec_, t1);
+  ASSERT_TRUE(step.ok());
+  auto gradual = Reduce(step.value(), spec_, t2);
+  ASSERT_TRUE(gradual.ok());
+  auto direct = Reduce(*ex_.mo, spec_, t2);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(Snapshot(gradual.value()), Snapshot(direct.value()));
+  // Provenance survives the gradual path.
+  std::map<std::string, FactId> by_name;
+  const MultidimensionalObject& g = gradual.value();
+  for (FactId f = 0; f < g.num_facts(); ++f) by_name[g.FactName(f)] = f;
+  ASSERT_TRUE(by_name.count("fact_03"));
+  EXPECT_EQ(*g.Provenance(by_name["fact_03"]), (std::vector<FactId>{0, 3}));
+}
+
+TEST_F(ReduceTest, EmptySpecificationIsIdentity) {
+  ReductionSpecification empty;
+  auto reduced = Reduce(*ex_.mo, empty, DaysFromCivil({2005, 1, 1}));
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(Snapshot(reduced.value()), Snapshot(*ex_.mo));
+}
+
+}  // namespace
+}  // namespace dwred

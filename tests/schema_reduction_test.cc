@@ -1,0 +1,130 @@
+// Tests for schema-level reduction (paper Section 8 future work + the
+// Section 4.4 aside): dropping dimensions (with measure folding), dropping
+// measures, and physically removing bottom category types.
+
+#include "reduce/schema_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+class SchemaReductionTest : public ::testing::Test {
+ protected:
+  IspExample ex_ = MakeIspExample();
+};
+
+TEST_F(SchemaReductionTest, DropDimensionFoldsCollapsedCells) {
+  // Dropping URL leaves facts keyed by day; fact_1/fact_2 (same day) and
+  // fact_4/fact_5 fold together.
+  auto out = DropDimension(*ex_.mo, ex_.url_dim);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const MultidimensionalObject& r = out.value();
+  EXPECT_EQ(r.num_dimensions(), 1u);
+  EXPECT_EQ(r.num_facts(), 5u);  // 7 facts on 5 distinct days
+  // Total dwell preserved.
+  int64_t dwell = 0;
+  for (FactId f = 0; f < r.num_facts(); ++f) {
+    dwell += r.Measure(f, ex_.dwell_time);
+  }
+  EXPECT_EQ(dwell, 4165);
+  // The folded fact for 1999/12/4 carries merged provenance.
+  for (FactId f = 0; f < r.num_facts(); ++f) {
+    if (r.dimension(0)->value_name(r.Coord(f, 0)) == "1999/12/4") {
+      const std::vector<FactId>* prov = r.Provenance(f);
+      ASSERT_NE(prov, nullptr);
+      EXPECT_EQ(*prov, (std::vector<FactId>{1, 2}));
+    }
+  }
+}
+
+TEST_F(SchemaReductionTest, DropDimensionGuards) {
+  EXPECT_FALSE(DropDimension(*ex_.mo, 7).ok());
+  auto once = DropDimension(*ex_.mo, ex_.url_dim);
+  ASSERT_TRUE(once.ok());
+  EXPECT_FALSE(DropDimension(once.value(), 0).ok());  // last dimension
+}
+
+TEST_F(SchemaReductionTest, DropMeasure) {
+  auto out = DropMeasure(*ex_.mo, ex_.dwell_time);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const MultidimensionalObject& r = out.value();
+  EXPECT_EQ(r.num_measures(), 3u);
+  EXPECT_EQ(r.num_facts(), 7u);
+  EXPECT_EQ(r.measure_type(1).name, "Delivery_time");
+  EXPECT_EQ(r.Measure(ex_.facts[1], 1), 5);  // fact_1's delivery time
+  EXPECT_FALSE(DropMeasure(*ex_.mo, 9).ok());
+}
+
+TEST_F(SchemaReductionTest, RaiseBottomRequiresReducedFacts) {
+  // Facts still at url level: removal of the url category is refused.
+  auto bad = RaiseBottomCategory(*ex_.mo, ex_.url_dim, ex_.domain_cat);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("reduce the MO first"),
+            std::string::npos);
+}
+
+TEST_F(SchemaReductionTest, RaiseBottomAfterReduction) {
+  // Reduce everything .com to quarter/domain, the rest untouched; then raise
+  // URL's bottom to domain once every fact is at domain or above... fact_6 is
+  // still at url level, so aggregate everything to (quarter, domain) first.
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*ex_.mo,
+                       "a[Time.quarter, URL.domain] s[Time.quarter <= "
+                       "NOW - 4 quarters]",
+                       "all")
+               .take());
+  int64_t t = DaysFromCivil({2002, 1, 1});
+  auto reduced = Reduce(*ex_.mo, spec, t).take();
+  ASSERT_EQ(reduced.Gran(0)[ex_.url_dim], ex_.domain_cat);
+
+  auto raised = RaiseBottomCategory(reduced, ex_.url_dim, ex_.domain_cat);
+  ASSERT_TRUE(raised.ok()) << raised.status().ToString();
+  const MultidimensionalObject& r = raised.value();
+  const Dimension& url = *r.dimension(ex_.url_dim);
+  // The rebuilt dimension has no url category.
+  EXPECT_FALSE(url.type().CategoryByName("url").ok());
+  EXPECT_TRUE(url.type().CategoryByName("domain").ok());
+  EXPECT_EQ(url.type().bottom(), url.type().CategoryByName("domain").value());
+  // Facts kept their (renamed-id) domain coordinates and measures.
+  EXPECT_EQ(r.num_facts(), reduced.num_facts());
+  int64_t total = 0;
+  for (FactId f = 0; f < r.num_facts(); ++f) {
+    total += r.Measure(f, ex_.number_of);
+    EXPECT_EQ(url.value_category(r.Coord(f, ex_.url_dim)),
+              url.type().bottom());
+  }
+  EXPECT_EQ(total, 7);
+  // New facts can now only be inserted at the domain level.
+  auto dom = url.ValueByName(url.type().bottom(), "cnn.com");
+  ASSERT_TRUE(dom.ok());
+}
+
+TEST_F(SchemaReductionTest, RaiseBottomOnTimeDimension) {
+  ReductionSpecification spec;
+  spec.Add(ParseAction(*ex_.mo,
+                       "a[Time.month, URL.url] s[Time.month <= NOW]", "all")
+               .take());
+  auto reduced =
+      Reduce(*ex_.mo, spec, DaysFromCivil({2002, 1, 1})).take();
+  auto raised = RaiseBottomCategory(
+      reduced, ex_.time_dim, static_cast<CategoryId>(TimeUnit::kMonth));
+  ASSERT_TRUE(raised.ok()) << raised.status().ToString();
+  const Dimension& time = *raised.value().dimension(ex_.time_dim);
+  // day and week are gone; the month -> quarter -> year chain survives.
+  EXPECT_FALSE(time.type().CategoryByName("day").ok());
+  EXPECT_FALSE(time.type().CategoryByName("week").ok());
+  EXPECT_TRUE(time.type().CategoryByName("quarter").ok());
+  EXPECT_TRUE(time.type().IsLinear());
+  // Granule payloads survive the rebuild.
+  ValueId m = raised.value().Coord(0, ex_.time_dim);
+  EXPECT_EQ(time.granule(m).unit, TimeUnit::kMonth);
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,140 @@
+// Binary-snapshot round-trip tests: raw and reduced warehouses (names,
+// provenance, responsible actions, NOW-relative specifications), workload
+// scale, and corruption handling.
+
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+#include "workload/clickstream.h"
+
+namespace dwred {
+namespace {
+
+ReductionSpecification PaperSpec(const MultidimensionalObject& mo) {
+  ReductionSpecification spec;
+  spec.Add(ParseAction(mo, paper::kA1, "a1").take());
+  spec.Add(ParseAction(mo, paper::kA2, "a2").take());
+  return spec;
+}
+
+void ExpectSameFacts(const MultidimensionalObject& a,
+                     const MultidimensionalObject& b) {
+  ASSERT_EQ(a.num_facts(), b.num_facts());
+  ASSERT_EQ(a.num_dimensions(), b.num_dimensions());
+  ASSERT_EQ(a.num_measures(), b.num_measures());
+  for (FactId f = 0; f < a.num_facts(); ++f) {
+    for (DimensionId d = 0; d < a.num_dimensions(); ++d) {
+      EXPECT_EQ(a.Coord(f, d), b.Coord(f, d)) << f;
+      EXPECT_EQ(a.dimension(d)->value_name(a.Coord(f, d)),
+                b.dimension(d)->value_name(b.Coord(f, d)));
+    }
+    for (MeasureId m = 0; m < a.num_measures(); ++m) {
+      EXPECT_EQ(a.Measure(f, m), b.Measure(f, m));
+    }
+    EXPECT_EQ(a.FactName(f), b.FactName(f));
+  }
+}
+
+TEST(SnapshotTest, RawWarehouseRoundTrip) {
+  IspExample ex = MakeIspExample();
+  ReductionSpecification spec = PaperSpec(*ex.mo);
+  std::string bytes = SaveWarehouse(*ex.mo, spec);
+  auto loaded = LoadWarehouse(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameFacts(*ex.mo, *loaded.value().mo);
+  ASSERT_EQ(loaded.value().spec.size(), 2u);
+  EXPECT_EQ(loaded.value().spec.action(0).name, "a1");
+}
+
+TEST(SnapshotTest, ReducedWarehouseKeepsProvenanceAndResumesReduction) {
+  IspExample ex = MakeIspExample();
+  ReductionSpecification spec = PaperSpec(*ex.mo);
+  auto mid = Reduce(*ex.mo, spec, DaysFromCivil({2000, 6, 5})).take();
+
+  auto loaded = LoadWarehouse(SaveWarehouse(mid, spec));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameFacts(mid, *loaded.value().mo);
+
+  // Provenance of the merged fact survived.
+  bool found = false;
+  for (FactId f = 0; f < loaded.value().mo->num_facts(); ++f) {
+    if (loaded.value().mo->FactName(f) == "fact_12") {
+      const std::vector<FactId>* prov = loaded.value().mo->Provenance(f);
+      ASSERT_NE(prov, nullptr);
+      EXPECT_EQ(*prov, (std::vector<FactId>{1, 2}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // The restored warehouse continues the reduction exactly like the
+  // original (the restart scenario the snapshot exists for).
+  auto after_restart = Reduce(*loaded.value().mo, loaded.value().spec,
+                              DaysFromCivil({2000, 11, 5}))
+                           .take();
+  auto without_restart =
+      Reduce(mid, spec, DaysFromCivil({2000, 11, 5})).take();
+  ExpectSameFacts(without_restart, after_restart);
+}
+
+TEST(SnapshotTest, TimeGranulesSurvive) {
+  IspExample ex = MakeIspExample();
+  ReductionSpecification empty;
+  auto loaded = LoadWarehouse(SaveWarehouse(*ex.mo, empty));
+  ASSERT_TRUE(loaded.ok());
+  const Dimension& time = *loaded.value().mo->dimension(ex.time_dim);
+  ASSERT_TRUE(time.is_time());
+  EXPECT_NE(time.FindTimeValue(QuarterGranule(1999, 4)), kInvalidValue);
+  EXPECT_NE(time.FindTimeValue(WeekGranule(2000, 3)), kInvalidValue);
+  // New values can still materialize after the restore.
+  EXPECT_TRUE(
+      loaded.value().mo->dimension(ex.time_dim)
+          ->EnsureTimeValue(DayGranule(CivilDate{2001, 2, 3}))
+          .ok());
+}
+
+TEST(SnapshotTest, WorkloadScaleRoundTrip) {
+  ClickstreamConfig cfg;
+  cfg.num_clicks = 5000;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  ReductionSpecification empty;
+  auto loaded = LoadWarehouse(SaveWarehouse(*w.mo, empty));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().mo->num_facts(), 5000u);
+  ExpectSameFacts(*w.mo, *loaded.value().mo);
+}
+
+TEST(SnapshotTest, CorruptionIsDetected) {
+  IspExample ex = MakeIspExample();
+  ReductionSpecification spec = PaperSpec(*ex.mo);
+  std::string bytes = SaveWarehouse(*ex.mo, spec);
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_FALSE(LoadWarehouse(bad).ok());
+  // Truncation at every eighth byte must error, never crash.
+  for (size_t cut = 0; cut < bytes.size(); cut += 8) {
+    EXPECT_FALSE(LoadWarehouse(std::string_view(bytes).substr(0, cut)).ok());
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(LoadWarehouse(bytes + "junk").ok());
+}
+
+TEST(SnapshotTest, UnsupportedVersionRejected) {
+  IspExample ex = MakeIspExample();
+  ReductionSpecification empty;
+  std::string bytes = SaveWarehouse(*ex.mo, empty);
+  bytes[4] = 9;  // version field
+  auto loaded = LoadWarehouse(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,170 @@
+// NonCrossing and Growing checker tests (paper Sections 4.3, 5.2, 5.3),
+// including the paper's own soundness examples: the a2/a4 crossing pair, the
+// Growing violation of {a1} alone (Figure 2), its repair by adding a2, and
+// the Section 5.3 three-action set whose coverage check reduces to the
+// URL-domain-knowledge implication of eq. (29).
+
+#include "reduce/soundness.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+class SoundnessTest : public ::testing::Test {
+ protected:
+  Action Parse(const char* text, const char* name) {
+    auto r = ParseAction(*ex_.mo, text, name);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.take();
+  }
+
+  Status Validate(std::initializer_list<const char*> texts) {
+    ReductionSpecification spec;
+    int i = 0;
+    for (const char* t : texts) {
+      spec.Add(Parse(t, ("a" + std::to_string(++i)).c_str()));
+    }
+    return ValidateSpecification(*ex_.mo, spec);
+  }
+
+  IspExample ex_ = MakeIspExample();
+};
+
+TEST_F(SoundnessTest, GrowthClassification) {
+  auto compile = [&](const char* text) {
+    Action a = Parse(text, "x");
+    auto dnf = CompileToDnf(*ex_.mo, *a.predicate);
+    EXPECT_TRUE(dnf.ok());
+    return ClassifyGrowth(dnf.value()[0]);
+  };
+  // a8: fixed bounds (case A).
+  EXPECT_EQ(compile(paper::kA8), GrowthClass::kFixed);
+  // a7 / a2: growing upper bound (case B).
+  EXPECT_EQ(compile(paper::kA7), GrowthClass::kGrowing);
+  EXPECT_EQ(compile(paper::kA2), GrowthClass::kGrowing);
+  // a1: moving lower bound (case F) — shrinking.
+  EXPECT_EQ(compile(paper::kA1), GrowthClass::kShrinking);
+}
+
+TEST_F(SoundnessTest, SingleGrowingActionAccepted) {
+  // Theorem 1: a growing action is safe on its own.
+  EXPECT_TRUE(Validate({paper::kA2}).ok());
+  EXPECT_TRUE(Validate({paper::kA7}).ok());
+  EXPECT_TRUE(Validate({paper::kA8}).ok());
+}
+
+TEST_F(SoundnessTest, Figure2GrowingViolationOfA1Alone) {
+  // {a1} alone violates Growing: when NOW advances a month, fact_0 would be
+  // "reclaimed" to (day, url) — impossible, reduction is irreversible.
+  Status st = Validate({paper::kA1});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kGrowingViolation);
+}
+
+TEST_F(SoundnessTest, Figure2RepairedByAddingA2) {
+  // The paper's fix: a2 catches everything a1 releases.
+  Status st = Validate({paper::kA1, paper::kA2});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SoundnessTest, CrossingPairRejected) {
+  // a2 and the (well-formed variant of) a4 aggregate into parallel branches
+  // with overlapping predicates: NonCrossing is violated.
+  Status st = Validate({paper::kA2, paper::kA4Week});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCrossingViolation);
+}
+
+TEST_F(SoundnessTest, DisjointPredicatesMayCross) {
+  // Unordered granularities are fine when the predicates can never overlap
+  // (Section 5.2 algorithm line 3): .edu facts vs .com facts.
+  Status st = Validate(
+      {"a[Time.quarter, URL.domain] s[URL.domain_grp = .com AND "
+       "Time.quarter <= NOW - 4 quarters]",
+       "a[Time.week, URL.url] s[URL.domain_grp = .edu AND "
+       "Time.week <= 1999W52]"});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SoundnessTest, DisjointFixedTimeRangesMayCross) {
+  Status st = Validate(
+      {"a[Time.quarter, URL.domain] s[Time.quarter <= 1998Q4]",
+       "a[Time.week, URL.url] s[Time.week >= 1999W2]"});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SoundnessTest, OverlappingFixedTimeRangesCross) {
+  Status st = Validate(
+      {"a[Time.quarter, URL.domain] s[Time.quarter <= 1999Q4]",
+       "a[Time.week, URL.url] s[Time.week >= 1999W2]"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCrossingViolation);
+}
+
+TEST_F(SoundnessTest, Section53SetIsGrowing) {
+  // eqs. (24)-(26): the shrinking a1 is covered by a2 (.com) and a3 (.edu);
+  // the implication reduces to "every domain group is .com or .edu", which
+  // holds in the example URL dimension (eq. (29)).
+  Status st = Validate({paper::kS53A1, paper::kS53A2, paper::kS53A3});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SoundnessTest, Section53SetBreaksWithoutEduCover) {
+  // Dropping a3 leaves .edu cells uncovered when they fall over a1's lower
+  // boundary.
+  Status st = Validate({paper::kS53A1, paper::kS53A2});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kGrowingViolation);
+  EXPECT_NE(st.message().find(".edu"), std::string::npos) << st.ToString();
+}
+
+TEST_F(SoundnessTest, Section53SetBreaksWithUnorderedCover) {
+  // A cover must be >=_V the shrinking action to count. Aggregating the .edu
+  // catcher to a *url*-level granularity leaves it unordered w.r.t. a1
+  // (month,domain), so a1 stays uncovered (and the pair also crosses).
+  Status st = Validate(
+      {paper::kS53A1, paper::kS53A2,
+       "a[Time.quarter, URL.url] s[Time.year <= NOW - 4 years AND "
+       "URL.domain_grp = .edu]"});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(SoundnessTest, ShrinkingCoveredOnlyPartiallyInTimeRejected) {
+  // The cover takes over one quarter too late: a gap of one quarter of cells
+  // is released uncovered.
+  Status st = Validate(
+      {"a[Time.month, URL.domain] s[URL.domain_grp = .com AND "
+       "NOW - 12 months <= Time.month <= NOW - 6 months]",
+       "a[Time.quarter, URL.domain] s[URL.domain_grp = .com AND "
+       "Time.quarter <= NOW - 8 quarters]"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kGrowingViolation);
+}
+
+TEST_F(SoundnessTest, EqualGranularityOverlapIsFine) {
+  // Two actions with identical granularity trivially satisfy <=_V both ways;
+  // overlap is harmless ("useless" redundant actions are permitted).
+  Status st = Validate({paper::kA7, paper::kA8});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(SoundnessTest, NonCrossingIsCheapForManyOrderedActions) {
+  // |A|^2 pairwise checks with the syntactic fast path (Section 5.2: "ample
+  // performance").
+  ReductionSpecification spec;
+  for (int k = 1; k <= 24; ++k) {
+    // A tower of fixed actions aggregating ever higher, all ordered.
+    std::string text = "a[Time.quarter, URL.domain] s[Time.quarter <= 199" +
+                       std::to_string(k % 10) + "Q1]";
+    spec.Add(Parse(text.c_str(), ("t" + std::to_string(k)).c_str()));
+  }
+  EXPECT_TRUE(ValidateSpecification(*ex_.mo, spec).ok());
+}
+
+}  // namespace
+}  // namespace dwred

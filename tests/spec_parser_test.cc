@@ -1,0 +1,207 @@
+// Specification-language tests: Table 1's grammar through the parser — the
+// paper's actions a1..a8, typing rules, the Clist constraints of Section 4.1,
+// DNF compilation, and predicate evaluation (Pred restricted to fact cells).
+
+#include "spec/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "spec/predicate_analysis.h"
+
+namespace dwred {
+namespace {
+
+class SpecParserTest : public ::testing::Test {
+ protected:
+  IspExample ex_ = MakeIspExample();
+};
+
+TEST_F(SpecParserTest, ParsesA1) {
+  auto a = ParseAction(*ex_.mo, paper::kA1, "a1");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  const Action& act = a.value();
+  EXPECT_EQ(act.Cat(ex_.time_dim),
+            static_cast<CategoryId>(TimeUnit::kMonth));
+  EXPECT_EQ(act.Cat(ex_.url_dim), ex_.domain_cat);
+  EXPECT_EQ(act.name, "a1");
+  // Round-trip through the printer mentions both bounds.
+  std::string s = act.ToString(*ex_.mo);
+  EXPECT_NE(s.find("Time.month"), std::string::npos);
+  EXPECT_NE(s.find("NOW - 6 months"), std::string::npos);
+  EXPECT_NE(s.find(".com"), std::string::npos);
+}
+
+TEST_F(SpecParserTest, ParsesA2WithQuarterSpan) {
+  auto a = ParseAction(*ex_.mo, paper::kA2, "a2");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a.value().Cat(ex_.time_dim),
+            static_cast<CategoryId>(TimeUnit::kQuarter));
+}
+
+TEST_F(SpecParserTest, RejectsA3AggregatingAbovePredicateCategory) {
+  // Paper Section 4.1 / eq. (15): the Clist may not exceed the predicate's
+  // category in any dimension.
+  auto a = ParseAction(*ex_.mo, paper::kA3, "a3");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(a.status().message().find("unevaluable"), std::string::npos);
+}
+
+TEST_F(SpecParserTest, RejectsVerbatimA4ButAcceptsWeekTypedVariant) {
+  // The paper's a4 (eq. 16) aggregates Time to week while predicating on
+  // Time.month — week is not <=_Time month, so the Section 4.1 constraint
+  // rejects it just like a3.
+  EXPECT_FALSE(ParseAction(*ex_.mo, paper::kA4, "a4").ok());
+  auto a = ParseAction(*ex_.mo, paper::kA4Week, "a4w");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a.value().Cat(ex_.time_dim),
+            static_cast<CategoryId>(TimeUnit::kWeek));
+  EXPECT_EQ(a.value().Cat(ex_.url_dim), ex_.url_cat);
+}
+
+TEST_F(SpecParserTest, ParsesSection53Set) {
+  for (const char* text :
+       {paper::kS53A1, paper::kS53A2, paper::kS53A3, paper::kA7, paper::kA8}) {
+    auto a = ParseAction(*ex_.mo, text);
+    EXPECT_TRUE(a.ok()) << text << ": " << a.status().ToString();
+  }
+}
+
+TEST_F(SpecParserTest, ClistMustCoverEveryDimensionOnce) {
+  EXPECT_FALSE(ParseAction(*ex_.mo, "a[Time.month] s[true]").ok());
+  EXPECT_FALSE(
+      ParseAction(*ex_.mo, "a[Time.month, Time.year, URL.domain] s[true]")
+          .ok());
+  EXPECT_TRUE(ParseAction(*ex_.mo, "a[Time.month, URL.domain] s[true]").ok());
+}
+
+TEST_F(SpecParserTest, TimeLiteralMustMatchCategoryGranularity) {
+  // Grammar: Type(tt) = C_Time_j.
+  auto bad = ParseAction(
+      *ex_.mo, "a[Time.day, URL.url] s[Time.month <= 1999/12/4]");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(SpecParserTest, OrderedOpOnCategoricalDimensionRejected) {
+  EXPECT_FALSE(
+      ParseAction(*ex_.mo, "a[Time.day, URL.url] s[URL.domain < cnn.com]")
+          .ok());
+}
+
+TEST_F(SpecParserTest, UnknownValueRejected) {
+  auto bad = ParseAction(
+      *ex_.mo, "a[Time.day, URL.url] s[URL.domain = nosuch.example]");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SpecParserTest, InSetsAndQuotedValues) {
+  auto a = ParseAction(*ex_.mo,
+                       "a[Time.day, URL.url] s[URL.domain IN {cnn.com, "
+                       "'gatech.edu'} AND Time.week IN {1999W47, 1999W48}]");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto not_in = ParsePredicate(*ex_.mo, "URL.domain NOT IN {amazon.com}");
+  ASSERT_TRUE(not_in.ok()) << not_in.status().ToString();
+}
+
+TEST_F(SpecParserTest, BooleanStructureAndParens) {
+  auto p = ParsePredicate(
+      *ex_.mo,
+      "NOT (URL.domain_grp = .com OR URL.domain_grp = .edu) AND "
+      "(Time.month <= 1999/12 OR true)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // DNF compiles without blowup.
+  auto dnf = CompileToDnf(*ex_.mo, *p.value());
+  ASSERT_TRUE(dnf.ok());
+}
+
+TEST_F(SpecParserTest, ComparisonChainsDesugarToConjunction) {
+  auto p = ParsePredicate(*ex_.mo,
+                          "NOW - 12 months <= Time.month <= NOW - 6 months");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value()->kind, PredExpr::Kind::kAnd);
+  ASSERT_EQ(p.value()->kids.size(), 2u);
+}
+
+TEST_F(SpecParserTest, PredEvaluationOnFacts) {
+  // a1 at 2000/6/5 selects facts 0..3 (paper Figure 3 middle snapshot).
+  auto a = ParseAction(*ex_.mo, paper::kA1, "a1");
+  ASSERT_TRUE(a.ok());
+  int64_t t = DaysFromCivil({2000, 6, 5});
+  std::vector<bool> expected = {true, true, true, true, false, false, false};
+  for (FactId f = 0; f < 7; ++f) {
+    EXPECT_EQ(EvalPredOnFact(*a.value().predicate, *ex_.mo, f, t), expected[f])
+        << "fact_" << f;
+  }
+  // At 2000/4/5 nothing is selected (first snapshot).
+  t = DaysFromCivil({2000, 4, 5});
+  for (FactId f = 0; f < 7; ++f) {
+    EXPECT_FALSE(EvalPredOnFact(*a.value().predicate, *ex_.mo, f, t));
+  }
+}
+
+TEST_F(SpecParserTest, A2PredSelectsQuartersUpToNowMinus4) {
+  auto a = ParseAction(*ex_.mo, paper::kA2, "a2");
+  ASSERT_TRUE(a.ok());
+  int64_t t = DaysFromCivil({2000, 11, 5});
+  // Quarters <= 1999Q4: facts 0..3; facts 4..6 are 2000Q1.
+  std::vector<bool> expected = {true, true, true, true, false, false, false};
+  for (FactId f = 0; f < 7; ++f) {
+    EXPECT_EQ(EvalPredOnFact(*a.value().predicate, *ex_.mo, f, t), expected[f])
+        << "fact_" << f;
+  }
+}
+
+TEST_F(SpecParserTest, ActionOrderLeqV) {
+  auto a1 = ParseAction(*ex_.mo, paper::kA1).take();
+  auto a2 = ParseAction(*ex_.mo, paper::kA2).take();
+  auto a4 = ParseAction(*ex_.mo, paper::kA4Week).take();
+  EXPECT_TRUE(ActionLeq(*ex_.mo, a1, a2));   // paper: a1 <=_V a2
+  EXPECT_FALSE(ActionLeq(*ex_.mo, a2, a1));
+  EXPECT_FALSE(ActionLeq(*ex_.mo, a2, a4));  // unordered (crossing)
+  EXPECT_FALSE(ActionLeq(*ex_.mo, a4, a2));
+  EXPECT_TRUE(ActionLeq(*ex_.mo, a1, a1));
+}
+
+TEST_F(SpecParserTest, GranularityListParsing) {
+  auto g = ParseGranularityList(*ex_.mo, "Time.month, URL.domain");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value()[ex_.time_dim], static_cast<CategoryId>(TimeUnit::kMonth));
+  EXPECT_EQ(g.value()[ex_.url_dim], ex_.domain_cat);
+  EXPECT_FALSE(ParseGranularityList(*ex_.mo, "Time.month").ok());
+  EXPECT_FALSE(ParseGranularityList(*ex_.mo, "Time.month, Time.day").ok());
+}
+
+TEST_F(SpecParserTest, DnfClassification) {
+  auto a1 = ParseAction(*ex_.mo, paper::kA1).take();
+  auto dnf = CompileToDnf(*ex_.mo, *a1.predicate);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf.value().size(), 1u);
+  const Conjunct& c = dnf.value()[0];
+  EXPECT_TRUE(c.time.HasNowLower());
+  EXPECT_TRUE(c.time.HasNowUpper());
+  EXPECT_FALSE(c.cats[ex_.url_dim].Unconstrained());
+
+  auto a8 = ParseAction(*ex_.mo, paper::kA8).take();
+  auto dnf8 = CompileToDnf(*ex_.mo, *a8.predicate);
+  ASSERT_TRUE(dnf8.ok());
+  EXPECT_FALSE(dnf8.value()[0].time.HasNowLower());
+  EXPECT_FALSE(dnf8.value()[0].time.HasNowUpper());
+}
+
+TEST_F(SpecParserTest, ConjunctBoundsEvaluateCorrectly) {
+  auto a1 = ParseAction(*ex_.mo, paper::kA1).take();
+  auto dnf = CompileToDnf(*ex_.mo, *a1.predicate);
+  ASSERT_TRUE(dnf.ok());
+  const Conjunct& c = dnf.value()[0];
+  int64_t t = DaysFromCivil({2000, 11, 5});
+  // Months 1999/11 .. 2000/5 in day terms.
+  EXPECT_EQ(c.time.LowerDay(t), DaysFromCivil({1999, 11, 1}));
+  EXPECT_EQ(c.time.UpperDay(t), DaysFromCivil({2000, 5, 31}));
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,103 @@
+// Columnar fact-table tests: append/read, physical deletion, cell
+// compaction, byte accounting, and MO round trips.
+
+#include "storage/fact_table.h"
+
+#include <gtest/gtest.h>
+
+#include "mdm/paper_example.h"
+
+namespace dwred {
+namespace {
+
+TEST(FactTableTest, AppendAndRead) {
+  FactTable t(2, 3);
+  std::vector<ValueId> c1 = {1, 2};
+  std::vector<int64_t> m1 = {10, 20, 30};
+  EXPECT_EQ(t.Append(c1, m1), 0u);
+  std::vector<ValueId> c2 = {3, 4};
+  std::vector<int64_t> m2 = {40, 50, 60};
+  EXPECT_EQ(t.Append(c2, m2), 1u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Coord(0, 1), 2u);
+  EXPECT_EQ(t.Measure(1, 2), 60);
+  ValueId buf[2];
+  t.ReadCoords(1, buf);
+  EXPECT_EQ(buf[0], 3u);
+  EXPECT_EQ(buf[1], 4u);
+}
+
+TEST(FactTableTest, EraseRowsCompacts) {
+  FactTable t(1, 1);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(i)};
+    std::vector<int64_t> m = {i};
+    t.Append(c, m);
+  }
+  std::vector<bool> erase(10, false);
+  erase[0] = erase[3] = erase[9] = true;
+  t.EraseRows(erase);
+  EXPECT_EQ(t.num_rows(), 7u);
+  EXPECT_EQ(t.Coord(0, 0), 1u);
+  EXPECT_EQ(t.Coord(2, 0), 4u);
+  EXPECT_EQ(t.Measure(6, 0), 8);
+}
+
+TEST(FactTableTest, CompactCellsFoldsDuplicates) {
+  FactTable t(2, 2);
+  std::vector<AggFn> aggs = {AggFn::kSum, AggFn::kMax};
+  std::vector<ValueId> a = {1, 1};
+  std::vector<ValueId> b = {1, 2};
+  std::vector<int64_t> m1 = {5, 5};
+  std::vector<int64_t> m2 = {7, 7};
+  std::vector<int64_t> m3 = {1, 1};
+  t.Append(a, m1);
+  t.Append(b, m2);
+  t.Append(a, m3);
+  t.CompactCells(aggs);
+  ASSERT_EQ(t.num_rows(), 2u);
+  // Row for cell (1,1): sum 6, max 5.
+  EXPECT_EQ(t.Measure(0, 0), 6);
+  EXPECT_EQ(t.Measure(0, 1), 5);
+  EXPECT_EQ(t.Measure(1, 0), 7);
+}
+
+TEST(FactTableTest, CompactIsNoopWithoutDuplicates) {
+  FactTable t(1, 1);
+  std::vector<AggFn> aggs = {AggFn::kSum};
+  for (int i = 0; i < 5; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(i)};
+    std::vector<int64_t> m = {i};
+    t.Append(c, m);
+  }
+  t.CompactCells(aggs);
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST(FactTableTest, BytesAccounting) {
+  FactTable t(2, 4);
+  EXPECT_EQ(t.Bytes(), 0u);
+  std::vector<ValueId> c = {0, 0};
+  std::vector<int64_t> m = {0, 0, 0, 0};
+  t.Append(c, m);
+  EXPECT_EQ(t.Bytes(), 2 * sizeof(ValueId) + 4 * sizeof(int64_t));
+}
+
+TEST(FactTableTest, MoRoundTrip) {
+  IspExample ex = MakeIspExample();
+  FactTable t(2, 4);
+  t.AppendFrom(*ex.mo);
+  EXPECT_EQ(t.num_rows(), 7u);
+  MultidimensionalObject back =
+      t.ToMO("Click", ex.mo->dimensions(),
+             std::vector<MeasureType>(ex.mo->measure_types()));
+  ASSERT_EQ(back.num_facts(), 7u);
+  for (FactId f = 0; f < 7; ++f) {
+    EXPECT_EQ(back.Coord(f, 0), ex.mo->Coord(f, 0));
+    EXPECT_EQ(back.Coord(f, 1), ex.mo->Coord(f, 1));
+    EXPECT_EQ(back.Measure(f, 1), ex.mo->Measure(f, 1));
+  }
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,124 @@
+// Workload-generator tests: determinism, hierarchy shape, Zipf skew, batch
+// generation, and the retail warehouse's 3-dimensional schema.
+
+#include "workload/clickstream.h"
+#include "workload/retail.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dwred {
+namespace {
+
+TEST(RngTest, SplitMixIsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  SplitMix64 c(124);
+  EXPECT_NE(SplitMix64(123).Next(), c.Next());
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Range(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  ZipfGenerator z(1000, 0.99, 42);
+  size_t top10 = 0;
+  const size_t n = 20000;
+  for (size_t i = 0; i < n; ++i) {
+    if (z.Next() < 10) ++top10;
+  }
+  // Under uniform sampling the top-10 ranks would receive ~1%; Zipf(0.99)
+  // concentrates far more.
+  EXPECT_GT(top10, n / 25);
+}
+
+TEST(ClickstreamTest, GeneratesRequestedShape) {
+  ClickstreamConfig cfg;
+  cfg.num_clicks = 5000;
+  cfg.num_domains = 20;
+  cfg.urls_per_domain = 5;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  EXPECT_EQ(w.mo->num_facts(), 5000u);
+  EXPECT_EQ(w.mo->num_dimensions(), 2u);
+  EXPECT_EQ(w.mo->num_measures(), 4u);
+  // URL dimension: 4 groups + 20 domains + 100 urls + T.
+  EXPECT_EQ(w.url_dim->num_values(), 125u);
+  // All facts at bottom granularity with plausible measures.
+  for (FactId f = 0; f < 50; ++f) {
+    EXPECT_EQ(w.mo->Gran(f)[0], w.time_dim->type().bottom());
+    EXPECT_EQ(w.mo->Measure(f, 0), 1);  // Number_of
+    EXPECT_GE(w.mo->Measure(f, 1), 1);  // Dwell_time
+  }
+}
+
+TEST(ClickstreamTest, DeterministicAcrossRuns) {
+  ClickstreamConfig cfg;
+  cfg.num_clicks = 500;
+  ClickstreamWorkload a = MakeClickstream(cfg);
+  ClickstreamWorkload b = MakeClickstream(cfg);
+  ASSERT_EQ(a.mo->num_facts(), b.mo->num_facts());
+  for (FactId f = 0; f < a.mo->num_facts(); ++f) {
+    EXPECT_EQ(a.mo->Coord(f, 1), b.mo->Coord(f, 1));
+    EXPECT_EQ(a.mo->Measure(f, 1), b.mo->Measure(f, 1));
+  }
+}
+
+TEST(ClickstreamTest, BatchRespectsDayRange) {
+  ClickstreamConfig cfg;
+  cfg.num_clicks = 10;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  int64_t lo = DaysFromCivil({2001, 3, 1});
+  int64_t hi = DaysFromCivil({2001, 3, 31});
+  MultidimensionalObject batch =
+      MakeClickBatch(w.time_dim, w.url_dim, lo, hi, 1000, 99);
+  EXPECT_EQ(batch.num_facts(), 1000u);
+  for (FactId f = 0; f < batch.num_facts(); ++f) {
+    TimeGranule g = w.time_dim->granule(batch.Coord(f, 0));
+    EXPECT_EQ(g.unit, TimeUnit::kDay);
+    EXPECT_GE(g.index, lo);
+    EXPECT_LE(g.index, hi);
+  }
+}
+
+TEST(RetailTest, ThreeDimensionalSchema) {
+  RetailConfig cfg;
+  cfg.num_sales = 2000;
+  RetailWorkload w = MakeRetail(cfg);
+  EXPECT_EQ(w.mo->num_dimensions(), 3u);
+  EXPECT_EQ(w.mo->num_facts(), 2000u);
+  // Product: 8 categories * 5 brands * 20 skus.
+  auto sku = w.product_dim->type().CategoryByName("sku");
+  ASSERT_TRUE(sku.ok());
+  EXPECT_EQ(w.product_dim->CategoryExtent(sku.value()).size(), 800u);
+  // Store rollup: every store reaches a region.
+  auto store = w.store_dim->type().CategoryByName("store");
+  auto region = w.store_dim->type().CategoryByName("region");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(region.ok());
+  for (ValueId s : w.store_dim->CategoryExtent(store.value())) {
+    EXPECT_NE(w.store_dim->Rollup(s, region.value()), kInvalidValue);
+  }
+}
+
+TEST(RetailTest, RevenueConsistentWithQuantity) {
+  RetailConfig cfg;
+  cfg.num_sales = 500;
+  RetailWorkload w = MakeRetail(cfg);
+  for (FactId f = 0; f < w.mo->num_facts(); ++f) {
+    int64_t qty = w.mo->Measure(f, 0);
+    int64_t rev = w.mo->Measure(f, 1);
+    EXPECT_GE(qty, 1);
+    EXPECT_GE(rev, qty * 5);
+    EXPECT_LE(rev, qty * 500);
+  }
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,390 @@
+// dwredctl — a scriptable warehouse shell over the dwred library.
+//
+// Reads commands from a script file (or stdin), one per line:
+//
+//   fact-type <Name>                         # default "Fact"
+//   time-dimension <Name>                    # built-in day..year hierarchy
+//   load-dimension <Name> <file.csv>         # denormalized rollup table
+//   measures <name>:<sum|min|max>[,...]
+//   init                                     # create the warehouse
+//   load-facts <file.csv>
+//   action [name:] <action text>             # stage an action
+//   apply                                    # validate + install staged set
+//   delete-action <name> <date>              # Definition 4 at the date
+//   reduce <date>                            # Definition 2 in place
+//   select <conservative|liberal|weighted> <date> <predicate>
+//   aggregate <date> <granularity list>
+//   drop-dimension <Name>
+//   drop-measure <name>
+//   raise-bottom <Dim> <category>
+//   save-facts <file.csv>
+//   save-dimension <Name> <file.csv>
+//   save-snapshot <file.dwsnap>             # binary warehouse + spec
+//   load-snapshot <file.dwsnap>             # instead of init + loads
+//   show [n]                                 # print up to n facts (default 20)
+//   stats
+//   echo <text>
+//
+// Blank lines and '#' comments are ignored. The tool stops at the first
+// failing command and reports its diagnostic.
+//
+//   $ dwredctl warehouse.dwred
+//   $ dwredctl -          # read from stdin
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/strings.h"
+#include "io/csv.h"
+#include "io/snapshot.h"
+#include "io/warehouse_io.h"
+#include "query/operators.h"
+#include "reduce/dynamics.h"
+#include "reduce/schema_reduction.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+
+using namespace dwred;
+
+namespace {
+
+struct Shell {
+  std::string fact_type = "Fact";
+  std::vector<std::shared_ptr<Dimension>> dims;
+  std::vector<MeasureType> measures;
+  std::unique_ptr<MultidimensionalObject> mo;
+  ReductionSpecification spec;
+  std::vector<Action> staged;
+
+  Status Require(bool initialized) const {
+    if (initialized && !mo) {
+      return Status::InvalidArgument("run 'init' first");
+    }
+    if (!initialized && mo) {
+      return Status::InvalidArgument("warehouse already initialized");
+    }
+    return Status::OK();
+  }
+
+  Result<DimensionId> DimByName(std::string_view name) const {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d]->name() == name) return static_cast<DimensionId>(d);
+    }
+    return Status::NotFound("no dimension named '" + std::string(name) + "'");
+  }
+
+  Status Run(std::string_view cmdline) {
+    std::string_view line = Trim(cmdline);
+    if (line.empty() || line[0] == '#') return Status::OK();
+    std::istringstream in{std::string(line)};
+    std::string cmd;
+    in >> cmd;
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(Trim(rest));
+
+    if (cmd == "echo") {
+      std::printf("%s\n", rest.c_str());
+      return Status::OK();
+    }
+    if (cmd == "fact-type") {
+      DWRED_RETURN_IF_ERROR(Require(false));
+      fact_type = rest;
+      return Status::OK();
+    }
+    if (cmd == "time-dimension") {
+      DWRED_RETURN_IF_ERROR(Require(false));
+      auto dim = std::make_shared<Dimension>(Dimension::MakeTimeDimension());
+      // The built-in time type is named "Time"; an alias is not supported —
+      // report rather than silently mis-name.
+      if (rest != "Time") {
+        return Status::InvalidArgument(
+            "the built-in time dimension is named 'Time'");
+      }
+      dims.push_back(std::move(dim));
+      return Status::OK();
+    }
+    if (cmd == "load-dimension") {
+      DWRED_RETURN_IF_ERROR(Require(false));
+      std::istringstream args(rest);
+      std::string name, path;
+      args >> name >> path;
+      DWRED_ASSIGN_OR_RETURN(std::string csv, ReadFile(path));
+      DWRED_ASSIGN_OR_RETURN(Dimension dim, ReadDimensionCsv(name, csv));
+      std::printf("loaded dimension %s: %zu values\n", name.c_str(),
+                  dim.num_values());
+      dims.push_back(std::make_shared<Dimension>(std::move(dim)));
+      return Status::OK();
+    }
+    if (cmd == "measures") {
+      DWRED_RETURN_IF_ERROR(Require(false));
+      for (const std::string& part : Split(rest, ',')) {
+        std::string_view p = Trim(part);
+        size_t colon = p.find(':');
+        if (colon == std::string_view::npos) {
+          return Status::InvalidArgument("expected <name>:<sum|min|max>");
+        }
+        std::string_view agg = p.substr(colon + 1);
+        MeasureType m;
+        m.name = std::string(p.substr(0, colon));
+        if (agg == "sum") m.agg = AggFn::kSum;
+        else if (agg == "min") m.agg = AggFn::kMin;
+        else if (agg == "max") m.agg = AggFn::kMax;
+        else return Status::InvalidArgument("unknown aggregate: " +
+                                            std::string(agg));
+        measures.push_back(std::move(m));
+      }
+      return Status::OK();
+    }
+    if (cmd == "init") {
+      DWRED_RETURN_IF_ERROR(Require(false));
+      if (dims.empty()) {
+        return Status::InvalidArgument("declare dimensions before init");
+      }
+      if (measures.empty()) {
+        return Status::InvalidArgument("declare measures before init");
+      }
+      mo = std::make_unique<MultidimensionalObject>(fact_type, dims, measures);
+      std::printf("warehouse ready: %zu dimensions, %zu measures\n",
+                  dims.size(), measures.size());
+      return Status::OK();
+    }
+    if (cmd == "load-facts") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_ASSIGN_OR_RETURN(std::string csv, ReadFile(rest));
+      size_t before = mo->num_facts();
+      DWRED_RETURN_IF_ERROR(ReadFactCsv(mo.get(), csv));
+      std::printf("loaded %zu facts (%zu total)\n", mo->num_facts() - before,
+                  mo->num_facts());
+      return Status::OK();
+    }
+    if (cmd == "action") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_ASSIGN_OR_RETURN(std::vector<Action> parsed,
+                             ReadSpecificationText(*mo, rest));
+      for (Action& a : parsed) staged.push_back(std::move(a));
+      return Status::OK();
+    }
+    if (cmd == "apply") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_ASSIGN_OR_RETURN(spec,
+                             InsertActions(*mo, spec, std::move(staged)));
+      staged.clear();
+      std::printf("specification valid: %zu actions installed\n", spec.size());
+      return Status::OK();
+    }
+    if (cmd == "delete-action") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      std::istringstream args(rest);
+      std::string name, date;
+      args >> name >> date;
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
+      if (day.unit != TimeUnit::kDay) {
+        return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
+      }
+      for (ActionId i = 0; i < spec.size(); ++i) {
+        if (spec.action(i).name == name) {
+          DWRED_ASSIGN_OR_RETURN(spec,
+                                 DeleteActions(*mo, spec, {i}, day.index));
+          std::printf("deleted action %s (%zu remain)\n", name.c_str(),
+                      spec.size());
+          return Status::OK();
+        }
+      }
+      return Status::NotFound("no action named '" + name + "'");
+    }
+    if (cmd == "reduce") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(rest));
+      if (day.unit != TimeUnit::kDay) {
+        return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
+      }
+      ReduceStats stats;
+      DWRED_ASSIGN_OR_RETURN(MultidimensionalObject reduced,
+                             Reduce(*mo, spec, day.index, {}, &stats));
+      *mo = std::move(reduced);
+      std::printf(
+          "reduced at %s: %zu -> %zu facts (%zu aggregated, %zu deleted)\n",
+          rest.c_str(), stats.input_facts, stats.output_facts,
+          stats.facts_aggregated, stats.facts_deleted);
+      return Status::OK();
+    }
+    if (cmd == "select") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      std::istringstream args(rest);
+      std::string approach_s, date;
+      args >> approach_s >> date;
+      std::string pred_text;
+      std::getline(args, pred_text);
+      SelectionApproach ap;
+      if (approach_s == "conservative") ap = SelectionApproach::kConservative;
+      else if (approach_s == "liberal") ap = SelectionApproach::kLiberal;
+      else if (approach_s == "weighted") ap = SelectionApproach::kWeighted;
+      else return Status::InvalidArgument("unknown approach " + approach_s);
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
+      DWRED_ASSIGN_OR_RETURN(auto pred, ParsePredicate(*mo, Trim(pred_text)));
+      DWRED_ASSIGN_OR_RETURN(SelectionResult sel,
+                             Select(*mo, *pred, day.index, ap));
+      std::printf("select (%s): %zu facts\n", approach_s.c_str(),
+                  sel.mo.num_facts());
+      for (FactId f = 0; f < sel.mo.num_facts() && f < 20; ++f) {
+        if (ap == SelectionApproach::kWeighted) {
+          std::printf("  %s  w=%.3f\n", sel.mo.FormatFact(f).c_str(),
+                      sel.weights[f]);
+        } else {
+          std::printf("  %s\n", sel.mo.FormatFact(f).c_str());
+        }
+      }
+      return Status::OK();
+    }
+    if (cmd == "aggregate") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      std::istringstream args(rest);
+      std::string date;
+      args >> date;
+      std::string gran_text;
+      std::getline(args, gran_text);
+      DWRED_ASSIGN_OR_RETURN(auto gran,
+                             ParseGranularityList(*mo, Trim(gran_text)));
+      DWRED_ASSIGN_OR_RETURN(MultidimensionalObject agg,
+                             AggregateFormation(*mo, gran));
+      std::printf("aggregate: %zu cells\n", agg.num_facts());
+      for (FactId f = 0; f < agg.num_facts() && f < 20; ++f) {
+        std::printf("  %s\n", agg.FormatFact(f).c_str());
+      }
+      return Status::OK();
+    }
+    if (cmd == "drop-dimension") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_ASSIGN_OR_RETURN(DimensionId d, DimByName(rest));
+      DWRED_ASSIGN_OR_RETURN(MultidimensionalObject out,
+                             DropDimension(*mo, d));
+      *mo = std::move(out);
+      dims.erase(dims.begin() + d);
+      std::printf("dropped dimension %s: %zu facts remain\n", rest.c_str(),
+                  mo->num_facts());
+      return Status::OK();
+    }
+    if (cmd == "drop-measure") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_ASSIGN_OR_RETURN(MeasureId m, mo->MeasureByName(rest));
+      DWRED_ASSIGN_OR_RETURN(MultidimensionalObject out, DropMeasure(*mo, m));
+      *mo = std::move(out);
+      measures.erase(measures.begin() + m);
+      return Status::OK();
+    }
+    if (cmd == "raise-bottom") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      std::istringstream args(rest);
+      std::string dim_name, cat_name;
+      args >> dim_name >> cat_name;
+      DWRED_ASSIGN_OR_RETURN(DimensionId d, DimByName(dim_name));
+      DWRED_ASSIGN_OR_RETURN(CategoryId c,
+                             dims[d]->type().CategoryByName(cat_name));
+      DWRED_ASSIGN_OR_RETURN(MultidimensionalObject out,
+                             RaiseBottomCategory(*mo, d, c));
+      dims[d] = out.dimension(d);
+      *mo = std::move(out);
+      std::printf("raised %s bottom to %s\n", dim_name.c_str(),
+                  cat_name.c_str());
+      return Status::OK();
+    }
+    if (cmd == "save-snapshot") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_RETURN_IF_ERROR(WriteFile(rest, SaveWarehouse(*mo, spec)));
+      std::printf("snapshot written to %s\n", rest.c_str());
+      return Status::OK();
+    }
+    if (cmd == "load-snapshot") {
+      if (mo) return Status::InvalidArgument("warehouse already initialized");
+      DWRED_ASSIGN_OR_RETURN(std::string bytes, ReadFile(rest));
+      DWRED_ASSIGN_OR_RETURN(LoadedWarehouse lw, LoadWarehouse(bytes));
+      mo = std::move(lw.mo);
+      spec = std::move(lw.spec);
+      dims = mo->dimensions();
+      measures = mo->measure_types();
+      fact_type = mo->fact_type();
+      std::printf("snapshot loaded: %zu facts, %zu actions\n",
+                  mo->num_facts(), spec.size());
+      return Status::OK();
+    }
+    if (cmd == "save-facts") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_RETURN_IF_ERROR(WriteFile(rest, WriteFactCsv(*mo)));
+      std::printf("wrote %zu facts to %s\n", mo->num_facts(), rest.c_str());
+      return Status::OK();
+    }
+    if (cmd == "save-dimension") {
+      std::istringstream args(rest);
+      std::string name, path;
+      args >> name >> path;
+      DWRED_ASSIGN_OR_RETURN(DimensionId d, DimByName(name));
+      DWRED_ASSIGN_OR_RETURN(std::string csv, WriteDimensionCsv(*dims[d]));
+      DWRED_RETURN_IF_ERROR(WriteFile(path, csv));
+      return Status::OK();
+    }
+    if (cmd == "show") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      int64_t limit = 20;
+      if (!rest.empty()) ParseInt64(rest, &limit);
+      for (FactId f = 0; f < mo->num_facts() &&
+                         f < static_cast<FactId>(limit);
+           ++f) {
+        std::printf("  %s\n", mo->FormatFact(f).c_str());
+      }
+      if (mo->num_facts() > static_cast<size_t>(limit)) {
+        std::printf("  ... (%zu more)\n",
+                    mo->num_facts() - static_cast<size_t>(limit));
+      }
+      return Status::OK();
+    }
+    if (cmd == "stats") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      size_t dim_bytes = 0;
+      for (const auto& d : dims) dim_bytes += d->ApproxBytes();
+      std::printf("facts: %zu (%s); dimensions: %s; actions: %zu\n",
+                  mo->num_facts(), HumanBytes(mo->FactBytes()).c_str(),
+                  HumanBytes(dim_bytes).c_str(), spec.size());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("unknown command: " + cmd);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <script.dwred | ->\n", argv[0]);
+    return 2;
+  }
+  std::string script;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream all;
+    all << std::cin.rdbuf();
+    script = all.str();
+  } else {
+    auto r = ReadFile(argv[1]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 2;
+    }
+    script = r.take();
+  }
+
+  Shell shell;
+  size_t line_no = 0;
+  for (const std::string& line : Split(script, '\n')) {
+    ++line_no;
+    Status st = shell.Run(line);
+    if (!st.ok()) {
+      std::fprintf(stderr, "line %zu: %s\n  %s\n", line_no,
+                   st.ToString().c_str(), line.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
