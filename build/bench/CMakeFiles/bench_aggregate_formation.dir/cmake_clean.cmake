@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregate_formation.dir/bench_aggregate_formation.cc.o"
+  "CMakeFiles/bench_aggregate_formation.dir/bench_aggregate_formation.cc.o.d"
+  "bench_aggregate_formation"
+  "bench_aggregate_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

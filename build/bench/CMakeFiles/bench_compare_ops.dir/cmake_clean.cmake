@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compare_ops.dir/bench_compare_ops.cc.o"
+  "CMakeFiles/bench_compare_ops.dir/bench_compare_ops.cc.o.d"
+  "bench_compare_ops"
+  "bench_compare_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compare_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduce_pass.dir/bench_reduce_pass.cc.o"
+  "CMakeFiles/bench_reduce_pass.dir/bench_reduce_pass.cc.o.d"
+  "bench_reduce_pass"
+  "bench_reduce_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduce_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_checks.dir/bench_spec_checks.cc.o"
+  "CMakeFiles/bench_spec_checks.dir/bench_spec_checks.cc.o.d"
+  "bench_spec_checks"
+  "bench_spec_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

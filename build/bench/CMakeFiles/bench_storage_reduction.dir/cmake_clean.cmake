@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_reduction.dir/bench_storage_reduction.cc.o"
+  "CMakeFiles/bench_storage_reduction.dir/bench_storage_reduction.cc.o.d"
+  "bench_storage_reduction"
+  "bench_storage_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

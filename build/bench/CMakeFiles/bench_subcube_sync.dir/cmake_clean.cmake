@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subcube_sync.dir/bench_subcube_sync.cc.o"
+  "CMakeFiles/bench_subcube_sync.dir/bench_subcube_sync.cc.o.d"
+  "bench_subcube_sync"
+  "bench_subcube_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subcube_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

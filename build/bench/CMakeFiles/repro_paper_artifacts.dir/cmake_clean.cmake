@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_paper_artifacts.dir/repro_paper_artifacts.cc.o"
+  "CMakeFiles/repro_paper_artifacts.dir/repro_paper_artifacts.cc.o.d"
+  "repro_paper_artifacts"
+  "repro_paper_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_paper_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_retention.dir/clickstream_retention.cpp.o"
+  "CMakeFiles/clickstream_retention.dir/clickstream_retention.cpp.o.d"
+  "clickstream_retention"
+  "clickstream_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subcube_warehouse.dir/subcube_warehouse.cpp.o"
+  "CMakeFiles/subcube_warehouse.dir/subcube_warehouse.cpp.o.d"
+  "subcube_warehouse"
+  "subcube_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subcube_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("chrono")
+subdirs("mdm")
+subdirs("spec")
+subdirs("prover")
+subdirs("reduce")
+subdirs("query")
+subdirs("storage")
+subdirs("subcube")
+subdirs("workload")
+subdirs("io")

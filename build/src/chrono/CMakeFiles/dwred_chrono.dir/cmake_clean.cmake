@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_chrono.dir/civil.cc.o"
+  "CMakeFiles/dwred_chrono.dir/civil.cc.o.d"
+  "CMakeFiles/dwred_chrono.dir/granule.cc.o"
+  "CMakeFiles/dwred_chrono.dir/granule.cc.o.d"
+  "libdwred_chrono.a"
+  "libdwred_chrono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_chrono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

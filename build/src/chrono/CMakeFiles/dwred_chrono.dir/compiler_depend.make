@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dwred_chrono.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_common.dir/rng.cc.o"
+  "CMakeFiles/dwred_common.dir/rng.cc.o.d"
+  "CMakeFiles/dwred_common.dir/status.cc.o"
+  "CMakeFiles/dwred_common.dir/status.cc.o.d"
+  "CMakeFiles/dwred_common.dir/strings.cc.o"
+  "CMakeFiles/dwred_common.dir/strings.cc.o.d"
+  "libdwred_common.a"
+  "libdwred_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdwred_common.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/dwred_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/dwred_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/snapshot.cc" "src/io/CMakeFiles/dwred_io.dir/snapshot.cc.o" "gcc" "src/io/CMakeFiles/dwred_io.dir/snapshot.cc.o.d"
+  "/root/repo/src/io/warehouse_io.cc" "src/io/CMakeFiles/dwred_io.dir/warehouse_io.cc.o" "gcc" "src/io/CMakeFiles/dwred_io.dir/warehouse_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/dwred_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdm/CMakeFiles/dwred_mdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrono/CMakeFiles/dwred_chrono.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_io.dir/csv.cc.o"
+  "CMakeFiles/dwred_io.dir/csv.cc.o.d"
+  "CMakeFiles/dwred_io.dir/snapshot.cc.o"
+  "CMakeFiles/dwred_io.dir/snapshot.cc.o.d"
+  "CMakeFiles/dwred_io.dir/warehouse_io.cc.o"
+  "CMakeFiles/dwred_io.dir/warehouse_io.cc.o.d"
+  "libdwred_io.a"
+  "libdwred_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

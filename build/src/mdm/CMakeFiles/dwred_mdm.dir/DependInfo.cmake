@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdm/dimension.cc" "src/mdm/CMakeFiles/dwred_mdm.dir/dimension.cc.o" "gcc" "src/mdm/CMakeFiles/dwred_mdm.dir/dimension.cc.o.d"
+  "/root/repo/src/mdm/dimension_type.cc" "src/mdm/CMakeFiles/dwred_mdm.dir/dimension_type.cc.o" "gcc" "src/mdm/CMakeFiles/dwred_mdm.dir/dimension_type.cc.o.d"
+  "/root/repo/src/mdm/mo.cc" "src/mdm/CMakeFiles/dwred_mdm.dir/mo.cc.o" "gcc" "src/mdm/CMakeFiles/dwred_mdm.dir/mo.cc.o.d"
+  "/root/repo/src/mdm/paper_example.cc" "src/mdm/CMakeFiles/dwred_mdm.dir/paper_example.cc.o" "gcc" "src/mdm/CMakeFiles/dwred_mdm.dir/paper_example.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwred_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrono/CMakeFiles/dwred_chrono.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

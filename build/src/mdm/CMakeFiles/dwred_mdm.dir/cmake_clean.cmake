@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_mdm.dir/dimension.cc.o"
+  "CMakeFiles/dwred_mdm.dir/dimension.cc.o.d"
+  "CMakeFiles/dwred_mdm.dir/dimension_type.cc.o"
+  "CMakeFiles/dwred_mdm.dir/dimension_type.cc.o.d"
+  "CMakeFiles/dwred_mdm.dir/mo.cc.o"
+  "CMakeFiles/dwred_mdm.dir/mo.cc.o.d"
+  "CMakeFiles/dwred_mdm.dir/paper_example.cc.o"
+  "CMakeFiles/dwred_mdm.dir/paper_example.cc.o.d"
+  "libdwred_mdm.a"
+  "libdwred_mdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_mdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dwred_mdm.
+# This may be replaced when dependencies are built.

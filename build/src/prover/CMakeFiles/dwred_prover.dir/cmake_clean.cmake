@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_prover.dir/checks.cc.o"
+  "CMakeFiles/dwred_prover.dir/checks.cc.o.d"
+  "libdwred_prover.a"
+  "libdwred_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

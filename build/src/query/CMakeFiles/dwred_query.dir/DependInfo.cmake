@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/compare.cc" "src/query/CMakeFiles/dwred_query.dir/compare.cc.o" "gcc" "src/query/CMakeFiles/dwred_query.dir/compare.cc.o.d"
+  "/root/repo/src/query/operators.cc" "src/query/CMakeFiles/dwred_query.dir/operators.cc.o" "gcc" "src/query/CMakeFiles/dwred_query.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/dwred_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdm/CMakeFiles/dwred_mdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrono/CMakeFiles/dwred_chrono.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_query.dir/compare.cc.o"
+  "CMakeFiles/dwred_query.dir/compare.cc.o.d"
+  "CMakeFiles/dwred_query.dir/operators.cc.o"
+  "CMakeFiles/dwred_query.dir/operators.cc.o.d"
+  "libdwred_query.a"
+  "libdwred_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reduce/dynamics.cc" "src/reduce/CMakeFiles/dwred_reduce.dir/dynamics.cc.o" "gcc" "src/reduce/CMakeFiles/dwred_reduce.dir/dynamics.cc.o.d"
+  "/root/repo/src/reduce/schema_reduction.cc" "src/reduce/CMakeFiles/dwred_reduce.dir/schema_reduction.cc.o" "gcc" "src/reduce/CMakeFiles/dwred_reduce.dir/schema_reduction.cc.o.d"
+  "/root/repo/src/reduce/semantics.cc" "src/reduce/CMakeFiles/dwred_reduce.dir/semantics.cc.o" "gcc" "src/reduce/CMakeFiles/dwred_reduce.dir/semantics.cc.o.d"
+  "/root/repo/src/reduce/soundness.cc" "src/reduce/CMakeFiles/dwred_reduce.dir/soundness.cc.o" "gcc" "src/reduce/CMakeFiles/dwred_reduce.dir/soundness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/dwred_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/prover/CMakeFiles/dwred_prover.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdm/CMakeFiles/dwred_mdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrono/CMakeFiles/dwred_chrono.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

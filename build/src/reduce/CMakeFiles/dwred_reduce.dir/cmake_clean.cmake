@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_reduce.dir/dynamics.cc.o"
+  "CMakeFiles/dwred_reduce.dir/dynamics.cc.o.d"
+  "CMakeFiles/dwred_reduce.dir/schema_reduction.cc.o"
+  "CMakeFiles/dwred_reduce.dir/schema_reduction.cc.o.d"
+  "CMakeFiles/dwred_reduce.dir/semantics.cc.o"
+  "CMakeFiles/dwred_reduce.dir/semantics.cc.o.d"
+  "CMakeFiles/dwred_reduce.dir/soundness.cc.o"
+  "CMakeFiles/dwred_reduce.dir/soundness.cc.o.d"
+  "libdwred_reduce.a"
+  "libdwred_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/action.cc" "src/spec/CMakeFiles/dwred_spec.dir/action.cc.o" "gcc" "src/spec/CMakeFiles/dwred_spec.dir/action.cc.o.d"
+  "/root/repo/src/spec/parser.cc" "src/spec/CMakeFiles/dwred_spec.dir/parser.cc.o" "gcc" "src/spec/CMakeFiles/dwred_spec.dir/parser.cc.o.d"
+  "/root/repo/src/spec/predicate.cc" "src/spec/CMakeFiles/dwred_spec.dir/predicate.cc.o" "gcc" "src/spec/CMakeFiles/dwred_spec.dir/predicate.cc.o.d"
+  "/root/repo/src/spec/predicate_analysis.cc" "src/spec/CMakeFiles/dwred_spec.dir/predicate_analysis.cc.o" "gcc" "src/spec/CMakeFiles/dwred_spec.dir/predicate_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdm/CMakeFiles/dwred_mdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrono/CMakeFiles/dwred_chrono.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

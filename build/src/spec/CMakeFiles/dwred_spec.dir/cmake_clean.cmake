@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_spec.dir/action.cc.o"
+  "CMakeFiles/dwred_spec.dir/action.cc.o.d"
+  "CMakeFiles/dwred_spec.dir/parser.cc.o"
+  "CMakeFiles/dwred_spec.dir/parser.cc.o.d"
+  "CMakeFiles/dwred_spec.dir/predicate.cc.o"
+  "CMakeFiles/dwred_spec.dir/predicate.cc.o.d"
+  "CMakeFiles/dwred_spec.dir/predicate_analysis.cc.o"
+  "CMakeFiles/dwred_spec.dir/predicate_analysis.cc.o.d"
+  "libdwred_spec.a"
+  "libdwred_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

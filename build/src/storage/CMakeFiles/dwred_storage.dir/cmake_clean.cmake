@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_storage.dir/fact_table.cc.o"
+  "CMakeFiles/dwred_storage.dir/fact_table.cc.o.d"
+  "libdwred_storage.a"
+  "libdwred_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_subcube.dir/manager.cc.o"
+  "CMakeFiles/dwred_subcube.dir/manager.cc.o.d"
+  "libdwred_subcube.a"
+  "libdwred_subcube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_subcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwred_workload.dir/clickstream.cc.o"
+  "CMakeFiles/dwred_workload.dir/clickstream.cc.o.d"
+  "CMakeFiles/dwred_workload.dir/retail.cc.o"
+  "CMakeFiles/dwred_workload.dir/retail.cc.o.d"
+  "libdwred_workload.a"
+  "libdwred_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwred_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

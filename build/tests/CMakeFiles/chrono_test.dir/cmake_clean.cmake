@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrono_test.dir/chrono_test.cc.o"
+  "CMakeFiles/chrono_test.dir/chrono_test.cc.o.d"
+  "chrono_test"
+  "chrono_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrono_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

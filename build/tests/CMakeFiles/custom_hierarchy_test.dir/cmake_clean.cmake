@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_hierarchy_test.dir/custom_hierarchy_test.cc.o"
+  "CMakeFiles/custom_hierarchy_test.dir/custom_hierarchy_test.cc.o.d"
+  "custom_hierarchy_test"
+  "custom_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

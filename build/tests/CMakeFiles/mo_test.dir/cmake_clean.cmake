@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mo_test.dir/mo_test.cc.o"
+  "CMakeFiles/mo_test.dir/mo_test.cc.o.d"
+  "mo_test"
+  "mo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_analysis_test.dir/predicate_analysis_test.cc.o"
+  "CMakeFiles/predicate_analysis_test.dir/predicate_analysis_test.cc.o.d"
+  "predicate_analysis_test"
+  "predicate_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reduce_semantics_test.cc" "tests/CMakeFiles/reduce_semantics_test.dir/reduce_semantics_test.cc.o" "gcc" "tests/CMakeFiles/reduce_semantics_test.dir/reduce_semantics_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/subcube/CMakeFiles/dwred_subcube.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/dwred_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dwred_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dwred_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dwred_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dwred_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/prover/CMakeFiles/dwred_prover.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/dwred_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdm/CMakeFiles/dwred_mdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrono/CMakeFiles/dwred_chrono.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_semantics_test.dir/reduce_semantics_test.cc.o"
+  "CMakeFiles/reduce_semantics_test.dir/reduce_semantics_test.cc.o.d"
+  "reduce_semantics_test"
+  "reduce_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

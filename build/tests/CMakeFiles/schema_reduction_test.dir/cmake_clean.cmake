@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_reduction_test.dir/schema_reduction_test.cc.o"
+  "CMakeFiles/schema_reduction_test.dir/schema_reduction_test.cc.o.d"
+  "schema_reduction_test"
+  "schema_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

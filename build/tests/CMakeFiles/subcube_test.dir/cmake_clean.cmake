@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subcube_test.dir/subcube_test.cc.o"
+  "CMakeFiles/subcube_test.dir/subcube_test.cc.o.d"
+  "subcube_test"
+  "subcube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subcube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwredctl.dir/dwredctl.cpp.o"
+  "CMakeFiles/dwredctl.dir/dwredctl.cpp.o.d"
+  "dwredctl"
+  "dwredctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwredctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(dwredctl_demo "/root/repo/build/tools/dwredctl" "/root/repo/tools/demo/paper_example.dwred")
+set_tests_properties(dwredctl_demo PROPERTIES  WORKING_DIRECTORY "/root/repo/tools/demo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
