@@ -29,7 +29,7 @@ Fixture& MixedWorkload() {
   static Fixture fx = [] {
     Fixture f;
     ClickstreamWorkload w = MakeWorkload(200000);
-    ReductionSpecification spec = MakePolicy(*w.mo, 2);
+    ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 2));
     f.mo = std::make_unique<MultidimensionalObject>(
         Reduce(*w.mo, spec, DaysFromCivil({2002, 1, 1}), {false}).take());
     return f;

@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/logging.h"
+#include "obs/metrics.h"
 #include "reduce/semantics.h"
 #include "reduce/soundness.h"
 #include "spec/parser.h"
@@ -25,8 +30,8 @@ inline const char* kTierYear =
     "a[Time.year, URL.domain_grp] s[Time.year <= NOW - 36 months]";
 
 /// Builds a policy with the first `tiers` tiers (0..3) against `mo`.
-inline ReductionSpecification MakePolicy(const MultidimensionalObject& mo,
-                                         int tiers) {
+inline Result<ReductionSpecification> MakePolicy(
+    const MultidimensionalObject& mo, int tiers) {
   ReductionSpecification spec;
   const char* texts[] = {kTierMonth, kTierQuarter, kTierYear};
   // Later tiers are prerequisites of earlier ones (Growing): install the
@@ -34,12 +39,50 @@ inline ReductionSpecification MakePolicy(const MultidimensionalObject& mo,
   for (int i = 3 - tiers; i < 3; ++i) {
     auto a = ParseAction(mo, texts[i], "tier" + std::to_string(i + 1));
     if (!a.ok()) {
-      benchmark::DoNotOptimize(a.status().message());
-      std::abort();
+      DWRED_LOG(Error) << "tier " << (i + 1) << " failed to parse: "
+                       << texts[i] << " — " << a.status().ToString();
+      return a.status();
     }
     spec.Add(a.take());
   }
   return spec;
+}
+
+/// Registers an atexit hook that writes the metrics registry's JSON snapshot
+/// to $DWRED_METRICS_SIDECAR (when set). Instantiate one at namespace scope
+/// in a benchmark binary; runs after benchmark::Shutdown so the dump covers
+/// every iteration.
+struct MetricsSidecarAtExit {
+  MetricsSidecarAtExit() {
+    std::atexit([] {
+      const char* path = std::getenv("DWRED_METRICS_SIDECAR");
+      if (path == nullptr || path[0] == '\0') return;
+      std::FILE* f = std::fopen(path, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "metrics sidecar: cannot open %s\n", path);
+        return;
+      }
+      std::string json = obs::MetricsRegistry::Global().RenderJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    });
+  }
+};
+
+inline MetricsSidecarAtExit g_metrics_sidecar;
+
+/// Unwraps a Result in benchmark setup code. Benchmarks have no error
+/// channel, so a failed setup still dies — but the decision now sits at the
+/// harness edge, not inside MakePolicy.
+template <typename T>
+inline T TakeOrAbort(Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "benchmark setup failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return r.take();
 }
 
 /// Canonical 3-year click workload with `n` facts.

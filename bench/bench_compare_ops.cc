@@ -21,7 +21,7 @@ struct Fixture {
 Fixture MakeReduced() {
   Fixture fx;
   ClickstreamWorkload w = MakeWorkload(50000);
-  ReductionSpecification spec = MakePolicy(*w.mo, 2);
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 2));
   fx.t = DaysFromCivil({2003, 1, 1});
   fx.mo = std::make_unique<MultidimensionalObject>(
       Reduce(*w.mo, spec, fx.t, {false}).take());

@@ -28,7 +28,7 @@ Prepared Prepare(size_t facts, int tiers) {
   if (tiers == 0) {
     p.mo = std::move(w.mo);
   } else {
-    ReductionSpecification spec = MakePolicy(*w.mo, tiers);
+    ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, tiers));
     auto reduced = Reduce(*w.mo, spec, p.t, {false});
     p.mo = std::make_unique<MultidimensionalObject>(reduced.take());
   }

@@ -12,7 +12,7 @@ void BM_ReducePass(benchmark::State& state) {
   const size_t facts = static_cast<size_t>(state.range(0));
   const int tiers = static_cast<int>(state.range(1));
   ClickstreamWorkload w = MakeWorkload(facts);
-  ReductionSpecification spec = MakePolicy(*w.mo, tiers);
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, tiers));
   const int64_t t = DaysFromCivil({2002, 1, 1});
 
   for (auto _ : state) {
@@ -38,7 +38,7 @@ BENCHMARK(BM_ReducePass)
 void BM_ReducePassProvenanceAblation(benchmark::State& state) {
   const bool track = state.range(0) != 0;
   ClickstreamWorkload w = MakeWorkload(100000);
-  ReductionSpecification spec = MakePolicy(*w.mo, 3);
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
   const int64_t t = DaysFromCivil({2002, 1, 1});
   ReduceOptions opts;
   opts.track_provenance = track;
@@ -66,7 +66,7 @@ void BM_GradualMonthlyReduction(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     ClickstreamWorkload w = MakeWorkload(facts);
-    ReductionSpecification spec = MakePolicy(*w.mo, 3);
+    ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
     MultidimensionalObject current = std::move(*w.mo);
     state.ResumeTiming();
     for (int ym = 1999 * 12 + 6; ym <= 2003 * 12; ++ym) {

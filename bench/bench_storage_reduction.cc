@@ -16,7 +16,7 @@ void BM_StorageReduction(benchmark::State& state) {
   const size_t facts = static_cast<size_t>(state.range(0));
   const int tiers = static_cast<int>(state.range(1));
   ClickstreamWorkload w = MakeWorkload(facts);
-  ReductionSpecification spec = MakePolicy(*w.mo, tiers);
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, tiers));
   const int64_t t = DaysFromCivil({2003, 1, 1});  // history is 1-4 years old
 
   size_t out_facts = 0, out_bytes = 0;
@@ -50,7 +50,7 @@ BENCHMARK(BM_StorageReduction)
 void BM_StorageReductionByAge(benchmark::State& state) {
   const int years_after = static_cast<int>(state.range(0));
   ClickstreamWorkload w = MakeWorkload(100000);
-  ReductionSpecification spec = MakePolicy(*w.mo, 3);
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
   const int64_t t = DaysFromCivil({2002 + years_after, 1, 1});
 
   size_t out_bytes = 0;

@@ -27,7 +27,7 @@ Warehouse MakeWarehouse(size_t per_month, bool leave_unsynced) {
   ClickstreamWorkload w = MakeWorkload(0);
   wh.time_dim = w.time_dim;
   wh.url_dim = w.url_dim;
-  ReductionSpecification spec = MakePolicy(*w.mo, 3);
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
   wh.mgr = std::make_unique<SubcubeManager>(
       SubcubeManager::Create("Click", w.mo->dimensions(),
                              std::vector<MeasureType>(w.mo->measure_types()),

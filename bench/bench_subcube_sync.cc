@@ -21,7 +21,7 @@ void BM_MonthlyLoadAndSync(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     ClickstreamWorkload w = MakeWorkload(0);
-    ReductionSpecification spec = MakePolicy(*w.mo, 3);
+    ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
     auto mgr_res = SubcubeManager::Create(
         "Click", w.mo->dimensions(),
         std::vector<MeasureType>(w.mo->measure_types()), spec);
@@ -76,7 +76,7 @@ void BM_SingleSyncWave(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     ClickstreamWorkload w = MakeWorkload(0);
-    ReductionSpecification spec = MakePolicy(*w.mo, 3);
+    ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
     auto mgr = SubcubeManager::Create(
                    "Click", w.mo->dimensions(),
                    std::vector<MeasureType>(w.mo->measure_types()), spec)

@@ -1,0 +1,126 @@
+#pragma once
+
+// Leveled logging with a pluggable sink. Header-only (C++17 inline state);
+// linking dwred_obs supplies the metrics counter it feeds.
+//
+//   DWRED_LOG(Info) << "synchronized " << n << " rows";
+//
+// Levels: Debug < Info < Warn < Error. Messages below the minimum level are
+// dropped before any formatting happens. The default sink writes
+// "[LEVEL] file:line: message" to stderr; SetLogSink installs a replacement
+// (e.g. a test capture); passing nullptr restores the default.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dwred::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+/// Sink signature: level plus the fully formatted "file:line: message" text.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+namespace internal {
+
+struct LogState {
+  std::mutex mu;
+  LogSink sink;  ///< null = default stderr sink
+  std::atomic<int> min_level{static_cast<int>(LogLevel::kInfo)};
+};
+
+inline LogState& GetLogState() {
+  static LogState* s = new LogState();  // leaked; see MetricsRegistry::Global
+  return *s;
+}
+
+inline const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace internal
+
+inline void SetMinLogLevel(LogLevel level) {
+  internal::GetLogState().min_level.store(static_cast<int>(level),
+                                          std::memory_order_relaxed);
+}
+
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      internal::GetLogState().min_level.load(std::memory_order_relaxed));
+}
+
+inline void SetLogSink(LogSink sink) {
+  internal::LogState& st = internal::GetLogState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.sink = std::move(sink);
+}
+
+inline void LogMessage(LogLevel level, const char* file, int line,
+                       std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(MinLogLevel())) return;
+  MetricsRegistry::Global()
+      .GetCounter("dwred_obs_log_messages", "log messages emitted")
+      .Increment();
+  std::string text = std::string(internal::Basename(file)) + ":" +
+                     std::to_string(line) + ": " + std::string(msg);
+  internal::LogState& st = internal::GetLogState();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.sink) {
+    st.sink(level, text);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), text.c_str());
+  }
+}
+
+/// One log statement: accumulates stream input, flushes on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, os_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace dwred::obs
+
+/// DWRED_LOG(Info) << ...; — the level test runs before any formatting.
+#define DWRED_LOG(severity)                                              \
+  if (static_cast<int>(::dwred::obs::LogLevel::k##severity) <            \
+      static_cast<int>(::dwred::obs::MinLogLevel())) {                   \
+  } else                                                                 \
+    ::dwred::obs::LogLine(::dwred::obs::LogLevel::k##severity, __FILE__, \
+                          __LINE__)

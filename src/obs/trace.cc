@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace dwred::obs {
+
+TraceBuffer& TraceBuffer::Global() {
+  // Leaked for the same static-teardown reason as MetricsRegistry::Global().
+  static TraceBuffer* g = new TraceBuffer();
+  return *g;
+}
+
+void TraceBuffer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, TraceEvent{});
+  next_ = 0;
+  count_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceBuffer::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceBuffer::Record(TraceEvent ev) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return;
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest event sits at next_ once the ring has wrapped.
+  size_t start = count_ == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  count_ = 0;
+}
+
+std::string TraceBuffer::DumpJsonLines() const {
+  std::string out;
+  for (const TraceEvent& ev : Snapshot()) {
+    out += "{\"name\":\"" + JsonEscape(ev.name) + "\"";
+    out += ",\"start_us\":" + std::to_string(ev.start_us);
+    out += ",\"dur_us\":" + std::to_string(ev.duration_us);
+    for (const auto& [key, value] : ev.fields) {
+      out += ",\"" + JsonEscape(key) + "\":" + std::to_string(value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool TraceBuffer::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::string lines = DumpJsonLines();
+  size_t written = std::fwrite(lines.data(), 1, lines.size(), f);
+  bool ok = written == lines.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+int64_t TraceBuffer::NowMicros() const {
+  if (!enabled()) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceSpan::TraceSpan(const char* name, Histogram* latency)
+    : name_(name), latency_(latency) {
+  if constexpr (kObsEnabled) {
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if constexpr (!kObsEnabled) return;
+  auto end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start_).count();
+  if (latency_) latency_->Record(seconds);
+  TraceBuffer& buf = TraceBuffer::Global();
+  if (buf.enabled()) {
+    TraceEvent ev;
+    ev.name = name_;
+    ev.duration_us = static_cast<int64_t>(seconds * 1e6);
+    ev.start_us = buf.NowMicros() - ev.duration_us;
+    ev.fields = std::move(fields_);
+    buf.Record(std::move(ev));
+  }
+}
+
+void TraceSpan::AddField(const char* key, int64_t value) {
+  if constexpr (!kObsEnabled) {
+    (void)key;
+    (void)value;
+    return;
+  }
+  if (!TraceBuffer::Global().enabled()) return;
+  fields_.emplace_back(key, value);
+}
+
+double TraceSpan::ElapsedSeconds() const {
+  if constexpr (!kObsEnabled) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace dwred::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+// Structured tracing: RAII TraceSpan scopes measure wall time on the steady
+// clock, record it into a latency histogram (when one is supplied), and —
+// when the global TraceBuffer is enabled — emit one structured event per
+// span into a fixed-capacity ring buffer. Events render as JSON lines
+// ({"name":...,"start_us":...,"dur_us":...,<fields>}), dumpable on demand or
+// written to a file (dwredctl --trace=<file>).
+//
+// Spans are cheap when tracing is off: two clock reads plus one histogram
+// record; with -DDWRED_OBS_DISABLED they compile to (almost) nothing.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dwred::obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  int64_t start_us = 0;     ///< since the buffer was enabled
+  int64_t duration_us = 0;
+  std::vector<std::pair<std::string, int64_t>> fields;
+};
+
+/// Process-wide ring buffer of completed spans. Disabled by default; when
+/// full, the oldest events are overwritten.
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global();
+
+  void Enable(size_t capacity = 4096);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceEvent ev);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  void Clear();
+
+  /// One JSON object per line, oldest first.
+  std::string DumpJsonLines() const;
+
+  /// Writes DumpJsonLines() to `path`. Returns false on I/O failure.
+  bool WriteTo(const std::string& path) const;
+
+  /// Microseconds since Enable() on the steady clock (0 when disabled).
+  int64_t NowMicros() const;
+
+ private:
+  TraceBuffer() = default;
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::vector<TraceEvent> ring_;
+  size_t capacity_ = 0;
+  size_t next_ = 0;   ///< slot the next event lands in
+  size_t count_ = 0;  ///< live events (<= capacity_)
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records wall time into `latency` (seconds) and, when the
+/// global TraceBuffer is enabled, emits a TraceEvent on destruction.
+/// `name` must outlive the span (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* latency = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a structured field to the emitted event.
+  void AddField(const char* key, int64_t value);
+
+  double ElapsedSeconds() const;
+
+ private:
+  const char* name_;
+  Histogram* latency_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, int64_t>> fields_;
+};
+
+}  // namespace dwred::obs

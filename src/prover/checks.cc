@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace dwred {
 
@@ -106,9 +107,27 @@ std::vector<int64_t> BuildSampleGrid(const std::vector<const Conjunct*>& cs,
   return grid;
 }
 
-TriBool ConjunctsEverOverlap(const MultidimensionalObject& mo,
-                             const Conjunct& a, const Conjunct& b,
-                             const ProverOptions& opts) {
+namespace {
+
+/// Counts one prover query and its TriBool verdict
+/// (dwred_prover_<kind>_queries / dwred_prover_<kind>_<verdict>).
+TriBool RecordProverVerdict(const char* kind, TriBool verdict) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry
+      .GetCounter(std::string("dwred_prover_") + kind + "_queries",
+                  "prover decision-procedure queries")
+      .Increment();
+  const char* out = verdict == TriBool::kYes
+                        ? "yes"
+                        : verdict == TriBool::kNo ? "no" : "unknown";
+  registry.GetCounter(std::string("dwred_prover_") + kind + "_" + out)
+      .Increment();
+  return verdict;
+}
+
+TriBool ConjunctsEverOverlapImpl(const MultidimensionalObject& mo,
+                                 const Conjunct& a, const Conjunct& b,
+                                 const ProverOptions& opts) {
   if (a.always_false || b.always_false) return TriBool::kNo;
 
   // Categorical overlap (time-independent): every dimension must admit a
@@ -144,10 +163,11 @@ TriBool ConjunctsEverOverlap(const MultidimensionalObject& mo,
   return TriBool::kNo;
 }
 
-TriBool BoundaryCovered(const MultidimensionalObject& mo,
-                        const Conjunct& shrinking,
-                        const std::vector<const Conjunct*>& covers,
-                        const ProverOptions& opts, std::string* diagnostic) {
+TriBool BoundaryCoveredImpl(const MultidimensionalObject& mo,
+                            const Conjunct& shrinking,
+                            const std::vector<const Conjunct*>& covers,
+                            const ProverOptions& opts,
+                            std::string* diagnostic) {
   if (!shrinking.time.HasNowLower()) return TriBool::kYes;
   if (!shrinking.time.exact) {
     if (diagnostic) {
@@ -243,6 +263,22 @@ TriBool BoundaryCovered(const MultidimensionalObject& mo,
     }
   }
   return TriBool::kYes;
+}
+
+}  // namespace
+
+TriBool ConjunctsEverOverlap(const MultidimensionalObject& mo,
+                             const Conjunct& a, const Conjunct& b,
+                             const ProverOptions& opts) {
+  return RecordProverVerdict("overlap", ConjunctsEverOverlapImpl(mo, a, b, opts));
+}
+
+TriBool BoundaryCovered(const MultidimensionalObject& mo,
+                        const Conjunct& shrinking,
+                        const std::vector<const Conjunct*>& covers,
+                        const ProverOptions& opts, std::string* diagnostic) {
+  return RecordProverVerdict(
+      "coverage", BoundaryCoveredImpl(mo, shrinking, covers, opts, diagnostic));
 }
 
 }  // namespace dwred

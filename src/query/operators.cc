@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dwred {
 
@@ -20,6 +22,15 @@ const char* AggregationApproachName(AggregationApproach a) {
 Result<SelectionResult> Select(const MultidimensionalObject& mo,
                                const PredExpr& pred, int64_t now_day,
                                SelectionApproach approach) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& select_latency = registry.GetHistogram(
+      "dwred_query_select_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one selection operator evaluation (Section 6)");
+  static obs::Counter& c_selects =
+      registry.GetCounter("dwred_query_selects", "selection operators run");
+  obs::TraceSpan span("query.select", &select_latency);
+  c_selects.Increment();
+  span.AddField("facts_in", static_cast<int64_t>(mo.num_facts()));
   SelectionResult out{MultidimensionalObject(mo.fact_type(), mo.dimensions(),
                                              mo.measure_types()),
                       {}};
@@ -129,6 +140,15 @@ struct CellHash {
 Result<MultidimensionalObject> AggregateFormation(
     const MultidimensionalObject& mo, const std::vector<CategoryId>& target,
     AggregationApproach approach, bool track_provenance) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& agg_latency = registry.GetHistogram(
+      "dwred_query_aggregate_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one aggregate-formation evaluation (Section 6)");
+  static obs::Counter& c_aggs = registry.GetCounter(
+      "dwred_query_aggregations", "aggregate-formation operators run");
+  obs::TraceSpan span("query.aggregate", &agg_latency);
+  c_aggs.Increment();
+  span.AddField("facts_in", static_cast<int64_t>(mo.num_facts()));
   if (target.size() != mo.num_dimensions()) {
     return Status::InvalidArgument(
         "aggregate formation needs one category per dimension");

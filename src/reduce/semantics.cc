@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dwred {
 
@@ -121,6 +123,12 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
                                       int64_t now_day,
                                       const ReduceOptions& options,
                                       ReduceStats* stats) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& pass_latency = registry.GetHistogram(
+      "dwred_reduce_pass_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one reduction pass (Definition 2)");
+  obs::TraceSpan span("reduce.pass", &pass_latency);
+
   MultidimensionalObject out(mo.fact_type(), mo.dimensions(),
                              mo.measure_types());
   const size_t ndims = mo.num_dimensions();
@@ -239,6 +247,29 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
     stats->facts_aggregated = facts_aggregated;
     stats->facts_deleted = facts_deleted;
   }
+
+  // ReduceStats, folded into process-wide totals.
+  static obs::Counter& c_passes = registry.GetCounter(
+      "dwred_reduce_passes", "completed reduction passes");
+  static obs::Counter& c_in = registry.GetCounter(
+      "dwred_reduce_facts_in", "input facts scanned by reduction passes");
+  static obs::Counter& c_out = registry.GetCounter(
+      "dwred_reduce_facts_out", "facts materialized by reduction passes");
+  static obs::Counter& c_agg = registry.GetCounter(
+      "dwred_reduce_facts_aggregated",
+      "input facts whose granularity changed during reduction");
+  static obs::Counter& c_del = registry.GetCounter(
+      "dwred_reduce_facts_deleted",
+      "input facts removed by deletion actions during reduction");
+  c_passes.Increment();
+  c_in.Increment(mo.num_facts());
+  c_out.Increment(out.num_facts());
+  c_agg.Increment(facts_aggregated);
+  c_del.Increment(facts_deleted);
+  span.AddField("facts_in", static_cast<int64_t>(mo.num_facts()));
+  span.AddField("facts_out", static_cast<int64_t>(out.num_facts()));
+  span.AddField("facts_aggregated", static_cast<int64_t>(facts_aggregated));
+  span.AddField("facts_deleted", static_cast<int64_t>(facts_deleted));
   return out;
 }
 

@@ -1,28 +1,30 @@
 #include "reduce/soundness.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dwred {
 
-Result<CompiledSpec> CompileSpec(const MultidimensionalObject& mo,
-                                 const ReductionSpecification& spec) {
-  CompiledSpec out;
-  out.per_action.reserve(spec.size());
-  for (const Action& a : spec.actions()) {
-    DWRED_ASSIGN_OR_RETURN(auto conjuncts, CompileToDnf(mo, *a.predicate));
-    out.per_action.push_back(std::move(conjuncts));
-  }
-  return out;
+namespace {
+
+/// Counts one soundness-check run and its outcome, keyed by StatusCode name
+/// (dwred_prover_<check>_checks / dwred_prover_<check>_outcomes_<Code>).
+void RecordCheckOutcome(const char* check, const Status& st) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry
+      .GetCounter(std::string("dwred_prover_") + check + "_checks",
+                  "soundness-check runs")
+      .Increment();
+  registry
+      .GetCounter(std::string("dwred_prover_") + check + "_outcomes_" +
+                  StatusCodeName(st.code()))
+      .Increment();
 }
 
-GrowthClass ClassifyGrowth(const Conjunct& c) {
-  if (c.time.HasNowLower()) return GrowthClass::kShrinking;
-  if (c.time.HasNowUpper()) return GrowthClass::kGrowing;
-  return GrowthClass::kFixed;
-}
-
-Status CheckNonCrossing(const MultidimensionalObject& mo,
-                        const ReductionSpecification& spec,
-                        const CompiledSpec& compiled,
-                        const ProverOptions& opts) {
+Status CheckNonCrossingImpl(const MultidimensionalObject& mo,
+                            const ReductionSpecification& spec,
+                            const CompiledSpec& compiled,
+                            const ProverOptions& opts) {
   const auto& actions = spec.actions();
   for (size_t i = 0; i < actions.size(); ++i) {
     for (size_t j = i + 1; j < actions.size(); ++j) {
@@ -52,10 +54,10 @@ Status CheckNonCrossing(const MultidimensionalObject& mo,
   return Status::OK();
 }
 
-Status CheckGrowing(const MultidimensionalObject& mo,
-                    const ReductionSpecification& spec,
-                    const CompiledSpec& compiled,
-                    const ProverOptions& opts) {
+Status CheckGrowingImpl(const MultidimensionalObject& mo,
+                        const ReductionSpecification& spec,
+                        const CompiledSpec& compiled,
+                        const ProverOptions& opts) {
   const auto& actions = spec.actions();
   for (size_t i = 0; i < actions.size(); ++i) {
     for (const Conjunct& c : compiled.per_action[i]) {
@@ -87,6 +89,51 @@ Status CheckGrowing(const MultidimensionalObject& mo,
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Result<CompiledSpec> CompileSpec(const MultidimensionalObject& mo,
+                                 const ReductionSpecification& spec) {
+  CompiledSpec out;
+  out.per_action.reserve(spec.size());
+  for (const Action& a : spec.actions()) {
+    DWRED_ASSIGN_OR_RETURN(auto conjuncts, CompileToDnf(mo, *a.predicate));
+    out.per_action.push_back(std::move(conjuncts));
+  }
+  return out;
+}
+
+GrowthClass ClassifyGrowth(const Conjunct& c) {
+  if (c.time.HasNowLower()) return GrowthClass::kShrinking;
+  if (c.time.HasNowUpper()) return GrowthClass::kGrowing;
+  return GrowthClass::kFixed;
+}
+
+Status CheckNonCrossing(const MultidimensionalObject& mo,
+                        const ReductionSpecification& spec,
+                        const CompiledSpec& compiled,
+                        const ProverOptions& opts) {
+  static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "dwred_prover_noncrossing_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one NonCrossing check (Section 5.2)");
+  obs::TraceSpan span("prover.noncrossing", &latency);
+  Status st = CheckNonCrossingImpl(mo, spec, compiled, opts);
+  RecordCheckOutcome("noncrossing", st);
+  return st;
+}
+
+Status CheckGrowing(const MultidimensionalObject& mo,
+                    const ReductionSpecification& spec,
+                    const CompiledSpec& compiled,
+                    const ProverOptions& opts) {
+  static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "dwred_prover_growing_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one Growing check (Section 5.3)");
+  obs::TraceSpan span("prover.growing", &latency);
+  Status st = CheckGrowingImpl(mo, spec, compiled, opts);
+  RecordCheckOutcome("growing", st);
+  return st;
 }
 
 Status ValidateSpecification(const MultidimensionalObject& mo,

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace dwred {
 
@@ -539,12 +540,33 @@ class Parser {
 
 }  // namespace
 
+namespace {
+
+/// Counts one ParseAction attempt by outcome.
+void RecordParseOutcome(bool ok) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& parsed = registry.GetCounter(
+      "dwred_spec_actions_parsed", "action texts parsed successfully");
+  static obs::Counter& rejected = registry.GetCounter(
+      "dwred_spec_actions_rejected",
+      "action texts rejected by the parser (lex, grammar, or semantics)");
+  (ok ? parsed : rejected).Increment();
+}
+
+}  // namespace
+
 Result<Action> ParseAction(const MultidimensionalObject& mo,
                            std::string_view text, std::string name) {
   Lexer lex(text);
-  DWRED_ASSIGN_OR_RETURN(auto toks, lex.Lex());
-  Parser p(mo, std::move(toks));
-  return p.ParseActionBody(text, std::move(name));
+  auto toks = lex.Lex();
+  if (!toks.ok()) {
+    RecordParseOutcome(false);
+    return toks.status();
+  }
+  Parser p(mo, toks.take());
+  Result<Action> action = p.ParseActionBody(text, std::move(name));
+  RecordParseOutcome(action.ok());
+  return action;
 }
 
 Result<std::shared_ptr<PredExpr>> ParsePredicate(

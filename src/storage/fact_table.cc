@@ -1,13 +1,95 @@
 #include "storage/fact_table.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace dwred {
 
+namespace {
+
+obs::Gauge& RowsGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "dwred_storage_fact_rows", "rows held by live FactTables");
+  return g;
+}
+
+obs::Gauge& BytesGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "dwred_storage_fact_bytes", "bytes held by live FactTables");
+  return g;
+}
+
+}  // namespace
+
+void FactTable::UpdateFootprint(int64_t row_delta) {
+  if constexpr (!obs::kObsEnabled) {
+    (void)row_delta;
+    return;
+  }
+  size_t now_bytes = Bytes();
+  RowsGauge().Add(row_delta);
+  BytesGauge().Add(static_cast<int64_t>(now_bytes) -
+                   static_cast<int64_t>(reported_bytes_));
+  reported_bytes_ = now_bytes;
+}
+
+void FactTable::ReleaseFootprint() {
+  if constexpr (!obs::kObsEnabled) return;
+  RowsGauge().Add(-static_cast<int64_t>(num_rows_));
+  BytesGauge().Add(-static_cast<int64_t>(reported_bytes_));
+  reported_bytes_ = 0;
+}
+
 FactTable::FactTable(size_t num_dims, size_t num_measures)
     : dim_cols_(num_dims), meas_cols_(num_measures) {}
+
+FactTable::~FactTable() { ReleaseFootprint(); }
+
+FactTable::FactTable(const FactTable& other)
+    : num_rows_(other.num_rows_),
+      dim_cols_(other.dim_cols_),
+      meas_cols_(other.meas_cols_) {
+  UpdateFootprint(static_cast<int64_t>(num_rows_));
+}
+
+FactTable& FactTable::operator=(const FactTable& other) {
+  if (this == &other) return *this;
+  int64_t old_rows = static_cast<int64_t>(num_rows_);
+  num_rows_ = other.num_rows_;
+  dim_cols_ = other.dim_cols_;
+  meas_cols_ = other.meas_cols_;
+  UpdateFootprint(static_cast<int64_t>(num_rows_) - old_rows);
+  return *this;
+}
+
+FactTable::FactTable(FactTable&& other) noexcept
+    : num_rows_(other.num_rows_),
+      dim_cols_(std::move(other.dim_cols_)),
+      meas_cols_(std::move(other.meas_cols_)),
+      reported_bytes_(other.reported_bytes_) {
+  // The gauge contribution moves with the data; the source owes nothing.
+  other.num_rows_ = 0;
+  other.reported_bytes_ = 0;
+  other.dim_cols_.clear();
+  other.meas_cols_.clear();
+}
+
+FactTable& FactTable::operator=(FactTable&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseFootprint();
+  num_rows_ = other.num_rows_;
+  dim_cols_ = std::move(other.dim_cols_);
+  meas_cols_ = std::move(other.meas_cols_);
+  reported_bytes_ = other.reported_bytes_;
+  other.num_rows_ = 0;
+  other.reported_bytes_ = 0;
+  other.dim_cols_.clear();
+  other.meas_cols_.clear();
+  return *this;
+}
 
 RowId FactTable::Append(std::span<const ValueId> coords,
                         std::span<const int64_t> measures) {
@@ -17,7 +99,9 @@ RowId FactTable::Append(std::span<const ValueId> coords,
   for (size_t m = 0; m < measures.size(); ++m) {
     meas_cols_[m].push_back(measures[m]);
   }
-  return num_rows_++;
+  RowId r = num_rows_++;
+  UpdateFootprint(1);
+  return r;
 }
 
 void FactTable::ReadCoords(RowId r, ValueId* out) const {
@@ -26,6 +110,7 @@ void FactTable::ReadCoords(RowId r, ValueId* out) const {
 
 void FactTable::EraseRows(const std::vector<bool>& erase) {
   DWRED_CHECK(erase.size() == num_rows_);
+  size_t before = num_rows_;
   size_t w = 0;
   for (size_t r = 0; r < num_rows_; ++r) {
     if (erase[r]) continue;
@@ -38,9 +123,10 @@ void FactTable::EraseRows(const std::vector<bool>& erase) {
   for (auto& col : dim_cols_) col.resize(w);
   for (auto& col : meas_cols_) col.resize(w);
   num_rows_ = w;
+  UpdateFootprint(static_cast<int64_t>(w) - static_cast<int64_t>(before));
 }
 
-void FactTable::CompactCells(std::span<const AggFn> aggs) {
+size_t FactTable::CompactCells(std::span<const AggFn> aggs) {
   DWRED_CHECK(aggs.size() == meas_cols_.size());
   struct KeyHash {
     size_t operator()(const std::vector<ValueId>& v) const {
@@ -71,7 +157,9 @@ void FactTable::CompactCells(std::span<const AggFn> aggs) {
       any = true;
     }
   }
+  size_t before = num_rows_;
   if (any) EraseRows(erase);
+  return before - num_rows_;
 }
 
 size_t FactTable::Bytes() const {

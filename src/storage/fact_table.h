@@ -21,10 +21,18 @@ namespace dwred {
 /// Row index within a FactTable.
 using RowId = uint64_t;
 
-/// Columnar fact storage of one subcube.
+/// Columnar fact storage of one subcube. Live tables report their aggregate
+/// row/byte footprint through the dwred_storage_fact_rows /
+/// dwred_storage_fact_bytes gauges.
 class FactTable {
  public:
   FactTable(size_t num_dims, size_t num_measures);
+  ~FactTable();
+
+  FactTable(const FactTable& other);
+  FactTable& operator=(const FactTable& other);
+  FactTable(FactTable&& other) noexcept;
+  FactTable& operator=(FactTable&& other) noexcept;
 
   size_t num_rows() const { return num_rows_; }
   size_t num_dims() const { return dim_cols_.size(); }
@@ -48,8 +56,9 @@ class FactTable {
 
   /// Merges rows with identical coordinates by folding measures with `aggs`
   /// (one AggFn per measure). Used after subcube migration, where data
-  /// arriving from several parents may populate the same cell.
-  void CompactCells(std::span<const AggFn> aggs);
+  /// arriving from several parents may populate the same cell. Returns the
+  /// number of rows folded away.
+  size_t CompactCells(std::span<const AggFn> aggs);
 
   /// Exact byte footprint of the stored columns.
   size_t Bytes() const;
@@ -66,9 +75,17 @@ class FactTable {
   void AppendFrom(const MultidimensionalObject& mo);
 
  private:
+  /// Re-reports this table's contribution to the process-wide footprint
+  /// gauges after a mutation (`row_delta` rows added/removed; the byte delta
+  /// is derived from Bytes() against the last reported value).
+  void UpdateFootprint(int64_t row_delta);
+  /// Withdraws this table's whole contribution from the footprint gauges.
+  void ReleaseFootprint();
+
   size_t num_rows_ = 0;
   std::vector<std::vector<ValueId>> dim_cols_;
   std::vector<std::vector<int64_t>> meas_cols_;
+  size_t reported_bytes_ = 0;  ///< bytes currently credited to the gauges
 };
 
 }  // namespace dwred

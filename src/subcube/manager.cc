@@ -5,6 +5,9 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spec/predicate_analysis.h"
 
 namespace dwred {
@@ -230,10 +233,18 @@ Result<std::vector<ValueId>> SubcubeManager::RollCell(
 }
 
 Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& sync_latency = registry.GetHistogram(
+      "dwred_subcube_sync_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one subcube synchronization pass (Section 7.2)");
+  obs::TraceSpan span("subcube.sync", &sync_latency);
+
   std::vector<AggFn> aggs;
   for (const auto& m : measures_) aggs.push_back(m.agg);
 
   size_t migrated = 0;
+  size_t deleted = 0;
+  size_t compacted = 0;
   const size_t ndims = dims_.size();
   const size_t nmeas = measures_.size();
   std::vector<ValueId> cell(ndims);
@@ -256,6 +267,7 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
         // A deletion action claims the row: physical deletion, no migration.
         erase[r] = true;
         ++migrated;
+        ++deleted;
         continue;
       }
       DWRED_ASSIGN_OR_RETURN(std::vector<ValueId> rolled,
@@ -272,8 +284,30 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
   // Cells that received data from several places are aggregated one final
   // time (Section 7.2).
   for (size_t i = 0; i < cubes_.size(); ++i) {
-    if (received[i]) cubes_[i]->table.CompactCells(aggs);
+    if (received[i]) compacted += cubes_[i]->table.CompactCells(aggs);
   }
+
+  static obs::Counter& c_syncs = registry.GetCounter(
+      "dwred_subcube_syncs", "completed synchronization passes");
+  static obs::Counter& c_migrated = registry.GetCounter(
+      "dwred_subcube_sync_rows_migrated",
+      "rows moved to their responsible subcube (deletions included)");
+  static obs::Counter& c_deleted = registry.GetCounter(
+      "dwred_subcube_sync_rows_deleted",
+      "rows physically removed by deletion actions during synchronization");
+  static obs::Counter& c_compacted = registry.GetCounter(
+      "dwred_subcube_sync_cells_compacted",
+      "rows folded away by the final per-cube cell compaction");
+  c_syncs.Increment();
+  c_migrated.Increment(migrated);
+  c_deleted.Increment(deleted);
+  c_compacted.Increment(compacted);
+  span.AddField("rows_migrated", static_cast<int64_t>(migrated));
+  span.AddField("rows_deleted", static_cast<int64_t>(deleted));
+  span.AddField("cells_compacted", static_cast<int64_t>(compacted));
+  DWRED_LOG(Debug) << "subcube sync at day " << now_day << ": " << migrated
+                   << " rows migrated, " << deleted << " deleted, "
+                   << compacted << " compacted";
   return migrated;
 }
 
@@ -283,6 +317,13 @@ Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
   // One evaluation per subcube; in parallel mode each runs on its own thread
   // (only shared *reads*: dimensions, spec, sibling tables).
   auto eval_one = [&](size_t i) -> Result<MultidimensionalObject> {
+    static obs::Histogram& subquery_latency =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "dwred_subcube_subquery_seconds", obs::DefaultLatencyBuckets(),
+            "wall time of one per-subcube subquery evaluation (Section 7.3)");
+    obs::TraceSpan span("subcube.subquery", &subquery_latency);
+    span.AddField("cube", static_cast<int64_t>(i));
+
     const size_t ndims = dims_.size();
     std::vector<ValueId> cell(ndims);
     const Subcube& cube = *cubes_[i];
@@ -385,6 +426,14 @@ Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
 Result<MultidimensionalObject> SubcubeManager::Query(
     const PredExpr* pred, const std::vector<CategoryId>* target,
     int64_t now_day, bool assume_synchronized, bool parallel) const {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& query_latency = registry.GetHistogram(
+      "dwred_subcube_query_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one whole subcube query (subqueries + final combine)");
+  static obs::Counter& c_queries = registry.GetCounter(
+      "dwred_subcube_queries", "subcube queries evaluated");
+  obs::TraceSpan span("subcube.query", &query_latency);
+  c_queries.Increment();
   DWRED_ASSIGN_OR_RETURN(
       std::vector<MultidimensionalObject> subs,
       QuerySubresults(pred, target, now_day, assume_synchronized, parallel));

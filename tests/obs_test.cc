@@ -1,0 +1,221 @@
+// Tests for the dwred::obs subsystem: counters under contention, histogram
+// bucket semantics, exposition-format stability, tracing, and logging.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dwred::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetAllForTest();
+    TraceBuffer::Global().Disable();
+    SetLogSink(nullptr);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    TraceBuffer::Global().Disable();
+    SetLogSink(nullptr);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsSumExactly) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  Counter& c = MetricsRegistry::Global().GetCounter("test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundsAreInclusive) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.num_bounds(), 3u);
+
+  h.Record(1.0);  // exactly on a bound: le="1" is inclusive
+  h.Record(2.0);  // le="2"
+  h.Record(2.5);  // le="4"
+  h.Record(5.0);  // above every bound: +Inf
+
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // +Inf slot
+
+  // Cumulative counts are monotone and end at the total.
+  EXPECT_EQ(h.CumulativeCount(0), 1u);
+  EXPECT_EQ(h.CumulativeCount(1), 2u);
+  EXPECT_EQ(h.CumulativeCount(2), 3u);
+  EXPECT_EQ(h.CumulativeCount(3), 4u);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1.0 + 2.0 + 2.5 + 5.0);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameObjectForSameName) {
+  Counter& a = MetricsRegistry::Global().GetCounter("test_same_total");
+  Counter& b = MetricsRegistry::Global().GetCounter("test_same_total");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 =
+      MetricsRegistry::Global().GetHistogram("test_same_hist", {1.0, 2.0});
+  // Later bounds are ignored; the registered histogram wins.
+  Histogram& h2 =
+      MetricsRegistry::Global().GetHistogram("test_same_hist", {7.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.num_bounds(), 2u);
+}
+
+// A minimal parser for the Prometheus text format: every non-comment line
+// must be "<name>[{labels}] <value>"; returns name -> value for plain lines.
+std::map<std::string, std::string> ParseExposition(const std::string& text) {
+  std::map<std::string, std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << "unexpected comment: " << line;
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "no value on line: " << line;
+      continue;
+    }
+    std::string key = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    out[key] = value;
+  }
+  return out;
+}
+
+TEST_F(ObsTest, RenderTextIsStableAndParseable) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test_render_total", "a test counter").Increment(3);
+  reg.GetGauge("test_render_gauge").Set(-7);
+  reg.GetHistogram("test_render_seconds", {0.5, 1.0}).Record(0.75);
+
+  std::string first = reg.RenderText();
+  std::string second = reg.RenderText();
+  EXPECT_EQ(first, second) << "exposition must be deterministic";
+
+  std::map<std::string, std::string> samples = ParseExposition(first);
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  EXPECT_EQ(samples.at("test_render_total"), "3");
+  EXPECT_EQ(samples.at("test_render_gauge"), "-7");
+  EXPECT_EQ(samples.at("test_render_seconds_bucket{le=\"0.5\"}"), "0");
+  EXPECT_EQ(samples.at("test_render_seconds_bucket{le=\"1\"}"), "1");
+  EXPECT_EQ(samples.at("test_render_seconds_bucket{le=\"+Inf\"}"), "1");
+  EXPECT_EQ(samples.at("test_render_seconds_count"), "1");
+}
+
+TEST_F(ObsTest, RenderJsonContainsRegisteredMetrics) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test_json_total").Increment(2);
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_total\""), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceSpanNestedScopesEmitInnerFirst) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  TraceBuffer::Global().Enable(16);
+  {
+    TraceSpan outer("outer");
+    outer.AddField("facts", 42);
+    {
+      TraceSpan inner("inner");
+    }
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // The inner scope closes first, so it lands in the buffer first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  ASSERT_EQ(events[1].fields.size(), 1u);
+  EXPECT_EQ(events[1].fields[0].first, "facts");
+  EXPECT_EQ(events[1].fields[0].second, 42);
+  EXPECT_GE(events[0].duration_us, 0);
+  EXPECT_GE(events[1].duration_us, events[0].duration_us);
+}
+
+TEST_F(ObsTest, TraceBufferRingOverwritesOldest) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  TraceBuffer::Global().Enable(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent ev;
+    ev.name = "e" + std::to_string(i);
+    TraceBuffer::Global().Record(std::move(ev));
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+
+  std::string dump = TraceBuffer::Global().DumpJsonLines();
+  EXPECT_NE(dump.find("\"name\":\"e4\""), std::string::npos);
+  EXPECT_EQ(dump.find("\"name\":\"e0\""), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceSpanRecordsIntoHistogram) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test_span_seconds", DefaultLatencyBuckets());
+  uint64_t before = h.Count();
+  { TraceSpan span("timed", &h); }
+  EXPECT_EQ(h.Count(), before + 1);
+}
+
+TEST_F(ObsTest, LoggerRespectsMinLevelAndSink) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, std::string_view text) {
+    captured.emplace_back(level, std::string(text));
+  });
+  SetMinLogLevel(LogLevel::kWarn);
+
+  DWRED_LOG(Info) << "dropped " << 1;
+  DWRED_LOG(Error) << "kept " << 2;
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kError);
+  EXPECT_NE(captured[0].second.find("kept 2"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("obs_test.cc:"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetAllForTestKeepsReferencesValid) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test_reset_total");
+  c.Increment(5);
+  MetricsRegistry::Global().ResetAllForTest();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();  // the reference must still be live
+  if (kObsEnabled) {
+    EXPECT_EQ(c.Value(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dwred::obs

@@ -1,0 +1,51 @@
+// StatusCodeName must give every enumerator a distinct, meaningful name —
+// the obs layer keys per-outcome counters on it
+// (dwred_prover_<check>_outcomes_<Code>), so a collision would silently merge
+// outcome counts.
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace dwred {
+namespace {
+
+TEST(StatusCodeNameTest, EveryEnumeratorHasDistinctNonEmptyName) {
+  const StatusCode all[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kParseError,
+      StatusCode::kNotFound,
+      StatusCode::kCrossingViolation,
+      StatusCode::kGrowingViolation,
+      StatusCode::kDeleteRejected,
+      StatusCode::kInternal,
+  };
+  std::set<std::string> seen;
+  for (StatusCode code : all) {
+    const char* name = StatusCodeName(code);
+    ASSERT_NE(name, nullptr) << "code " << static_cast<int>(code);
+    std::string s(name);
+    EXPECT_FALSE(s.empty()) << "code " << static_cast<int>(code);
+    EXPECT_NE(s, "Unknown") << "code " << static_cast<int>(code)
+                            << " fell through to the default name";
+    EXPECT_TRUE(seen.insert(s).second)
+        << "duplicate name '" << s << "' for code " << static_cast<int>(code);
+  }
+  EXPECT_EQ(seen.size(), std::size(all));
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status st = Status::CrossingViolation("a1 vs a2");
+  EXPECT_NE(st.ToString().find(StatusCodeName(StatusCode::kCrossingViolation)),
+            std::string::npos);
+  EXPECT_NE(st.ToString().find("a1 vs a2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwred

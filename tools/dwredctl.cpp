@@ -23,13 +23,22 @@
 //   load-snapshot <file.dwsnap>             # instead of init + loads
 //   show [n]                                 # print up to n facts (default 20)
 //   stats
+//   metrics                                  # Prometheus-style text dump
+//   metrics-json                             # same registry, JSON snapshot
+//   subcube-init                             # Section 7 layout from the spec
+//   subcube-load <file.csv>                  # bottom-cube facts from CSV
+//   subcube-layout
+//   subcube-sync <date>                      # Section 7.2 synchronization
+//   subcube-query <date> <granularity list>  # Section 7.3 combined query
 //   echo <text>
 //
 // Blank lines and '#' comments are ignored. The tool stops at the first
 // failing command and reports its diagnostic.
 //
 //   $ dwredctl warehouse.dwred
-//   $ dwredctl -          # read from stdin
+//   $ dwredctl -                    # read from stdin
+//   $ dwredctl stats warehouse.dwred    # run, then dump the metrics registry
+//   $ dwredctl --trace=/tmp/t.jsonl warehouse.dwred   # JSON-lines span trace
 
 #include <cstdio>
 #include <iostream>
@@ -41,11 +50,14 @@
 #include "io/csv.h"
 #include "io/snapshot.h"
 #include "io/warehouse_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/operators.h"
 #include "reduce/dynamics.h"
 #include "reduce/schema_reduction.h"
 #include "reduce/semantics.h"
 #include "spec/parser.h"
+#include "subcube/manager.h"
 
 using namespace dwred;
 
@@ -58,6 +70,7 @@ struct Shell {
   std::unique_ptr<MultidimensionalObject> mo;
   ReductionSpecification spec;
   std::vector<Action> staged;
+  std::unique_ptr<SubcubeManager> subcubes;
 
   Status Require(bool initialized) const {
     if (initialized && !mo) {
@@ -65,6 +78,13 @@ struct Shell {
     }
     if (!initialized && mo) {
       return Status::InvalidArgument("warehouse already initialized");
+    }
+    return Status::OK();
+  }
+
+  Status RequireSubcubes() const {
+    if (!subcubes) {
+      return Status::InvalidArgument("run 'subcube-init' first");
     }
     return Status::OK();
   }
@@ -350,6 +370,74 @@ struct Shell {
                   HumanBytes(dim_bytes).c_str(), spec.size());
       return Status::OK();
     }
+    if (cmd == "metrics") {
+      std::printf("%s", obs::MetricsRegistry::Global().RenderText().c_str());
+      return Status::OK();
+    }
+    if (cmd == "metrics-json") {
+      std::printf("%s\n", obs::MetricsRegistry::Global().RenderJson().c_str());
+      return Status::OK();
+    }
+    if (cmd == "subcube-init") {
+      DWRED_RETURN_IF_ERROR(Require(true));
+      if (spec.size() == 0) {
+        return Status::InvalidArgument(
+            "apply a specification before subcube-init");
+      }
+      auto m = SubcubeManager::Create(fact_type, dims, measures, spec);
+      if (!m.ok()) return m.status();
+      subcubes = std::make_unique<SubcubeManager>(m.take());
+      std::printf("subcube warehouse ready: %zu subcubes\n",
+                  subcubes->num_subcubes());
+      return Status::OK();
+    }
+    if (cmd == "subcube-load") {
+      DWRED_RETURN_IF_ERROR(RequireSubcubes());
+      DWRED_ASSIGN_OR_RETURN(std::string csv, ReadFile(rest));
+      MultidimensionalObject batch(fact_type, dims, measures);
+      DWRED_RETURN_IF_ERROR(ReadFactCsv(&batch, csv));
+      DWRED_RETURN_IF_ERROR(subcubes->InsertBottomFacts(batch));
+      std::printf("loaded %zu facts into the bottom subcube\n",
+                  batch.num_facts());
+      return Status::OK();
+    }
+    if (cmd == "subcube-layout") {
+      DWRED_RETURN_IF_ERROR(RequireSubcubes());
+      std::printf("%s", subcubes->DescribeLayout().c_str());
+      return Status::OK();
+    }
+    if (cmd == "subcube-sync") {
+      DWRED_RETURN_IF_ERROR(RequireSubcubes());
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(rest));
+      if (day.unit != TimeUnit::kDay) {
+        return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
+      }
+      DWRED_ASSIGN_OR_RETURN(size_t migrated, subcubes->Synchronize(day.index));
+      std::printf("synchronized at %s: %zu rows migrated (%s total)\n",
+                  rest.c_str(), migrated,
+                  HumanBytes(subcubes->TotalBytes()).c_str());
+      return Status::OK();
+    }
+    if (cmd == "subcube-query") {
+      DWRED_RETURN_IF_ERROR(RequireSubcubes());
+      std::istringstream args(rest);
+      std::string date;
+      args >> date;
+      std::string gran_text;
+      std::getline(args, gran_text);
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
+      DWRED_ASSIGN_OR_RETURN(
+          auto gran, ParseGranularityList(subcubes->context(), Trim(gran_text)));
+      DWRED_ASSIGN_OR_RETURN(
+          MultidimensionalObject result,
+          subcubes->Query(nullptr, &gran, day.index,
+                          /*assume_synchronized=*/false));
+      std::printf("subcube-query: %zu cells\n", result.num_facts());
+      for (FactId f = 0; f < result.num_facts() && f < 20; ++f) {
+        std::printf("  %s\n", result.FormatFact(f).c_str());
+      }
+      return Status::OK();
+    }
     return Status::InvalidArgument("unknown command: " + cmd);
   }
 };
@@ -357,17 +445,39 @@ struct Shell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <script.dwred | ->\n", argv[0]);
+  bool dump_stats = false;
+  std::string trace_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace=").size());
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "--trace= requires a file path\n");
+        return 2;
+      }
+    } else if (arg == "stats" && positional.empty()) {
+      dump_stats = true;
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: %s [stats] [--trace=<file.jsonl>] <script.dwred | ->\n",
+                 argv[0]);
     return 2;
   }
+
+  if (!trace_path.empty()) obs::TraceBuffer::Global().Enable();
+
   std::string script;
-  if (std::string(argv[1]) == "-") {
+  if (positional[0] == "-") {
     std::ostringstream all;
     all << std::cin.rdbuf();
     script = all.str();
   } else {
-    auto r = ReadFile(argv[1]);
+    auto r = ReadFile(positional[0]);
     if (!r.ok()) {
       std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
       return 2;
@@ -375,16 +485,32 @@ int main(int argc, char** argv) {
     script = r.take();
   }
 
-  Shell shell;
-  size_t line_no = 0;
-  for (const std::string& line : Split(script, '\n')) {
-    ++line_no;
-    Status st = shell.Run(line);
-    if (!st.ok()) {
-      std::fprintf(stderr, "line %zu: %s\n  %s\n", line_no,
-                   st.ToString().c_str(), line.c_str());
-      return 1;
+  int rc = 0;
+  {
+    Shell shell;
+    size_t line_no = 0;
+    for (const std::string& line : Split(script, '\n')) {
+      ++line_no;
+      Status st = shell.Run(line);
+      if (!st.ok()) {
+        std::fprintf(stderr, "line %zu: %s\n  %s\n", line_no,
+                     st.ToString().c_str(), line.c_str());
+        rc = 1;
+        break;
+      }
     }
   }
-  return 0;
+
+  // The registry dump and trace flush run even when the script failed —
+  // the partial numbers are exactly what one wants when debugging a script.
+  if (dump_stats) {
+    std::printf("%s", obs::MetricsRegistry::Global().RenderText().c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!obs::TraceBuffer::Global().WriteTo(trace_path)) {
+      std::fprintf(stderr, "--trace: cannot write %s\n", trace_path.c_str());
+      if (rc == 0) rc = 2;
+    }
+  }
+  return rc;
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the repo's tier-1 verification line (ROADMAP.md) from the repo root.
+#
+#   tools/run_tier1.sh                 # plain build + ctest
+#   tools/run_tier1.sh asan            # -DDWRED_SANITIZE=address;undefined
+#
+# The sanitizer variant uses a separate build directory so it never poisons
+# the plain build's cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "asan" ]]; then
+  cmake -B build-asan -S . "-DDWRED_SANITIZE=address;undefined" &&
+    cmake --build build-asan -j && cd build-asan && ctest --output-on-failure -j
+else
+  cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+fi
