@@ -1,0 +1,38 @@
+#pragma once
+
+// Crash-safe file primitives (docs/DURABILITY.md): CRC32 checksumming,
+// explicit fsync barriers, and atomic whole-file replacement in the
+// tmp-file + fsync + rename discipline of LSM stores' MANIFEST handling.
+// Every IO boundary is guarded by a named fault-injection site
+// (testing/fault.h) so the crash-matrix test can kill the process at each.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dwred {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/RocksDB convention) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental variant: continues a CRC started with Crc32 (pass the previous
+/// return value as `seed`; start with 0).
+uint32_t Crc32(std::string_view data, uint32_t seed);
+
+/// fsyncs an open file descriptor. Fault site "file.fsync".
+Status FsyncFd(int fd, const std::string& what);
+
+/// fsyncs a directory so a rename/creation inside it is durable.
+/// Fault site "dir.fsync".
+Status FsyncDir(const std::string& dir);
+
+/// Replaces `path` atomically: writes `<path>.tmp`, fsyncs it, renames it
+/// over `path`, and fsyncs the containing directory. A crash at any point
+/// leaves either the old file intact or the new file complete — never a
+/// truncated or interleaved mix. Fault sites: "atomic.tmp.write",
+/// "atomic.tmp.fsync", "atomic.rename", "atomic.dir.fsync".
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+}  // namespace dwred

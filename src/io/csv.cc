@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "io/atomic_file.h"
+
 namespace dwred {
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
@@ -101,14 +103,10 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, std::string_view content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) return Status::InvalidArgument("cannot write " + path);
-  size_t n = std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
-  if (n != content.size()) {
-    return Status::Internal("short write to " + path);
-  }
-  return Status::OK();
+  // Every whole-file write goes through the tmp + fsync + rename discipline:
+  // an in-place truncating write could destroy the only copy of an export on
+  // a crash mid-write.
+  return AtomicWriteFile(path, content);
 }
 
 }  // namespace dwred

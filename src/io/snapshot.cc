@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "io/atomic_file.h"
 #include "spec/parser.h"
 
 namespace dwred {
@@ -9,7 +10,10 @@ namespace dwred {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'W', 'R', 'D'};
-constexpr uint32_t kVersion = 1;
+// Version 2 appends a CRC32 trailer over the whole image, so bit rot and
+// truncation are reported as such instead of surfacing as arbitrary
+// structural diagnostics mid-parse.
+constexpr uint32_t kVersion = 2;
 
 class Writer {
  public:
@@ -46,6 +50,7 @@ class Reader {
     pos_ += n;
     return Status::OK();
   }
+  size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:
@@ -145,6 +150,12 @@ Result<std::shared_ptr<Dimension>> LoadDimension(Reader* r) {
     DWRED_RETURN_IF_ERROR(r->U32(&cat));
     uint32_t nparents;
     DWRED_RETURN_IF_ERROR(r->U32(&nparents));
+    // One parent per immediate-ancestor category; a count past the category
+    // cap is corruption, and allocating it blindly would let a 4-byte flip
+    // demand gigabytes.
+    if (nparents > 64 || nparents > r->remaining() / 4) {
+      return Status::ParseError("snapshot: implausible parent count");
+    }
     std::vector<ValueId> parents(nparents);
     for (uint32_t p = 0; p < nparents; ++p) {
       DWRED_RETURN_IF_ERROR(r->U32(&parents[p]));
@@ -217,11 +228,34 @@ std::string SaveWarehouse(const MultidimensionalObject& mo,
     w.Str(a.name);
     w.Str(a.source_text);
   }
-  return w.Take();
+  std::string out = w.Take();
+  uint32_t crc = Crc32(out);
+  out.append(reinterpret_cast<const char*>(&crc), 4);
+  return out;
 }
 
 Result<LoadedWarehouse> LoadWarehouse(std::string_view bytes) {
-  Reader r(bytes);
+  // Magic + version + CRC trailer is the minimum wrapper.
+  if (bytes.size() < 12) {
+    return Status::ParseError("snapshot truncated (no room for header + CRC)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::ParseError("not a dwred snapshot (bad magic)");
+  }
+  // Version is diagnosed before the checksum so a genuinely newer format is
+  // reported as such rather than as corruption.
+  uint32_t version_peek;
+  std::memcpy(&version_peek, bytes.data() + 4, 4);
+  if (version_peek != kVersion) {
+    return Status::ParseError("unsupported snapshot version " +
+                              std::to_string(version_peek));
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (Crc32(bytes.substr(0, bytes.size() - 4)) != stored_crc) {
+    return Status::ParseError("snapshot CRC mismatch (truncated or corrupt)");
+  }
+  Reader r(bytes.substr(0, bytes.size() - 4));
   char magic[4];
   for (char& c : magic) {
     uint8_t b;
@@ -289,6 +323,11 @@ Result<LoadedWarehouse> LoadWarehouse(std::string_view bytes) {
     }
     uint32_t nprov;
     DWRED_RETURN_IF_ERROR(r.U32(&nprov));
+    // Each provenance entry costs 8 bytes in the image; a count the
+    // remaining bytes cannot hold is corruption, not a big allocation.
+    if (nprov > r.remaining() / 8) {
+      return Status::ParseError("snapshot: provenance list exceeds image");
+    }
     std::vector<FactId> prov(nprov);
     for (uint32_t p = 0; p < nprov; ++p) {
       DWRED_RETURN_IF_ERROR(r.U64(&prov[p]));

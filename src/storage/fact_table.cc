@@ -108,8 +108,12 @@ void FactTable::ReadCoords(RowId r, ValueId* out) const {
   for (size_t d = 0; d < dim_cols_.size(); ++d) out[d] = dim_cols_[d][r];
 }
 
-void FactTable::EraseRows(const std::vector<bool>& erase) {
-  DWRED_CHECK(erase.size() == num_rows_);
+Status FactTable::EraseRows(const std::vector<bool>& erase) {
+  if (erase.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "EraseRows: bitmap covers " + std::to_string(erase.size()) +
+        " rows but the table holds " + std::to_string(num_rows_));
+  }
   size_t before = num_rows_;
   size_t w = 0;
   for (size_t r = 0; r < num_rows_; ++r) {
@@ -124,10 +128,16 @@ void FactTable::EraseRows(const std::vector<bool>& erase) {
   for (auto& col : meas_cols_) col.resize(w);
   num_rows_ = w;
   UpdateFootprint(static_cast<int64_t>(w) - static_cast<int64_t>(before));
+  return Status::OK();
 }
 
-size_t FactTable::CompactCells(std::span<const AggFn> aggs) {
-  DWRED_CHECK(aggs.size() == meas_cols_.size());
+Result<size_t> FactTable::CompactCells(std::span<const AggFn> aggs) {
+  if (aggs.size() != meas_cols_.size()) {
+    return Status::InvalidArgument(
+        "CompactCells: " + std::to_string(aggs.size()) +
+        " aggregate functions for " + std::to_string(meas_cols_.size()) +
+        " measures");
+  }
   struct KeyHash {
     size_t operator()(const std::vector<ValueId>& v) const {
       size_t h = 0xcbf29ce484222325ull;
@@ -158,7 +168,7 @@ size_t FactTable::CompactCells(std::span<const AggFn> aggs) {
     }
   }
   size_t before = num_rows_;
-  if (any) EraseRows(erase);
+  if (any) DWRED_RETURN_IF_ERROR(EraseRows(erase));
   return before - num_rows_;
 }
 
@@ -185,9 +195,15 @@ MultidimensionalObject FactTable::ToMO(
   return mo;
 }
 
-void FactTable::AppendFrom(const MultidimensionalObject& mo) {
-  DWRED_CHECK(mo.num_dimensions() == dim_cols_.size());
-  DWRED_CHECK(mo.num_measures() == meas_cols_.size());
+Status FactTable::AppendFrom(const MultidimensionalObject& mo) {
+  if (mo.num_dimensions() != dim_cols_.size() ||
+      mo.num_measures() != meas_cols_.size()) {
+    return Status::InvalidArgument(
+        "AppendFrom: MO shape " + std::to_string(mo.num_dimensions()) + "x" +
+        std::to_string(mo.num_measures()) + " does not match table " +
+        std::to_string(dim_cols_.size()) + "x" +
+        std::to_string(meas_cols_.size()));
+  }
   std::vector<ValueId> coords(dim_cols_.size());
   std::vector<int64_t> meas(meas_cols_.size());
   for (FactId f = 0; f < mo.num_facts(); ++f) {
@@ -199,6 +215,7 @@ void FactTable::AppendFrom(const MultidimensionalObject& mo) {
     }
     Append(coords, meas);
   }
+  return Status::OK();
 }
 
 }  // namespace dwred

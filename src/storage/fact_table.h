@@ -51,14 +51,17 @@ class FactTable {
 
   /// Physically deletes the rows whose flag is set (paper: reduction ends in
   /// physical deletion of the detail facts). Compacts columns in place;
-  /// row ids are invalidated.
-  void EraseRows(const std::vector<bool>& erase);
+  /// row ids are invalidated. Fails with InvalidArgument when the bitmap's
+  /// size does not match the current row count (deleting against a stale
+  /// bitmap would silently drop the wrong facts).
+  Status EraseRows(const std::vector<bool>& erase);
 
   /// Merges rows with identical coordinates by folding measures with `aggs`
   /// (one AggFn per measure). Used after subcube migration, where data
   /// arriving from several parents may populate the same cell. Returns the
-  /// number of rows folded away.
-  size_t CompactCells(std::span<const AggFn> aggs);
+  /// number of rows folded away; fails with InvalidArgument when `aggs` does
+  /// not supply one function per measure.
+  Result<size_t> CompactCells(std::span<const AggFn> aggs);
 
   /// Exact byte footprint of the stored columns.
   size_t Bytes() const;
@@ -72,7 +75,9 @@ class FactTable {
       const std::vector<MeasureType>& measures) const;
 
   /// Appends every fact of an MO (granularities are the caller's concern).
-  void AppendFrom(const MultidimensionalObject& mo);
+  /// Fails with InvalidArgument when the MO's dimension or measure count
+  /// does not match the table's column layout.
+  Status AppendFrom(const MultidimensionalObject& mo);
 
  private:
   /// Re-reports this table's contribution to the process-wide footprint

@@ -135,7 +135,7 @@ Status SubcubeManager::InsertBottomFacts(const MultidimensionalObject& batch) {
       }
     }
   }
-  cubes_[0]->table.AppendFrom(batch);
+  DWRED_RETURN_IF_ERROR(cubes_[0]->table.AppendFrom(batch));
   return Status::OK();
 }
 
@@ -232,6 +232,29 @@ Result<std::vector<ValueId>> SubcubeManager::RollCell(
   return out;
 }
 
+Status SubcubeManager::RestoreRow(size_t cube, std::span<const ValueId> cell,
+                                  std::span<const int64_t> measures) {
+  if (cube >= cubes_.size()) {
+    return Status::InvalidArgument("RestoreRow: subcube index " +
+                                   std::to_string(cube) + " out of range (" +
+                                   std::to_string(cubes_.size()) + " cubes)");
+  }
+  if (cell.size() != dims_.size() || measures.size() != measures_.size()) {
+    return Status::InvalidArgument(
+        "RestoreRow: row arity mismatch (" + std::to_string(cell.size()) +
+        " coords, " + std::to_string(measures.size()) + " measures)");
+  }
+  for (size_t d = 0; d < cell.size(); ++d) {
+    if (cell[d] >= dims_[d]->num_values()) {
+      return Status::InvalidArgument(
+          "RestoreRow: coordinate " + std::to_string(cell[d]) +
+          " names no value of dimension " + dims_[d]->name());
+    }
+  }
+  cubes_[cube]->table.Append(cell, measures);
+  return Status::OK();
+}
+
 Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Histogram& sync_latency = registry.GetHistogram(
@@ -279,12 +302,14 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
       ++migrated;
     }
     erase.resize(cube.table.num_rows(), false);
-    cube.table.EraseRows(erase);
+    DWRED_RETURN_IF_ERROR(cube.table.EraseRows(erase));
   }
   // Cells that received data from several places are aggregated one final
   // time (Section 7.2).
   for (size_t i = 0; i < cubes_.size(); ++i) {
-    if (received[i]) compacted += cubes_[i]->table.CompactCells(aggs);
+    if (!received[i]) continue;
+    DWRED_ASSIGN_OR_RETURN(size_t folded, cubes_[i]->table.CompactCells(aggs));
+    compacted += folded;
   }
 
   static obs::Counter& c_syncs = registry.GetCounter(
@@ -500,7 +525,9 @@ Status SubcubeManager::ChangeSpecification(ReductionSpecification new_spec,
     if (!rolled.ok()) return rolled.status();
     cubes_[target]->table.Append(rolled.value(), row.meas);
   }
-  for (auto& c : cubes_) c->table.CompactCells(aggs);
+  for (auto& c : cubes_) {
+    DWRED_RETURN_IF_ERROR(c->table.CompactCells(aggs).status());
+  }
   return Status::OK();
 }
 

@@ -89,6 +89,15 @@ class SubcubeManager {
   /// number of migrated rows.
   Result<size_t> Synchronize(int64_t now_day);
 
+  /// Deserialization hook (io/recovery.h): appends one saved row to subcube
+  /// `cube` verbatim, without responsibility routing or granularity rollup —
+  /// the row is trusted to be at the cube's granularity because it was
+  /// serialized from it. Validates the cube index, the row arity, and that
+  /// every coordinate names an interned value of the shared dimensions
+  /// (InvalidArgument otherwise).
+  Status RestoreRow(size_t cube, std::span<const ValueId> cell,
+                    std::span<const int64_t> measures);
+
   /// Evaluates σ[pred] then (optionally) α[target] over the subcubes,
   /// combining per-cube subresults with a final availability aggregation.
   /// `pred` may be null (no selection); `target` may be null (no aggregate

@@ -1,0 +1,145 @@
+#include "testing/fault.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace dwred::testing {
+
+struct FaultInjector::Impl {
+  std::atomic<bool> armed{false};
+  mutable std::mutex mu;
+  std::string site;           // guarded by mu
+  int nth = 0;                // guarded by mu
+  int hits = 0;               // guarded by mu; executions of `site` since Arm
+  FaultMode mode = FaultMode::kKill;
+  bool fired = false;
+  bool env_checked = false;
+  std::vector<std::string> seen;  // first-execution order
+};
+
+FaultInjector::Impl& FaultInjector::impl() {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* g = new FaultInjector();
+  return *g;
+}
+
+void FaultInjector::Arm(const std::string& site, int nth, FaultMode mode) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.site = site;
+  i.nth = nth;
+  i.hits = 0;
+  i.mode = mode;
+  i.fired = false;
+  i.env_checked = true;  // explicit arming overrides the environment
+  i.armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.site.clear();
+  i.nth = 0;
+  i.hits = 0;
+  i.fired = false;
+  i.env_checked = true;
+  i.armed.store(false, std::memory_order_release);
+}
+
+void FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv("DWRED_FAULT");
+  if (spec == nullptr || *spec == '\0') {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    i.env_checked = true;
+    return;
+  }
+  std::vector<std::string> parts = Split(spec, ':');
+  if (parts.size() < 2) {
+    std::fprintf(stderr, "DWRED_FAULT: expected <site>:<nth>[:error], got %s\n",
+                 spec);
+    return;
+  }
+  int64_t nth = 0;
+  if (!ParseInt64(parts[1], &nth) || nth < 1) {
+    std::fprintf(stderr, "DWRED_FAULT: bad occurrence count '%s'\n",
+                 parts[1].c_str());
+    return;
+  }
+  FaultMode mode = FaultMode::kKill;
+  if (parts.size() >= 3 && parts[2] == "error") mode = FaultMode::kError;
+  Arm(parts[0], static_cast<int>(nth), mode);
+}
+
+bool FaultInjector::armed() const {
+  return const_cast<FaultInjector*>(this)->impl().armed.load(
+      std::memory_order_acquire);
+}
+
+bool FaultInjector::fired() const {
+  Impl& i = const_cast<FaultInjector*>(this)->impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.fired;
+}
+
+std::vector<std::string> FaultInjector::SitesSeen() const {
+  Impl& i = const_cast<FaultInjector*>(this)->impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.seen;
+}
+
+Status FaultInjector::Hit(const char* site) {
+  Impl& i = impl();
+  {
+    std::lock_guard<std::mutex> lock(i.mu);
+    if (!i.env_checked) {
+      i.env_checked = true;
+      i.mu.unlock();
+      ArmFromEnv();
+      i.mu.lock();
+    }
+    bool known = false;
+    for (const std::string& s : i.seen) {
+      if (s == site) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) i.seen.emplace_back(site);
+  }
+  if (!i.armed.load(std::memory_order_acquire)) return Status::OK();
+
+  FaultMode mode;
+  {
+    std::lock_guard<std::mutex> lock(i.mu);
+    if (i.fired || i.site != site) return Status::OK();
+    if (++i.hits != i.nth) return Status::OK();
+    i.fired = true;
+    mode = i.mode;
+  }
+  static obs::Counter& c_injected = obs::MetricsRegistry::Global().GetCounter(
+      "dwred_fault_injected", "fault-injection sites fired (kill or error)");
+  c_injected.Increment();
+  if (mode == FaultMode::kKill) {
+    std::fprintf(stderr, "DWRED_FAULT: killing process at site %s\n", site);
+    _exit(kFaultKillExitCode);
+  }
+  return Status::Internal(std::string("fault injected at site ") + site);
+}
+
+Status FaultPoint(const char* site) {
+  return FaultInjector::Global().Hit(site);
+}
+
+}  // namespace dwred::testing

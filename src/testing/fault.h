@@ -1,0 +1,80 @@
+#pragma once
+
+// Deterministic fault injection for the durability layer (docs/DURABILITY.md).
+//
+// The journal / snapshot / synchronization write paths are punctuated by
+// *named fault sites* — calls to FaultPoint("site.name") at every IO boundary
+// (before a write, before an fsync, before a rename, between the intent and
+// commit records of a journaled pass). In production the sites are a cheap
+// branch on an atomic flag; armed, the nth execution of a given site either
+//
+//   * kills the process immediately (`_exit(kFaultKillExitCode)`, simulating
+//     a crash with no destructors, no stdio flush, no atexit handlers), or
+//   * returns an Internal Status that propagates out of the IO operation
+//     (simulating an IO error, e.g. ENOSPC on fsync).
+//
+// Arming is either programmatic (FaultInjector::Arm) or via the environment:
+//
+//   DWRED_FAULT=<site>:<nth>           # kill at the nth execution (1-based)
+//   DWRED_FAULT=<site>:<nth>:error     # fail with a Status instead
+//
+// Every site registers itself on first execution, so a fault-free run of a
+// workload enumerates exactly the sites that guard its IO boundaries
+// (FaultInjector::SitesSeen) — the crash-matrix test iterates that list.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dwred::testing {
+
+/// Exit code used by kill-mode faults, distinguishable from ordinary crashes.
+inline constexpr int kFaultKillExitCode = 42;
+
+enum class FaultMode {
+  kKill,   ///< _exit(kFaultKillExitCode) at the site
+  kError,  ///< return Status::Internal from the site
+};
+
+/// Process-wide fault registry. Thread-safe; the disarmed fast path is one
+/// relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms `site`: its `nth` execution (1-based) from now fires in `mode`.
+  void Arm(const std::string& site, int nth, FaultMode mode);
+
+  /// Disarms any armed fault and resets the armed site's hit counter.
+  void Disarm();
+
+  /// Re-reads DWRED_FAULT from the environment (called once automatically on
+  /// first FaultPoint; exposed for tests that mutate the environment).
+  void ArmFromEnv();
+
+  /// True if a fault is currently armed (fired or not).
+  bool armed() const;
+
+  /// True once the armed fault has fired in error mode (kill mode never
+  /// returns). Reset by Arm/Disarm.
+  bool fired() const;
+
+  /// Every distinct site name executed so far, in first-execution order.
+  std::vector<std::string> SitesSeen() const;
+
+  /// Implementation of the FaultPoint free function.
+  Status Hit(const char* site);
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+/// Marks an IO boundary. Returns OK (and records the site) unless the
+/// injector is armed for `site` and the occurrence count matches; then it
+/// kills the process or returns an Internal status, per the armed mode.
+Status FaultPoint(const char* site);
+
+}  // namespace dwred::testing

@@ -1,0 +1,221 @@
+// The crash matrix (docs/DURABILITY.md): for every fault site the durability
+// layer registers, kill the process at that site mid-workload in a forked
+// child, recover the directory in the parent, finish the remaining passes,
+// and require the final checkpoint to be byte-identical to a fault-free run.
+//
+// Byte identity of the snapshot is the strongest equivalence the layer can
+// offer: it covers fact rows, interned dimension values *and their interning
+// order*, provenance, responsible actions, and the specification text.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chrono/civil.h"
+#include "io/csv.h"
+#include "io/recovery.h"
+#include "mdm/paper_example.h"
+#include "obs/metrics.h"
+#include "paper_actions.h"
+#include "spec/parser.h"
+#include "testing/fault.h"
+
+namespace dwred {
+namespace {
+
+int64_t Now2000() { return DaysFromCivil({2000, 6, 5}); }
+int64_t Now2001() { return DaysFromCivil({2001, 6, 5}); }
+
+using WorkloadOp = std::function<Status(DurableWarehouse&)>;
+
+/// A crash-matrix workload: how to create the directory and the journaled
+/// passes to run against it, in order. Op k commits as LSN k+1, so after a
+/// recovery `applied_lsn()` is exactly the number of ops already done.
+struct Workload {
+  const char* name;
+  bool subcube_spec;  ///< create with the paper spec (subcube workload)
+  std::vector<WorkloadOp> ops;
+};
+
+Workload PlainWorkload() {
+  Workload w;
+  w.name = "plain";
+  w.subcube_spec = false;
+  w.ops = {
+      [](DurableWarehouse& dw) {
+        IspExample batch = MakeIspExample();
+        return dw.InsertFacts(*batch.mo);
+      },
+      [](DurableWarehouse& dw) {
+        // a1 alone shrinks; the {a1, a2} union is admissible jointly.
+        return dw.ApplyActions({{"a1", paper::kA1}, {"a2", paper::kA2}});
+      },
+      [](DurableWarehouse& dw) { return dw.ReducePass(Now2000()); },
+      [](DurableWarehouse& dw) {
+        return dw.ApplyActions({{"a7", paper::kA7}});
+      },
+      [](DurableWarehouse& dw) { return dw.ReducePass(Now2001()); },
+  };
+  return w;
+}
+
+Workload SubcubeWorkload() {
+  Workload w;
+  w.name = "subcube";
+  w.subcube_spec = true;
+  w.ops = {
+      [](DurableWarehouse& dw) {
+        IspExample batch = MakeIspExample();
+        return dw.InsertFacts(*batch.mo);
+      },
+      [](DurableWarehouse& dw) { return dw.EnableSubcubes(); },
+      [](DurableWarehouse& dw) { return dw.SynchronizePass(Now2000()); },
+      [](DurableWarehouse& dw) { return dw.SynchronizePass(Now2001()); },
+  };
+  return w;
+}
+
+Result<std::unique_ptr<DurableWarehouse>> CreateFor(const std::string& dir,
+                                                    const Workload& w) {
+  IspExample ex = MakeIspExample();
+  ReductionSpecification spec;
+  if (w.subcube_spec) {
+    DWRED_ASSIGN_OR_RETURN(Action a1, ParseAction(*ex.mo, paper::kA1, "a1"));
+    DWRED_ASSIGN_OR_RETURN(Action a2, ParseAction(*ex.mo, paper::kA2, "a2"));
+    spec.Add(std::move(a1));
+    spec.Add(std::move(a2));
+  }
+  return DurableWarehouse::Create(dir, std::move(ex.mo), std::move(spec));
+}
+
+Status RunOps(DurableWarehouse& dw, const Workload& w, size_t from_op) {
+  for (size_t i = from_op; i < w.ops.size(); ++i) {
+    DWRED_RETURN_IF_ERROR(w.ops[i](dw));
+  }
+  return dw.Checkpoint();
+}
+
+/// Runs the whole workload from an empty directory through the final
+/// checkpoint. Used by the golden run, by the (armed) crash child, and by
+/// the parent when the child died before anything durable existed.
+Status RunFullWorkload(const std::string& dir, const Workload& w) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  DWRED_ASSIGN_OR_RETURN(std::unique_ptr<DurableWarehouse> dw,
+                         CreateFor(dir, w));
+  return RunOps(*dw, w, 0);
+}
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.dwsnap";
+}
+
+class CrashMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::temp_directory_path() /
+             ("dwred_crash_matrix_" + std::to_string(::getpid())))
+                .string();
+  }
+  void TearDown() override {
+    testing::FaultInjector::Global().Disarm();
+    std::error_code ec;
+    std::filesystem::remove_all(base_, ec);
+  }
+  std::string base_;
+};
+
+/// How many occurrences of one site to kill at, per workload. Sites that
+/// fire fewer times are exhausted early (the child completes and the parent
+/// moves on); hot sites like "file.fsync" are sampled up to this depth.
+constexpr int kMaxNthPerSite = 4;
+
+void RunMatrix(const std::string& base, const Workload& w) {
+  // Fault-free golden run; registers every fault site the workload crosses.
+  const std::string golden_dir = base + "/golden_" + w.name;
+  ASSERT_TRUE(RunFullWorkload(golden_dir, w).ok());
+  auto golden = ReadFile(SnapshotPath(golden_dir));
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+
+  std::vector<std::string> sites = testing::FaultInjector::Global().SitesSeen();
+  ASSERT_FALSE(sites.empty());
+  int crashes = 0;
+
+  for (const std::string& site : sites) {
+    for (int nth = 1; nth <= kMaxNthPerSite; ++nth) {
+      const std::string dir =
+          base + "/" + w.name + "_" + site + "_" + std::to_string(nth);
+      pid_t pid = ::fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        // Child: run the workload from scratch and die at the armed site.
+        // _exit codes: 0 = completed (site fired fewer than nth times),
+        // 7 = unexpected Status failure, kFaultKillExitCode = the fault.
+        testing::FaultInjector::Global().Arm(site, nth,
+                                             testing::FaultMode::kKill);
+        Status s = RunFullWorkload(dir, w);
+        ::_exit(s.ok() ? 0 : 7);
+      }
+      int status = 0;
+      ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+      ASSERT_TRUE(WIFEXITED(status)) << site << " nth=" << nth;
+      int code = WEXITSTATUS(status);
+      if (code == 0) break;  // site exhausted for this workload
+      ASSERT_EQ(code, testing::kFaultKillExitCode) << site << " nth=" << nth;
+      ++crashes;
+
+      // Parent: recover whatever the child left behind and finish the job.
+      RecoveryStats stats;
+      auto rec = RecoverWarehouse(dir, &stats);
+      std::unique_ptr<DurableWarehouse> dw;
+      if (rec.ok()) {
+        dw = rec.take();
+        ASSERT_TRUE(RunOps(*dw, w, static_cast<size_t>(dw->applied_lsn()))
+                        .ok())
+            << site << " nth=" << nth;
+      } else {
+        // Death before the initial snapshot became durable: the directory
+        // holds nothing recoverable, so the whole workload reruns.
+        ASSERT_TRUE(RunFullWorkload(dir, w).ok()) << site << " nth=" << nth;
+      }
+      auto recovered = ReadFile(SnapshotPath(dir));
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      EXPECT_EQ(recovered.value(), golden.value())
+          << "snapshot diverged after crash at " << site << " nth=" << nth;
+    }
+  }
+  ASSERT_GT(crashes, 0) << "the matrix never killed a child — sites broken?";
+}
+
+TEST_F(CrashMatrixTest, PlainWorkloadSurvivesEveryFaultSite) {
+  RunMatrix(base_, PlainWorkload());
+}
+
+TEST_F(CrashMatrixTest, SubcubeWorkloadSurvivesEveryFaultSite) {
+  RunMatrix(base_, SubcubeWorkload());
+}
+
+TEST_F(CrashMatrixTest, RecoveryCountersAreExposed) {
+  // The matrix runs recoveries in this process; the obs exposition must show
+  // the durability counters.
+  const std::string dir = base_ + "/counters";
+  ASSERT_TRUE(RunFullWorkload(dir, PlainWorkload()).ok());
+  RecoveryStats stats;
+  auto rec = RecoverWarehouse(dir, &stats);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  std::string text = obs::MetricsRegistry::Global().RenderText();
+  for (const char* metric :
+       {"dwred_recovery_runs", "dwred_journal_records_appended",
+        "dwred_snapshot_checkpoints", "dwred_io_fsync_seconds"}) {
+    EXPECT_NE(text.find(metric), std::string::npos) << metric;
+  }
+}
+
+}  // namespace
+}  // namespace dwred

@@ -1,0 +1,288 @@
+// Durable-warehouse recovery tests: create/open round trips, journal replay
+// without a checkpoint, checkpoint idempotence, rollback of uncommitted
+// intents (including an already-applied op whose commit never made it), the
+// poison latch after mid-protocol IO failures, and the subcube organization.
+
+#include "io/recovery.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chrono/civil.h"
+#include "io/snapshot.h"
+#include "mdm/paper_example.h"
+#include "paper_actions.h"
+#include "spec/parser.h"
+#include "testing/fault.h"
+
+namespace dwred {
+namespace {
+
+int64_t Now2000() { return DaysFromCivil({2000, 6, 5}); }
+
+ReductionSpecification PaperSpec(const MultidimensionalObject& mo) {
+  ReductionSpecification spec;
+  spec.Add(ParseAction(mo, paper::kA1, "a1").take());
+  spec.Add(ParseAction(mo, paper::kA2, "a2").take());
+  return spec;
+}
+
+std::string StateBytes(const DurableWarehouse& dw) {
+  return SaveWarehouse(dw.mo(), dw.spec());
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("dwred_recovery_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    testing::FaultInjector::Global().Disarm();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::unique_ptr<DurableWarehouse> CreateExample(ReductionSpecification spec) {
+    IspExample ex = MakeIspExample();
+    auto dw = DurableWarehouse::Create(dir_, std::move(ex.mo), std::move(spec));
+    EXPECT_TRUE(dw.ok()) << dw.status().ToString();
+    return dw.ok() ? dw.take() : nullptr;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RecoveryTest, CreateThenOpenRoundTrip) {
+  auto dw = CreateExample(PaperSpec(*MakeIspExample().mo));
+  ASSERT_NE(dw, nullptr);
+  EXPECT_EQ(dw->applied_lsn(), 0u);
+  std::string before = StateBytes(*dw);
+  dw.reset();
+
+  RecoveryStats stats;
+  auto back = DurableWarehouse::Open(dir_, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(stats.ops_replayed, 0u);
+  EXPECT_EQ(stats.intents_rolled_back, 0u);
+  EXPECT_EQ(stats.snapshot_lsn, 0u);
+  EXPECT_EQ(StateBytes(*back.value()), before);
+}
+
+TEST_F(RecoveryTest, JournalReplayWithoutCheckpoint) {
+  auto dw = CreateExample(ReductionSpecification{});
+  ASSERT_NE(dw, nullptr);
+
+  IspExample batch = MakeIspExample();
+  ASSERT_TRUE(dw->InsertFacts(*batch.mo).ok());
+  EXPECT_EQ(dw->mo().num_facts(), 14u);
+  // a1 alone shrinks; Definition 3 admits the {a1, a2} union jointly.
+  ASSERT_TRUE(dw->ApplyActions({{"a1", paper::kA1}, {"a2", paper::kA2}}).ok());
+  ReduceStats rstats;
+  ASSERT_TRUE(dw->ReducePass(Now2000(), &rstats).ok());
+  EXPECT_EQ(dw->applied_lsn(), 3u);
+  std::string live = StateBytes(*dw);
+  dw.reset();
+
+  // Reopen replays all three ops from the journal against the initial
+  // snapshot and lands on the identical state.
+  RecoveryStats stats;
+  auto back = DurableWarehouse::Open(dir_, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(stats.snapshot_lsn, 0u);
+  EXPECT_EQ(stats.recovered_lsn, 3u);
+  EXPECT_EQ(stats.ops_replayed, 3u);
+  EXPECT_EQ(back.value()->applied_lsn(), 3u);
+  EXPECT_EQ(back.value()->spec().size(), 2u);
+  EXPECT_EQ(StateBytes(*back.value()), live);
+}
+
+TEST_F(RecoveryTest, CheckpointFoldsTheJournal) {
+  auto dw = CreateExample(ReductionSpecification{});
+  ASSERT_NE(dw, nullptr);
+  ASSERT_TRUE(dw->ApplyActions({{"a7", paper::kA7}}).ok());
+  ASSERT_TRUE(dw->ReducePass(Now2000()).ok());
+  ASSERT_TRUE(dw->Checkpoint().ok());
+  std::string live = StateBytes(*dw);
+  dw.reset();
+
+  RecoveryStats stats;
+  auto back = DurableWarehouse::Open(dir_, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(stats.snapshot_lsn, 2u);
+  EXPECT_EQ(stats.recovered_lsn, 2u);
+  EXPECT_EQ(stats.ops_replayed, 0u);
+  EXPECT_EQ(StateBytes(*back.value()), live);
+
+  // LSNs keep counting after the checkpoint.
+  ASSERT_TRUE(back.value()->ReducePass(Now2000() + 400).ok());
+  EXPECT_EQ(back.value()->applied_lsn(), 3u);
+}
+
+TEST_F(RecoveryTest, AppliedButUncommittedOpIsRolledBack) {
+  auto dw = CreateExample(ReductionSpecification{});
+  ASSERT_NE(dw, nullptr);
+  ASSERT_TRUE(dw->ApplyActions({{"a7", paper::kA7}}).ok());
+  std::string before_reduce = StateBytes(*dw);
+
+  // Fail the commit-record write: the reduce applied in memory, but on disk
+  // there is an intent with no commit. The session latches poisoned.
+  testing::FaultInjector::Global().Arm("journal.commit.write", 1,
+                                       testing::FaultMode::kError);
+  Status s = dw->ReducePass(Now2000());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_TRUE(dw->poisoned());
+  // Every further mutation fails fast.
+  testing::FaultInjector::Global().Disarm();
+  EXPECT_FALSE(dw->ReducePass(Now2000()).ok());
+  EXPECT_FALSE(dw->Checkpoint().ok());
+  dw.reset();
+
+  RecoveryStats stats;
+  auto back = DurableWarehouse::Open(dir_, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(stats.intents_rolled_back, 1u);
+  EXPECT_EQ(stats.ops_replayed, 1u);  // the committed ApplyActions
+  EXPECT_EQ(back.value()->applied_lsn(), 1u);
+  EXPECT_EQ(StateBytes(*back.value()), before_reduce);
+  // The rolled-back pass can simply be run again.
+  ASSERT_TRUE(back.value()->ReducePass(Now2000()).ok());
+}
+
+TEST_F(RecoveryTest, FailedIntentAppendDoesNotPoison) {
+  auto dw = CreateExample(ReductionSpecification{});
+  ASSERT_NE(dw, nullptr);
+  testing::FaultInjector::Global().Arm("journal.intent.fsync", 1,
+                                       testing::FaultMode::kError);
+  EXPECT_FALSE(dw->ApplyActions({{"a7", paper::kA7}}).ok());
+  testing::FaultInjector::Global().Disarm();
+  // Memory was never touched; the session stays usable and the dead intent
+  // is superseded by the retry.
+  EXPECT_FALSE(dw->poisoned());
+  EXPECT_EQ(dw->spec().size(), 0u);
+  ASSERT_TRUE(dw->ApplyActions({{"a7", paper::kA7}}).ok());
+  EXPECT_EQ(dw->spec().size(), 1u);
+  EXPECT_EQ(dw->applied_lsn(), 1u);
+}
+
+TEST_F(RecoveryTest, UserErrorsSurfaceBeforeJournaling) {
+  auto dw = CreateExample(ReductionSpecification{});
+  ASSERT_NE(dw, nullptr);
+  // Ill-formed action text (paper's a3 violates the Section 4.1 constraint).
+  EXPECT_FALSE(dw->ApplyActions({{"a3", paper::kA3}}).ok());
+  EXPECT_FALSE(dw->poisoned());
+  // Deleting a nonexistent action.
+  EXPECT_EQ(dw->DeleteAction("ghost", Now2000()).code(), StatusCode::kNotFound);
+  // A batch with the wrong shape (one dimension, one measure).
+  IspExample ex2 = MakeIspExample();
+  std::vector<MeasureType> mt(ex2.mo->measure_types().begin(),
+                              ex2.mo->measure_types().end());
+  MultidimensionalObject tiny("T", {ex2.mo->dimensions()[0]}, {mt[0]});
+  EXPECT_EQ(dw->InsertFacts(tiny).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dw->applied_lsn(), 0u);
+  // Nothing reached the journal: reopen replays nothing.
+  dw.reset();
+  RecoveryStats stats;
+  auto back = DurableWarehouse::Open(dir_, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(stats.ops_replayed, 0u);
+}
+
+TEST_F(RecoveryTest, DeleteActionRoundTrips) {
+  auto dw = CreateExample(ReductionSpecification{});
+  ASSERT_NE(dw, nullptr);
+  // An action with no effect on the current facts (deletable, Definition 4).
+  ASSERT_TRUE(dw->ApplyActions(
+                    {{"old", "a[Time.month, URL.domain] s[Time.month <= 1990/12]"}})
+                  .ok());
+  ASSERT_TRUE(dw->DeleteAction("old", Now2000()).ok());
+  EXPECT_TRUE(dw->spec().empty());
+  std::string live = StateBytes(*dw);
+  dw.reset();
+
+  RecoveryStats stats;
+  auto back = DurableWarehouse::Open(dir_, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(stats.ops_replayed, 2u);
+  EXPECT_TRUE(back.value()->spec().empty());
+  EXPECT_EQ(StateBytes(*back.value()), live);
+}
+
+void ExpectSameSubcubes(const SubcubeManager& a, const SubcubeManager& b) {
+  ASSERT_EQ(a.num_subcubes(), b.num_subcubes());
+  for (size_t i = 0; i < a.num_subcubes(); ++i) {
+    const FactTable& ta = a.subcube(i).table;
+    const FactTable& tb = b.subcube(i).table;
+    ASSERT_EQ(ta.num_rows(), tb.num_rows()) << "cube " << i;
+    ASSERT_EQ(a.subcube(i).granularity, b.subcube(i).granularity);
+    for (RowId r = 0; r < ta.num_rows(); ++r) {
+      for (size_t d = 0; d < a.subcube(i).granularity.size(); ++d) {
+        EXPECT_EQ(ta.Coord(r, d), tb.Coord(r, d)) << "cube " << i;
+      }
+    }
+  }
+}
+
+TEST_F(RecoveryTest, SubcubeModeRoundTrips) {
+  auto dw = CreateExample(PaperSpec(*MakeIspExample().mo));
+  ASSERT_NE(dw, nullptr);
+  ASSERT_TRUE(dw->EnableSubcubes().ok());
+  ASSERT_NE(dw->subcubes(), nullptr);
+  size_t migrated = 0;
+  ASSERT_TRUE(dw->SynchronizePass(Now2000(), &migrated).ok());
+  EXPECT_GT(migrated, 0u);
+  EXPECT_EQ(dw->applied_lsn(), 2u);
+
+  // Plain-mode passes are rejected once the subcube organization is on.
+  EXPECT_FALSE(dw->ReducePass(Now2000()).ok());
+
+  // Reopen without a checkpoint: both ops replay.
+  RecoveryStats stats;
+  auto replayed = DurableWarehouse::Open(dir_, &stats);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(stats.ops_replayed, 2u);
+  ASSERT_NE(replayed.value()->subcubes(), nullptr);
+  ExpectSameSubcubes(*dw->subcubes(), *replayed.value()->subcubes());
+
+  // Checkpoint the replayed session and reopen once more: the snapshot now
+  // carries the subcube layout and nothing replays.
+  ASSERT_TRUE(replayed.value()->Checkpoint().ok());
+  RecoveryStats stats2;
+  auto snapshotted = DurableWarehouse::Open(dir_, &stats2);
+  ASSERT_TRUE(snapshotted.ok()) << snapshotted.status().ToString();
+  EXPECT_EQ(stats2.ops_replayed, 0u);
+  EXPECT_EQ(stats2.snapshot_lsn, 2u);
+  ASSERT_NE(snapshotted.value()->subcubes(), nullptr);
+  ExpectSameSubcubes(*dw->subcubes(), *snapshotted.value()->subcubes());
+}
+
+TEST_F(RecoveryTest, RecoverWarehouseIsTheOpenEntryPoint) {
+  auto dw = CreateExample(ReductionSpecification{});
+  ASSERT_NE(dw, nullptr);
+  ASSERT_TRUE(dw->ApplyActions({{"a7", paper::kA7}}).ok());
+  std::string live = StateBytes(*dw);
+  dw.reset();
+  RecoveryStats stats;
+  auto rec = RecoverWarehouse(dir_, &stats);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(stats.ops_replayed, 1u);
+  EXPECT_EQ(StateBytes(*rec.value()), live);
+}
+
+TEST_F(RecoveryTest, OpenOnMissingDirectoryFails) {
+  auto missing = DurableWarehouse::Open(dir_ + "_nope");
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace dwred

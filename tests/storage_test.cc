@@ -36,11 +36,50 @@ TEST(FactTableTest, EraseRowsCompacts) {
   }
   std::vector<bool> erase(10, false);
   erase[0] = erase[3] = erase[9] = true;
-  t.EraseRows(erase);
+  ASSERT_TRUE(t.EraseRows(erase).ok());
   EXPECT_EQ(t.num_rows(), 7u);
   EXPECT_EQ(t.Coord(0, 0), 1u);
   EXPECT_EQ(t.Coord(2, 0), 4u);
   EXPECT_EQ(t.Measure(6, 0), 8);
+}
+
+TEST(FactTableTest, EraseRowsRejectsStaleBitmap) {
+  FactTable t(1, 1);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(i)};
+    std::vector<int64_t> m = {i};
+    t.Append(c, m);
+  }
+  std::vector<bool> too_short(3, true);
+  Status s = t.EraseRows(too_short);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::vector<bool> too_long(5, true);
+  s = t.EraseRows(too_long);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The failed calls must not have touched the rows.
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST(FactTableTest, CompactCellsRejectsAggArityMismatch) {
+  FactTable t(1, 2);
+  std::vector<ValueId> c = {1};
+  std::vector<int64_t> m = {1, 2};
+  t.Append(c, m);
+  std::vector<AggFn> one_agg = {AggFn::kSum};
+  EXPECT_EQ(t.CompactCells(one_agg).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FactTableTest, AppendFromRejectsShapeMismatch) {
+  IspExample ex = MakeIspExample();
+  FactTable narrow(1, 4);
+  EXPECT_EQ(narrow.AppendFrom(*ex.mo).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(narrow.num_rows(), 0u);
+  FactTable wrong_meas(2, 1);
+  EXPECT_EQ(wrong_meas.AppendFrom(*ex.mo).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(wrong_meas.num_rows(), 0u);
 }
 
 TEST(FactTableTest, CompactCellsFoldsDuplicates) {
@@ -54,7 +93,7 @@ TEST(FactTableTest, CompactCellsFoldsDuplicates) {
   t.Append(a, m1);
   t.Append(b, m2);
   t.Append(a, m3);
-  t.CompactCells(aggs);
+  ASSERT_TRUE(t.CompactCells(aggs).ok());
   ASSERT_EQ(t.num_rows(), 2u);
   // Row for cell (1,1): sum 6, max 5.
   EXPECT_EQ(t.Measure(0, 0), 6);
@@ -70,7 +109,7 @@ TEST(FactTableTest, CompactIsNoopWithoutDuplicates) {
     std::vector<int64_t> m = {i};
     t.Append(c, m);
   }
-  t.CompactCells(aggs);
+  ASSERT_TRUE(t.CompactCells(aggs).ok());
   EXPECT_EQ(t.num_rows(), 5u);
 }
 
@@ -86,7 +125,7 @@ TEST(FactTableTest, BytesAccounting) {
 TEST(FactTableTest, MoRoundTrip) {
   IspExample ex = MakeIspExample();
   FactTable t(2, 4);
-  t.AppendFrom(*ex.mo);
+  ASSERT_TRUE(t.AppendFrom(*ex.mo).ok());
   EXPECT_EQ(t.num_rows(), 7u);
   MultidimensionalObject back =
       t.ToMO("Click", ex.mo->dimensions(),

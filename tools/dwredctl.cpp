@@ -30,6 +30,11 @@
 //   subcube-layout
 //   subcube-sync <date>                      # Section 7.2 synchronization
 //   subcube-query <date> <granularity list>  # Section 7.3 combined query
+//   attach <dir>                             # bind to a durable directory:
+//                                            #   fresh dir: journal this warehouse
+//                                            #   existing: recover, then continue
+//   checkpoint                               # fold the journal into a snapshot
+//   detach                                   # checkpoint + release the directory
 //   echo <text>
 //
 // Blank lines and '#' comments are ignored. The tool stops at the first
@@ -37,6 +42,7 @@
 //
 //   $ dwredctl warehouse.dwred
 //   $ dwredctl -                    # read from stdin
+//   $ dwredctl recover <dir>        # replay the journal, checkpoint, report
 //   $ dwredctl stats warehouse.dwred    # run, then dump the metrics registry
 //   $ dwredctl --trace=/tmp/t.jsonl warehouse.dwred   # JSON-lines span trace
 
@@ -48,6 +54,7 @@
 
 #include "common/strings.h"
 #include "io/csv.h"
+#include "io/recovery.h"
 #include "io/snapshot.h"
 #include "io/warehouse_io.h"
 #include "obs/metrics.h"
@@ -71,22 +78,44 @@ struct Shell {
   ReductionSpecification spec;
   std::vector<Action> staged;
   std::unique_ptr<SubcubeManager> subcubes;
+  /// Non-null while attached to a durable directory; mutating commands are
+  /// then journaled (io/recovery.h) and `mo`/`spec` stay empty.
+  std::unique_ptr<DurableWarehouse> durable;
+
+  const MultidimensionalObject& CurMO() const {
+    return durable ? durable->mo() : *mo;
+  }
+  const ReductionSpecification& CurSpec() const {
+    return durable ? durable->spec() : spec;
+  }
 
   Status Require(bool initialized) const {
-    if (initialized && !mo) {
+    if (initialized && !mo && !durable) {
       return Status::InvalidArgument("run 'init' first");
     }
-    if (!initialized && mo) {
+    if (!initialized && (mo || durable)) {
       return Status::InvalidArgument("warehouse already initialized");
     }
     return Status::OK();
   }
 
+  Status RequireDetached(const std::string& cmd) const {
+    if (durable) {
+      return Status::InvalidArgument(
+          "'" + cmd + "' is not journaled; detach before running it");
+    }
+    return Status::OK();
+  }
+
   Status RequireSubcubes() const {
-    if (!subcubes) {
+    if (durable ? durable->subcubes() == nullptr : !subcubes) {
       return Status::InvalidArgument("run 'subcube-init' first");
     }
     return Status::OK();
+  }
+
+  const SubcubeManager& CurSubcubes() const {
+    return durable ? *durable->subcubes() : *subcubes;
   }
 
   Result<DimensionId> DimByName(std::string_view name) const {
@@ -172,9 +201,70 @@ struct Shell {
                   dims.size(), measures.size());
       return Status::OK();
     }
+    if (cmd == "attach") {
+      if (durable) return Status::InvalidArgument("already attached");
+      if (rest.empty()) return Status::InvalidArgument("attach <dir>");
+      if (subcubes) {
+        return Status::InvalidArgument(
+            "attach before subcube-init; the durable layer owns the subcube "
+            "organization");
+      }
+      if (mo) {
+        // Bind the current in-memory warehouse to a fresh directory.
+        DWRED_ASSIGN_OR_RETURN(
+            durable,
+            DurableWarehouse::Create(rest, std::move(mo), std::move(spec)));
+        spec = ReductionSpecification{};
+        std::printf("attached %s (new directory)\n", rest.c_str());
+      } else {
+        // Existing directory: recovery runs as part of the open.
+        RecoveryStats rs;
+        DWRED_ASSIGN_OR_RETURN(durable, DurableWarehouse::Open(rest, &rs));
+        std::printf(
+            "attached %s: recovered to lsn %llu (snapshot lsn %llu, "
+            "%zu ops replayed, %zu intents rolled back)\n",
+            rest.c_str(), static_cast<unsigned long long>(rs.recovered_lsn),
+            static_cast<unsigned long long>(rs.snapshot_lsn), rs.ops_replayed,
+            rs.intents_rolled_back);
+      }
+      dims = durable->mo().dimensions();
+      measures = durable->mo().measure_types();
+      fact_type = durable->mo().fact_type();
+      return Status::OK();
+    }
+    if (cmd == "checkpoint") {
+      if (!durable) return Status::InvalidArgument("run 'attach' first");
+      DWRED_RETURN_IF_ERROR(durable->Checkpoint());
+      std::printf("checkpoint written at lsn %llu\n",
+                  static_cast<unsigned long long>(durable->applied_lsn()));
+      return Status::OK();
+    }
+    if (cmd == "detach") {
+      if (!durable) return Status::InvalidArgument("run 'attach' first");
+      if (durable->subcubes()) {
+        return Status::InvalidArgument(
+            "detach under the subcube organization is not supported; the "
+            "subcubes live only in the durable directory");
+      }
+      DWRED_RETURN_IF_ERROR(durable->Checkpoint());
+      mo = std::make_unique<MultidimensionalObject>(durable->mo());
+      spec = durable->spec();
+      durable.reset();
+      std::printf("detached (directory checkpointed)\n");
+      return Status::OK();
+    }
     if (cmd == "load-facts") {
       DWRED_RETURN_IF_ERROR(Require(true));
       DWRED_ASSIGN_OR_RETURN(std::string csv, ReadFile(rest));
+      if (durable) {
+        MultidimensionalObject batch(fact_type, dims, measures);
+        DWRED_RETURN_IF_ERROR(ReadFactCsv(&batch, csv));
+        DWRED_RETURN_IF_ERROR(durable->InsertFacts(batch));
+        std::printf("loaded %zu facts (journaled, lsn %llu)\n",
+                    batch.num_facts(),
+                    static_cast<unsigned long long>(durable->applied_lsn()));
+        return Status::OK();
+      }
       size_t before = mo->num_facts();
       DWRED_RETURN_IF_ERROR(ReadFactCsv(mo.get(), csv));
       std::printf("loaded %zu facts (%zu total)\n", mo->num_facts() - before,
@@ -184,14 +274,27 @@ struct Shell {
     if (cmd == "action") {
       DWRED_RETURN_IF_ERROR(Require(true));
       DWRED_ASSIGN_OR_RETURN(std::vector<Action> parsed,
-                             ReadSpecificationText(*mo, rest));
+                             ReadSpecificationText(CurMO(), rest));
       for (Action& a : parsed) staged.push_back(std::move(a));
       return Status::OK();
     }
     if (cmd == "apply") {
       DWRED_RETURN_IF_ERROR(Require(true));
-      DWRED_ASSIGN_OR_RETURN(spec,
-                             InsertActions(*mo, spec, std::move(staged)));
+      if (durable) {
+        std::vector<std::pair<std::string, std::string>> pairs;
+        pairs.reserve(staged.size());
+        for (const Action& a : staged) {
+          pairs.emplace_back(a.name, a.source_text);
+        }
+        DWRED_RETURN_IF_ERROR(durable->ApplyActions(pairs));
+        staged.clear();
+        std::printf("specification valid: %zu actions installed\n",
+                    durable->spec().size());
+        return Status::OK();
+      }
+      // Validate against a copy so a rejected set stays staged: the user can
+      // stage a covering action and retry instead of starting over.
+      DWRED_ASSIGN_OR_RETURN(spec, InsertActions(*mo, spec, staged));
       staged.clear();
       std::printf("specification valid: %zu actions installed\n", spec.size());
       return Status::OK();
@@ -204,6 +307,12 @@ struct Shell {
       DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
       if (day.unit != TimeUnit::kDay) {
         return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
+      }
+      if (durable) {
+        DWRED_RETURN_IF_ERROR(durable->DeleteAction(name, day.index));
+        std::printf("deleted action %s (%zu remain)\n", name.c_str(),
+                    durable->spec().size());
+        return Status::OK();
       }
       for (ActionId i = 0; i < spec.size(); ++i) {
         if (spec.action(i).name == name) {
@@ -223,6 +332,14 @@ struct Shell {
         return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
       }
       ReduceStats stats;
+      if (durable) {
+        DWRED_RETURN_IF_ERROR(durable->ReducePass(day.index, &stats));
+        std::printf(
+            "reduced at %s: %zu -> %zu facts (%zu aggregated, %zu deleted)\n",
+            rest.c_str(), stats.input_facts, stats.output_facts,
+            stats.facts_aggregated, stats.facts_deleted);
+        return Status::OK();
+      }
       DWRED_ASSIGN_OR_RETURN(MultidimensionalObject reduced,
                              Reduce(*mo, spec, day.index, {}, &stats));
       *mo = std::move(reduced);
@@ -245,9 +362,10 @@ struct Shell {
       else if (approach_s == "weighted") ap = SelectionApproach::kWeighted;
       else return Status::InvalidArgument("unknown approach " + approach_s);
       DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
-      DWRED_ASSIGN_OR_RETURN(auto pred, ParsePredicate(*mo, Trim(pred_text)));
+      DWRED_ASSIGN_OR_RETURN(auto pred,
+                             ParsePredicate(CurMO(), Trim(pred_text)));
       DWRED_ASSIGN_OR_RETURN(SelectionResult sel,
-                             Select(*mo, *pred, day.index, ap));
+                             Select(CurMO(), *pred, day.index, ap));
       std::printf("select (%s): %zu facts\n", approach_s.c_str(),
                   sel.mo.num_facts());
       for (FactId f = 0; f < sel.mo.num_facts() && f < 20; ++f) {
@@ -268,9 +386,9 @@ struct Shell {
       std::string gran_text;
       std::getline(args, gran_text);
       DWRED_ASSIGN_OR_RETURN(auto gran,
-                             ParseGranularityList(*mo, Trim(gran_text)));
+                             ParseGranularityList(CurMO(), Trim(gran_text)));
       DWRED_ASSIGN_OR_RETURN(MultidimensionalObject agg,
-                             AggregateFormation(*mo, gran));
+                             AggregateFormation(CurMO(), gran));
       std::printf("aggregate: %zu cells\n", agg.num_facts());
       for (FactId f = 0; f < agg.num_facts() && f < 20; ++f) {
         std::printf("  %s\n", agg.FormatFact(f).c_str());
@@ -279,6 +397,7 @@ struct Shell {
     }
     if (cmd == "drop-dimension") {
       DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_RETURN_IF_ERROR(RequireDetached(cmd));
       DWRED_ASSIGN_OR_RETURN(DimensionId d, DimByName(rest));
       DWRED_ASSIGN_OR_RETURN(MultidimensionalObject out,
                              DropDimension(*mo, d));
@@ -290,6 +409,7 @@ struct Shell {
     }
     if (cmd == "drop-measure") {
       DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_RETURN_IF_ERROR(RequireDetached(cmd));
       DWRED_ASSIGN_OR_RETURN(MeasureId m, mo->MeasureByName(rest));
       DWRED_ASSIGN_OR_RETURN(MultidimensionalObject out, DropMeasure(*mo, m));
       *mo = std::move(out);
@@ -298,6 +418,7 @@ struct Shell {
     }
     if (cmd == "raise-bottom") {
       DWRED_RETURN_IF_ERROR(Require(true));
+      DWRED_RETURN_IF_ERROR(RequireDetached(cmd));
       std::istringstream args(rest);
       std::string dim_name, cat_name;
       args >> dim_name >> cat_name;
@@ -314,12 +435,12 @@ struct Shell {
     }
     if (cmd == "save-snapshot") {
       DWRED_RETURN_IF_ERROR(Require(true));
-      DWRED_RETURN_IF_ERROR(WriteFile(rest, SaveWarehouse(*mo, spec)));
+      DWRED_RETURN_IF_ERROR(WriteFile(rest, SaveWarehouse(CurMO(), CurSpec())));
       std::printf("snapshot written to %s\n", rest.c_str());
       return Status::OK();
     }
     if (cmd == "load-snapshot") {
-      if (mo) return Status::InvalidArgument("warehouse already initialized");
+      DWRED_RETURN_IF_ERROR(Require(false));
       DWRED_ASSIGN_OR_RETURN(std::string bytes, ReadFile(rest));
       DWRED_ASSIGN_OR_RETURN(LoadedWarehouse lw, LoadWarehouse(bytes));
       mo = std::move(lw.mo);
@@ -333,11 +454,13 @@ struct Shell {
     }
     if (cmd == "save-facts") {
       DWRED_RETURN_IF_ERROR(Require(true));
-      DWRED_RETURN_IF_ERROR(WriteFile(rest, WriteFactCsv(*mo)));
-      std::printf("wrote %zu facts to %s\n", mo->num_facts(), rest.c_str());
+      DWRED_RETURN_IF_ERROR(WriteFile(rest, WriteFactCsv(CurMO())));
+      std::printf("wrote %zu facts to %s\n", CurMO().num_facts(),
+                  rest.c_str());
       return Status::OK();
     }
     if (cmd == "save-dimension") {
+      DWRED_RETURN_IF_ERROR(Require(true));
       std::istringstream args(rest);
       std::string name, path;
       args >> name >> path;
@@ -349,15 +472,19 @@ struct Shell {
     if (cmd == "show") {
       DWRED_RETURN_IF_ERROR(Require(true));
       int64_t limit = 20;
-      if (!rest.empty()) ParseInt64(rest, &limit);
-      for (FactId f = 0; f < mo->num_facts() &&
+      if (!rest.empty() && (!ParseInt64(rest, &limit) || limit < 0)) {
+        return Status::InvalidArgument("show: expected a non-negative count, "
+                                       "got '" + rest + "'");
+      }
+      const MultidimensionalObject& cur = CurMO();
+      for (FactId f = 0; f < cur.num_facts() &&
                          f < static_cast<FactId>(limit);
            ++f) {
-        std::printf("  %s\n", mo->FormatFact(f).c_str());
+        std::printf("  %s\n", cur.FormatFact(f).c_str());
       }
-      if (mo->num_facts() > static_cast<size_t>(limit)) {
+      if (cur.num_facts() > static_cast<size_t>(limit)) {
         std::printf("  ... (%zu more)\n",
-                    mo->num_facts() - static_cast<size_t>(limit));
+                    cur.num_facts() - static_cast<size_t>(limit));
       }
       return Status::OK();
     }
@@ -366,8 +493,8 @@ struct Shell {
       size_t dim_bytes = 0;
       for (const auto& d : dims) dim_bytes += d->ApproxBytes();
       std::printf("facts: %zu (%s); dimensions: %s; actions: %zu\n",
-                  mo->num_facts(), HumanBytes(mo->FactBytes()).c_str(),
-                  HumanBytes(dim_bytes).c_str(), spec.size());
+                  CurMO().num_facts(), HumanBytes(CurMO().FactBytes()).c_str(),
+                  HumanBytes(dim_bytes).c_str(), CurSpec().size());
       return Status::OK();
     }
     if (cmd == "metrics") {
@@ -380,9 +507,15 @@ struct Shell {
     }
     if (cmd == "subcube-init") {
       DWRED_RETURN_IF_ERROR(Require(true));
-      if (spec.size() == 0) {
+      if (CurSpec().empty()) {
         return Status::InvalidArgument(
             "apply a specification before subcube-init");
+      }
+      if (durable) {
+        DWRED_RETURN_IF_ERROR(durable->EnableSubcubes());
+        std::printf("subcube warehouse ready: %zu subcubes (journaled)\n",
+                    durable->subcubes()->num_subcubes());
+        return Status::OK();
       }
       auto m = SubcubeManager::Create(fact_type, dims, measures, spec);
       if (!m.ok()) return m.status();
@@ -396,14 +529,15 @@ struct Shell {
       DWRED_ASSIGN_OR_RETURN(std::string csv, ReadFile(rest));
       MultidimensionalObject batch(fact_type, dims, measures);
       DWRED_RETURN_IF_ERROR(ReadFactCsv(&batch, csv));
-      DWRED_RETURN_IF_ERROR(subcubes->InsertBottomFacts(batch));
+      DWRED_RETURN_IF_ERROR(durable ? durable->InsertFacts(batch)
+                                    : subcubes->InsertBottomFacts(batch));
       std::printf("loaded %zu facts into the bottom subcube\n",
                   batch.num_facts());
       return Status::OK();
     }
     if (cmd == "subcube-layout") {
       DWRED_RETURN_IF_ERROR(RequireSubcubes());
-      std::printf("%s", subcubes->DescribeLayout().c_str());
+      std::printf("%s", CurSubcubes().DescribeLayout().c_str());
       return Status::OK();
     }
     if (cmd == "subcube-sync") {
@@ -412,10 +546,15 @@ struct Shell {
       if (day.unit != TimeUnit::kDay) {
         return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
       }
-      DWRED_ASSIGN_OR_RETURN(size_t migrated, subcubes->Synchronize(day.index));
+      size_t migrated = 0;
+      if (durable) {
+        DWRED_RETURN_IF_ERROR(durable->SynchronizePass(day.index, &migrated));
+      } else {
+        DWRED_ASSIGN_OR_RETURN(migrated, subcubes->Synchronize(day.index));
+      }
       std::printf("synchronized at %s: %zu rows migrated (%s total)\n",
                   rest.c_str(), migrated,
-                  HumanBytes(subcubes->TotalBytes()).c_str());
+                  HumanBytes(CurSubcubes().TotalBytes()).c_str());
       return Status::OK();
     }
     if (cmd == "subcube-query") {
@@ -427,11 +566,12 @@ struct Shell {
       std::getline(args, gran_text);
       DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
       DWRED_ASSIGN_OR_RETURN(
-          auto gran, ParseGranularityList(subcubes->context(), Trim(gran_text)));
+          auto gran,
+          ParseGranularityList(CurSubcubes().context(), Trim(gran_text)));
       DWRED_ASSIGN_OR_RETURN(
           MultidimensionalObject result,
-          subcubes->Query(nullptr, &gran, day.index,
-                          /*assume_synchronized=*/false));
+          CurSubcubes().Query(nullptr, &gran, day.index,
+                              /*assume_synchronized=*/false));
       std::printf("subcube-query: %zu cells\n", result.num_facts());
       for (FactId f = 0; f < result.num_facts() && f < 20; ++f) {
         std::printf("  %s\n", result.FormatFact(f).c_str());
@@ -462,10 +602,32 @@ int main(int argc, char** argv) {
       positional.push_back(std::move(arg));
     }
   }
+  if (positional.size() == 2 && positional[0] == "recover") {
+    RecoveryStats rs;
+    auto rec = RecoverWarehouse(positional[1], &rs);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recover: %s\n", rec.status().ToString().c_str());
+      return 1;
+    }
+    Status cp = rec.value()->Checkpoint();
+    if (!cp.ok()) {
+      std::fprintf(stderr, "recover: checkpoint failed: %s\n",
+                   cp.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "recovered %s to lsn %llu: %zu ops replayed, %zu intents rolled "
+        "back, %zu torn bytes discarded\n",
+        positional[1].c_str(),
+        static_cast<unsigned long long>(rs.recovered_lsn), rs.ops_replayed,
+        rs.intents_rolled_back, rs.journal_torn_bytes);
+    return 0;
+  }
   if (positional.size() != 1) {
     std::fprintf(stderr,
-                 "usage: %s [stats] [--trace=<file.jsonl>] <script.dwred | ->\n",
-                 argv[0]);
+                 "usage: %s [stats] [--trace=<file.jsonl>] "
+                 "<script.dwred | -> | %s recover <dir>\n",
+                 argv[0], argv[0]);
     return 2;
   }
 

@@ -2,7 +2,10 @@
 # Runs the repo's tier-1 verification line (ROADMAP.md) from the repo root.
 #
 #   tools/run_tier1.sh                 # plain build + ctest
-#   tools/run_tier1.sh asan            # -DDWRED_SANITIZE=address;undefined
+#   tools/run_tier1.sh --sanitize      # -DDWRED_SANITIZE=address;undefined,
+#                                      # full ctest, then the crash matrix
+#                                      # again with strict sanitizer options
+#   tools/run_tier1.sh asan            # legacy alias for --sanitize
 #
 # The sanitizer variant uses a separate build directory so it never poisons
 # the plain build's cache.
@@ -10,9 +13,17 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "asan" ]]; then
-  cmake -B build-asan -S . "-DDWRED_SANITIZE=address;undefined" &&
-    cmake --build build-asan -j && cd build-asan && ctest --output-on-failure -j
+if [[ "${1:-}" == "asan" || "${1:-}" == "--sanitize" ]]; then
+  cmake -B build-asan -S . "-DDWRED_SANITIZE=address;undefined"
+  cmake --build build-asan -j
+  cd build-asan
+  ctest --output-on-failure -j
+  # The crash matrix forks a child per (fault site, occurrence) and the child
+  # dies at an IO boundary; rerun it with every sanitizer report fatal so a
+  # leak or UB on the recovery path fails the run rather than scrolling by.
+  ASAN_OPTIONS="abort_on_error=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --output-on-failure -R 'crash_matrix_test|journal_test|recovery_test'
 else
   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 fi
