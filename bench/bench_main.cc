@@ -1,0 +1,56 @@
+// Custom benchmark main shared by every dwred bench binary (replaces
+// benchmark::benchmark_main). Adds two harness features on top of the stock
+// driver:
+//
+//   --threads=N   size the global exec pool before any benchmark runs
+//                 (exported as DWRED_THREADS so forked helpers agree);
+//                 N=1 is the exact serial fallback
+//
+//   DWRED_BENCH_SIDECAR=path.json
+//                 when set and no --benchmark_out was given, the run also
+//                 writes google-benchmark's JSON report to `path.json` — the
+//                 machine-readable sweep record EXPERIMENTS.md tracks
+//
+// The obs metrics sidecar (DWRED_METRICS_SIDECAR, bench_common.h) is
+// orthogonal and still applies.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> owned;  // storage for injected flags
+  args.push_back(argv[0]);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      ::setenv("DWRED_THREADS", argv[i] + 10, 1);
+      continue;  // ours, not google-benchmark's
+    }
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    args.push_back(argv[i]);
+  }
+  const char* sidecar = std::getenv("DWRED_BENCH_SIDECAR");
+  if (sidecar != nullptr && sidecar[0] != '\0' && !has_out) {
+    owned.push_back(std::string("--benchmark_out=") + sidecar);
+    owned.push_back("--benchmark_out_format=json");
+    for (std::string& s : owned) args.push_back(s.data());
+  }
+  // Build the pool after DWRED_THREADS is settled (0 = re-read environment).
+  dwred::exec::ThreadPool::ResetGlobal(0);
+
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

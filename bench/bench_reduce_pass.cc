@@ -5,6 +5,10 @@
 
 #include "bench_common.h"
 
+#include "exec/thread_pool.h"
+#include "io/snapshot.h"
+#include "workload/retail.h"
+
 namespace dwred::bench {
 namespace {
 
@@ -85,6 +89,113 @@ void BM_GradualMonthlyReduction(benchmark::State& state) {
 
 BENCHMARK(BM_GradualMonthlyReduction)
     ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Thread-count sweep (PR 3). Each arg pair is (facts, threads); the pool is
+// resized per benchmark, so one binary invocation records the whole sweep in
+// its JSON sidecar (DWRED_BENCH_SIDECAR, see bench_main.cc). The
+// `snapshot_crc` counter is a 32-bit digest of the serialized reduced
+// warehouse — the determinism contract says it must be identical in every
+// row of the sweep, so the sidecar itself witnesses serial/parallel
+// equivalence alongside the timings.
+
+uint32_t Digest32(const std::string& bytes) {
+  // FNV-1a, folded to 32 bits; stable across runs and platforms.
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+/// The 1M-fact (by default) retail workload from the acceptance criteria:
+/// three dimensions, two non-time hierarchies, SUM measures.
+RetailWorkload MakeRetailWorkload(size_t n) {
+  RetailConfig cfg;
+  cfg.seed = 41;
+  cfg.num_sales = n;
+  cfg.start = {1999, 1, 1};
+  cfg.span_days = 3 * 365;
+  return MakeRetail(cfg);
+}
+
+Result<ReductionSpecification> MakeRetailPolicy(
+    const MultidimensionalObject& mo) {
+  ReductionSpecification spec;
+  const char* texts[] = {
+      "a[Time.year, Product.category, Store.region] s["
+      "Time.year <= NOW - 36 months]",
+      "a[Time.quarter, Product.category, Store.region] s["
+      "NOW - 36 months <= Time.quarter AND Time.quarter <= NOW - 12 months]",
+      "a[Time.month, Product.brand, Store.city] s["
+      "NOW - 12 months <= Time.month <= NOW - 6 months]",
+  };
+  for (int i = 0; i < 3; ++i) {
+    DWRED_ASSIGN_OR_RETURN(Action a,
+                           ParseAction(mo, texts[i], "t" + std::to_string(i)));
+    spec.Add(std::move(a));
+  }
+  return spec;
+}
+
+void BM_ReducePassRetailThreadSweep(benchmark::State& state) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  RetailWorkload w = MakeRetailWorkload(facts);
+  ReductionSpecification spec = TakeOrAbort(MakeRetailPolicy(*w.mo));
+  const int64_t t = DaysFromCivil({2002, 7, 1});
+  exec::ThreadPool::ResetGlobal(threads);
+
+  uint32_t crc = 0;
+  for (auto _ : state) {
+    auto reduced = Reduce(*w.mo, spec, t);
+    if (!reduced.ok()) {
+      state.SkipWithError(reduced.status().ToString().c_str());
+      return;
+    }
+    state.PauseTiming();
+    crc = Digest32(SaveWarehouse(reduced.value(), spec));
+    state.ResumeTiming();
+  }
+  state.counters["threads"] = threads;
+  state.counters["snapshot_crc"] = crc;
+  state.SetItemsProcessed(static_cast<int64_t>(facts) * state.iterations());
+  exec::ThreadPool::ResetGlobal(0);  // back to the DWRED_THREADS default
+}
+
+BENCHMARK(BM_ReducePassRetailThreadSweep)
+    ->ArgsProduct({{100000, 1000000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReducePassClickThreadSweep(benchmark::State& state) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  ClickstreamWorkload w = MakeWorkload(facts);
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
+  const int64_t t = DaysFromCivil({2002, 1, 1});
+  exec::ThreadPool::ResetGlobal(threads);
+
+  uint32_t crc = 0;
+  for (auto _ : state) {
+    auto reduced = Reduce(*w.mo, spec, t);
+    if (!reduced.ok()) {
+      state.SkipWithError(reduced.status().ToString().c_str());
+      return;
+    }
+    state.PauseTiming();
+    crc = Digest32(SaveWarehouse(reduced.value(), spec));
+    state.ResumeTiming();
+  }
+  state.counters["threads"] = threads;
+  state.counters["snapshot_crc"] = crc;
+  state.SetItemsProcessed(static_cast<int64_t>(facts) * state.iterations());
+  exec::ThreadPool::ResetGlobal(0);
+}
+
+BENCHMARK(BM_ReducePassClickThreadSweep)
+    ->ArgsProduct({{100000}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

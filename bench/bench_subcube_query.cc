@@ -9,6 +9,7 @@
 
 #include "bench_common.h"
 
+#include "exec/thread_pool.h"
 #include "subcube/manager.h"
 
 namespace dwred::bench {
@@ -121,6 +122,32 @@ void BM_QueryUnsynchronized(benchmark::State& state) {
 BENCHMARK(BM_QueryUnsynchronized)
     ->Arg(1000)
     ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread-count sweep (PR 3): the parallel per-subcube fan-out plus the
+// sharded Select/AggregateFormation underneath it, at pool sizes 1..8. One
+// invocation records the sweep in the JSON sidecar (see bench_main.cc).
+void BM_QueryThreadSweep(benchmark::State& state) {
+  const size_t per_month = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Warehouse wh = MakeWarehouse(per_month, false);
+  (void)wh.mgr->Synchronize(wh.t);
+  exec::ThreadPool::ResetGlobal(threads);
+  for (auto _ : state) {
+    auto r = wh.mgr->Query(wh.pred.get(), &wh.gran, wh.t, true,
+                           /*parallel=*/true);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().num_facts());
+  }
+  state.counters["threads"] = threads;
+  exec::ThreadPool::ResetGlobal(0);
+}
+
+BENCHMARK(BM_QueryThreadSweep)
+    ->ArgsProduct({{10000}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

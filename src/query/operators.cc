@@ -1,11 +1,15 @@
 #include "query/operators.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/fact_table.h"
 
 namespace dwred {
 
@@ -36,10 +40,23 @@ Result<SelectionResult> Select(const MultidimensionalObject& mo,
                       {}};
   const size_t ndims = mo.num_dimensions();
   const size_t nmeas = mo.num_measures();
+
+  // Predicate evaluation is independent per fact, so it shards over fact
+  // ranges; the output MO is then built serially in fact order from the
+  // precomputed weights, which keeps the result byte-identical at every
+  // thread count (docs/PARALLELISM.md).
+  std::vector<double> weights(mo.num_facts());
+  exec::ThreadPool::Global().ParallelFor(
+      mo.num_facts(), /*grain=*/512, [&](size_t begin, size_t end) {
+        for (FactId f = begin; f < end; ++f) {
+          weights[f] = EvalQueryPredOnFact(pred, mo, f, now_day, approach);
+        }
+      });
+
   std::vector<ValueId> coords(ndims);
   std::vector<int64_t> meas(nmeas);
   for (FactId f = 0; f < mo.num_facts(); ++f) {
-    double w = EvalQueryPredOnFact(pred, mo, f, now_day, approach);
+    double w = weights[f];
     if (w <= 0.0) continue;
     for (size_t d = 0; d < ndims; ++d) {
       coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
@@ -122,21 +139,6 @@ std::vector<FactId> GroupHigh(const MultidimensionalObject& mo,
   return out;
 }
 
-namespace {
-
-struct CellHash {
-  size_t operator()(const std::vector<ValueId>& v) const {
-    size_t h = 0xcbf29ce484222325ull;
-    for (ValueId x : v) {
-      h ^= x;
-      h *= 0x100000001b3ull;
-    }
-    return h;
-  }
-};
-
-}  // namespace
-
 Result<MultidimensionalObject> AggregateFormation(
     const MultidimensionalObject& mo, const std::vector<CategoryId>& target,
     AggregationApproach approach, bool track_provenance) {
@@ -179,7 +181,7 @@ Result<MultidimensionalObject> AggregateFormation(
     std::vector<FactId> sources;
     bool merged = false;
   };
-  std::unordered_map<std::vector<ValueId>, Group, CellHash> groups;
+  std::unordered_map<std::vector<ValueId>, Group, CellKeyHash> groups;
 
   // Folds one contribution (a cell plus measure values) into its group.
   auto absorb = [&](const std::vector<ValueId>& cell,
@@ -217,9 +219,64 @@ Result<MultidimensionalObject> AggregateFormation(
     return Status::OK();
   };
 
+  // For the non-disaggregated approaches each fact's target cell depends only
+  // on the fact itself, so the rollup computation shards over fact ranges;
+  // grouping then runs serially in fact order over the precomputed cells
+  // (byte-identical at every thread count, docs/PARALLELISM.md). The
+  // disaggregated approach stays fully serial: its cross-product split makes
+  // per-fact work size data-dependent and it is rare in practice.
+  std::vector<ValueId> flat_cells;
+  std::vector<uint8_t> drops;
+  if (approach != AggregationApproach::kDisaggregated && mo.num_facts() > 0) {
+    flat_cells.resize(mo.num_facts() * ndims);
+    drops.assign(mo.num_facts(), 0);
+    std::atomic<bool> lub_error{false};
+    exec::ThreadPool::Global().ParallelFor(
+        mo.num_facts(), /*grain=*/512, [&](size_t begin, size_t end) {
+          for (FactId f = begin; f < end; ++f) {
+            ValueId* c = &flat_cells[f * ndims];
+            for (size_t d = 0; d < ndims; ++d) {
+              auto dd = static_cast<DimensionId>(d);
+              const Dimension& dim = *mo.dimension(dd);
+              ValueId v = mo.Coord(f, dd);
+              CategoryId cf = dim.value_category(v);
+              CategoryId want = approach == AggregationApproach::kLub
+                                    ? lub[d]
+                                    : target[d];
+              if (dim.type().Leq(cf, want)) {
+                c[d] = dim.Rollup(v, want);
+                DWRED_CHECK(c[d] != kInvalidValue);
+              } else if (approach == AggregationApproach::kAvailability) {
+                c[d] = v;  // finest available level >= desired
+              } else if (approach == AggregationApproach::kStrict) {
+                drops[f] = 1;
+                break;
+              } else {  // kLub: lub was joined above every fact's category
+                lub_error.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+          }
+        });
+    if (lub_error.load()) {
+      return Status::Internal("LUB category not above fact granularity");
+    }
+  }
+
   std::vector<ValueId> cell(ndims);
   std::vector<int64_t> meas(nmeas);
   for (FactId f = 0; f < mo.num_facts(); ++f) {
+    if (!flat_cells.empty()) {
+      // Non-disaggregated: consume the precomputed cell.
+      if (drops[f]) continue;
+      cell.assign(flat_cells.begin() + f * ndims,
+                  flat_cells.begin() + (f + 1) * ndims);
+      for (size_t m = 0; m < nmeas; ++m) {
+        meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
+      }
+      DWRED_RETURN_IF_ERROR(absorb(cell, meas, f));
+      continue;
+    }
     bool drop = false;
     // Dimensions whose value sits above the requested level and, under the
     // disaggregated approach, has materialized descendants to split across.

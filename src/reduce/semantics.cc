@@ -4,26 +4,12 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/fact_table.h"
 
 namespace dwred {
-
-namespace {
-
-/// Hash for cell keys.
-struct CellHash {
-  size_t operator()(const std::vector<ValueId>& v) const {
-    size_t h = 0xcbf29ce484222325ull;
-    for (ValueId x : v) {
-      h ^= x;
-      h *= 0x100000001b3ull;
-    }
-    return h;
-  }
-};
-
-}  // namespace
 
 Result<std::vector<CategoryId>> MaxSpecGran(const MultidimensionalObject& mo,
                                             const ReductionSpecification& spec,
@@ -140,82 +126,151 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
     ActionId responsible;
     bool aggregated;               // any input changed granularity
   };
-  std::unordered_map<std::vector<ValueId>, Group, CellHash> groups;
+  std::unordered_map<std::vector<ValueId>, Group, CellKeyHash> groups;
 
+  // --- Parallel scan (docs/PARALLELISM.md) --------------------------------
+  // Definition 2 assigns every fact to its cell independently, so the scan
+  // shards over contiguous fact ranges. Each shard builds an
+  // insertion-ordered local cell map with partial aggregates; the shards are
+  // then merged in ascending range order, which reproduces the serial
+  // first-occurrence order (output fact ids) and the serial measure fold
+  // sequence (the default aggregate functions are associative), so the
+  // output is byte-identical at every thread count.
+  struct ShardGroup {
+    std::vector<ValueId> cell;
+    std::vector<int64_t> meas;      // folded over the shard's members
+    std::vector<FactId> sources;    // raw; dedup/sort happens at naming time
+    ActionId last_action_resp = kNoAction;  // last in-shard action responsible
+    ActionId first_fallback = kNoAction;    // serial init value (first member)
+    bool aggregated_if_first = false;       // changed(first) || members > 1
+  };
+  struct ShardAccum {
+    std::vector<ShardGroup> ordered;  // first-occurrence order within shard
+    std::unordered_map<std::vector<ValueId>, size_t, CellKeyHash> index;
+    size_t facts_aggregated = 0;
+    size_t facts_deleted = 0;
+    Status error = Status::OK();  // first error; shard stops there
+  };
+
+  auto& pool = exec::ThreadPool::Global();
+  std::vector<exec::Shard> shards = exec::PartitionShards(
+      mo.num_facts(), /*grain=*/1024,
+      pool.num_threads() == 1 ? 1
+                              : static_cast<size_t>(pool.num_threads()) * 4);
+  std::vector<ShardAccum> accums(shards.size());
+
+  pool.ParallelForShards(shards, [&](size_t si, size_t begin, size_t end) {
+    ShardAccum& acc = accums[si];
+    std::vector<ValueId> cell(ndims);
+    for (FactId f = begin; f < end; ++f) {
+      ActionId responsible = kNoAction;
+      bool deleted = false;
+      auto gran_r = MaxSpecGran(mo, spec, f, now_day, &responsible, &deleted);
+      if (!gran_r.ok()) {
+        acc.error = gran_r.status();
+        return;
+      }
+      if (deleted) {
+        // Deletion action (Section 8 extension): the fact is physically
+        // removed — no cell, no group.
+        ++acc.facts_deleted;
+        continue;
+      }
+      const std::vector<CategoryId>& gran = gran_r.value();
+      bool changed = false;
+      for (size_t d = 0; d < ndims; ++d) {
+        auto dd = static_cast<DimensionId>(d);
+        ValueId direct = mo.Coord(f, dd);
+        ValueId v = mo.dimension(dd)->Rollup(direct, gran[d]);
+        if (v == kInvalidValue) {
+          acc.error = Status::Internal(
+              "no rollup to target granularity for " + mo.FactName(f));
+          return;
+        }
+        if (v != direct) changed = true;
+        cell[d] = v;
+      }
+      if (changed) ++acc.facts_aggregated;
+
+      auto it = acc.index.find(cell);
+      if (it == acc.index.end()) {
+        ShardGroup g;
+        g.cell = cell;
+        g.meas.resize(nmeas);
+        for (size_t m = 0; m < nmeas; ++m) {
+          g.meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
+        }
+        g.first_fallback =
+            responsible != kNoAction ? responsible : mo.ResponsibleAction(f);
+        g.last_action_resp = responsible;
+        g.aggregated_if_first = changed;
+        if (options.track_provenance) {
+          if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+            g.sources = *prov;
+          } else {
+            g.sources = {f};
+          }
+        }
+        acc.index.emplace(cell, acc.ordered.size());
+        acc.ordered.push_back(std::move(g));
+      } else {
+        ShardGroup& g = acc.ordered[it->second];
+        // Fold measures with the default aggregate functions (Definition 2).
+        for (size_t m = 0; m < nmeas; ++m) {
+          auto mm = static_cast<MeasureId>(m);
+          g.meas[m] = CombineMeasure(mo.measure_type(mm).agg, g.meas[m],
+                                     mo.Measure(f, mm));
+        }
+        g.aggregated_if_first = true;  // two members make the group aggregated
+        if (responsible != kNoAction) g.last_action_resp = responsible;
+        if (options.track_provenance) {
+          if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+            g.sources.insert(g.sources.end(), prov->begin(), prov->end());
+          } else {
+            g.sources.push_back(f);
+          }
+        }
+      }
+    }
+  });
+
+  // Deterministic merge, ascending shard order. The lowest shard with an
+  // error carries the error of the globally first failing fact (each shard
+  // stops at its first failure), matching the serial early-return.
+  for (const ShardAccum& acc : accums) {
+    DWRED_RETURN_IF_ERROR(acc.error);
+  }
   size_t facts_aggregated = 0;
   size_t facts_deleted = 0;
-  std::vector<ValueId> cell(ndims);
-  for (FactId f = 0; f < mo.num_facts(); ++f) {
-    ActionId responsible = kNoAction;
-    bool deleted = false;
-    DWRED_ASSIGN_OR_RETURN(
-        std::vector<CategoryId> gran,
-        MaxSpecGran(mo, spec, f, now_day, &responsible, &deleted));
-    if (deleted) {
-      // Deletion action (Section 8 extension): the fact is physically
-      // removed — no cell, no group.
-      ++facts_deleted;
-      continue;
-    }
-    bool changed = false;
-    for (size_t d = 0; d < ndims; ++d) {
-      auto dd = static_cast<DimensionId>(d);
-      ValueId direct = mo.Coord(f, dd);
-      ValueId v = mo.dimension(dd)->Rollup(direct, gran[d]);
-      if (v == kInvalidValue) {
-        return Status::Internal("no rollup to target granularity for " +
-                                mo.FactName(f));
-      }
-      if (v != direct) changed = true;
-      cell[d] = v;
-    }
-    if (changed) ++facts_aggregated;
-
-    auto it = groups.find(cell);
-    if (it == groups.end()) {
-      // First member: materialize the output fact with this fact's measures.
-      int64_t meas_buf[64];
-      DWRED_CHECK(nmeas <= 64);
-      for (size_t m = 0; m < nmeas; ++m) {
-        meas_buf[m] = mo.Measure(f, static_cast<MeasureId>(m));
-      }
-      DWRED_ASSIGN_OR_RETURN(
-          FactId nf,
-          out.AddFact(cell, std::span<const int64_t>(meas_buf, nmeas)));
-      Group g;
-      g.out_id = nf;
-      g.responsible =
-          responsible != kNoAction ? responsible : mo.ResponsibleAction(f);
-      g.aggregated = changed;
-      if (options.track_provenance) {
-        if (const std::vector<FactId>* prov = mo.Provenance(f)) {
-          g.sources = *prov;
-        } else {
-          g.sources = {f};
+  for (ShardAccum& acc : accums) {
+    facts_aggregated += acc.facts_aggregated;
+    facts_deleted += acc.facts_deleted;
+    for (ShardGroup& sg : acc.ordered) {
+      auto it = groups.find(sg.cell);
+      if (it == groups.end()) {
+        // Globally first occurrence: materialize the output fact.
+        DWRED_ASSIGN_OR_RETURN(FactId nf, out.AddFact(sg.cell, sg.meas));
+        Group g;
+        g.out_id = nf;
+        g.responsible = sg.last_action_resp != kNoAction ? sg.last_action_resp
+                                                         : sg.first_fallback;
+        g.aggregated = sg.aggregated_if_first;
+        g.sources = std::move(sg.sources);
+        groups.emplace(std::move(sg.cell), std::move(g));
+      } else {
+        Group& g = it->second;
+        for (size_t m = 0; m < nmeas; ++m) {
+          auto mm = static_cast<MeasureId>(m);
+          out.SetMeasure(g.out_id, mm,
+                         CombineMeasure(mo.measure_type(mm).agg,
+                                        out.Measure(g.out_id, mm), sg.meas[m]));
         }
-      }
-      groups.emplace(cell, std::move(g));
-    } else {
-      Group& g = it->second;
-      // Fold measures with the default aggregate functions (Definition 2).
-      // Folding happens in place on the output fact.
-      for (size_t m = 0; m < nmeas; ++m) {
-        auto mm = static_cast<MeasureId>(m);
-        int64_t combined = CombineMeasure(mo.measure_type(mm).agg,
-                                          out.Measure(g.out_id, mm),
-                                          mo.Measure(f, mm));
-        // MultidimensionalObject exposes no in-place setter; fold through
-        // the internal update hook below.
-        out.SetMeasure(g.out_id, mm, combined);
-      }
-      g.aggregated = true;
-      if (responsible != kNoAction) g.responsible = responsible;
-      if (options.track_provenance) {
-        if (const std::vector<FactId>* prov = mo.Provenance(f)) {
-          g.sources.insert(g.sources.end(), prov->begin(), prov->end());
-        } else {
-          g.sources.push_back(f);
+        g.aggregated = true;
+        if (sg.last_action_resp != kNoAction) {
+          g.responsible = sg.last_action_resp;
         }
+        g.sources.insert(g.sources.end(), sg.sources.begin(),
+                         sg.sources.end());
       }
     }
   }

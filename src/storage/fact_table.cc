@@ -138,17 +138,7 @@ Result<size_t> FactTable::CompactCells(std::span<const AggFn> aggs) {
         " aggregate functions for " + std::to_string(meas_cols_.size()) +
         " measures");
   }
-  struct KeyHash {
-    size_t operator()(const std::vector<ValueId>& v) const {
-      size_t h = 0xcbf29ce484222325ull;
-      for (ValueId x : v) {
-        h ^= x;
-        h *= 0x100000001b3ull;
-      }
-      return h;
-    }
-  };
-  std::unordered_map<std::vector<ValueId>, RowId, KeyHash> first;
+  std::unordered_map<std::vector<ValueId>, RowId, CellKeyHash> first;
   std::vector<bool> erase(num_rows_, false);
   std::vector<ValueId> key(dim_cols_.size());
   bool any = false;

@@ -21,6 +21,21 @@ namespace dwred {
 /// Row index within a FactTable.
 using RowId = uint64_t;
 
+/// FNV-1a hash over a cell key (one ValueId per dimension) — the one hash
+/// every cell-keyed map in the system uses: reduction grouping
+/// (reduce/semantics.cc), subcube compaction (CompactCells), and query
+/// grouping (query/operators.cc).
+struct CellKeyHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
 /// Columnar fact storage of one subcube. Live tables report their aggregate
 /// row/byte footprint through the dwred_storage_fact_rows /
 /// dwred_storage_fact_bytes gauges.

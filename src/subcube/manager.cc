@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <optional>
-#include <thread>
 
 #include "common/check.h"
+#include "exec/thread_pool.h"
 #include "obs/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -278,13 +278,64 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
   std::vector<size_t> snapshot;
   for (const auto& c : cubes_) snapshot.push_back(c->table.num_rows());
 
+  // --- Parallel plan, serial apply (docs/PARALLELISM.md) ------------------
+  // A row's destination depends only on its cell, the specification and
+  // now_day — never on other rows or on table contents — so the per-row
+  // migration decisions (ResponsibleCube + RollCell) fan out over row-range
+  // shards per cube, read-only. The mutations (appends, erases, counters)
+  // then replay serially in the original (cube, row) order, so the resulting
+  // tables — and the WAL intent stream recorded around this pass — are
+  // byte-identical at every thread count.
+  struct CubePlan {
+    std::vector<size_t> target;   // per row < snapshot[i]; == i means stay
+    std::vector<ValueId> rolled;  // row-major cells, valid when migrating
+    std::vector<Status> shard_error;  // first error per shard (shard stops)
+  };
+  auto& pool = exec::ThreadPool::Global();
+  std::vector<CubePlan> plans(cubes_.size());
+  for (size_t i = 0; i < cubes_.size(); ++i) {
+    CubePlan& plan = plans[i];
+    plan.target.resize(snapshot[i]);
+    plan.rolled.resize(snapshot[i] * ndims);
+    std::vector<exec::Shard> shards = exec::PartitionShards(
+        snapshot[i], /*grain=*/256,
+        pool.num_threads() == 1 ? 1
+                                : static_cast<size_t>(pool.num_threads()) * 4);
+    plan.shard_error.assign(shards.size(), Status::OK());
+    const Subcube& cube = *cubes_[i];
+    pool.ParallelForShards(shards, [&](size_t si, size_t begin, size_t end) {
+      std::vector<ValueId> row_cell(ndims);
+      for (RowId r = begin; r < end; ++r) {
+        cube.table.ReadCoords(r, row_cell.data());
+        auto target_r = ResponsibleCube(row_cell, now_day);
+        if (!target_r.ok()) {
+          plan.shard_error[si] = target_r.status();
+          return;
+        }
+        size_t target = target_r.value();
+        plan.target[r] = target;
+        if (target == i || target == kDeletedCell) continue;
+        auto rolled_r = RollCell(row_cell, cubes_[target]->granularity);
+        if (!rolled_r.ok()) {
+          plan.shard_error[si] = rolled_r.status();
+          return;
+        }
+        std::copy(rolled_r.value().begin(), rolled_r.value().end(),
+                  plan.rolled.begin() + r * ndims);
+      }
+    });
+    // Lowest shard's error is the globally first failing row's error. Unlike
+    // the serial formulation, a failed pass mutates nothing.
+    for (const Status& s : plan.shard_error) DWRED_RETURN_IF_ERROR(s);
+  }
+
   std::vector<bool> received(cubes_.size(), false);
   for (size_t i = 0; i < cubes_.size(); ++i) {
     Subcube& cube = *cubes_[i];
+    const CubePlan& plan = plans[i];
     std::vector<bool> erase(cube.table.num_rows(), false);
     for (RowId r = 0; r < snapshot[i]; ++r) {
-      cube.table.ReadCoords(r, cell.data());
-      DWRED_ASSIGN_OR_RETURN(size_t target, ResponsibleCube(cell, now_day));
+      size_t target = plan.target[r];
       if (target == i) continue;
       if (target == kDeletedCell) {
         // A deletion action claims the row: physical deletion, no migration.
@@ -293,10 +344,10 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
         ++deleted;
         continue;
       }
-      DWRED_ASSIGN_OR_RETURN(std::vector<ValueId> rolled,
-                             RollCell(cell, cubes_[target]->granularity));
+      std::copy(plan.rolled.begin() + r * ndims,
+                plan.rolled.begin() + (r + 1) * ndims, cell.begin());
       for (size_t m = 0; m < nmeas; ++m) meas[m] = cube.table.Measure(r, m);
-      cubes_[target]->table.Append(rolled, meas);
+      cubes_[target]->table.Append(cell, meas);
       erase[r] = true;
       received[target] = true;
       ++migrated;
@@ -339,8 +390,9 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
 Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
     const PredExpr* pred, const std::vector<CategoryId>* target,
     int64_t now_day, bool assume_synchronized, bool parallel) const {
-  // One evaluation per subcube; in parallel mode each runs on its own thread
-  // (only shared *reads*: dimensions, spec, sibling tables).
+  // One evaluation per subcube; in parallel mode the evaluations fan out
+  // over the process-wide pool (only shared *reads*: dimensions, spec,
+  // sibling tables).
   auto eval_one = [&](size_t i) -> Result<MultidimensionalObject> {
     static obs::Histogram& subquery_latency =
         obs::MetricsRegistry::Global().GetHistogram(
@@ -433,14 +485,16 @@ Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
     return subresults;
   }
 
+  // One pool shard per subcube. The nested ParallelFor calls inside
+  // Select/AggregateFormation are safe: the pool's caller participation
+  // keeps nested operations deadlock-free. Results land in per-cube slots
+  // and are collected in cube order — identical at every thread count.
   std::vector<std::optional<Result<MultidimensionalObject>>> slots(
       cubes_.size());
-  std::vector<std::thread> threads;
-  threads.reserve(cubes_.size());
-  for (size_t i = 0; i < cubes_.size(); ++i) {
-    threads.emplace_back([&, i] { slots[i].emplace(eval_one(i)); });
-  }
-  for (auto& t : threads) t.join();
+  exec::ThreadPool::Global().ParallelFor(
+      cubes_.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) slots[i].emplace(eval_one(i));
+      });
   for (size_t i = 0; i < cubes_.size(); ++i) {
     if (!slots[i]->ok()) return slots[i]->status();
     subresults.push_back(std::move(slots[i]->value()));

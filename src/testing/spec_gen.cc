@@ -1,0 +1,387 @@
+#include "testing/spec_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "chrono/granule.h"
+#include "common/rng.h"
+#include "spec/parser.h"
+#include "spec/predicate.h"
+
+namespace dwred::testing {
+
+namespace {
+
+/// Values of `dim` typed at category `c` (non-time dimensions only; the time
+/// dimension's value set is unbounded and never sampled by name).
+std::vector<ValueId> ValuesOfCategory(const Dimension& dim, CategoryId c) {
+  std::vector<ValueId> out;
+  for (ValueId v = 0; v < dim.num_values(); ++v) {
+    if (dim.value_category(v) == c) out.push_back(v);
+  }
+  return out;
+}
+
+std::string Quote(const std::string& s) { return "'" + s + "'"; }
+
+/// "Dim.category" reference for the spec text.
+std::string DimRef(const Dimension& dim, CategoryId c) {
+  return dim.name() + "." + dim.type().category_name(c);
+}
+
+/// "NOW - <k> <unit>s" with k expressed in `cat`'s own unit (`cat` is a time
+/// category, whose id doubles as its TimeUnit).
+std::string NowMinus(int64_t k, CategoryId cat) {
+  return "NOW - " + std::to_string(k) + " " +
+         TimeUnitName(static_cast<TimeUnit>(cat)) + "s";
+}
+
+/// Whole years rendered in a time category's own unit (day is approximated —
+/// callers building *sound* chains never pass kDay).
+int64_t YearsInUnit(int64_t years, CategoryId cat) {
+  switch (static_cast<TimeUnit>(cat)) {
+    case TimeUnit::kMonth: return years * 12;
+    case TimeUnit::kQuarter: return years * 4;
+    case TimeUnit::kYear: return years;
+    default: return years * 365;
+  }
+}
+
+/// An equality filter atom "Dim.cat = 'value'" on a random non-time
+/// dimension, or "" when no category below TOP holds a value. Returns the
+/// chosen dimension/category through the out-params.
+std::string RandomFilterAtom(const MultidimensionalObject& mo, SplitMix64& rng,
+                             size_t* filter_dim, CategoryId* filter_cat) {
+  std::vector<size_t> non_time;
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    if (!mo.dimension(static_cast<DimensionId>(d))->is_time()) {
+      non_time.push_back(d);
+    }
+  }
+  if (non_time.empty()) return "";
+  size_t d = non_time[rng.Below(non_time.size())];
+  const Dimension& dim = *mo.dimension(static_cast<DimensionId>(d));
+  std::vector<CategoryId> cats;
+  for (CategoryId c = 0; c < dim.type().num_categories(); ++c) {
+    if (c == dim.type().top()) continue;
+    if (!ValuesOfCategory(dim, c).empty()) cats.push_back(c);
+  }
+  if (cats.empty()) return "";
+  CategoryId c = cats[rng.Below(cats.size())];
+  std::vector<ValueId> vals = ValuesOfCategory(dim, c);
+  ValueId v = vals[rng.Below(vals.size())];
+  *filter_dim = d;
+  *filter_cat = c;
+  return DimRef(dim, c) + " = " + Quote(dim.value_name(v));
+}
+
+/// A random category of `dim` that is <=_T `at_most` (always succeeds:
+/// bottom qualifies).
+CategoryId RandomCategoryBelow(const Dimension& dim, CategoryId at_most,
+                               SplitMix64& rng) {
+  std::vector<CategoryId> ok;
+  for (CategoryId c = 0; c < dim.type().num_categories(); ++c) {
+    if (dim.type().Leq(c, at_most)) ok.push_back(c);
+  }
+  return ok[rng.Below(ok.size())];
+}
+
+Result<ReductionSpecification> GenerateSoundChain(
+    const MultidimensionalObject& mo, SplitMix64& rng,
+    const SpecGenOptions& opts, size_t time_dim) {
+  const Dimension& tdim = *mo.dimension(static_cast<DimensionId>(time_dim));
+
+  // One shared non-time equality filter (the paper's "URL.domain_grp = .com")
+  // and one constant non-time granularity per dimension: tier order is then
+  // decided by the ascending time category alone, so consecutive tiers are
+  // always <=_V-comparable.
+  size_t filter_dim = mo.num_dimensions();
+  CategoryId filter_cat = kInvalidCategory;
+  std::string filter = RandomFilterAtom(mo, rng, &filter_dim, &filter_cat);
+  std::vector<CategoryId> fixed_gran(mo.num_dimensions(), kInvalidCategory);
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    if (d == time_dim) continue;
+    const Dimension& dim = *mo.dimension(static_cast<DimensionId>(d));
+    fixed_gran[d] = d == filter_dim
+                        ? RandomCategoryBelow(dim, filter_cat, rng)
+                        : static_cast<CategoryId>(
+                              rng.Below(dim.type().num_categories()));
+  }
+
+  // Time-category ladder: start at month or quarter, step at most one level
+  // per tier, cap at year. Tier j covers cell ages [j, j+1] years (the last
+  // tier is open-ended); whole-year boundaries are exact under every unit's
+  // snapping, so each cell leaving a tier is immediately claimed by the next
+  // (Growing), and overlap only happens between <=_V-comparable neighbours
+  // (NonCrossing).
+  CategoryId month = static_cast<CategoryId>(TimeUnit::kMonth);
+  CategoryId year = static_cast<CategoryId>(TimeUnit::kYear);
+  CategoryId start =
+      static_cast<CategoryId>(month + rng.Below(2));  // month or quarter
+  bool delete_last = rng.NextDouble() < opts.deletion_prob;
+
+  ReductionSpecification spec;
+  for (size_t j = 0; j < opts.num_actions; ++j) {
+    CategoryId tcat =
+        std::min<CategoryId>(static_cast<CategoryId>(start + j), year);
+    int64_t lo_age = static_cast<int64_t>(j) + 1;   // years
+    int64_t hi_age = lo_age + 1;
+    bool last = j + 1 == opts.num_actions;
+    std::string window;
+    if (last) {
+      window = DimRef(tdim, tcat) + " <= " + NowMinus(YearsInUnit(lo_age, tcat), tcat);
+    } else {
+      window = NowMinus(YearsInUnit(hi_age, tcat), tcat) + " <= " +
+               DimRef(tdim, tcat) + " <= " +
+               NowMinus(YearsInUnit(lo_age, tcat), tcat);
+    }
+    std::string pred = filter.empty() ? window : filter + " AND " + window;
+    std::string text;
+    if (last && delete_last) {
+      text = "d s[" + pred + "]";
+    } else {
+      std::string clist;
+      for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+        if (!clist.empty()) clist += ", ";
+        const Dimension& dim = *mo.dimension(static_cast<DimensionId>(d));
+        clist += DimRef(dim, d == time_dim ? tcat : fixed_gran[d]);
+      }
+      text = "a[" + clist + "] s[" + pred + "]";
+    }
+    DWRED_ASSIGN_OR_RETURN(Action a, ParseAction(mo, text,
+                                                 "g" + std::to_string(j + 1)));
+    spec.Add(std::move(a));
+  }
+  return spec;
+}
+
+Result<ReductionSpecification> GenerateRandom(const MultidimensionalObject& mo,
+                                              SplitMix64& rng,
+                                              const SpecGenOptions& opts,
+                                              size_t time_dim) {
+  const Dimension& tdim = *mo.dimension(static_cast<DimensionId>(time_dim));
+  CategoryId t_top = tdim.type().top();
+
+  ReductionSpecification spec;
+  for (size_t j = 0; j < opts.num_actions; ++j) {
+    // Per-dimension atoms, drawn independently — nothing aligns windows or
+    // granularities across actions, so NonCrossing/Growing hold only by
+    // accident.
+    std::vector<std::string> atoms;
+    std::vector<CategoryId> atom_cap(mo.num_dimensions(), kInvalidCategory);
+
+    // Time window: one- or two-sided NOW-relative bounds at a random
+    // category, or none at all.
+    if (rng.NextDouble() < 0.85) {
+      CategoryId tcat = static_cast<CategoryId>(rng.Below(t_top));  // < TOP
+      int64_t near = rng.Range(0, 8);
+      int64_t far = near + rng.Range(1, 10);
+      switch (rng.Below(3)) {
+        case 0:
+          atoms.push_back(DimRef(tdim, tcat) + " <= " + NowMinus(near, tcat));
+          break;
+        case 1:
+          atoms.push_back(NowMinus(far, tcat) + " <= " + DimRef(tdim, tcat));
+          break;
+        default:
+          atoms.push_back(NowMinus(far, tcat) + " <= " + DimRef(tdim, tcat) +
+                          " <= " + NowMinus(near, tcat));
+          break;
+      }
+      atom_cap[time_dim] = tcat;
+    }
+    for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+      if (d == time_dim || rng.NextDouble() >= 0.5) continue;
+      const Dimension& dim = *mo.dimension(static_cast<DimensionId>(d));
+      std::vector<CategoryId> cats;
+      for (CategoryId c = 0; c < dim.type().num_categories(); ++c) {
+        if (c != dim.type().top() && !ValuesOfCategory(dim, c).empty()) {
+          cats.push_back(c);
+        }
+      }
+      if (cats.empty()) continue;
+      CategoryId c = cats[rng.Below(cats.size())];
+      std::vector<ValueId> vals = ValuesOfCategory(dim, c);
+      atoms.push_back(DimRef(dim, c) + " = " +
+                      Quote(dim.value_name(vals[rng.Below(vals.size())])));
+      atom_cap[d] = c;
+    }
+
+    std::string pred;
+    for (const std::string& a : atoms) {
+      pred += (pred.empty() ? "" : " AND ") + a;
+    }
+    if (pred.empty()) pred = "TRUE";
+
+    std::string text;
+    if (rng.NextDouble() < opts.deletion_prob) {
+      text = "d s[" + pred + "]";
+    } else {
+      std::string clist;
+      for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+        const Dimension& dim = *mo.dimension(static_cast<DimensionId>(d));
+        CategoryId cap = atom_cap[d] != kInvalidCategory
+                             ? atom_cap[d]
+                             : dim.type().top();
+        if (!clist.empty()) clist += ", ";
+        clist += DimRef(dim, RandomCategoryBelow(dim, cap, rng));
+      }
+      text = "a[" + clist + "] s[" + pred + "]";
+    }
+    DWRED_ASSIGN_OR_RETURN(Action a, ParseAction(mo, text,
+                                                 "r" + std::to_string(j + 1)));
+    spec.Add(std::move(a));
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<ReductionSpecification> GenerateSpec(const MultidimensionalObject& mo,
+                                            uint64_t seed,
+                                            const SpecGenOptions& opts) {
+  SplitMix64 rng(seed);
+  size_t time_dim = mo.num_dimensions();
+  for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+    if (mo.dimension(static_cast<DimensionId>(d))->is_time()) {
+      time_dim = d;
+      break;
+    }
+  }
+  if (time_dim == mo.num_dimensions()) {
+    return Status::InvalidArgument(
+        "spec generation needs a time dimension (NOW-relative windows)");
+  }
+  if (opts.num_actions == 0) return ReductionSpecification{};
+  return opts.sound_chain ? GenerateSoundChain(mo, rng, opts, time_dim)
+                          : GenerateRandom(mo, rng, opts, time_dim);
+}
+
+std::vector<std::vector<ValueId>> SampleBottomCells(
+    const MultidimensionalObject& mo, uint64_t seed, size_t max_cells) {
+  SplitMix64 rng(seed);
+  std::set<std::vector<ValueId>> seen;
+  std::vector<std::vector<ValueId>> out;
+  if (mo.num_facts() == 0) return out;
+  size_t attempts = max_cells * 4;
+  std::vector<ValueId> cell(mo.num_dimensions());
+  while (out.size() < max_cells && attempts-- > 0) {
+    FactId f = static_cast<FactId>(rng.Below(mo.num_facts()));
+    for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+      cell[d] = mo.Coord(f, static_cast<DimensionId>(d));
+    }
+    if (seen.insert(cell).second) out.push_back(cell);
+  }
+  return out;
+}
+
+OracleReport BruteForceOracle(const MultidimensionalObject& mo,
+                              const ReductionSpecification& spec,
+                              const std::vector<std::vector<ValueId>>& cells,
+                              int64_t day_begin, int64_t day_end,
+                              int64_t day_step) {
+  OracleReport report;
+  if (day_step <= 0) day_step = 1;
+  const size_t ndims = mo.num_dimensions();
+  std::vector<ActionId> satisfied;
+  for (const std::vector<ValueId>& cell : cells) {
+    // The specified aggregation level of this cell over the timeline: starts
+    // at the cell's own granularity and — if the specification is sound —
+    // only ever climbs (Growing), with at most one <=_V-maximal action
+    // claiming it at a time (NonCrossing).
+    std::vector<CategoryId> base_level(ndims);
+    for (size_t d = 0; d < ndims; ++d) {
+      base_level[d] = mo.dimension(static_cast<DimensionId>(d))
+                          ->value_category(cell[d]);
+    }
+    std::vector<CategoryId> level = base_level;
+    bool claimed = false;
+    bool deleted = false;
+    for (int64_t t = day_begin; t <= day_end; t += day_step) {
+      satisfied.clear();
+      for (ActionId a = 0; a < spec.size(); ++a) {
+        if (EvalPredOnCell(*spec.action(a).predicate, mo, cell, t)) {
+          satisfied.push_back(a);
+        }
+      }
+      if (satisfied.empty()) {
+        // A claimed cell released with nothing taking over: its specified
+        // level drops back to the cell's own granularity — a shrinking
+        // predicate the Growing check must have rejected.
+        if (deleted || (claimed && level != base_level)) {
+          report.growing_violation = true;
+          report.detail =
+              "cell released by every action at day " + std::to_string(t) +
+              " after being " + (deleted ? "deleted" : "aggregated") +
+              " (uncovered shrinking predicate)";
+          return report;
+        }
+        continue;
+      }
+      claimed = true;
+
+      // NonCrossing: simultaneously satisfied actions must be comparable.
+      ActionId winner = satisfied[0];
+      for (size_t i = 1; i < satisfied.size(); ++i) {
+        const Action& cand = spec.action(satisfied[i]);
+        const Action& best = spec.action(winner);
+        if (ActionLeq(mo, best, cand)) {
+          winner = satisfied[i];
+        } else if (!ActionLeq(mo, cand, best)) {
+          report.crossing_violation = true;
+          report.detail = "actions " + best.name + " and " + cand.name +
+                          " both fire on a cell at day " + std::to_string(t) +
+                          " but are not <=_V-comparable";
+          return report;
+        }
+      }
+      // Re-check the winner against every satisfied action: with a sound
+      // specification the satisfied set is totally ordered, so the running
+      // maximum above is the true maximum; verify to catch partial orders
+      // where the scan order masked an incomparable pair.
+      for (ActionId a : satisfied) {
+        if (!ActionLeq(mo, spec.action(a), spec.action(winner))) {
+          report.crossing_violation = true;
+          report.detail = "actions " + spec.action(a).name + " and " +
+                          spec.action(winner).name +
+                          " both fire on a cell at day " + std::to_string(t) +
+                          " but are not <=_V-comparable";
+          return report;
+        }
+      }
+
+      const Action& w = spec.action(winner);
+      if (deleted && !w.deletes) {
+        report.growing_violation = true;
+        report.detail = "cell deleted by an earlier action is re-claimed by " +
+                        w.name + " at day " + std::to_string(t);
+        return report;
+      }
+      if (w.deletes) {
+        deleted = true;
+        continue;
+      }
+      for (size_t d = 0; d < ndims; ++d) {
+        const DimensionType& dt =
+            mo.dimension(static_cast<DimensionId>(d))->type();
+        if (!dt.Leq(level[d], w.granularity[d])) {
+          // The winning level is not >= the cell's current level: the cell's
+          // specified granularity shrinks (or moves sideways) in dimension d.
+          report.growing_violation = true;
+          report.detail = "cell level shrinks in dimension " +
+                          mo.dimension(static_cast<DimensionId>(d))->name() +
+                          " under action " + w.name + " at day " +
+                          std::to_string(t) + " (" +
+                          dt.category_name(level[d]) + " -> " +
+                          dt.category_name(w.granularity[d]) + ")";
+          return report;
+        }
+        level[d] = w.granularity[d];
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dwred::testing

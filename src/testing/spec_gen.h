@@ -1,0 +1,80 @@
+#pragma once
+
+// Seeded random specification generator plus a brute-force soundness oracle,
+// shared by the parallel differential tests and the soundness property tests.
+//
+// The generator emits specification *text* and runs it through the real
+// parser (spec/parser.h), so generated specifications exercise the same
+// resolution path as user input. Two modes:
+//
+//  * sound chains — paper-style tiered NOW-window ladders (the a1/a2 shape of
+//    Section 2): one shared non-time filter, year-aligned windows that hand
+//    each cell from a finer tier to the next coarser one as it ages. Sound by
+//    construction (NonCrossing and Growing hold for every seed).
+//  * random mode — independently drawn actions whose windows and
+//    granularities are unconstrained relative to each other; most seeds
+//    violate NonCrossing or Growing in some corner.
+//
+// The oracle (BruteForceOracle) checks the two soundness properties
+// *semantically* by enumerating fact timelines: it evaluates every action's
+// predicate on sampled bottom cells over a grid of NOW days and watches the
+// winning aggregation level of each cell. Because the operational checker
+// (reduce/soundness.cc) is deliberately conservative — the prover's Unknown
+// answers reject — agreement is directional:
+//
+//   checker accepts  =>  the oracle finds no violation, and
+//   oracle violation =>  the checker rejected.
+//
+// An oracle violation is a concrete witness (cell, day, action pair), never
+// an approximation, so the second implication is exact.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/action.h"
+
+namespace dwred::testing {
+
+struct SpecGenOptions {
+  size_t num_actions = 3;
+  /// true: emit only the sound tiered-chain shape; false: random actions.
+  bool sound_chain = false;
+  /// Probability that the oldest tier (sound mode) or any action (random
+  /// mode) is a deletion action.
+  double deletion_prob = 0.2;
+};
+
+/// Generates a specification against `mo`'s schema. Deterministic in `seed`.
+/// Every returned action parsed successfully; soundness depends on the mode.
+Result<ReductionSpecification> GenerateSpec(const MultidimensionalObject& mo,
+                                            uint64_t seed,
+                                            const SpecGenOptions& opts = {});
+
+/// Samples up to `max_cells` distinct fact coordinate tuples from `mo` (the
+/// enumerated timelines the oracle walks). Deterministic in `seed`.
+std::vector<std::vector<ValueId>> SampleBottomCells(
+    const MultidimensionalObject& mo, uint64_t seed, size_t max_cells);
+
+struct OracleReport {
+  bool crossing_violation = false;
+  bool growing_violation = false;
+  /// Human-readable witness of the first violation found.
+  std::string detail;
+
+  bool ok() const { return !crossing_violation && !growing_violation; }
+};
+
+/// Brute-force soundness oracle: for every sampled cell and every NOW day in
+/// [day_begin, day_end] stepping by `day_step`, evaluates all action
+/// predicates; flags a NonCrossing violation when two <=_V-incomparable
+/// actions are simultaneously satisfied, and a Growing violation when the
+/// winning aggregation level of a cell ever shrinks in any dimension (or a
+/// deleted cell comes back). Violations carry a concrete witness.
+OracleReport BruteForceOracle(const MultidimensionalObject& mo,
+                              const ReductionSpecification& spec,
+                              const std::vector<std::vector<ValueId>>& cells,
+                              int64_t day_begin, int64_t day_end,
+                              int64_t day_step);
+
+}  // namespace dwred::testing

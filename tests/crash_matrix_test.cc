@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "chrono/civil.h"
+#include "exec/thread_pool.h"
 #include "io/csv.h"
 #include "io/recovery.h"
 #include "mdm/paper_example.h"
@@ -119,6 +120,11 @@ std::string SnapshotPath(const std::string& dir) {
 class CrashMatrixTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Run the matrix with a live multi-threaded pool: journaled passes shard
+    // over worker threads, so armed faults kill children while shards are in
+    // flight, and each forked child exercises the pool's post-fork rebuild.
+    exec::ThreadPool::ResetGlobal(4);
+    ASSERT_GE(exec::ThreadPool::Global().num_threads(), 2);
     base_ = (std::filesystem::temp_directory_path() /
              ("dwred_crash_matrix_" + std::to_string(::getpid())))
                 .string();

@@ -1,0 +1,209 @@
+// Tests for the work-stealing thread pool (src/exec): sharding, the exact
+// serial fallback, determinism of the ascending-order merge, nested
+// operations, concurrent external submitters (the TSan stress surface), and
+// fork safety.
+
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace dwred::exec {
+namespace {
+
+TEST(PartitionShards, CoversRangeContiguouslyAscending) {
+  for (size_t n : {0ul, 1ul, 7ul, 100ul, 1001ul}) {
+    for (size_t grain : {1ul, 16ul, 1000ul}) {
+      for (size_t max_shards : {1ul, 3ul, 32ul}) {
+        std::vector<Shard> shards = PartitionShards(n, grain, max_shards);
+        if (n == 0) {
+          EXPECT_TRUE(shards.empty());
+          continue;
+        }
+        ASSERT_FALSE(shards.empty());
+        EXPECT_LE(shards.size(), max_shards);
+        EXPECT_EQ(shards.front().begin, 0u);
+        EXPECT_EQ(shards.back().end, n);
+        for (size_t i = 0; i + 1 < shards.size(); ++i) {
+          EXPECT_EQ(shards[i].end, shards[i + 1].begin);
+          EXPECT_GE(shards[i].end - shards[i].begin, grain);
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionShards, SingleShardWhenGrainDominates) {
+  std::vector<Shard> shards = PartitionShards(100, 1000, 8);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].end, 100u);
+}
+
+TEST(ThreadPool, SerialFallbackRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  size_t calls = 0;
+  pool.ParallelFor(1000, 1, [&](size_t begin, size_t end) {
+    // One inline call covering the whole range, on the calling thread.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1000u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForShardsSeesItsExactShard) {
+  ThreadPool pool(3);
+  std::vector<Shard> shards = PartitionShards(997, 10, 12);
+  std::vector<std::pair<size_t, size_t>> seen(shards.size());
+  pool.ParallelForShards(shards, [&](size_t si, size_t begin, size_t end) {
+    seen[si] = {begin, end};
+  });
+  for (size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(seen[i].first, shards[i].begin);
+    EXPECT_EQ(seen[i].second, shards[i].end);
+  }
+}
+
+// The determinism contract: an order-sensitive fold (concatenation) must
+// come out in ascending index order at every thread count.
+TEST(ThreadPool, MapReduceFoldsInAscendingShardOrder) {
+  const size_t n = 50000;
+  std::vector<size_t> expected(n);
+  std::iota(expected.begin(), expected.end(), 0u);
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    auto result = pool.ParallelMapReduce<std::vector<size_t>>(
+        n, 128,
+        [](size_t begin, size_t end) {
+          std::vector<size_t> v(end - begin);
+          std::iota(v.begin(), v.end(), begin);
+          return v;
+        },
+        [](std::vector<size_t> a, std::vector<size_t> b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        });
+    EXPECT_EQ(result, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(16, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(100, 10, [&](size_t b, size_t e) {
+        total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16u * 100u);
+}
+
+TEST(ThreadPool, GlobalRespectsResetAndEnv) {
+  ThreadPool::ResetGlobal(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  ThreadPool::ResetGlobal(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+  setenv("DWRED_THREADS", "5", 1);
+  ThreadPool::ResetGlobal(0);  // re-read the environment
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 5);
+  unsetenv("DWRED_THREADS");
+  ThreadPool::ResetGlobal(2);
+}
+
+TEST(ThreadPool, TaskMetricsAdvance) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "observability compiled out";
+  auto& tasks = obs::MetricsRegistry::Global().GetCounter(
+      "dwred_exec_tasks", "shards executed by the pool");
+  uint64_t before = tasks.Value();
+  ThreadPool pool(4);
+  pool.ParallelFor(10000, 10, [](size_t, size_t) {});
+  EXPECT_GT(tasks.Value(), before);
+}
+
+// Many external threads submitting concurrently against one pool: the
+// submission, steal, and wakeup paths all race here. This is the test the
+// TSan suite leans on (tools/run_tier1.sh --tsan).
+TEST(ThreadPoolStress, ConcurrentExternalSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        pool.ParallelFor(1000, 16, [&](size_t begin, size_t end) {
+          total.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4u * 50u * 1000u);
+}
+
+TEST(ThreadPoolStress, RepeatedSmallOps) {
+  ThreadPool pool(8);  // oversubscribed on small machines: more stealing
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    pool.ParallelFor(64, 1, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000u * 64u);
+}
+
+// A forked child inherits the pool object but none of its threads; Global()
+// must detect the new pid and rebuild. (Skipped under TSan: it does not
+// support threads created after a multithreaded fork.)
+TEST(ThreadPool, GlobalRebuildsAfterFork) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "fork+threads unsupported under TSan";
+#else
+  ThreadPool::ResetGlobal(4);
+  // Touch the pool so worker threads exist before the fork.
+  ThreadPool::Global().ParallelFor(100, 10, [](size_t, size_t) {});
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::atomic<size_t> total{0};
+    ThreadPool::Global().ParallelFor(1000, 10, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    _exit(total.load() == 1000u ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace dwred::exec

@@ -1,0 +1,307 @@
+// Serial-vs-parallel differential harness (the PR's acceptance gate): every
+// parallelized pass — Reduce, SubcubeManager::Synchronize, subcube queries,
+// and the full durable pipeline — must produce *byte-identical* results at
+// every thread count. Workloads are randomized (seeded retail + clickstream),
+// specifications come from the shared generator (src/testing/spec_gen.h),
+// and the strongest check compares the final snapshot.dwsnap images.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chrono/civil.h"
+#include "exec/thread_pool.h"
+#include "io/recovery.h"
+#include "io/snapshot.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+#include "subcube/manager.h"
+#include "testing/spec_gen.h"
+#include "workload/clickstream.h"
+#include "workload/retail.h"
+
+namespace dwred {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+/// Full-fidelity serialization of an MO: coordinates, measures, names,
+/// provenance, responsible actions. Any divergence between thread counts
+/// shows up as a string mismatch.
+std::string Fingerprint(const MultidimensionalObject& mo) {
+  std::ostringstream out;
+  out << mo.num_facts() << "\n";
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    out << f << "|" << mo.FactName(f) << "|";
+    for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+      out << mo.Coord(f, static_cast<DimensionId>(d)) << ",";
+    }
+    out << "|";
+    for (size_t m = 0; m < mo.num_measures(); ++m) {
+      out << mo.Measure(f, static_cast<MeasureId>(m)) << ",";
+    }
+    out << "|" << mo.ResponsibleAction(f) << "|";
+    if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+      for (FactId s : *prov) out << s << ",";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string CubeFingerprint(const SubcubeManager& m) {
+  std::ostringstream out;
+  for (size_t i = 0; i < m.num_subcubes(); ++i) {
+    const FactTable& t = m.subcube(i).table;
+    out << "cube " << i << " rows " << t.num_rows() << "\n";
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      for (size_t d = 0; d < t.num_dims(); ++d) out << t.Coord(r, d) << ",";
+      out << "|";
+      for (size_t mm = 0; mm < t.num_measures(); ++mm) {
+        out << t.Measure(r, mm) << ",";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// Runs `body` once per thread count and asserts every run reproduces the
+/// threads=1 output byte for byte.
+void ExpectIdenticalAcrossThreadCounts(
+    const std::function<std::string(int threads)>& body) {
+  std::string baseline;
+  for (int threads : kThreadCounts) {
+    exec::ThreadPool::ResetGlobal(threads);
+    std::string got = body(threads);
+    if (threads == 1) {
+      baseline = std::move(got);
+      ASSERT_FALSE(baseline.empty());
+      continue;
+    }
+    EXPECT_EQ(got, baseline) << "thread count " << threads
+                             << " diverged from serial";
+  }
+  exec::ThreadPool::ResetGlobal(2);
+}
+
+ReductionSpecification MustSpec(Result<ReductionSpecification> r) {
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r.value());
+}
+
+TEST(ParallelDifferential, ReducePassClickstream) {
+  ClickstreamConfig cfg;
+  cfg.seed = 11;
+  cfg.num_domains = 12;
+  cfg.urls_per_domain = 4;
+  cfg.num_clicks = 4000;
+  cfg.span_days = 3 * 365;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  int64_t start = DaysFromCivil(cfg.start);
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    testing::SpecGenOptions opts;
+    opts.num_actions = 3;
+    opts.sound_chain = true;
+    ReductionSpecification spec = MustSpec(testing::GenerateSpec(*w.mo, seed, opts));
+    for (int64_t now : {start + 400, start + 900, start + 1500}) {
+      ExpectIdenticalAcrossThreadCounts([&](int) {
+        auto reduced = Reduce(*w.mo, spec, now);
+        EXPECT_TRUE(reduced.ok()) << reduced.status().message();
+        return SaveWarehouse(reduced.value(), spec);
+      });
+    }
+  }
+}
+
+TEST(ParallelDifferential, ReducePassRetail) {
+  RetailConfig cfg;
+  cfg.seed = 23;
+  cfg.num_categories = 4;
+  cfg.brands_per_category = 3;
+  cfg.skus_per_brand = 5;
+  cfg.num_sales = 4000;
+  cfg.span_days = 3 * 365;
+  RetailWorkload w = MakeRetail(cfg);
+  int64_t start = DaysFromCivil(cfg.start);
+
+  for (uint64_t seed : {5u, 6u}) {
+    testing::SpecGenOptions opts;
+    opts.num_actions = 4;
+    opts.sound_chain = true;
+    ReductionSpecification spec = MustSpec(testing::GenerateSpec(*w.mo, seed, opts));
+    ExpectIdenticalAcrossThreadCounts([&](int) {
+      auto reduced = Reduce(*w.mo, spec, start + 1200);
+      EXPECT_TRUE(reduced.ok()) << reduced.status().message();
+      return SaveWarehouse(reduced.value(), spec);
+    });
+  }
+}
+
+TEST(ParallelDifferential, SynchronizeClickstream) {
+  ClickstreamConfig cfg;
+  cfg.seed = 31;
+  cfg.num_domains = 10;
+  cfg.urls_per_domain = 4;
+  cfg.num_clicks = 3000;
+  cfg.span_days = 3 * 365;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  int64_t start = DaysFromCivil(cfg.start);
+
+  testing::SpecGenOptions opts;
+  opts.num_actions = 3;
+  opts.sound_chain = true;
+  opts.deletion_prob = 1.0;  // exercise the deletion path during migration
+  ReductionSpecification spec = MustSpec(testing::GenerateSpec(*w.mo, 7, opts));
+
+  ExpectIdenticalAcrossThreadCounts([&](int) {
+    auto mgr = SubcubeManager::Create(
+        "Click", {w.time_dim, w.url_dim},
+        std::vector<MeasureType>(w.mo->measure_types()), spec);
+    EXPECT_TRUE(mgr.ok()) << mgr.status().message();
+    SubcubeManager& m = mgr.value();
+    EXPECT_TRUE(m.InsertBottomFacts(*w.mo).ok());
+    std::string fp;
+    for (int64_t now :
+         {start + 400, start + 800, start + 1300, start + 1900}) {
+      auto migrated = m.Synchronize(now);
+      EXPECT_TRUE(migrated.ok()) << migrated.status().message();
+      fp += "sync@" + std::to_string(now) + "\n" + CubeFingerprint(m);
+    }
+    return fp;
+  });
+}
+
+TEST(ParallelDifferential, QueryClickstream) {
+  ClickstreamConfig cfg;
+  cfg.seed = 47;
+  cfg.num_domains = 10;
+  cfg.urls_per_domain = 4;
+  cfg.num_clicks = 3000;
+  cfg.span_days = 2 * 365;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  int64_t start = DaysFromCivil(cfg.start);
+
+  testing::SpecGenOptions opts;
+  opts.num_actions = 2;
+  opts.sound_chain = true;
+  ReductionSpecification spec = MustSpec(testing::GenerateSpec(*w.mo, 13, opts));
+
+  auto pred = ParsePredicate(*w.mo, "Time.month >= NOW - 30 months");
+  ASSERT_TRUE(pred.ok()) << pred.status().message();
+  auto target = ParseGranularityList(*w.mo, "Time.month, URL.domain");
+  ASSERT_TRUE(target.ok()) << target.status().message();
+
+  ExpectIdenticalAcrossThreadCounts([&](int) {
+    auto mgr = SubcubeManager::Create(
+        "Click", {w.time_dim, w.url_dim},
+        std::vector<MeasureType>(w.mo->measure_types()), spec);
+    EXPECT_TRUE(mgr.ok()) << mgr.status().message();
+    SubcubeManager& m = mgr.value();
+    EXPECT_TRUE(m.InsertBottomFacts(*w.mo).ok());
+    int64_t now = start + 600;
+    EXPECT_TRUE(m.Synchronize(now).ok());
+    std::string fp;
+    // Both the synchronized fast path and the stale path (which pulls from
+    // ancestor cubes through Select/AggregateFormation), both parallel modes.
+    for (bool assume_synced : {true, false}) {
+      auto q = m.Query(pred.value().get(), &target.value(), now, assume_synced,
+                       /*parallel=*/true);
+      EXPECT_TRUE(q.ok()) << q.status().message();
+      fp += Fingerprint(q.value());
+    }
+    return fp;
+  });
+}
+
+TEST(ParallelDifferential, EndToEndSnapshotImage) {
+  ClickstreamConfig cfg;
+  cfg.seed = 59;
+  cfg.num_domains = 8;
+  cfg.urls_per_domain = 3;
+  cfg.num_clicks = 1500;
+  cfg.span_days = 2 * 365;
+  int64_t start = DaysFromCivil(cfg.start);
+
+  // Spec text only — it is re-parsed against each run's fresh dimensions.
+  std::vector<std::pair<std::string, std::string>> staged;
+  {
+    ClickstreamWorkload tmp = MakeClickstream(cfg);
+    testing::SpecGenOptions opts;
+    opts.num_actions = 2;
+    opts.sound_chain = true;
+    ReductionSpecification spec =
+        MustSpec(testing::GenerateSpec(*tmp.mo, 17, opts));
+    for (const Action& a : spec.actions()) {
+      staged.push_back({a.name, a.source_text});
+    }
+  }
+
+  ExpectIdenticalAcrossThreadCounts([&](int threads) {
+    // A fresh deterministic universe per thread count: dimensions are shared
+    // mutable state (time values intern on demand), so reusing them across
+    // runs would leak one run's interning into the next run's snapshot.
+    ClickstreamWorkload base = MakeClickstream(cfg);
+    std::string dir = ::testing::TempDir() + "pardiff_t" +
+                      std::to_string(threads) + "_" +
+                      std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    auto snapshot_bytes = [&dir]() {
+      std::ifstream in(dir + "/snapshot.dwsnap", std::ios::binary);
+      EXPECT_TRUE(in.good());
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      return bytes.str();
+    };
+
+    // Plain-mode flow: journaled reduce passes over the pool.
+    std::string image;
+    {
+      auto dw = DurableWarehouse::Create(
+          dir, std::make_unique<MultidimensionalObject>(*base.mo),
+          ReductionSpecification{});
+      EXPECT_TRUE(dw.ok()) << dw.status().message();
+      DurableWarehouse& w = *dw.value();
+      Status st = w.ApplyActions(staged);
+      EXPECT_TRUE(st.ok()) << st.message();
+      EXPECT_TRUE(w.ReducePass(start + 500).ok());
+      EXPECT_TRUE(w.ReducePass(start + 900).ok());
+      EXPECT_TRUE(w.Checkpoint().ok());
+      image = snapshot_bytes();
+    }
+    std::filesystem::remove_all(dir);
+
+    // Subcube flow: journaled inserts + synchronize passes over the pool
+    // (subcubes must be enabled while every fact still sits at bottom).
+    {
+      auto dw = DurableWarehouse::Create(
+          dir, std::make_unique<MultidimensionalObject>(*base.mo),
+          ReductionSpecification{});
+      EXPECT_TRUE(dw.ok()) << dw.status().message();
+      DurableWarehouse& w = *dw.value();
+      EXPECT_TRUE(w.ApplyActions(staged).ok());
+      EXPECT_TRUE(w.EnableSubcubes().ok());
+      MultidimensionalObject batch = MakeClickBatch(
+          base.time_dim, base.url_dim, start + 500, start + 600, 500, 101);
+      EXPECT_TRUE(w.InsertFacts(batch).ok());
+      EXPECT_TRUE(w.SynchronizePass(start + 900).ok());
+      EXPECT_TRUE(w.Checkpoint().ok());
+      image += snapshot_bytes();
+    }
+    std::filesystem::remove_all(dir);
+    return image;
+  });
+}
+
+}  // namespace
+}  // namespace dwred

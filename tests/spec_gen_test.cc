@@ -1,0 +1,134 @@
+// Property tests for the seeded specification generator and the brute-force
+// soundness oracle (src/testing/spec_gen.h), and the differential agreement
+// between the operational NonCrossing/Growing checker (reduce/soundness.cc)
+// and the oracle. The checker is conservative (the prover's Unknown answers
+// reject), so agreement is directional:
+//
+//   checker accepts a spec   =>  the oracle finds no violation on any
+//                                sampled timeline, and
+//   oracle finds a violation =>  the checker rejected the spec.
+
+#include "testing/spec_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "chrono/civil.h"
+#include "reduce/soundness.h"
+#include "workload/clickstream.h"
+#include "workload/retail.h"
+
+namespace dwred {
+namespace {
+
+ClickstreamWorkload SmallClickstream() {
+  ClickstreamConfig cfg;
+  cfg.seed = 3;
+  cfg.num_domains = 8;
+  cfg.urls_per_domain = 3;
+  cfg.num_clicks = 1500;
+  cfg.span_days = 3 * 365;
+  return MakeClickstream(cfg);
+}
+
+RetailWorkload SmallRetail() {
+  RetailConfig cfg;
+  cfg.seed = 9;
+  cfg.num_categories = 3;
+  cfg.brands_per_category = 2;
+  cfg.skus_per_brand = 4;
+  cfg.num_regions = 2;
+  cfg.cities_per_region = 2;
+  cfg.stores_per_city = 2;
+  cfg.num_sales = 1500;
+  cfg.span_days = 3 * 365;
+  return MakeRetail(cfg);
+}
+
+TEST(SpecGen, DeterministicInSeed) {
+  ClickstreamWorkload w = SmallClickstream();
+  for (uint64_t seed : {1u, 2u, 99u}) {
+    auto a = testing::GenerateSpec(*w.mo, seed);
+    auto b = testing::GenerateSpec(*w.mo, seed);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a.value().size(), b.value().size());
+    for (ActionId i = 0; i < a.value().size(); ++i) {
+      EXPECT_EQ(a.value().action(i).source_text,
+                b.value().action(i).source_text);
+    }
+  }
+}
+
+TEST(SpecGen, SoundChainsPassTheOracle) {
+  ClickstreamWorkload w = SmallClickstream();
+  int64_t start = DaysFromCivil(w.config.start);
+  auto cells = testing::SampleBottomCells(*w.mo, 77, 40);
+  ASSERT_FALSE(cells.empty());
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    testing::SpecGenOptions opts;
+    opts.num_actions = 2 + seed % 3;
+    opts.sound_chain = true;
+    auto spec = testing::GenerateSpec(*w.mo, seed, opts);
+    ASSERT_TRUE(spec.ok()) << spec.status().message();
+    testing::OracleReport r = testing::BruteForceOracle(
+        *w.mo, spec.value(), cells, start, start + 6 * 365, /*day_step=*/7);
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ": " << r.detail << "\n"
+                        << spec.value().action(0).source_text;
+  }
+}
+
+TEST(SpecGen, RandomModeProducesBothSoundAndUnsoundSpecs) {
+  ClickstreamWorkload w = SmallClickstream();
+  int64_t start = DaysFromCivil(w.config.start);
+  auto cells = testing::SampleBottomCells(*w.mo, 78, 30);
+  size_t oracle_violations = 0;
+  size_t oracle_clean = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    auto spec = testing::GenerateSpec(*w.mo, seed);
+    ASSERT_TRUE(spec.ok()) << spec.status().message();
+    testing::OracleReport r = testing::BruteForceOracle(
+        *w.mo, spec.value(), cells, start, start + 5 * 365, /*day_step=*/11);
+    r.ok() ? ++oracle_clean : ++oracle_violations;
+  }
+  // The generator must actually explore both sides of the property.
+  EXPECT_GT(oracle_violations, 0u);
+  EXPECT_GT(oracle_clean, 0u);
+}
+
+// The differential property, on both workload schemas: checker-accepted
+// specs are oracle-clean, and oracle violations imply checker rejection
+// (same implication, asserted from the side the evidence lives on).
+template <typename Workload>
+void CheckerOracleAgreement(const Workload& w, uint64_t seed_base) {
+  int64_t start = DaysFromCivil(w.config.start);
+  auto cells = testing::SampleBottomCells(*w.mo, seed_base, 30);
+  ASSERT_FALSE(cells.empty());
+  size_t accepted = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    testing::SpecGenOptions opts;
+    opts.num_actions = 1 + seed % 4;
+    opts.sound_chain = seed % 4 == 3;  // mix shapes
+    auto spec = testing::GenerateSpec(*w.mo, seed_base + seed, opts);
+    ASSERT_TRUE(spec.ok()) << spec.status().message();
+    Status checker = ValidateSpecification(*w.mo, spec.value());
+    if (!checker.ok()) continue;  // conservative rejection: nothing to assert
+    ++accepted;
+    testing::OracleReport r = testing::BruteForceOracle(
+        *w.mo, spec.value(), cells, start, start + 6 * 365, /*day_step=*/5);
+    EXPECT_TRUE(r.ok()) << "seed " << seed_base + seed
+                        << ": checker accepted but oracle found: " << r.detail;
+  }
+  // The checker must accept *something* in the mix, or the agreement
+  // property above is vacuous.
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(SpecGen, CheckerOracleAgreementClickstream) {
+  CheckerOracleAgreement(SmallClickstream(), 1000);
+}
+
+TEST(SpecGen, CheckerOracleAgreementRetail) {
+  CheckerOracleAgreement(SmallRetail(), 2000);
+}
+
+}  // namespace
+}  // namespace dwred

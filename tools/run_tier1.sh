@@ -5,25 +5,58 @@
 #   tools/run_tier1.sh --sanitize      # -DDWRED_SANITIZE=address;undefined,
 #                                      # full ctest, then the crash matrix
 #                                      # again with strict sanitizer options
+#   tools/run_tier1.sh --tsan          # -DDWRED_SANITIZE=thread; runs the
+#                                      # concurrency suite (pool stress, the
+#                                      # serial-vs-parallel differential
+#                                      # harness, obs) under ThreadSanitizer
 #   tools/run_tier1.sh asan            # legacy alias for --sanitize
 #
-# The sanitizer variant uses a separate build directory so it never poisons
+# Any mode accepts --threads=N, exported as DWRED_THREADS so every test and
+# pass runs against an N-thread pool (1 = exact serial fallback).
+#
+# Each sanitizer variant uses a separate build directory so it never poisons
 # the plain build's cache.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "asan" || "${1:-}" == "--sanitize" ]]; then
-  cmake -B build-asan -S . "-DDWRED_SANITIZE=address;undefined"
-  cmake --build build-asan -j
-  cd build-asan
-  ctest --output-on-failure -j
-  # The crash matrix forks a child per (fault site, occurrence) and the child
-  # dies at an IO boundary; rerun it with every sanitizer report fatal so a
-  # leak or UB on the recovery path fails the run rather than scrolling by.
-  ASAN_OPTIONS="abort_on_error=1:halt_on_error=1" \
-  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-    ctest --output-on-failure -R 'crash_matrix_test|journal_test|recovery_test'
-else
-  cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
-fi
+mode="plain"
+for arg in "$@"; do
+  case "$arg" in
+    asan|--sanitize) mode="asan" ;;
+    --tsan) mode="tsan" ;;
+    --threads=*) export DWRED_THREADS="${arg#--threads=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+case "$mode" in
+  asan)
+    cmake -B build-asan -S . "-DDWRED_SANITIZE=address;undefined"
+    cmake --build build-asan -j
+    cd build-asan
+    ctest --output-on-failure -j
+    # The crash matrix forks a child per (fault site, occurrence) and the child
+    # dies at an IO boundary; rerun it with every sanitizer report fatal so a
+    # leak or UB on the recovery path fails the run rather than scrolling by.
+    ASAN_OPTIONS="abort_on_error=1:halt_on_error=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      ctest --output-on-failure -R 'crash_matrix_test|journal_test|recovery_test'
+    ;;
+  tsan)
+    cmake -B build-tsan -S . "-DDWRED_SANITIZE=thread"
+    cmake --build build-tsan -j
+    cd build-tsan
+    # The concurrency surface: pool internals under stress, the parallel
+    # reduce/synchronize/query passes, and the metrics they update. The
+    # crash matrix is excluded — TSan does not support threads created after
+    # a multithreaded fork (the fork-safety test self-skips the same way).
+    TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+      ctest --output-on-failure \
+        -R 'exec_pool_test|parallel_differential_test|obs_test'
+    ;;
+  plain)
+    cmake -B build -S . && cmake --build build -j && cd build \
+      && ctest --output-on-failure -j
+    ;;
+esac
