@@ -1,5 +1,6 @@
 #include "exec/thread_pool.h"
 
+#include <pthread.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -137,9 +138,18 @@ struct ThreadPool::Impl {
     } else {
       (*t.op->fn)(t.shard, s.begin, s.end);
     }
-    if (t.op->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Decrement and notify under op->mu. If the decrement happened outside
+    // the mutex, the submitter could observe remaining == 0, take and release
+    // its confirming lock, and destroy Op before this thread ever acquired
+    // the mutex — a use-after-free on op->mu/op->cv. With the decrement
+    // inside, either this thread released the mutex before the submitter's
+    // confirming lock, or that lock blocks until it does; afterwards this
+    // thread never touches op again.
+    {
       std::lock_guard<std::mutex> lk(t.op->mu);
-      t.op->cv.notify_all();
+      if (t.op->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        t.op->cv.notify_all();
+      }
     }
   }
 
@@ -237,14 +247,20 @@ void ThreadPool::ParallelForShards(
       impl_->Run(t);
       continue;
     }
+    // Nothing runnable anywhere: park until this op completes. This op's
+    // outstanding shards are guaranteed in flight on worker threads (TryGet
+    // just found no queued work), so waiting on op.cv alone cannot deadlock.
+    // Work submitted while parked is picked up by the workers; Push only
+    // signals wake_cv, so a queued-work term in this predicate would never
+    // be woken and is deliberately absent.
     std::unique_lock<std::mutex> lk(op.mu);
     op.cv.wait(lk, [&] {
-      return op.remaining.load(std::memory_order_acquire) == 0 ||
-             impl_->queued.load(std::memory_order_acquire) > 0;
+      return op.remaining.load(std::memory_order_acquire) == 0;
     });
   }
-  // The finishing worker notifies while holding op.mu; acquiring it once more
-  // guarantees that notify completed before `op` leaves scope.
+  // Confirm completion while holding op.mu: every worker decrements under
+  // the mutex, so this lock cannot be acquired until the final decrementer
+  // is done touching `op`, making it safe for Op to leave scope.
   { std::lock_guard<std::mutex> lk(op.mu); }
 }
 
@@ -271,6 +287,17 @@ std::mutex g_global_mu;
 ThreadPool* g_pool = nullptr;
 pid_t g_pool_pid = 0;
 int g_configured_threads = 0;  // 0 = derive from the environment
+
+// A fork() while some other thread holds g_global_mu (pool-using threads call
+// Global() on hot paths) would leave the child's copy of the mutex locked by
+// a thread that does not exist there, deadlocking the child's first Global().
+// Holding the mutex across the fork guarantees the child inherits it owned by
+// the forking thread, which both sides release immediately.
+[[maybe_unused]] const int g_atfork_registered = [] {
+  ::pthread_atfork([] { g_global_mu.lock(); }, [] { g_global_mu.unlock(); },
+                   [] { g_global_mu.unlock(); });
+  return 0;
+}();
 
 }  // namespace
 

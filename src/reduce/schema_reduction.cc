@@ -4,23 +4,9 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "storage/fact_table.h"
 
 namespace dwred {
-
-namespace {
-
-struct CellHash {
-  size_t operator()(const std::vector<ValueId>& v) const {
-    size_t h = 0xcbf29ce484222325ull;
-    for (ValueId x : v) {
-      h ^= x;
-      h *= 0x100000001b3ull;
-    }
-    return h;
-  }
-};
-
-}  // namespace
 
 Result<MultidimensionalObject> DropDimension(const MultidimensionalObject& mo,
                                              DimensionId dim) {
@@ -44,7 +30,7 @@ Result<MultidimensionalObject> DropDimension(const MultidimensionalObject& mo,
     FactId out_id;
     std::vector<FactId> sources;
   };
-  std::unordered_map<std::vector<ValueId>, Group, CellHash> groups;
+  std::unordered_map<std::vector<ValueId>, Group, CellKeyHash> groups;
   const size_t nmeas = mo.num_measures();
   std::vector<ValueId> cell(kept_ids.size());
   std::vector<int64_t> meas(nmeas);

@@ -236,7 +236,11 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
 
   // Deterministic merge, ascending shard order. The lowest shard with an
   // error carries the error of the globally first failing fact (each shard
-  // stops at its first failure), matching the serial early-return.
+  // stops at its first failure). Note the documented divergence from a fully
+  // interleaved serial execution: all shard scan errors are checked here,
+  // before any out.AddFact runs, so a scan error on a late fact surfaces
+  // ahead of an AddFact error the interleaved order would have hit first.
+  // Success outputs are unaffected (docs/PARALLELISM.md, "Error reporting").
   for (const ShardAccum& acc : accums) {
     DWRED_RETURN_IF_ERROR(acc.error);
   }

@@ -23,8 +23,9 @@ using RowId = uint64_t;
 
 /// FNV-1a hash over a cell key (one ValueId per dimension) — the one hash
 /// every cell-keyed map in the system uses: reduction grouping
-/// (reduce/semantics.cc), subcube compaction (CompactCells), and query
-/// grouping (query/operators.cc).
+/// (reduce/semantics.cc), schema reduction (reduce/schema_reduction.cc),
+/// subcube compaction (CompactCells), and query grouping
+/// (query/operators.cc).
 struct CellKeyHash {
   size_t operator()(const std::vector<ValueId>& v) const {
     size_t h = 0xcbf29ce484222325ull;
