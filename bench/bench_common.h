@@ -15,6 +15,7 @@
 #include "reduce/soundness.h"
 #include "spec/parser.h"
 #include "workload/clickstream.h"
+#include "workload/retail.h"
 
 namespace dwred::bench {
 
@@ -94,6 +95,39 @@ inline ClickstreamWorkload MakeWorkload(size_t n) {
   cfg.num_domains = 200;
   cfg.urls_per_domain = 20;
   return MakeClickstream(cfg);
+}
+
+/// The 1M-fact (by default) retail workload from the acceptance criteria:
+/// three dimensions, two non-time hierarchies, SUM measures.
+inline RetailWorkload MakeRetailWorkload(size_t n,
+                                         bool preregister_days = false) {
+  RetailConfig cfg;
+  cfg.seed = 41;
+  cfg.num_sales = n;
+  cfg.start = {1999, 1, 1};
+  cfg.span_days = 3 * 365;
+  cfg.preregister_days = preregister_days;
+  return MakeRetail(cfg);
+}
+
+/// Three-tier Growing + NonCrossing retention policy over the retail schema.
+inline Result<ReductionSpecification> MakeRetailPolicy(
+    const MultidimensionalObject& mo) {
+  ReductionSpecification spec;
+  const char* texts[] = {
+      "a[Time.year, Product.category, Store.region] s["
+      "Time.year <= NOW - 36 months]",
+      "a[Time.quarter, Product.category, Store.region] s["
+      "NOW - 36 months <= Time.quarter AND Time.quarter <= NOW - 12 months]",
+      "a[Time.month, Product.brand, Store.city] s["
+      "NOW - 12 months <= Time.month <= NOW - 6 months]",
+  };
+  for (int i = 0; i < 3; ++i) {
+    DWRED_ASSIGN_OR_RETURN(Action a,
+                           ParseAction(mo, texts[i], "t" + std::to_string(i)));
+    spec.Add(std::move(a));
+  }
+  return spec;
 }
 
 }  // namespace dwred::bench

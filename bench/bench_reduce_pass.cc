@@ -110,36 +110,6 @@ uint32_t Digest32(const std::string& bytes) {
   return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
-/// The 1M-fact (by default) retail workload from the acceptance criteria:
-/// three dimensions, two non-time hierarchies, SUM measures.
-RetailWorkload MakeRetailWorkload(size_t n) {
-  RetailConfig cfg;
-  cfg.seed = 41;
-  cfg.num_sales = n;
-  cfg.start = {1999, 1, 1};
-  cfg.span_days = 3 * 365;
-  return MakeRetail(cfg);
-}
-
-Result<ReductionSpecification> MakeRetailPolicy(
-    const MultidimensionalObject& mo) {
-  ReductionSpecification spec;
-  const char* texts[] = {
-      "a[Time.year, Product.category, Store.region] s["
-      "Time.year <= NOW - 36 months]",
-      "a[Time.quarter, Product.category, Store.region] s["
-      "NOW - 36 months <= Time.quarter AND Time.quarter <= NOW - 12 months]",
-      "a[Time.month, Product.brand, Store.city] s["
-      "NOW - 12 months <= Time.month <= NOW - 6 months]",
-  };
-  for (int i = 0; i < 3; ++i) {
-    DWRED_ASSIGN_OR_RETURN(Action a,
-                           ParseAction(mo, texts[i], "t" + std::to_string(i)));
-    spec.Add(std::move(a));
-  }
-  return spec;
-}
-
 void BM_ReducePassRetailThreadSweep(benchmark::State& state) {
   const size_t facts = static_cast<size_t>(state.range(0));
   const int threads = static_cast<int>(state.range(1));

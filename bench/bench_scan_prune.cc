@@ -1,0 +1,137 @@
+// B9 — zone-map pruning on the segmented fact store (docs/STORAGE.md): a
+// selective predicate over the synchronized retail warehouse lets the scan
+// planner drop whole segments whose time zone maps miss the queried window,
+// before any row is touched. The no-prune baseline runs the same query with
+// a window that covers the full history, so every segment survives planning
+// and the delta is pure pruning benefit.
+//
+// Facts are inserted sorted by day (with the day span preregistered so
+// ValueIds ascend chronologically) — the layout an incrementally-loaded
+// warehouse converges to — giving sealed segments tight time zone maps.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/thread_pool.h"
+#include "scan/scan.h"
+#include "subcube/manager.h"
+
+namespace dwred::bench {
+namespace {
+
+struct RetailWarehouse {
+  RetailWorkload w;
+  std::unique_ptr<SubcubeManager> mgr;
+  std::vector<CategoryId> gran;
+  int64_t t;
+};
+
+RetailWarehouse MakeRetailWarehouse(size_t n) {
+  RetailWarehouse wh;
+  wh.w = MakeRetailWorkload(n, /*preregister_days=*/true);
+  const MultidimensionalObject& mo = *wh.w.mo;
+  ReductionSpecification spec = TakeOrAbort(MakeRetailPolicy(mo));
+  wh.mgr = std::make_unique<SubcubeManager>(
+      SubcubeManager::Create("Sale", mo.dimensions(),
+                             std::vector<MeasureType>(mo.measure_types()),
+                             spec)
+          .take());
+
+  // Re-insert the sales sorted by day. Preregistration made day ValueIds
+  // ascend with calendar date, so coordinate order is chronological order.
+  std::vector<FactId> order(mo.num_facts());
+  std::iota(order.begin(), order.end(), FactId{0});
+  std::stable_sort(order.begin(), order.end(), [&](FactId a, FactId b) {
+    return mo.Coord(a, 0) < mo.Coord(b, 0);
+  });
+  MultidimensionalObject sorted("Sale", mo.dimensions(),
+                                std::vector<MeasureType>(mo.measure_types()));
+  std::vector<ValueId> c(mo.num_dimensions());
+  std::vector<int64_t> m(mo.num_measures());
+  for (FactId f : order) {
+    for (DimensionId d = 0; d < mo.num_dimensions(); ++d) {
+      c[d] = mo.Coord(f, d);
+    }
+    for (MeasureId i = 0; i < mo.num_measures(); ++i) {
+      m[i] = mo.Measure(f, i);
+    }
+    TakeOrAbort(sorted.AddBottomFact(c, m));
+  }
+  Status st = wh.mgr->InsertBottomFacts(sorted);
+  if (!st.ok()) {
+    std::fprintf(stderr, "benchmark setup failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+
+  wh.t = DaysFromCivil({2002, 1, 1});
+  TakeOrAbort(wh.mgr->Synchronize(wh.t));
+  wh.gran = ParseGranularityList(wh.mgr->context(),
+                                 "Time.month, Product.category, Store.region")
+                .take();
+  return wh;
+}
+
+double ScanCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name, "").Value();
+}
+
+void RunQuerySweep(benchmark::State& state, const char* pred_text) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  RetailWarehouse wh = MakeRetailWarehouse(facts);
+  std::shared_ptr<PredExpr> pred =
+      ParsePredicate(wh.mgr->context(), pred_text).take();
+  exec::ThreadPool::ResetGlobal(threads);
+
+  const double scanned0 = ScanCounter("dwred_scan_segments_scanned");
+  const double pruned0 = ScanCounter("dwred_scan_segments_pruned");
+  const double skipped0 = ScanCounter("dwred_scan_rows_skipped");
+  size_t result_facts = 0;
+  for (auto _ : state) {
+    auto r = wh.mgr->Query(pred.get(), &wh.gran, wh.t,
+                           /*assume_synchronized=*/true, /*parallel=*/true);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    result_facts = r.value().num_facts();
+    benchmark::DoNotOptimize(result_facts);
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["threads"] = threads;
+  state.counters["result_facts"] = static_cast<double>(result_facts);
+  state.counters["segments_scanned"] =
+      (ScanCounter("dwred_scan_segments_scanned") - scanned0) / iters;
+  state.counters["segments_pruned"] =
+      (ScanCounter("dwred_scan_segments_pruned") - pruned0) / iters;
+  state.counters["rows_skipped"] =
+      (ScanCounter("dwred_scan_rows_skipped") - skipped0) / iters;
+  state.SetItemsProcessed(static_cast<int64_t>(facts) * state.iterations());
+  exec::ThreadPool::ResetGlobal(0);  // back to the DWRED_THREADS default
+}
+
+// Selective window: 2000 H1 sits entirely in the quarter tier, so the bottom
+// cube, the month cube, and most quarter/year segments are pruned outright.
+void BM_RetailQueryPrunedSweep(benchmark::State& state) {
+  RunQuerySweep(state, "2000/1/1 <= Time.day <= 2000/6/30");
+}
+
+BENCHMARK(BM_RetailQueryPrunedSweep)
+    ->ArgsProduct({{1000000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+// Baseline: the same query shape over a window covering the full history.
+// Planning still runs, but the allowed-value sets admit every zone map, so
+// segments_pruned stays 0 and every row is scanned.
+void BM_RetailQueryNoPruneBaseline(benchmark::State& state) {
+  RunQuerySweep(state, "1999/1/1 <= Time.day <= 2002/12/31");
+}
+
+BENCHMARK(BM_RetailQueryNoPruneBaseline)
+    ->ArgsProduct({{1000000}, {1, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

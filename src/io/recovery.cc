@@ -202,14 +202,17 @@ std::string SaveDurableState(uint64_t applied_lsn,
     for (size_t ci = 0; ci < subcubes->num_subcubes(); ++ci) {
       const FactTable& t = subcubes->subcube(ci).table;
       wire::PutU64(&s, t.num_rows());
-      for (RowId r = 0; r < t.num_rows(); ++r) {
+      // The segment cursor walks live rows in logical order, so the image is
+      // byte-identical to the pre-segmentation flat layout (the manifest is a
+      // physical property and is rebuilt canonically on load).
+      t.ForEachRow(0, t.num_rows(), [&](RowId, const FactTable::RowRef& row) {
         for (size_t d = 0; d < t.num_dims(); ++d) {
-          wire::PutU32(&s, t.Coord(r, d));
+          wire::PutU32(&s, row.coord(d));
         }
         for (size_t m = 0; m < t.num_measures(); ++m) {
-          wire::PutI64(&s, t.Measure(r, m));
+          wire::PutI64(&s, row.measure(m));
         }
-      }
+      });
     }
   }
   wire::PutU32(&s, Crc32(s));
@@ -563,21 +566,29 @@ Result<IntentRecord> DurableWarehouse::PlanOp(const JournalOp& op) const {
       std::vector<ValueId> cell(nd);
       for (size_t ci = 0; ci < subcubes_->num_subcubes(); ++ci) {
         const FactTable& t = subcubes_->subcube(ci).table;
-        for (RowId r = 0; r < t.num_rows(); ++r) {
-          t.ReadCoords(r, cell.data());
-          DWRED_ASSIGN_OR_RETURN(size_t target,
-                                 subcubes_->ResponsibleCube(cell, op.now_day));
-          if (target == ci) continue;
-          ++in.affected_count;
-          h.U32(static_cast<uint32_t>(ci));
-          h.U64(target == SubcubeManager::kDeletedCell
-                    ? ~uint64_t{0}
-                    : static_cast<uint64_t>(target));
-          for (size_t d = 0; d < nd; ++d) {
-            HashValue(&h, *mo_->dimension(static_cast<DimensionId>(d)),
-                      cell[d]);
-          }
-        }
+        Status scan_status = Status::OK();
+        t.ForEachRow(
+            0, t.num_rows(), [&](RowId, const FactTable::RowRef& row) {
+              if (!scan_status.ok()) return;
+              for (size_t d = 0; d < nd; ++d) cell[d] = row.coord(d);
+              auto target_r = subcubes_->ResponsibleCube(cell, op.now_day);
+              if (!target_r.ok()) {
+                scan_status = target_r.status();
+                return;
+              }
+              size_t target = target_r.value();
+              if (target == ci) return;
+              ++in.affected_count;
+              h.U32(static_cast<uint32_t>(ci));
+              h.U64(target == SubcubeManager::kDeletedCell
+                        ? ~uint64_t{0}
+                        : static_cast<uint64_t>(target));
+              for (size_t d = 0; d < nd; ++d) {
+                HashValue(&h, *mo_->dimension(static_cast<DimensionId>(d)),
+                          cell[d]);
+              }
+            });
+        DWRED_RETURN_IF_ERROR(scan_status);
       }
       break;
     }

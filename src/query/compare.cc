@@ -275,10 +275,8 @@ double EvalCatDef5(const Atom& atom, const Dimension& dim, ValueId v,
 
 }  // namespace
 
-double EvalQueryAtomOnFact(const Atom& atom, const MultidimensionalObject& mo,
-                           FactId f, int64_t now_day, SelectionApproach ap) {
-  const Dimension& dim = *mo.dimension(atom.dim);
-  ValueId v = mo.Coord(f, atom.dim);
+double EvalQueryAtomOnValue(const Atom& atom, const Dimension& dim, ValueId v,
+                            int64_t now_day, SelectionApproach ap) {
   CategoryId cf = dim.value_category(v);
   if (dim.type().Leq(cf, atom.category)) {
     ValueId at_cat = dim.Rollup(v, atom.category);
@@ -288,6 +286,12 @@ double EvalQueryAtomOnFact(const Atom& atom, const MultidimensionalObject& mo,
   // Reduced (higher or parallel) granularity: Definition 5.
   return atom.is_time ? EvalTimeDef5(atom, dim, v, now_day, ap)
                       : EvalCatDef5(atom, dim, v, ap);
+}
+
+double EvalQueryAtomOnFact(const Atom& atom, const MultidimensionalObject& mo,
+                           FactId f, int64_t now_day, SelectionApproach ap) {
+  return EvalQueryAtomOnValue(atom, *mo.dimension(atom.dim),
+                              mo.Coord(f, atom.dim), now_day, ap);
 }
 
 double EvalQueryPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,

@@ -34,6 +34,15 @@ enum class SelectionApproach : uint8_t {
 
 const char* SelectionApproachName(SelectionApproach a);
 
+/// Evaluates one query atom on a single dimension value (the fact's
+/// coordinate on the atom's dimension — atoms only ever inspect that one
+/// coordinate). Returns the satisfaction weight: 0 / 1 under conservative and
+/// liberal, a fraction in [0, 1] under weighted. The scan planner
+/// (src/scan) uses the liberal form as its may-match oracle when deriving
+/// zone-map filters.
+double EvalQueryAtomOnValue(const Atom& atom, const Dimension& dim, ValueId v,
+                            int64_t now_day, SelectionApproach ap);
+
 /// Evaluates one query atom on a fact. Returns the satisfaction weight:
 /// 0 / 1 under conservative and liberal, a fraction in [0, 1] under weighted.
 double EvalQueryAtomOnFact(const Atom& atom, const MultidimensionalObject& mo,

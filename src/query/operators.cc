@@ -6,9 +6,9 @@
 #include <unordered_map>
 
 #include "common/check.h"
-#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scan/scan.h"
 #include "storage/fact_table.h"
 
 namespace dwred {
@@ -46,12 +46,13 @@ Result<SelectionResult> Select(const MultidimensionalObject& mo,
   // precomputed weights, which keeps the result byte-identical at every
   // thread count (docs/PARALLELISM.md).
   std::vector<double> weights(mo.num_facts());
-  exec::ThreadPool::Global().ParallelFor(
-      mo.num_facts(), /*grain=*/512, [&](size_t begin, size_t end) {
-        for (FactId f = begin; f < end; ++f) {
-          weights[f] = EvalQueryPredOnFact(pred, mo, f, now_day, approach);
-        }
-      });
+  scan::Execute(scan::PlanMoScan(mo.num_facts(), /*grain=*/512),
+                [&](size_t, size_t begin, size_t end) {
+                  for (FactId f = begin; f < end; ++f) {
+                    weights[f] =
+                        EvalQueryPredOnFact(pred, mo, f, now_day, approach);
+                  }
+                });
 
   std::vector<ValueId> coords(ndims);
   std::vector<int64_t> meas(nmeas);
@@ -231,8 +232,9 @@ Result<MultidimensionalObject> AggregateFormation(
     flat_cells.resize(mo.num_facts() * ndims);
     drops.assign(mo.num_facts(), 0);
     std::atomic<bool> lub_error{false};
-    exec::ThreadPool::Global().ParallelFor(
-        mo.num_facts(), /*grain=*/512, [&](size_t begin, size_t end) {
+    scan::Execute(
+        scan::PlanMoScan(mo.num_facts(), /*grain=*/512),
+        [&](size_t, size_t begin, size_t end) {
           for (FactId f = begin; f < end; ++f) {
             ValueId* c = &flat_cells[f * ndims];
             for (size_t d = 0; d < ndims; ++d) {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "scan/scan.h"
 #include "storage/fact_table.h"
 
 namespace dwred {
@@ -34,7 +35,11 @@ Result<MultidimensionalObject> DropDimension(const MultidimensionalObject& mo,
   const size_t nmeas = mo.num_measures();
   std::vector<ValueId> cell(kept_ids.size());
   std::vector<int64_t> meas(nmeas);
-  for (FactId f = 0; f < mo.num_facts(); ++f) {
+  // Grouping is first-occurrence ordered, so the scan units are walked
+  // serially in ascending order (scan::Execute would race the out-MO).
+  scan::ScanPlan plan = scan::PlanMoScan(mo.num_facts(), /*grain=*/1024);
+  for (const exec::Shard& u : plan.units)
+  for (FactId f = u.begin; f < u.end; ++f) {
     for (size_t d = 0; d < kept_ids.size(); ++d) {
       cell[d] = mo.Coord(f, kept_ids[d]);
     }
@@ -93,7 +98,9 @@ Result<MultidimensionalObject> DropMeasure(const MultidimensionalObject& mo,
                              std::move(kept_types));
   std::vector<ValueId> coords(mo.num_dimensions());
   std::vector<int64_t> meas(kept_ids.size());
-  for (FactId f = 0; f < mo.num_facts(); ++f) {
+  scan::ScanPlan plan = scan::PlanMoScan(mo.num_facts(), /*grain=*/1024);
+  for (const exec::Shard& u : plan.units)
+  for (FactId f = u.begin; f < u.end; ++f) {
     for (size_t d = 0; d < coords.size(); ++d) {
       coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
     }
@@ -146,7 +153,9 @@ Result<MultidimensionalObject> RaiseBottomCategory(
                              mo.measure_types());
   std::vector<ValueId> coords(mo.num_dimensions());
   std::vector<int64_t> meas(mo.num_measures());
-  for (FactId f = 0; f < mo.num_facts(); ++f) {
+  scan::ScanPlan plan = scan::PlanMoScan(mo.num_facts(), /*grain=*/1024);
+  for (const exec::Shard& u : plan.units)
+  for (FactId f = u.begin; f < u.end; ++f) {
     for (size_t d = 0; d < coords.size(); ++d) {
       coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
     }

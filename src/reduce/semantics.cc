@@ -4,9 +4,9 @@
 #include <unordered_map>
 
 #include "common/check.h"
-#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scan/scan.h"
 #include "storage/fact_table.h"
 
 namespace dwred {
@@ -152,14 +152,10 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
     Status error = Status::OK();  // first error; shard stops there
   };
 
-  auto& pool = exec::ThreadPool::Global();
-  std::vector<exec::Shard> shards = exec::PartitionShards(
-      mo.num_facts(), /*grain=*/1024,
-      pool.num_threads() == 1 ? 1
-                              : static_cast<size_t>(pool.num_threads()) * 4);
-  std::vector<ShardAccum> accums(shards.size());
+  scan::ScanPlan plan = scan::PlanMoScan(mo.num_facts(), /*grain=*/1024);
+  std::vector<ShardAccum> accums(plan.units.size());
 
-  pool.ParallelForShards(shards, [&](size_t si, size_t begin, size_t end) {
+  scan::Execute(plan, [&](size_t si, size_t begin, size_t end) {
     ShardAccum& acc = accums[si];
     std::vector<ValueId> cell(ndims);
     for (FactId f = begin; f < end; ++f) {

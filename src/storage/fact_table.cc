@@ -1,5 +1,6 @@
 #include "storage/fact_table.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
@@ -43,61 +44,127 @@ void FactTable::ReleaseFootprint() {
   reported_bytes_ = 0;
 }
 
-FactTable::FactTable(size_t num_dims, size_t num_measures)
-    : dim_cols_(num_dims), meas_cols_(num_measures) {}
+FactTable::FactTable(size_t num_dims, size_t num_measures, size_t segment_rows)
+    : ndims_(num_dims),
+      nmeas_(num_measures),
+      segment_rows_(segment_rows == 0 ? kDefaultSegmentRows : segment_rows) {}
 
 FactTable::~FactTable() { ReleaseFootprint(); }
 
 FactTable::FactTable(const FactTable& other)
-    : num_rows_(other.num_rows_),
-      dim_cols_(other.dim_cols_),
-      meas_cols_(other.meas_cols_) {
+    : ndims_(other.ndims_),
+      nmeas_(other.nmeas_),
+      segment_rows_(other.segment_rows_),
+      num_rows_(other.num_rows_),
+      phys_rows_(other.phys_rows_),
+      segs_(other.segs_),
+      starts_(other.starts_) {
   UpdateFootprint(static_cast<int64_t>(num_rows_));
 }
 
 FactTable& FactTable::operator=(const FactTable& other) {
   if (this == &other) return *this;
   int64_t old_rows = static_cast<int64_t>(num_rows_);
+  ndims_ = other.ndims_;
+  nmeas_ = other.nmeas_;
+  segment_rows_ = other.segment_rows_;
   num_rows_ = other.num_rows_;
-  dim_cols_ = other.dim_cols_;
-  meas_cols_ = other.meas_cols_;
+  phys_rows_ = other.phys_rows_;
+  segs_ = other.segs_;
+  starts_ = other.starts_;
   UpdateFootprint(static_cast<int64_t>(num_rows_) - old_rows);
   return *this;
 }
 
 FactTable::FactTable(FactTable&& other) noexcept
-    : num_rows_(other.num_rows_),
-      dim_cols_(std::move(other.dim_cols_)),
-      meas_cols_(std::move(other.meas_cols_)),
+    : ndims_(other.ndims_),
+      nmeas_(other.nmeas_),
+      segment_rows_(other.segment_rows_),
+      num_rows_(other.num_rows_),
+      phys_rows_(other.phys_rows_),
+      segs_(std::move(other.segs_)),
+      starts_(std::move(other.starts_)),
       reported_bytes_(other.reported_bytes_) {
   // The gauge contribution moves with the data; the source owes nothing.
   other.num_rows_ = 0;
+  other.phys_rows_ = 0;
   other.reported_bytes_ = 0;
-  other.dim_cols_.clear();
-  other.meas_cols_.clear();
+  other.segs_.clear();
+  other.starts_.clear();
 }
 
 FactTable& FactTable::operator=(FactTable&& other) noexcept {
   if (this == &other) return *this;
   ReleaseFootprint();
+  ndims_ = other.ndims_;
+  nmeas_ = other.nmeas_;
+  segment_rows_ = other.segment_rows_;
   num_rows_ = other.num_rows_;
-  dim_cols_ = std::move(other.dim_cols_);
-  meas_cols_ = std::move(other.meas_cols_);
+  phys_rows_ = other.phys_rows_;
+  segs_ = std::move(other.segs_);
+  starts_ = std::move(other.starts_);
   reported_bytes_ = other.reported_bytes_;
   other.num_rows_ = 0;
+  other.phys_rows_ = 0;
   other.reported_bytes_ = 0;
-  other.dim_cols_.clear();
-  other.meas_cols_.clear();
+  other.segs_.clear();
+  other.starts_.clear();
   return *this;
+}
+
+std::pair<size_t, size_t> FactTable::Locate(RowId r) const {
+  DWRED_CHECK(r < num_rows_);
+  size_t s = static_cast<size_t>(
+      std::upper_bound(starts_.begin(), starts_.end(), r) - starts_.begin() -
+      1);
+  size_t off = static_cast<size_t>(r) - starts_[s];
+  const Segment& seg = segs_[s];
+  return {s, seg.dead.empty() ? off : seg.live_phys[off]};
 }
 
 RowId FactTable::Append(std::span<const ValueId> coords,
                         std::span<const int64_t> measures) {
-  DWRED_CHECK(coords.size() == dim_cols_.size());
-  DWRED_CHECK(measures.size() == meas_cols_.size());
-  for (size_t d = 0; d < coords.size(); ++d) dim_cols_[d].push_back(coords[d]);
-  for (size_t m = 0; m < measures.size(); ++m) {
-    meas_cols_[m].push_back(measures[m]);
+  DWRED_CHECK(coords.size() == ndims_);
+  DWRED_CHECK(measures.size() == nmeas_);
+  if (segs_.empty() || segs_.back().sealed) {
+    Segment seg;
+    seg.dims.resize(ndims_);
+    seg.meas.resize(nmeas_);
+    seg.dmin.resize(ndims_);
+    seg.dmax.resize(ndims_);
+    seg.mmin.resize(nmeas_);
+    seg.mmax.resize(nmeas_);
+    starts_.push_back(num_rows_);
+    segs_.push_back(std::move(seg));
+  }
+  Segment& tail = segs_.back();
+  for (size_t d = 0; d < ndims_; ++d) {
+    tail.dims[d].push_back(coords[d]);
+    if (tail.live == 0) {
+      tail.dmin[d] = tail.dmax[d] = coords[d];
+    } else {
+      tail.dmin[d] = std::min(tail.dmin[d], coords[d]);
+      tail.dmax[d] = std::max(tail.dmax[d], coords[d]);
+    }
+  }
+  for (size_t m = 0; m < nmeas_; ++m) {
+    tail.meas[m].push_back(measures[m]);
+    if (tail.live == 0) {
+      tail.mmin[m] = tail.mmax[m] = measures[m];
+    } else {
+      tail.mmin[m] = std::min(tail.mmin[m], measures[m]);
+      tail.mmax[m] = std::max(tail.mmax[m], measures[m]);
+    }
+  }
+  if (!tail.dead.empty()) {
+    tail.dead.push_back(0);
+    tail.live_phys.push_back(
+        static_cast<uint32_t>(SegmentPhysicalRows(segs_.size() - 1) - 1));
+  }
+  ++tail.live;
+  ++phys_rows_;
+  if (SegmentPhysicalRows(segs_.size() - 1) >= segment_rows_) {
+    tail.sealed = true;
   }
   RowId r = num_rows_++;
   UpdateFootprint(1);
@@ -105,7 +172,71 @@ RowId FactTable::Append(std::span<const ValueId> coords,
 }
 
 void FactTable::ReadCoords(RowId r, ValueId* out) const {
-  for (size_t d = 0; d < dim_cols_.size(); ++d) out[d] = dim_cols_[d][r];
+  auto [s, p] = Locate(r);
+  const Segment& seg = segs_[s];
+  for (size_t d = 0; d < ndims_; ++d) out[d] = seg.dims[d][p];
+}
+
+void FactTable::RecomputeZones(Segment& s) const {
+  bool first = true;
+  const size_t phys = s.dims.empty() ? s.meas[0].size() : s.dims[0].size();
+  for (size_t p = 0; p < phys; ++p) {
+    if (!s.dead.empty() && s.dead[p]) continue;
+    if (first) {
+      for (size_t d = 0; d < ndims_; ++d) s.dmin[d] = s.dmax[d] = s.dims[d][p];
+      for (size_t m = 0; m < nmeas_; ++m) s.mmin[m] = s.mmax[m] = s.meas[m][p];
+      first = false;
+    } else {
+      for (size_t d = 0; d < ndims_; ++d) {
+        s.dmin[d] = std::min(s.dmin[d], s.dims[d][p]);
+        s.dmax[d] = std::max(s.dmax[d], s.dims[d][p]);
+      }
+      for (size_t m = 0; m < nmeas_; ++m) {
+        s.mmin[m] = std::min(s.mmin[m], s.meas[m][p]);
+        s.mmax[m] = std::max(s.mmax[m], s.meas[m][p]);
+      }
+    }
+  }
+}
+
+void FactTable::CompactSegment(Segment& s) const {
+  if (s.dead.empty()) return;
+  const size_t phys = s.dims.empty() ? s.meas[0].size() : s.dims[0].size();
+  size_t w = 0;
+  for (size_t p = 0; p < phys; ++p) {
+    if (s.dead[p]) continue;
+    if (w != p) {
+      for (auto& col : s.dims) col[w] = col[p];
+      for (auto& col : s.meas) col[w] = col[p];
+    }
+    ++w;
+  }
+  for (auto& col : s.dims) {
+    col.resize(w);
+    col.shrink_to_fit();
+  }
+  for (auto& col : s.meas) {
+    col.resize(w);
+    col.shrink_to_fit();
+  }
+  s.dead.clear();
+  s.live_phys.clear();
+  s.dead_count = 0;
+  DWRED_CHECK(s.live == w);
+}
+
+void FactTable::RecomputeIndex() {
+  starts_.resize(segs_.size());
+  size_t rows = 0;
+  size_t phys = 0;
+  for (size_t s = 0; s < segs_.size(); ++s) {
+    starts_[s] = rows;
+    rows += segs_[s].live;
+    phys += segs_[s].dims.empty() ? segs_[s].meas[0].size()
+                                  : segs_[s].dims[0].size();
+  }
+  num_rows_ = rows;
+  phys_rows_ = phys;
 }
 
 Status FactTable::EraseRows(const std::vector<bool>& erase) {
@@ -115,87 +246,136 @@ Status FactTable::EraseRows(const std::vector<bool>& erase) {
         " rows but the table holds " + std::to_string(num_rows_));
   }
   size_t before = num_rows_;
-  size_t w = 0;
-  for (size_t r = 0; r < num_rows_; ++r) {
-    if (erase[r]) continue;
-    if (w != r) {
-      for (auto& col : dim_cols_) col[w] = col[r];
-      for (auto& col : meas_cols_) col[w] = col[r];
+  std::vector<bool> touched(segs_.size(), false);
+  RowId r = 0;
+  for (size_t s = 0; s < segs_.size(); ++s) {
+    Segment& seg = segs_[s];
+    const size_t phys = seg.dims.empty() ? seg.meas[0].size()
+                                         : seg.dims[0].size();
+    for (size_t p = 0; p < phys; ++p) {
+      if (!seg.dead.empty() && seg.dead[p]) continue;
+      if (erase[r]) {
+        if (seg.dead.empty()) seg.dead.assign(phys, 0);
+        seg.dead[p] = 1;
+        ++seg.dead_count;
+        --seg.live;
+        touched[s] = true;
+      }
+      ++r;
     }
-    ++w;
   }
-  for (auto& col : dim_cols_) col.resize(w);
-  for (auto& col : meas_cols_) col.resize(w);
-  num_rows_ = w;
-  UpdateFootprint(static_cast<int64_t>(w) - static_cast<int64_t>(before));
+  DWRED_CHECK(r == num_rows_);
+
+  // Apply the per-segment policy: drop empty segments, rewrite segments past
+  // the tombstone-ratio threshold, and defer the rest (rebuilding their
+  // live-row index and zone maps).
+  std::vector<Segment> kept;
+  kept.reserve(segs_.size());
+  for (size_t s = 0; s < segs_.size(); ++s) {
+    Segment& seg = segs_[s];
+    if (!touched[s]) {
+      kept.push_back(std::move(seg));
+      continue;
+    }
+    if (seg.live == 0) continue;
+    const size_t phys = seg.dims.empty() ? seg.meas[0].size()
+                                         : seg.dims[0].size();
+    if (static_cast<double>(seg.dead_count) >=
+        kCompactTombstoneRatio * static_cast<double>(phys)) {
+      CompactSegment(seg);
+    } else {
+      seg.live_phys.clear();
+      seg.live_phys.reserve(seg.live);
+      for (size_t p = 0; p < phys; ++p) {
+        if (!seg.dead[p]) seg.live_phys.push_back(static_cast<uint32_t>(p));
+      }
+    }
+    RecomputeZones(seg);
+    kept.push_back(std::move(seg));
+  }
+  segs_ = std::move(kept);
+  RecomputeIndex();
+  UpdateFootprint(static_cast<int64_t>(num_rows_) -
+                  static_cast<int64_t>(before));
   return Status::OK();
 }
 
 Result<size_t> FactTable::CompactCells(std::span<const AggFn> aggs) {
-  if (aggs.size() != meas_cols_.size()) {
+  if (aggs.size() != nmeas_) {
     return Status::InvalidArgument(
         "CompactCells: " + std::to_string(aggs.size()) +
-        " aggregate functions for " + std::to_string(meas_cols_.size()) +
-        " measures");
+        " aggregate functions for " + std::to_string(nmeas_) + " measures");
   }
-  std::unordered_map<std::vector<ValueId>, RowId, CellKeyHash> first;
-  std::vector<bool> erase(num_rows_, false);
-  std::vector<ValueId> key(dim_cols_.size());
+  // Fold duplicate cells into their first occurrence, preserving
+  // first-occurrence logical order.
+  std::unordered_map<std::vector<ValueId>, size_t, CellKeyHash> first;
+  std::vector<std::vector<ValueId>> cells;
+  std::vector<std::vector<int64_t>> folded;
   bool any = false;
-  for (RowId r = 0; r < num_rows_; ++r) {
-    for (size_t d = 0; d < dim_cols_.size(); ++d) key[d] = dim_cols_[d][r];
+  std::vector<ValueId> key(ndims_);
+  ForEachRow(0, num_rows_, [&](RowId, const RowRef& row) {
+    for (size_t d = 0; d < ndims_; ++d) key[d] = row.coord(d);
     auto it = first.find(key);
     if (it == first.end()) {
-      first.emplace(key, r);
+      first.emplace(key, cells.size());
+      cells.push_back(key);
+      std::vector<int64_t> meas(nmeas_);
+      for (size_t m = 0; m < nmeas_; ++m) meas[m] = row.measure(m);
+      folded.push_back(std::move(meas));
     } else {
-      RowId keep = it->second;
-      for (size_t m = 0; m < meas_cols_.size(); ++m) {
-        meas_cols_[m][keep] =
-            CombineMeasure(aggs[m], meas_cols_[m][keep], meas_cols_[m][r]);
+      std::vector<int64_t>& acc = folded[it->second];
+      for (size_t m = 0; m < nmeas_; ++m) {
+        acc[m] = CombineMeasure(aggs[m], acc[m], row.measure(m));
       }
-      erase[r] = true;
       any = true;
     }
-  }
-  size_t before = num_rows_;
-  if (any) DWRED_RETURN_IF_ERROR(EraseRows(erase));
-  return before - num_rows_;
-}
+  });
+  if (!any) return size_t{0};
 
-size_t FactTable::Bytes() const {
-  return num_rows_ * (dim_cols_.size() * sizeof(ValueId) +
-                      meas_cols_.size() * sizeof(int64_t));
+  // Rebuild the table from the folded rows (canonical segmentation, no
+  // tombstones); report the footprint change in one step.
+  size_t before = num_rows_;
+  segs_.clear();
+  starts_.clear();
+  num_rows_ = 0;
+  phys_rows_ = 0;
+  for (size_t i = 0; i < cells.size(); ++i) Append(cells[i], folded[i]);
+  // Append() tracks bytes against reported_bytes_, so the byte gauge is
+  // already exact; rows were credited on top of the pre-rebuild contribution,
+  // so withdraw that.
+  if constexpr (obs::kObsEnabled) {
+    RowsGauge().Add(-static_cast<int64_t>(before));
+  }
+  return before - num_rows_;
 }
 
 MultidimensionalObject FactTable::ToMO(
     const std::string& fact_type,
     const std::vector<std::shared_ptr<Dimension>>& dims,
     const std::vector<MeasureType>& measures) const {
-  DWRED_CHECK(dims.size() == dim_cols_.size());
-  DWRED_CHECK(measures.size() == meas_cols_.size());
+  DWRED_CHECK(dims.size() == ndims_);
+  DWRED_CHECK(measures.size() == nmeas_);
   MultidimensionalObject mo(fact_type, dims, measures);
-  std::vector<ValueId> coords(dim_cols_.size());
-  std::vector<int64_t> meas(meas_cols_.size());
-  for (RowId r = 0; r < num_rows_; ++r) {
-    for (size_t d = 0; d < coords.size(); ++d) coords[d] = dim_cols_[d][r];
-    for (size_t m = 0; m < meas.size(); ++m) meas[m] = meas_cols_[m][r];
+  std::vector<ValueId> coords(ndims_);
+  std::vector<int64_t> meas(nmeas_);
+  ForEachRow(0, num_rows_, [&](RowId, const RowRef& row) {
+    for (size_t d = 0; d < ndims_; ++d) coords[d] = row.coord(d);
+    for (size_t m = 0; m < nmeas_; ++m) meas[m] = row.measure(m);
     auto res = mo.AddFact(coords, meas);
     DWRED_CHECK(res.ok());
-  }
+  });
   return mo;
 }
 
 Status FactTable::AppendFrom(const MultidimensionalObject& mo) {
-  if (mo.num_dimensions() != dim_cols_.size() ||
-      mo.num_measures() != meas_cols_.size()) {
+  if (mo.num_dimensions() != ndims_ || mo.num_measures() != nmeas_) {
     return Status::InvalidArgument(
         "AppendFrom: MO shape " + std::to_string(mo.num_dimensions()) + "x" +
         std::to_string(mo.num_measures()) + " does not match table " +
-        std::to_string(dim_cols_.size()) + "x" +
-        std::to_string(meas_cols_.size()));
+        std::to_string(ndims_) + "x" + std::to_string(nmeas_));
   }
-  std::vector<ValueId> coords(dim_cols_.size());
-  std::vector<int64_t> meas(meas_cols_.size());
+  std::vector<ValueId> coords(ndims_);
+  std::vector<int64_t> meas(nmeas_);
   for (FactId f = 0; f < mo.num_facts(); ++f) {
     for (size_t d = 0; d < coords.size(); ++d) {
       coords[d] = mo.Coord(f, static_cast<DimensionId>(d));

@@ -2,23 +2,39 @@
 
 // Columnar star-schema fact storage — the physical substrate of the subcube
 // implementation strategy (paper Section 7). A FactTable stores facts of one
-// fixed granularity as dense columns: one ValueId column per dimension (the
-// foreign keys of a star schema) and one int64 column per measure. It
-// supports the operations the strategy needs: bulk append, predicate scans,
-// physical deletion of migrated rows, cell-level compaction (the "aggregated
-// one final time" step of Section 7.2), and byte-level accounting for the
-// storage-gain experiments.
+// fixed granularity as an append-only collection of immutable *sealed
+// segments* plus one mutable tail segment (docs/STORAGE.md). Each segment
+// holds dense columns — one ValueId column per dimension (the foreign keys of
+// a star schema) and one int64 column per measure — capped at a fixed row
+// budget, and carries per-column zone maps (min/max ValueId per dimension,
+// min/max per measure, tombstone count) over its live rows. The scan layer
+// (src/scan) prunes whole segments against these zone maps before a scan ever
+// touches the columns, and uses segments as the natural parallel shard unit.
+//
+// Rows are addressed by *logical* RowId: the position among live rows in
+// insertion order. Segmentation and tombstones are purely physical — they
+// never change the logical row order, so serialized images (io/recovery) and
+// MO materializations are byte-identical to the flat layout this class
+// replaced. Deletion is tombstone-then-compact: EraseRows marks rows dead and
+// rewrites a segment only once its tombstone ratio crosses
+// kCompactTombstoneRatio (segments left with no live row are dropped).
+//
+// The table supports the operations the strategy needs: bulk append,
+// predicate scans, physical deletion of migrated rows, cell-level compaction
+// (the "aggregated one final time" step of Section 7.2), and byte-level
+// accounting for the storage-gain experiments.
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mdm/mo.h"
 
 namespace dwred {
 
-/// Row index within a FactTable.
+/// Logical row index within a FactTable (position among live rows).
 using RowId = uint64_t;
 
 /// FNV-1a hash over a cell key (one ValueId per dimension) — the one hash
@@ -42,7 +58,15 @@ struct CellKeyHash {
 /// dwred_storage_fact_bytes gauges.
 class FactTable {
  public:
-  FactTable(size_t num_dims, size_t num_measures);
+  /// Row budget of one segment when the constructor is not given one.
+  static constexpr size_t kDefaultSegmentRows = 4096;
+  /// Tombstone fraction (dead / physical rows) at which EraseRows rewrites a
+  /// segment in place instead of deferring.
+  static constexpr double kCompactTombstoneRatio = 0.25;
+
+  /// `segment_rows` caps the rows per segment; 0 means kDefaultSegmentRows.
+  /// Tests and benches pass small budgets to exercise many segments.
+  FactTable(size_t num_dims, size_t num_measures, size_t segment_rows = 0);
   ~FactTable();
 
   FactTable(const FactTable& other);
@@ -51,36 +75,51 @@ class FactTable {
   FactTable& operator=(FactTable&& other) noexcept;
 
   size_t num_rows() const { return num_rows_; }
-  size_t num_dims() const { return dim_cols_.size(); }
-  size_t num_measures() const { return meas_cols_.size(); }
+  size_t num_dims() const { return ndims_; }
+  size_t num_measures() const { return nmeas_; }
+  size_t segment_rows() const { return segment_rows_; }
 
-  /// Appends one row.
+  /// Appends one row to the tail segment (sealing it and opening a new tail
+  /// when it reaches the row budget).
   RowId Append(std::span<const ValueId> coords,
                std::span<const int64_t> measures);
 
-  ValueId Coord(RowId r, size_t d) const { return dim_cols_[d][r]; }
-  int64_t Measure(RowId r, size_t m) const { return meas_cols_[m][r]; }
-  void SetMeasure(RowId r, size_t m, int64_t v) { meas_cols_[m][r] = v; }
+  ValueId Coord(RowId r, size_t d) const {
+    auto [s, p] = Locate(r);
+    return segs_[s].dims[d][p];
+  }
+  int64_t Measure(RowId r, size_t m) const {
+    auto [s, p] = Locate(r);
+    return segs_[s].meas[m][p];
+  }
 
   /// Copies a row's coordinates into `out` (size num_dims).
   void ReadCoords(RowId r, ValueId* out) const;
 
-  /// Physically deletes the rows whose flag is set (paper: reduction ends in
-  /// physical deletion of the detail facts). Compacts columns in place;
-  /// row ids are invalidated. Fails with InvalidArgument when the bitmap's
-  /// size does not match the current row count (deleting against a stale
-  /// bitmap would silently drop the wrong facts).
+  /// Deletes the rows whose flag is set (paper: reduction ends in physical
+  /// deletion of the detail facts). Rows are tombstoned per segment; a
+  /// segment is rewritten once its tombstone ratio reaches
+  /// kCompactTombstoneRatio and dropped once no live row remains. Logical
+  /// row ids are invalidated (the survivors renumber in order). Fails with
+  /// InvalidArgument when the bitmap's size does not match the current row
+  /// count (deleting against a stale bitmap would silently drop the wrong
+  /// facts).
   Status EraseRows(const std::vector<bool>& erase);
 
   /// Merges rows with identical coordinates by folding measures with `aggs`
   /// (one AggFn per measure). Used after subcube migration, where data
-  /// arriving from several parents may populate the same cell. Returns the
-  /// number of rows folded away; fails with InvalidArgument when `aggs` does
-  /// not supply one function per measure.
+  /// arriving from several parents may populate the same cell. Keeps the
+  /// first occurrence of each cell (so the logical order is the
+  /// first-occurrence order, as before segmentation) and rebuilds the
+  /// segment manifest. Returns the number of rows folded away; fails with
+  /// InvalidArgument when `aggs` does not supply one function per measure.
   Result<size_t> CompactCells(std::span<const AggFn> aggs);
 
-  /// Exact byte footprint of the stored columns.
-  size_t Bytes() const;
+  /// Exact byte footprint of the stored columns (tombstoned rows included
+  /// until their segment is compacted).
+  size_t Bytes() const {
+    return phys_rows_ * (ndims_ * sizeof(ValueId) + nmeas_ * sizeof(int64_t));
+  }
 
   /// Materializes the rows as an MO over the given dimensions and measure
   /// types (shared with the rest of the warehouse) so the algebraic query
@@ -95,7 +134,97 @@ class FactTable {
   /// does not match the table's column layout.
   Status AppendFrom(const MultidimensionalObject& mo);
 
+  // --- Segment manifest (scan planner, dwredctl storage, tests) -----------
+
+  size_t num_segments() const { return segs_.size(); }
+  /// Logical id of the segment's first live row.
+  RowId SegmentBegin(size_t s) const { return starts_[s]; }
+  size_t SegmentLiveRows(size_t s) const { return segs_[s].live; }
+  size_t SegmentPhysicalRows(size_t s) const {
+    return segs_[s].dims.empty() ? segs_[s].meas[0].size()
+                                 : segs_[s].dims[0].size();
+  }
+  size_t SegmentTombstones(size_t s) const { return segs_[s].dead_count; }
+  bool SegmentSealed(size_t s) const { return segs_[s].sealed; }
+  /// Zone maps over the segment's live rows (every segment has >= 1).
+  ValueId SegmentDimMin(size_t s, size_t d) const { return segs_[s].dmin[d]; }
+  ValueId SegmentDimMax(size_t s, size_t d) const { return segs_[s].dmax[d]; }
+  int64_t SegmentMeasureMin(size_t s, size_t m) const {
+    return segs_[s].mmin[m];
+  }
+  int64_t SegmentMeasureMax(size_t s, size_t m) const {
+    return segs_[s].mmax[m];
+  }
+
+  /// A borrowed view of one live row during ForEachRow.
+  class RowRef {
+   public:
+    ValueId coord(size_t d) const { return (*dims_)[d][phys_]; }
+    int64_t measure(size_t m) const { return (*meas_)[m][phys_]; }
+
+   private:
+    friend class FactTable;
+    const std::vector<std::vector<ValueId>>* dims_ = nullptr;
+    const std::vector<std::vector<int64_t>>* meas_ = nullptr;
+    size_t phys_ = 0;
+  };
+
+  /// Sequential scan of the live rows [begin, end) in logical order — O(1)
+  /// per row (no per-row segment lookup), skipping tombstones. `fn` is called
+  /// as fn(RowId logical, const RowRef& row); the view is valid only for the
+  /// duration of the call. The table must not be mutated during the scan.
+  template <typename Fn>
+  void ForEachRow(RowId begin, RowId end, Fn&& fn) const {
+    if (begin >= end) return;
+    auto [s, p] = Locate(begin);
+    RowRef ref;
+    for (RowId r = begin; r < end; ++s, p = 0) {
+      const Segment& seg = segs_[s];
+      ref.dims_ = &seg.dims;
+      ref.meas_ = &seg.meas;
+      const size_t phys_rows =
+          seg.dims.empty() ? seg.meas[0].size() : seg.dims[0].size();
+      if (seg.dead.empty()) {
+        for (; p < phys_rows && r < end; ++p, ++r) {
+          ref.phys_ = p;
+          fn(r, ref);
+        }
+      } else {
+        for (; p < phys_rows && r < end; ++p) {
+          if (seg.dead[p]) continue;
+          ref.phys_ = p;
+          fn(r, ref);
+          ++r;
+        }
+      }
+    }
+  }
+
  private:
+  /// One physical segment: dense columns over at most segment_rows_ rows,
+  /// a tombstone bitmap (empty when no row is dead), and zone maps over the
+  /// live rows.
+  struct Segment {
+    std::vector<std::vector<ValueId>> dims;   ///< [ndims][physical rows]
+    std::vector<std::vector<int64_t>> meas;   ///< [nmeas][physical rows]
+    std::vector<uint8_t> dead;                ///< empty <=> no tombstones
+    std::vector<uint32_t> live_phys;          ///< live ordinal -> physical row
+    size_t live = 0;
+    size_t dead_count = 0;
+    bool sealed = false;
+    std::vector<ValueId> dmin, dmax;          ///< per-dimension zone map
+    std::vector<int64_t> mmin, mmax;          ///< per-measure zone map
+  };
+
+  /// (segment, physical row) of logical row `r`.
+  std::pair<size_t, size_t> Locate(RowId r) const;
+  /// Recomputes a segment's zone maps over its live rows.
+  void RecomputeZones(Segment& s) const;
+  /// Rewrites a segment's columns dropping tombstoned rows.
+  void CompactSegment(Segment& s) const;
+  /// Recomputes starts_, num_rows_ and phys_rows_ from the segments.
+  void RecomputeIndex();
+
   /// Re-reports this table's contribution to the process-wide footprint
   /// gauges after a mutation (`row_delta` rows added/removed; the byte delta
   /// is derived from Bytes() against the last reported value).
@@ -103,10 +232,14 @@ class FactTable {
   /// Withdraws this table's whole contribution from the footprint gauges.
   void ReleaseFootprint();
 
-  size_t num_rows_ = 0;
-  std::vector<std::vector<ValueId>> dim_cols_;
-  std::vector<std::vector<int64_t>> meas_cols_;
-  size_t reported_bytes_ = 0;  ///< bytes currently credited to the gauges
+  size_t ndims_ = 0;
+  size_t nmeas_ = 0;
+  size_t segment_rows_ = kDefaultSegmentRows;
+  size_t num_rows_ = 0;   ///< live rows across all segments
+  size_t phys_rows_ = 0;  ///< physical rows (live + tombstoned)
+  std::vector<Segment> segs_;
+  std::vector<size_t> starts_;  ///< logical id of each segment's first row
+  size_t reported_bytes_ = 0;   ///< bytes currently credited to the gauges
 };
 
 }  // namespace dwred

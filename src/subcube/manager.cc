@@ -8,6 +8,8 @@
 #include "obs/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/compare.h"
+#include "scan/scan.h"
 #include "spec/predicate_analysis.h"
 
 namespace dwred {
@@ -281,48 +283,51 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
   // --- Parallel plan, serial apply (docs/PARALLELISM.md) ------------------
   // A row's destination depends only on its cell, the specification and
   // now_day — never on other rows or on table contents — so the per-row
-  // migration decisions (ResponsibleCube + RollCell) fan out over row-range
-  // shards per cube, read-only. The mutations (appends, erases, counters)
-  // then replay serially in the original (cube, row) order, so the resulting
-  // tables — and the WAL intent stream recorded around this pass — are
-  // byte-identical at every thread count.
+  // migration decisions (ResponsibleCube + RollCell) fan out over each
+  // cube's storage segments (the natural shard unit, docs/STORAGE.md),
+  // read-only. Synchronization must examine *every* row, so the scan plan is
+  // unpruned. The mutations (appends, erases, counters) then replay serially
+  // in the original (cube, row) order, so the resulting tables — and the WAL
+  // intent stream recorded around this pass — are byte-identical at every
+  // thread count.
   struct CubePlan {
     std::vector<size_t> target;   // per row < snapshot[i]; == i means stay
     std::vector<ValueId> rolled;  // row-major cells, valid when migrating
     std::vector<Status> shard_error;  // first error per shard (shard stops)
   };
-  auto& pool = exec::ThreadPool::Global();
   std::vector<CubePlan> plans(cubes_.size());
   for (size_t i = 0; i < cubes_.size(); ++i) {
     CubePlan& plan = plans[i];
     plan.target.resize(snapshot[i]);
     plan.rolled.resize(snapshot[i] * ndims);
-    std::vector<exec::Shard> shards = exec::PartitionShards(
-        snapshot[i], /*grain=*/256,
-        pool.num_threads() == 1 ? 1
-                                : static_cast<size_t>(pool.num_threads()) * 4);
-    plan.shard_error.assign(shards.size(), Status::OK());
     const Subcube& cube = *cubes_[i];
-    pool.ParallelForShards(shards, [&](size_t si, size_t begin, size_t end) {
+    scan::ScanPlan splan = scan::PlanTableScan(cube.table, scan::ScanSpec::All());
+    plan.shard_error.assign(splan.units.size(), Status::OK());
+    scan::Execute(splan, [&](size_t si, size_t begin, size_t end) {
       std::vector<ValueId> row_cell(ndims);
-      for (RowId r = begin; r < end; ++r) {
-        cube.table.ReadCoords(r, row_cell.data());
-        auto target_r = ResponsibleCube(row_cell, now_day);
-        if (!target_r.ok()) {
-          plan.shard_error[si] = target_r.status();
-          return;
-        }
-        size_t target = target_r.value();
-        plan.target[r] = target;
-        if (target == i || target == kDeletedCell) continue;
-        auto rolled_r = RollCell(row_cell, cubes_[target]->granularity);
-        if (!rolled_r.ok()) {
-          plan.shard_error[si] = rolled_r.status();
-          return;
-        }
-        std::copy(rolled_r.value().begin(), rolled_r.value().end(),
-                  plan.rolled.begin() + r * ndims);
-      }
+      bool failed = false;
+      cube.table.ForEachRow(
+          begin, end, [&](RowId r, const FactTable::RowRef& row) {
+            if (failed) return;
+            for (size_t d = 0; d < ndims; ++d) row_cell[d] = row.coord(d);
+            auto target_r = ResponsibleCube(row_cell, now_day);
+            if (!target_r.ok()) {
+              plan.shard_error[si] = target_r.status();
+              failed = true;
+              return;
+            }
+            size_t target = target_r.value();
+            plan.target[r] = target;
+            if (target == i || target == kDeletedCell) return;
+            auto rolled_r = RollCell(row_cell, cubes_[target]->granularity);
+            if (!rolled_r.ok()) {
+              plan.shard_error[si] = rolled_r.status();
+              failed = true;
+              return;
+            }
+            std::copy(rolled_r.value().begin(), rolled_r.value().end(),
+                      plan.rolled.begin() + r * ndims);
+          });
     });
     // Lowest shard's error is the globally first failing row's error. Unlike
     // the serial formulation, a failed pass mutates nothing.
@@ -334,24 +339,28 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
     Subcube& cube = *cubes_[i];
     const CubePlan& plan = plans[i];
     std::vector<bool> erase(cube.table.num_rows(), false);
-    for (RowId r = 0; r < snapshot[i]; ++r) {
-      size_t target = plan.target[r];
-      if (target == i) continue;
-      if (target == kDeletedCell) {
-        // A deletion action claims the row: physical deletion, no migration.
-        erase[r] = true;
-        ++migrated;
-        ++deleted;
-        continue;
-      }
-      std::copy(plan.rolled.begin() + r * ndims,
-                plan.rolled.begin() + (r + 1) * ndims, cell.begin());
-      for (size_t m = 0; m < nmeas; ++m) meas[m] = cube.table.Measure(r, m);
-      cubes_[target]->table.Append(cell, meas);
-      erase[r] = true;
-      received[target] = true;
-      ++migrated;
-    }
+    // Cursor scan over the pre-pass rows (appends from earlier cubes sit in
+    // the tail, past snapshot[i]); only *other* cubes' tables are mutated.
+    cube.table.ForEachRow(
+        0, snapshot[i], [&](RowId r, const FactTable::RowRef& row) {
+          size_t target = plan.target[r];
+          if (target == i) return;
+          if (target == kDeletedCell) {
+            // A deletion action claims the row: physical deletion, no
+            // migration.
+            erase[r] = true;
+            ++migrated;
+            ++deleted;
+            return;
+          }
+          std::copy(plan.rolled.begin() + r * ndims,
+                    plan.rolled.begin() + (r + 1) * ndims, cell.begin());
+          for (size_t m = 0; m < nmeas; ++m) meas[m] = row.measure(m);
+          cubes_[target]->table.Append(cell, meas);
+          erase[r] = true;
+          received[target] = true;
+          ++migrated;
+        });
     erase.resize(cube.table.num_rows(), false);
     DWRED_RETURN_IF_ERROR(cube.table.EraseRows(erase));
   }
@@ -390,9 +399,28 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
 Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
     const PredExpr* pred, const std::vector<CategoryId>* target,
     int64_t now_day, bool assume_synchronized, bool parallel) const {
+  // On the synchronized path every row already sits in its responsible cube,
+  // so the selection predicate can prune whole storage segments via zone
+  // maps before materialization: pruned segments hold only rows whose
+  // selection weight is 0 under every approach (the spec compiles against
+  // the *liberal* may-match oracle, which dominates conservative and
+  // weighted), so Select would drop them anyway and the query result is
+  // byte-identical. The unsynchronized path pre-aggregates ancestor rows
+  // before its Select runs — dropping rows there would change aggregated
+  // cells — so it scans everything.
+  const bool prune = assume_synchronized && pred != nullptr;
+  scan::ScanSpec scan_spec =
+      prune ? scan::ScanSpec::Compile(
+                  ctx_, *pred, now_day,
+                  [now_day](const Atom& a, const Dimension& dim, ValueId v) {
+                    return EvalQueryAtomOnValue(a, dim, v, now_day,
+                                                SelectionApproach::kLiberal);
+                  })
+            : scan::ScanSpec::All();
+
   // One evaluation per subcube; in parallel mode the evaluations fan out
   // over the process-wide pool (only shared *reads*: dimensions, spec,
-  // sibling tables).
+  // sibling tables, the compiled scan spec).
   auto eval_one = [&](size_t i) -> Result<MultidimensionalObject> {
     static obs::Histogram& subquery_latency =
         obs::MetricsRegistry::Global().GetHistogram(
@@ -404,7 +432,11 @@ Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
     const size_t ndims = dims_.size();
     std::vector<ValueId> cell(ndims);
     const Subcube& cube = *cubes_[i];
-    MultidimensionalObject base = cube.table.ToMO(fact_type_, dims_, measures_);
+    MultidimensionalObject base =
+        prune ? scan::MaterializeMO(cube.table,
+                                    scan::PlanTableScan(cube.table, scan_spec),
+                                    fact_type_, dims_, measures_)
+              : cube.table.ToMO(fact_type_, dims_, measures_);
     if (!assume_synchronized) {
       // Figure 9: evaluate on α[G_i]σ[P_i](K_i ∪ parents) — pull un-migrated
       // facts from ancestor cubes, keep only the facts this cube is
@@ -555,14 +587,15 @@ Status SubcubeManager::ChangeSpecification(ReductionSpecification new_spec,
   const size_t ndims = dims_.size();
   const size_t nmeas = measures_.size();
   for (const auto& c : cubes_) {
-    for (RowId r = 0; r < c->table.num_rows(); ++r) {
-      Row row;
-      row.cell.resize(ndims);
-      c->table.ReadCoords(r, row.cell.data());
-      row.meas.resize(nmeas);
-      for (size_t m = 0; m < nmeas; ++m) row.meas[m] = c->table.Measure(r, m);
-      rows.push_back(std::move(row));
-    }
+    c->table.ForEachRow(
+        0, c->table.num_rows(), [&](RowId, const FactTable::RowRef& ref) {
+          Row row;
+          row.cell.resize(ndims);
+          for (size_t d = 0; d < ndims; ++d) row.cell[d] = ref.coord(d);
+          row.meas.resize(nmeas);
+          for (size_t m = 0; m < nmeas; ++m) row.meas[m] = ref.measure(m);
+          rows.push_back(std::move(row));
+        });
   }
 
   spec_ = std::move(new_spec);

@@ -80,6 +80,12 @@ RetailWorkload MakeRetail(const RetailConfig& config) {
   ZipfGenerator sku_zipf(skus.size(), 0.8, config.seed ^ 0xabcdULL);
   int64_t start_day = DaysFromCivil(config.start);
 
+  if (config.preregister_days) {
+    for (int d = 0; d < config.span_days; ++d) {
+      MustOk(w.time_dim->EnsureTimeValue(DayGranule(start_day + d)));
+    }
+  }
+
   std::vector<ValueId> coords(3);
   std::vector<int64_t> meas(2);
   for (size_t i = 0; i < config.num_sales; ++i) {

@@ -23,6 +23,10 @@ struct RetailConfig {
   CivilDate start{2000, 1, 1};
   int span_days = 730;
   size_t num_sales = 100000;
+  /// Intern every day of the span chronologically before generating sales.
+  /// Day ValueIds then ascend with calendar date, so inserting facts sorted
+  /// by day gives segment zone maps real time locality (docs/STORAGE.md).
+  bool preregister_days = false;
 };
 
 struct RetailWorkload {

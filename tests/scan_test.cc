@@ -1,0 +1,202 @@
+// Scan-layer tests: plan shapes over the segment manifest, zone-map pruning
+// soundness (pruned rows never carry selection weight), metrics, and
+// byte-identical materialization with and without pruning.
+
+#include "scan/scan.h"
+
+#include <gtest/gtest.h>
+
+#include "chrono/civil.h"
+#include "chrono/granule.h"
+#include "mdm/paper_example.h"
+#include "obs/metrics.h"
+#include "query/compare.h"
+#include "query/operators.h"
+#include "spec/parser.h"
+
+namespace dwred {
+namespace {
+
+scan::AtomOracle LiberalOracle(int64_t now_day) {
+  return [now_day](const Atom& a, const Dimension& dim, ValueId v) {
+    return EvalQueryAtomOnValue(a, dim, v, now_day,
+                                SelectionApproach::kLiberal);
+  };
+}
+
+TEST(ScanPlanTest, PlanMoScanCoversRangeAscending) {
+  scan::ScanPlan plan = scan::PlanMoScan(10'000, /*grain=*/512);
+  ASSERT_FALSE(plan.units.empty());
+  size_t expect_begin = 0;
+  for (const exec::Shard& u : plan.units) {
+    EXPECT_EQ(u.begin, expect_begin);
+    EXPECT_LT(u.begin, u.end);
+    expect_begin = u.end;
+  }
+  EXPECT_EQ(expect_begin, 10'000u);
+  EXPECT_EQ(plan.segments_pruned, 0u);
+
+  EXPECT_TRUE(scan::PlanMoScan(0, 512).units.empty());
+}
+
+TEST(ScanPlanTest, AllSpecKeepsEverySegment) {
+  FactTable t(1, 1, /*segment_rows=*/4);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(i)};
+    std::vector<int64_t> m = {i};
+    t.Append(c, m);
+  }
+  scan::ScanPlan plan = scan::PlanTableScan(t, scan::ScanSpec::All());
+  EXPECT_EQ(plan.units.size(), t.num_segments());
+  EXPECT_EQ(plan.segments_total, t.num_segments());
+  EXPECT_EQ(plan.segments_pruned, 0u);
+  EXPECT_EQ(plan.rows_skipped, 0u);
+  size_t rows = 0;
+  for (const exec::Shard& u : plan.units) rows += u.end - u.begin;
+  EXPECT_EQ(rows, 10u);
+}
+
+TEST(ScanPlanTest, FalsePredicatePrunesEverything) {
+  IspExample ex = MakeIspExample();
+  FactTable t(2, 4, /*segment_rows=*/2);
+  ASSERT_TRUE(t.AppendFrom(*ex.mo).ok());
+  ASSERT_GT(t.num_segments(), 1u);
+
+  int64_t now = DaysFromCivil({2000, 7, 1});
+  scan::ScanSpec spec =
+      scan::ScanSpec::Compile(*ex.mo, *PredExpr::False(), now,
+                              LiberalOracle(now));
+  EXPECT_TRUE(spec.match_none());
+  scan::ScanPlan plan = scan::PlanTableScan(t, spec);
+  EXPECT_TRUE(plan.units.empty());
+  EXPECT_EQ(plan.segments_pruned, t.num_segments());
+  EXPECT_EQ(plan.rows_skipped, t.num_rows());
+}
+
+TEST(ScanPlanTest, TruePredicateCompilesToFullScan) {
+  IspExample ex = MakeIspExample();
+  int64_t now = DaysFromCivil({2000, 7, 1});
+  scan::ScanSpec spec = scan::ScanSpec::Compile(
+      *ex.mo, *PredExpr::True(), now, LiberalOracle(now));
+  EXPECT_TRUE(spec.unconstrained());
+}
+
+/// A table whose time coordinates ascend chronologically (day ids intern in
+/// encounter order, so chronological insertion gives the zone maps real
+/// locality — docs/STORAGE.md).
+struct ChronoTable {
+  IspExample ex = MakeIspExample();
+  FactTable t{2, 4, /*segment_rows=*/32};
+  int64_t now = 0;
+
+  ChronoTable() {
+    auto time = ex.mo->dimension(ex.time_dim);
+    int64_t start = DaysFromCivil({2000, 1, 1});
+    for (int i = 0; i < 320; ++i) {
+      ValueId day = time->EnsureTimeValue(DayGranule(start + i)).take();
+      std::vector<ValueId> c = {day, i % 2 ? ex.url_cnn : ex.url_gatech};
+      std::vector<int64_t> m = {1, i, 2 * i, 3};
+      t.Append(c, m);
+    }
+    now = start + 320;
+  }
+};
+
+TEST(ScanPlanTest, ZoneMapsPruneOutOfWindowSegments) {
+  ChronoTable ct;
+  // Keep roughly the first half of the year: later segments hold only
+  // later days and must be pruned via their time zone maps.
+  auto pred = ParsePredicate(*ct.ex.mo, "Time.day <= 2000/5/31").take();
+  scan::ScanSpec spec =
+      scan::ScanSpec::Compile(*ct.ex.mo, *pred, ct.now, LiberalOracle(ct.now));
+  EXPECT_FALSE(spec.unconstrained());
+
+  double pruned_before = obs::MetricsRegistry::Global()
+                             .GetCounter("dwred_scan_segments_pruned", "")
+                             .Value();
+  scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+  EXPECT_GT(plan.segments_pruned, 0u);
+  EXPECT_GT(plan.rows_skipped, 0u);
+  EXPECT_LT(plan.units.size(), ct.t.num_segments());
+  double pruned_after = obs::MetricsRegistry::Global()
+                            .GetCounter("dwred_scan_segments_pruned", "")
+                            .Value();
+  EXPECT_EQ(pruned_after - pruned_before,
+            static_cast<double>(plan.segments_pruned));
+
+  // Soundness: every row *outside* the plan has selection weight 0 (under
+  // the most permissive approach), so no pruned row could have been
+  // selected.
+  MultidimensionalObject full =
+      ct.t.ToMO("Click", ct.ex.mo->dimensions(),
+                std::vector<MeasureType>(ct.ex.mo->measure_types()));
+  std::vector<bool> planned(ct.t.num_rows(), false);
+  for (const exec::Shard& u : plan.units) {
+    for (size_t r = u.begin; r < u.end; ++r) planned[r] = true;
+  }
+  for (FactId f = 0; f < full.num_facts(); ++f) {
+    if (planned[f]) continue;
+    EXPECT_EQ(EvalQueryPredOnFact(*pred, full, f, ct.now,
+                                  SelectionApproach::kLiberal),
+              0.0)
+        << "pruned row " << f << " is selectable";
+  }
+}
+
+TEST(ScanPlanTest, PrunedMaterializationMatchesFullSelect) {
+  ChronoTable ct;
+  // Exercise AND/OR/NOT and both dimensions; NOT compiles through the DNF's
+  // operator negation, where unsound pruning would show up immediately.
+  const char* preds[] = {
+      "Time.day <= 2000/5/31",
+      "2000/3/1 <= Time.day <= 2000/4/30 AND URL.domain_grp = .com",
+      "NOT (Time.day <= 2000/8/31)",
+      "URL.domain_grp = .edu OR Time.day >= 2000/10/1",
+      "NOT (URL.domain = cnn.com OR Time.day < 2000/6/1)",
+  };
+  std::vector<MeasureType> measures(ct.ex.mo->measure_types());
+  for (const char* text : preds) {
+    auto pred = ParsePredicate(*ct.ex.mo, text).take();
+    MultidimensionalObject full =
+        ct.t.ToMO("Click", ct.ex.mo->dimensions(), measures);
+    SelectionResult want =
+        Select(full, *pred, ct.now, SelectionApproach::kConservative).take();
+
+    scan::ScanSpec spec = scan::ScanSpec::Compile(*ct.ex.mo, *pred, ct.now,
+                                                  LiberalOracle(ct.now));
+    scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+    MultidimensionalObject pruned = scan::MaterializeMO(
+        ct.t, plan, "Click", ct.ex.mo->dimensions(), measures);
+    SelectionResult got =
+        Select(pruned, *pred, ct.now, SelectionApproach::kConservative).take();
+
+    ASSERT_EQ(got.mo.num_facts(), want.mo.num_facts()) << text;
+    for (FactId f = 0; f < want.mo.num_facts(); ++f) {
+      EXPECT_EQ(got.mo.FormatFact(f), want.mo.FormatFact(f)) << text;
+    }
+  }
+}
+
+TEST(ScanPlanTest, MaterializeKeepsLogicalFactNames) {
+  ChronoTable ct;
+  auto pred = ParsePredicate(*ct.ex.mo, "Time.day >= 2000/10/1").take();
+  scan::ScanSpec spec = scan::ScanSpec::Compile(*ct.ex.mo, *pred, ct.now,
+                                                LiberalOracle(ct.now));
+  scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+  ASSERT_GT(plan.segments_pruned, 0u);
+  std::vector<MeasureType> measures(ct.ex.mo->measure_types());
+  MultidimensionalObject pruned = scan::MaterializeMO(
+      ct.t, plan, "Click", ct.ex.mo->dimensions(), measures);
+  // Fact f of the materialization is logical row units[...]: its name must
+  // be the full-scan name "fact_<logical row>".
+  FactId f = 0;
+  for (const exec::Shard& u : plan.units) {
+    for (size_t r = u.begin; r < u.end; ++r, ++f) {
+      EXPECT_EQ(pruned.FactName(f), "fact_" + std::to_string(r));
+    }
+  }
+  EXPECT_EQ(f, pruned.num_facts());
+}
+
+}  // namespace
+}  // namespace dwred

@@ -122,6 +122,179 @@ TEST(FactTableTest, BytesAccounting) {
   EXPECT_EQ(t.Bytes(), 2 * sizeof(ValueId) + 4 * sizeof(int64_t));
 }
 
+TEST(FactTableTest, EraseRowsOnEmptyTable) {
+  FactTable t(2, 1);
+  EXPECT_TRUE(t.EraseRows({}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_segments(), 0u);
+  // A sized bitmap against an empty table is stale.
+  EXPECT_EQ(t.EraseRows(std::vector<bool>(1, true)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FactTableTest, EraseEveryRowDropsAllSegments) {
+  FactTable t(1, 1, /*segment_rows=*/4);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(i)};
+    std::vector<int64_t> m = {i};
+    t.Append(c, m);
+  }
+  ASSERT_EQ(t.num_segments(), 3u);
+  ASSERT_TRUE(t.EraseRows(std::vector<bool>(10, true)).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_segments(), 0u);
+  EXPECT_EQ(t.Bytes(), 0u);
+  // The table must be appendable again afterwards.
+  std::vector<ValueId> c = {7};
+  std::vector<int64_t> m = {7};
+  EXPECT_EQ(t.Append(c, m), 0u);
+  EXPECT_EQ(t.Coord(0, 0), 7u);
+}
+
+TEST(FactTableTest, SegmentSealingAndCrossBoundaryReads) {
+  FactTable t(1, 1, /*segment_rows=*/3);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(100 + i)};
+    std::vector<int64_t> m = {i * 10};
+    EXPECT_EQ(t.Append(c, m), static_cast<RowId>(i));
+  }
+  ASSERT_EQ(t.num_segments(), 3u);
+  EXPECT_TRUE(t.SegmentSealed(0));
+  EXPECT_TRUE(t.SegmentSealed(1));
+  EXPECT_FALSE(t.SegmentSealed(2));  // tail: 2 of 3 rows
+  EXPECT_EQ(t.SegmentBegin(1), 3u);
+  EXPECT_EQ(t.SegmentBegin(2), 6u);
+  // Logical ids address across segment boundaries transparently.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(t.Coord(i, 0), static_cast<ValueId>(100 + i));
+    EXPECT_EQ(t.Measure(i, 0), i * 10);
+  }
+  // The cursor visits the same rows in the same order.
+  std::vector<ValueId> seen;
+  t.ForEachRow(2, 7, [&](RowId r, const FactTable::RowRef& row) {
+    EXPECT_EQ(row.coord(0), static_cast<ValueId>(100 + r));
+    seen.push_back(row.coord(0));
+  });
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.front(), 102u);
+  EXPECT_EQ(seen.back(), 106u);
+}
+
+TEST(FactTableTest, CompactCellsAcrossSegmentBoundaries) {
+  FactTable t(1, 1, /*segment_rows=*/2);
+  std::vector<AggFn> aggs = {AggFn::kSum};
+  // Duplicates of cell 5 land in three different segments.
+  ValueId cs[] = {5, 1, 2, 5, 3, 5};
+  for (int i = 0; i < 6; ++i) {
+    std::vector<ValueId> c = {cs[i]};
+    std::vector<int64_t> m = {1};
+    t.Append(c, m);
+  }
+  ASSERT_EQ(t.num_segments(), 3u);
+  auto folded = t.CompactCells(aggs);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded.value(), 2u);
+  ASSERT_EQ(t.num_rows(), 4u);
+  // First-occurrence order survives the rebuild; cell 5 folded 1+1+1.
+  EXPECT_EQ(t.Coord(0, 0), 5u);
+  EXPECT_EQ(t.Measure(0, 0), 3);
+  EXPECT_EQ(t.Coord(1, 0), 1u);
+  EXPECT_EQ(t.Coord(2, 0), 2u);
+  EXPECT_EQ(t.Coord(3, 0), 3u);
+  // The rebuild re-segments canonically: no tombstones anywhere.
+  for (size_t s = 0; s < t.num_segments(); ++s) {
+    EXPECT_EQ(t.SegmentTombstones(s), 0u);
+  }
+}
+
+TEST(FactTableTest, ZoneMapsTrackAppends) {
+  FactTable t(2, 1, /*segment_rows=*/4);
+  ValueId ds[][2] = {{5, 9}, {3, 7}, {8, 2}, {6, 6}};
+  for (auto& d : ds) {
+    std::vector<ValueId> c = {d[0], d[1]};
+    std::vector<int64_t> m = {static_cast<int64_t>(d[0]) - d[1]};
+    t.Append(c, m);
+  }
+  ASSERT_EQ(t.num_segments(), 1u);
+  EXPECT_EQ(t.SegmentDimMin(0, 0), 3u);
+  EXPECT_EQ(t.SegmentDimMax(0, 0), 8u);
+  EXPECT_EQ(t.SegmentDimMin(0, 1), 2u);
+  EXPECT_EQ(t.SegmentDimMax(0, 1), 9u);
+  EXPECT_EQ(t.SegmentMeasureMin(0, 0), -4);
+  EXPECT_EQ(t.SegmentMeasureMax(0, 0), 6);
+}
+
+TEST(FactTableTest, ZoneMapsShrinkAfterEraseAndCompact) {
+  // 8 rows in one segment; erasing the extremes must tighten the zone maps
+  // whether the segment compacts (ratio >= 0.25) or defers tombstones.
+  FactTable deferred(1, 1, /*segment_rows=*/16);
+  FactTable compacted(1, 1, /*segment_rows=*/16);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(i)};
+    std::vector<int64_t> m = {i};
+    deferred.Append(c, m);
+    compacted.Append(c, m);
+  }
+  // One tombstone out of 8 (ratio 0.125 < 0.25): deferred.
+  std::vector<bool> one(8, false);
+  one[0] = true;
+  ASSERT_TRUE(deferred.EraseRows(one).ok());
+  ASSERT_EQ(deferred.num_segments(), 1u);
+  EXPECT_EQ(deferred.SegmentTombstones(0), 1u);
+  EXPECT_EQ(deferred.SegmentLiveRows(0), 7u);
+  EXPECT_EQ(deferred.SegmentPhysicalRows(0), 8u);
+  EXPECT_EQ(deferred.SegmentDimMin(0, 0), 1u);  // zone excludes the tombstone
+  EXPECT_EQ(deferred.SegmentMeasureMin(0, 0), 1);
+  // Logical reads skip the tombstone.
+  EXPECT_EQ(deferred.Coord(0, 0), 1u);
+  EXPECT_EQ(deferred.Measure(6, 0), 7);
+
+  // Four tombstones out of 8 (ratio 0.5 >= 0.25): compacted in place.
+  std::vector<bool> four(8, false);
+  four[0] = four[1] = four[6] = four[7] = true;
+  ASSERT_TRUE(compacted.EraseRows(four).ok());
+  ASSERT_EQ(compacted.num_segments(), 1u);
+  EXPECT_EQ(compacted.SegmentTombstones(0), 0u);
+  EXPECT_EQ(compacted.SegmentLiveRows(0), 4u);
+  EXPECT_EQ(compacted.SegmentPhysicalRows(0), 4u);
+  EXPECT_EQ(compacted.SegmentDimMin(0, 0), 2u);
+  EXPECT_EQ(compacted.SegmentDimMax(0, 0), 5u);
+  EXPECT_EQ(compacted.SegmentMeasureMax(0, 0), 5);
+  // Byte accounting follows the physical rows.
+  EXPECT_EQ(compacted.Bytes(), 4 * (sizeof(ValueId) + sizeof(int64_t)));
+  EXPECT_EQ(deferred.Bytes(), 8 * (sizeof(ValueId) + sizeof(int64_t)));
+}
+
+TEST(FactTableTest, ErasingIntoTombstonedSegmentStaysConsistent) {
+  FactTable t(1, 1, /*segment_rows=*/16);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<ValueId> c = {static_cast<ValueId>(i)};
+    std::vector<int64_t> m = {i};
+    t.Append(c, m);
+  }
+  // First erase: 2/16 dead (deferred).
+  std::vector<bool> e1(16, false);
+  e1[3] = e1[12] = true;
+  ASSERT_TRUE(t.EraseRows(e1).ok());
+  ASSERT_EQ(t.num_rows(), 14u);
+  EXPECT_EQ(t.SegmentTombstones(0), 2u);
+  // Second erase addresses *logical* ids over the surviving rows: kill the
+  // new row 0 (value 0) and row 13 (value 15) → 4/16 dead, ratio 0.25 →
+  // compaction.
+  std::vector<bool> e2(14, false);
+  e2[0] = e2[13] = true;
+  ASSERT_TRUE(t.EraseRows(e2).ok());
+  ASSERT_EQ(t.num_rows(), 12u);
+  EXPECT_EQ(t.SegmentTombstones(0), 0u);
+  EXPECT_EQ(t.SegmentPhysicalRows(0), 12u);
+  EXPECT_EQ(t.SegmentDimMin(0, 0), 1u);
+  EXPECT_EQ(t.SegmentDimMax(0, 0), 14u);
+  std::vector<ValueId> expect = {1, 2, 4, 5, 6, 7, 8, 9, 10, 11, 13, 14};
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(t.Coord(i, 0), expect[i]);
+  }
+}
+
 TEST(FactTableTest, MoRoundTrip) {
   IspExample ex = MakeIspExample();
   FactTable t(2, 4);

@@ -30,6 +30,7 @@
 //   subcube-layout
 //   subcube-sync <date>                      # Section 7.2 synchronization
 //   subcube-query <date> <granularity list>  # Section 7.3 combined query
+//   storage                                  # per-subcube segments + zone maps
 //   attach <dir>                             # bind to a durable directory:
 //                                            #   fresh dir: journal this warehouse
 //                                            #   existing: recover, then continue
@@ -575,6 +576,44 @@ struct Shell {
       std::printf("subcube-query: %zu cells\n", result.num_facts());
       for (FactId f = 0; f < result.num_facts() && f < 20; ++f) {
         std::printf("  %s\n", result.FormatFact(f).c_str());
+      }
+      return Status::OK();
+    }
+    if (cmd == "storage") {
+      DWRED_RETURN_IF_ERROR(RequireSubcubes());
+      const SubcubeManager& m = CurSubcubes();
+      for (size_t i = 0; i < m.num_subcubes(); ++i) {
+        const Subcube& cube = m.subcube(i);
+        const FactTable& t = cube.table;
+        size_t phys = 0, dead = 0;
+        for (size_t s = 0; s < t.num_segments(); ++s) {
+          phys += t.SegmentPhysicalRows(s);
+          dead += t.SegmentTombstones(s);
+        }
+        std::printf("%s: %zu segments, %zu rows, %zu tombstones (%.1f%%), %s\n",
+                    cube.name.c_str(), t.num_segments(), t.num_rows(), dead,
+                    phys == 0 ? 0.0 : 100.0 * static_cast<double>(dead) /
+                                          static_cast<double>(phys),
+                    HumanBytes(t.Bytes()).c_str());
+        constexpr size_t kMaxSegments = 8;
+        for (size_t s = 0; s < t.num_segments() && s < kMaxSegments; ++s) {
+          std::printf("  seg %zu [%zu, %zu) %s live=%zu/%zu",
+                      s, static_cast<size_t>(t.SegmentBegin(s)),
+                      static_cast<size_t>(t.SegmentBegin(s)) +
+                          t.SegmentLiveRows(s),
+                      t.SegmentSealed(s) ? "sealed" : "tail",
+                      t.SegmentLiveRows(s), t.SegmentPhysicalRows(s));
+          for (DimensionId d = 0; d < t.num_dims(); ++d) {
+            std::printf(" %s=[%s..%s]", dims[d]->name().c_str(),
+                        dims[d]->value_name(t.SegmentDimMin(s, d)).c_str(),
+                        dims[d]->value_name(t.SegmentDimMax(s, d)).c_str());
+          }
+          std::printf("\n");
+        }
+        if (t.num_segments() > kMaxSegments) {
+          std::printf("  ... (%zu more segments)\n",
+                      t.num_segments() - kMaxSegments);
+        }
       }
       return Status::OK();
     }
