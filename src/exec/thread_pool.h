@@ -65,7 +65,9 @@ class ThreadPool {
   /// previous pool is drained and destroyed.
   static void ResetGlobal(int threads);
 
-  /// DWRED_THREADS, or hardware_concurrency when unset/invalid (min 1).
+  /// DWRED_THREADS validated and clamped to [1, hardware_concurrency * 4];
+  /// unset or unparseable values fall back to hardware_concurrency (min 1),
+  /// with a warning logged for anything malformed or out of range.
   static int ThreadsFromEnv();
 
   /// A pool of `threads` total lanes: threads - 1 workers plus the submitting

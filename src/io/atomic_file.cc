@@ -78,7 +78,11 @@ Status FsyncDir(const std::string& dir) {
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view content) {
-  const std::string tmp = path + ".tmp";
+  // The temp name carries the pid so concurrent writers of the same path
+  // (e.g. two dwredctl runs exporting the same snapshot) never truncate each
+  // other's in-flight temp file or steal each other's rename source — each
+  // writer renames its own file and the destination ends up whole either way.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
 
   DWRED_RETURN_IF_ERROR(testing::FaultPoint("atomic.tmp.write"));
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -28,11 +28,13 @@ Status FsyncFd(int fd, const std::string& what);
 /// Fault site "dir.fsync".
 Status FsyncDir(const std::string& dir);
 
-/// Replaces `path` atomically: writes `<path>.tmp`, fsyncs it, renames it
-/// over `path`, and fsyncs the containing directory. A crash at any point
-/// leaves either the old file intact or the new file complete — never a
-/// truncated or interleaved mix. Fault sites: "atomic.tmp.write",
-/// "atomic.tmp.fsync", "atomic.rename", "atomic.dir.fsync".
+/// Replaces `path` atomically: writes `<path>.tmp.<pid>` (per-process, so
+/// concurrent writers of the same path cannot clobber each other's temp
+/// file), fsyncs it, renames it over `path`, and fsyncs the containing
+/// directory. A crash at any point leaves either the old file intact or the
+/// new file complete — never a truncated or interleaved mix. Fault sites:
+/// "atomic.tmp.write", "atomic.tmp.fsync", "atomic.rename",
+/// "atomic.dir.fsync".
 Status AtomicWriteFile(const std::string& path, std::string_view content);
 
 }  // namespace dwred

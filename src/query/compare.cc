@@ -323,4 +323,10 @@ double EvalQueryPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,
   return 0.0;
 }
 
+scan::AtomOracle LiberalScanOracle(int64_t now_day) {
+  return [now_day](const Atom& a, const Dimension& dim, ValueId v) {
+    return EvalQueryAtomOnValue(a, dim, v, now_day, SelectionApproach::kLiberal);
+  };
+}
+
 }  // namespace dwred

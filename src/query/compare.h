@@ -21,6 +21,7 @@
 // paper's examples, the fact side drills down to the *materialized* dimension
 // values; a time literal's drill-down is its calendar range.)
 
+#include "scan/scan.h"
 #include "spec/predicate.h"
 
 namespace dwred {
@@ -53,5 +54,12 @@ double EvalQueryAtomOnFact(const Atom& atom, const MultidimensionalObject& mo,
 /// liberal these coincide with ordinary boolean evaluation.
 double EvalQueryPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,
                            FactId f, int64_t now_day, SelectionApproach ap);
+
+/// The liberal atom evaluator bound as a scan-layer may-match oracle with
+/// `now_day` baked in — the one oracle every ScanSpec compilation must use
+/// (subcube query pruning, the spec cache, tests). Liberal dominates
+/// conservative and weighted, so pruning with it stays sound for all three
+/// selection approaches.
+scan::AtomOracle LiberalScanOracle(int64_t now_day);
 
 }  // namespace dwred

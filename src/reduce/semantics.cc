@@ -230,21 +230,17 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
     }
   });
 
-  // Deterministic merge, ascending shard order. The lowest shard with an
-  // error carries the error of the globally first failing fact (each shard
-  // stops at its first failure). Note the documented divergence from a fully
-  // interleaved serial execution: all shard scan errors are checked here,
-  // before any out.AddFact runs, so a scan error on a late fact surfaces
-  // ahead of an AddFact error the interleaved order would have hit first.
-  // Success outputs are unaffected (docs/PARALLELISM.md, "Error reporting").
-  for (const ShardAccum& acc : accums) {
-    DWRED_RETURN_IF_ERROR(acc.error);
-  }
+  // Deterministic merge, ascending shard order, reproducing the interleaved
+  // serial error order exactly: each shard's groups are merged (surfacing any
+  // out.AddFact error at that cell's globally first occurrence) *before* the
+  // shard's own scan error is checked. A shard stops accumulating at its
+  // first failing fact, so every group it carries precedes that fact, and
+  // shards after the first failing one are never merged — the error reported
+  // is the globally first failing fact's error at every thread count
+  // (docs/PARALLELISM.md, "Error reporting").
   size_t facts_aggregated = 0;
   size_t facts_deleted = 0;
   for (ShardAccum& acc : accums) {
-    facts_aggregated += acc.facts_aggregated;
-    facts_deleted += acc.facts_deleted;
     for (ShardGroup& sg : acc.ordered) {
       auto it = groups.find(sg.cell);
       if (it == groups.end()) {
@@ -273,6 +269,9 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
                          sg.sources.end());
       }
     }
+    DWRED_RETURN_IF_ERROR(acc.error);
+    facts_aggregated += acc.facts_aggregated;
+    facts_deleted += acc.facts_deleted;
   }
 
   if (options.track_provenance) {

@@ -73,6 +73,17 @@ void IntersectSorted(std::vector<ValueId>& a, const std::vector<ValueId>& b) {
 
 ScanSpec ScanSpec::All() { return ScanSpec{}; }
 
+size_t ScanSpec::ApproxBytes() const {
+  size_t bytes = sizeof(ScanSpec);
+  for (const ConjunctFilter& c : conjuncts_) {
+    bytes += sizeof(ConjunctFilter);
+    for (const DimFilter& f : c.filters) {
+      bytes += sizeof(DimFilter) + f.allowed.size() * sizeof(ValueId);
+    }
+  }
+  return bytes;
+}
+
 ScanSpec ScanSpec::Compile(const MultidimensionalObject& ctx,
                            const PredExpr& pred, int64_t now_day,
                            const AtomOracle& oracle) {

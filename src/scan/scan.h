@@ -76,6 +76,10 @@ class ScanSpec {
   bool unconstrained() const { return match_all_; }
   bool match_none() const { return match_none_; }
 
+  /// Approximate heap footprint of the compiled allowed-value sets, for the
+  /// cache layer's byte accounting (src/cache).
+  size_t ApproxBytes() const;
+
  private:
   /// Allowed coordinate set of one dimension within one conjunct (sorted).
   struct DimFilter {

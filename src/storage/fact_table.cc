@@ -58,7 +58,8 @@ FactTable::FactTable(const FactTable& other)
       num_rows_(other.num_rows_),
       phys_rows_(other.phys_rows_),
       segs_(other.segs_),
-      starts_(other.starts_) {
+      starts_(other.starts_),
+      content_version_(other.content_version_) {
   UpdateFootprint(static_cast<int64_t>(num_rows_));
 }
 
@@ -72,6 +73,7 @@ FactTable& FactTable::operator=(const FactTable& other) {
   phys_rows_ = other.phys_rows_;
   segs_ = other.segs_;
   starts_ = other.starts_;
+  content_version_ = other.content_version_;
   UpdateFootprint(static_cast<int64_t>(num_rows_) - old_rows);
   return *this;
 }
@@ -84,7 +86,8 @@ FactTable::FactTable(FactTable&& other) noexcept
       phys_rows_(other.phys_rows_),
       segs_(std::move(other.segs_)),
       starts_(std::move(other.starts_)),
-      reported_bytes_(other.reported_bytes_) {
+      reported_bytes_(other.reported_bytes_),
+      content_version_(other.content_version_) {
   // The gauge contribution moves with the data; the source owes nothing.
   other.num_rows_ = 0;
   other.phys_rows_ = 0;
@@ -104,6 +107,7 @@ FactTable& FactTable::operator=(FactTable&& other) noexcept {
   segs_ = std::move(other.segs_);
   starts_ = std::move(other.starts_);
   reported_bytes_ = other.reported_bytes_;
+  content_version_ = other.content_version_;
   other.num_rows_ = 0;
   other.phys_rows_ = 0;
   other.reported_bytes_ = 0;
@@ -167,6 +171,7 @@ RowId FactTable::Append(std::span<const ValueId> coords,
     tail.sealed = true;
   }
   RowId r = num_rows_++;
+  ++content_version_;
   UpdateFootprint(1);
   return r;
 }
@@ -295,6 +300,7 @@ Status FactTable::EraseRows(const std::vector<bool>& erase) {
   }
   segs_ = std::move(kept);
   RecomputeIndex();
+  if (num_rows_ != before) ++content_version_;
   UpdateFootprint(static_cast<int64_t>(num_rows_) -
                   static_cast<int64_t>(before));
   return Status::OK();

@@ -79,6 +79,14 @@ class FactTable {
   size_t num_measures() const { return nmeas_; }
   size_t segment_rows() const { return segment_rows_; }
 
+  /// Monotonic mutation counter: advances whenever the logical row content
+  /// changes (Append/AppendFrom, rows actually erased by EraseRows, cells
+  /// actually folded by CompactCells). Copies inherit the source's counter.
+  /// The cache layer (src/cache) compares it across an epoch-pinned read to
+  /// assert the snapshot-isolation contract: a table observed under the
+  /// shared lock must not move while the query runs.
+  uint64_t content_version() const { return content_version_; }
+
   /// Appends one row to the tail segment (sealing it and opening a new tail
   /// when it reaches the row budget).
   RowId Append(std::span<const ValueId> coords,
@@ -240,6 +248,7 @@ class FactTable {
   std::vector<Segment> segs_;
   std::vector<size_t> starts_;  ///< logical id of each segment's first row
   size_t reported_bytes_ = 0;   ///< bytes currently credited to the gauges
+  uint64_t content_version_ = 0;  ///< see content_version()
 };
 
 }  // namespace dwred

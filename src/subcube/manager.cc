@@ -1,7 +1,9 @@
 #include "subcube/manager.h"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 #include "common/check.h"
 #include "exec/thread_pool.h"
@@ -51,7 +53,28 @@ SubcubeManager::SubcubeManager(std::string fact_type,
       dims_(std::move(dims)),
       measures_(std::move(measures)),
       spec_(std::move(spec)),
-      ctx_(fact_type_, dims_, measures_) {}
+      ctx_(fact_type_, dims_, measures_),
+      cache_(std::make_unique<cache::WarehouseCache>()) {}
+
+namespace {
+
+/// Bumps the warehouse epoch on scope exit once armed — mutating passes arm
+/// it at the first point a table byte may have changed, so even an error
+/// return after partial mutation invalidates the caches.
+class EpochBumpGuard {
+ public:
+  explicit EpochBumpGuard(cache::WarehouseCache& c) : cache_(c) {}
+  ~EpochBumpGuard() {
+    if (armed_) cache_.BumpEpoch();
+  }
+  void Arm() { armed_ = true; }
+
+ private:
+  cache::WarehouseCache& cache_;
+  bool armed_ = false;
+};
+
+}  // namespace
 
 Result<SubcubeManager> SubcubeManager::Create(
     std::string fact_type, std::vector<std::shared_ptr<Dimension>> dims,
@@ -121,6 +144,8 @@ Status SubcubeManager::BuildLayout() {
 }
 
 Status SubcubeManager::InsertBottomFacts(const MultidimensionalObject& batch) {
+  std::unique_lock<std::shared_mutex> snapshot(cache_->snapshot_mutex());
+  EpochBumpGuard bump(*cache_);
   if (batch.num_dimensions() != dims_.size() ||
       batch.num_measures() != measures_.size()) {
     return Status::InvalidArgument("batch schema mismatch");
@@ -137,6 +162,7 @@ Status SubcubeManager::InsertBottomFacts(const MultidimensionalObject& batch) {
       }
     }
   }
+  if (batch.num_facts() > 0) bump.Arm();
   DWRED_RETURN_IF_ERROR(cubes_[0]->table.AppendFrom(batch));
   return Status::OK();
 }
@@ -253,7 +279,9 @@ Status SubcubeManager::RestoreRow(size_t cube, std::span<const ValueId> cell,
           " names no value of dimension " + dims_[d]->name());
     }
   }
+  std::unique_lock<std::shared_mutex> snapshot(cache_->snapshot_mutex());
   cubes_[cube]->table.Append(cell, measures);
+  cache_->BumpEpoch();
   return Status::OK();
 }
 
@@ -263,6 +291,10 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
       "dwred_subcube_sync_seconds", obs::DefaultLatencyBuckets(),
       "wall time of one subcube synchronization pass (Section 7.2)");
   obs::TraceSpan span("subcube.sync", &sync_latency);
+
+  // Writers are exclusive: no query may observe a half-migrated manifest.
+  std::unique_lock<std::shared_mutex> snapshot_lock(cache_->snapshot_mutex());
+  EpochBumpGuard bump(*cache_);
 
   std::vector<AggFn> aggs;
   for (const auto& m : measures_) aggs.push_back(m.agg);
@@ -334,6 +366,9 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
     for (const Status& s : plan.shard_error) DWRED_RETURN_IF_ERROR(s);
   }
 
+  // The apply phase mutates tables; from here on the caches must be dropped
+  // even if a later step fails.
+  bump.Arm();
   std::vector<bool> received(cubes_.size(), false);
   for (size_t i = 0; i < cubes_.size(); ++i) {
     Subcube& cube = *cubes_[i];
@@ -399,6 +434,17 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
 Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
     const PredExpr* pred, const std::vector<CategoryId>* target,
     int64_t now_day, bool assume_synchronized, bool parallel) const {
+  std::shared_lock<std::shared_mutex> snapshot(cache_->snapshot_mutex());
+  return QuerySubresultsLocked(pred, target, now_day, assume_synchronized,
+                               parallel);
+}
+
+Result<std::vector<MultidimensionalObject>>
+SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
+                                      const std::vector<CategoryId>* target,
+                                      int64_t now_day,
+                                      bool assume_synchronized,
+                                      bool parallel) const {
   // On the synchronized path every row already sits in its responsible cube,
   // so the selection predicate can prune whole storage segments via zone
   // maps before materialization: pruned segments hold only rows whose
@@ -408,15 +454,25 @@ Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
   // byte-identical. The unsynchronized path pre-aggregates ancestor rows
   // before its Select runs — dropping rows there would change aggregated
   // cells — so it scans everything.
+  //
+  // Compilation enumerates every value of each constrained dimension through
+  // the liberal oracle — linear in dimension extent — so compiled specs are
+  // cached per (predicate, NOW day, epoch); a hit skips the enumeration and
+  // is byte-identical because nothing else feeds the compilation.
   const bool prune = assume_synchronized && pred != nullptr;
-  scan::ScanSpec scan_spec =
-      prune ? scan::ScanSpec::Compile(
-                  ctx_, *pred, now_day,
-                  [now_day](const Atom& a, const Dimension& dim, ValueId v) {
-                    return EvalQueryAtomOnValue(a, dim, v, now_day,
-                                                SelectionApproach::kLiberal);
-                  })
-            : scan::ScanSpec::All();
+  scan::ScanSpec scan_spec = scan::ScanSpec::All();
+  if (prune) {
+    const std::string skey =
+        cache::ScanSpecFingerprint(ctx_, *pred, now_day, cache_->epoch());
+    if (std::shared_ptr<const scan::ScanSpec> hit =
+            cache_->LookupScanSpec(skey)) {
+      scan_spec = *hit;
+    } else {
+      scan_spec =
+          scan::ScanSpec::Compile(ctx_, *pred, now_day, LiberalScanOracle(now_day));
+      cache_->InsertScanSpec(skey, scan_spec);
+    }
+  }
 
   // One evaluation per subcube; in parallel mode the evaluations fan out
   // over the process-wide pool (only shared *reads*: dimensions, spec,
@@ -536,7 +592,8 @@ Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
 
 Result<MultidimensionalObject> SubcubeManager::Query(
     const PredExpr* pred, const std::vector<CategoryId>* target,
-    int64_t now_day, bool assume_synchronized, bool parallel) const {
+    int64_t now_day, bool assume_synchronized, bool parallel,
+    uint64_t* pinned_epoch) const {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Histogram& query_latency = registry.GetHistogram(
       "dwred_subcube_query_seconds", obs::DefaultLatencyBuckets(),
@@ -545,9 +602,29 @@ Result<MultidimensionalObject> SubcubeManager::Query(
       "dwred_subcube_queries", "subcube queries evaluated");
   obs::TraceSpan span("subcube.query", &query_latency);
   c_queries.Increment();
-  DWRED_ASSIGN_OR_RETURN(
-      std::vector<MultidimensionalObject> subs,
-      QuerySubresults(pred, target, now_day, assume_synchronized, parallel));
+
+  // Epoch-pinned snapshot: the shared lock spans lookup, evaluation and
+  // insert, so the epoch read here is the epoch of every byte this query
+  // observes (writers are exclusive).
+  std::shared_lock<std::shared_mutex> snapshot(cache_->snapshot_mutex());
+  const uint64_t epoch = cache_->epoch();
+  if (pinned_epoch != nullptr) *pinned_epoch = epoch;
+  // Snapshot-isolation self-check: the storage content versions must not
+  // move while the shared lock is held.
+  uint64_t version_sum = 0;
+  for (const auto& c : cubes_) version_sum += c->table.content_version();
+
+  const std::string key = cache::QueryFingerprint(
+      ctx_, pred, target, now_day, assume_synchronized, epoch);
+  if (std::shared_ptr<const MultidimensionalObject> hit =
+          cache_->LookupQuery(key)) {
+    span.AddField("cache_hit", int64_t{1});
+    return *hit;
+  }
+
+  DWRED_ASSIGN_OR_RETURN(std::vector<MultidimensionalObject> subs,
+                         QuerySubresultsLocked(pred, target, now_day,
+                                               assume_synchronized, parallel));
   // Union of disjoint subresults ...
   MultidimensionalObject unioned(fact_type_, dims_, measures_);
   std::vector<ValueId> cell(dims_.size());
@@ -567,15 +644,24 @@ Result<MultidimensionalObject> SubcubeManager::Query(
   // ... then one final combining aggregation (distributivity makes the
   // two-step aggregation exact, Section 7.3).
   if (target) {
-    return AggregateFormation(unioned, *target,
-                              AggregationApproach::kAvailability,
-                              /*track_provenance=*/false);
+    DWRED_ASSIGN_OR_RETURN(
+        unioned, AggregateFormation(unioned, *target,
+                                    AggregationApproach::kAvailability,
+                                    /*track_provenance=*/false));
   }
+  uint64_t version_check = 0;
+  for (const auto& c : cubes_) version_check += c->table.content_version();
+  DWRED_CHECK(version_check == version_sum);
+  cache_->InsertQuery(key,
+                      std::make_shared<MultidimensionalObject>(unioned));
   return unioned;
 }
 
 Status SubcubeManager::ChangeSpecification(ReductionSpecification new_spec,
                                            int64_t now_day) {
+  std::unique_lock<std::shared_mutex> snapshot(cache_->snapshot_mutex());
+  EpochBumpGuard bump(*cache_);
+  bump.Arm();  // the layout swap below always invalidates cached results
   // Stash every row, swap the specification, rebuild the layout, then
   // redistribute (Section 7.2's infrequent synchronization: "data is moved
   // from all old subcubes, not only from parent cubes").

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/cache.h"
 #include "query/operators.h"
 #include "spec/action.h"
 #include "storage/fact_table.h"
@@ -70,6 +71,14 @@ class SubcubeManager {
   /// context against which predicates and granularity lists are parsed.
   const MultidimensionalObject& context() const { return ctx_; }
 
+  /// The warehouse's epoch counter, snapshot lock, and query/ScanSpec caches
+  /// (src/cache). Every mutating pass bumps the epoch under the exclusive
+  /// lock; queries run under the shared lock against the epoch they pinned.
+  cache::WarehouseCache& warehouse_cache() const { return *cache_; }
+
+  /// Current warehouse epoch (see cache::WarehouseCache).
+  uint64_t epoch() const { return cache_->epoch(); }
+
   /// Bulk-loads new detail facts (bottom granularity) into the bottom cube.
   Status InsertBottomFacts(const MultidimensionalObject& batch);
 
@@ -108,13 +117,24 @@ class SubcubeManager {
   /// 7.3's "separately and in parallel"; sound because per-cube evaluation
   /// only reads shared state and the final combine is a single-threaded
   /// distributive fold.
+  ///
+  /// The whole evaluation runs under the warehouse's shared snapshot lock:
+  /// the epoch and sealed-segment manifest observed at entry cannot change
+  /// until the result is built, so queries run concurrently with writers
+  /// without byte-level divergence. When `pinned_epoch` is non-null it
+  /// receives the epoch this query evaluated against. Results and compiled
+  /// ScanSpecs are served from the epoch-keyed caches when enabled
+  /// (docs/CACHING.md); a cache hit is byte-identical to re-evaluation.
   Result<MultidimensionalObject> Query(const PredExpr* pred,
                                        const std::vector<CategoryId>* target,
                                        int64_t now_day,
                                        bool assume_synchronized,
-                                       bool parallel = false) const;
+                                       bool parallel = false,
+                                       uint64_t* pinned_epoch = nullptr) const;
 
   /// Per-cube subresults of a query (exposed to reproduce Figure 8's S0..S4).
+  /// Takes the shared snapshot lock like Query (but only Query consults the
+  /// result cache — subresult vectors are not cached).
   Result<std::vector<MultidimensionalObject>> QuerySubresults(
       const PredExpr* pred, const std::vector<CategoryId>* target,
       int64_t now_day, bool assume_synchronized, bool parallel = false) const;
@@ -143,12 +163,21 @@ class SubcubeManager {
   Result<std::vector<ValueId>> RollCell(std::span<const ValueId> cell,
                                         const std::vector<CategoryId>& gran) const;
 
+  /// QuerySubresults body; the caller must hold the shared snapshot lock
+  /// (the lock is not recursive, so Query cannot call the public wrapper).
+  Result<std::vector<MultidimensionalObject>> QuerySubresultsLocked(
+      const PredExpr* pred, const std::vector<CategoryId>* target,
+      int64_t now_day, bool assume_synchronized, bool parallel) const;
+
   std::string fact_type_;
   std::vector<std::shared_ptr<Dimension>> dims_;
   std::vector<MeasureType> measures_;
   ReductionSpecification spec_;
   MultidimensionalObject ctx_;  ///< facts-free evaluation context
   std::vector<std::unique_ptr<Subcube>> cubes_;
+  /// Heap-held so the manager stays movable through Result<SubcubeManager>
+  /// (the lock and epoch atomic must never relocate under concurrent use).
+  std::unique_ptr<cache::WarehouseCache> cache_;
 };
 
 }  // namespace dwred

@@ -8,6 +8,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/logging.h"
 #include "obs/metrics.h"
 
 namespace dwred::exec {
@@ -131,11 +134,69 @@ TEST(ThreadPool, GlobalRespectsResetAndEnv) {
   EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
   ThreadPool::ResetGlobal(1);
   EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
-  setenv("DWRED_THREADS", "5", 1);
+  // 4 is always inside the [1, hardware_concurrency * 4] clamp (hw >= 1).
+  setenv("DWRED_THREADS", "4", 1);
   ThreadPool::ResetGlobal(0);  // re-read the environment
-  EXPECT_EQ(ThreadPool::Global().num_threads(), 5);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 4);
   unsetenv("DWRED_THREADS");
   ThreadPool::ResetGlobal(2);
+}
+
+TEST(ThreadPool, ThreadsFromEnvValidatesAndClamps) {
+  unsigned hw = std::thread::hardware_concurrency();
+  int hw_threads = hw >= 1 ? static_cast<int>(hw) : 1;
+  int max_threads = hw_threads * 4;
+
+  std::vector<std::string> warnings;
+  obs::SetLogSink([&](obs::LogLevel level, std::string_view msg) {
+    if (level == obs::LogLevel::kWarn) warnings.emplace_back(msg);
+  });
+
+  auto from = [&](const char* value) {
+    warnings.clear();
+    if (value == nullptr) {
+      unsetenv("DWRED_THREADS");
+    } else {
+      setenv("DWRED_THREADS", value, 1);
+    }
+    return ThreadPool::ThreadsFromEnv();
+  };
+
+  // Unset: hardware default, no warning.
+  EXPECT_EQ(from(nullptr), hw_threads);
+  EXPECT_TRUE(warnings.empty());
+
+  // Valid values pass through (whitespace tolerated), no warning.
+  EXPECT_EQ(from("1"), 1);
+  EXPECT_EQ(from(" 2 "), 2);
+  EXPECT_TRUE(warnings.empty());
+
+  // Garbage falls back to the hardware default with a warning.
+  for (const char* bad : {"abc", "", "3x", "1.5", "0x4"}) {
+    EXPECT_EQ(from(bad), hw_threads) << "value: \"" << bad << "\"";
+    ASSERT_EQ(warnings.size(), 1u) << "value: \"" << bad << "\"";
+    EXPECT_NE(warnings[0].find("not an integer"), std::string::npos);
+  }
+
+  // Overflowing values are unparseable, not undefined behavior.
+  EXPECT_EQ(from("999999999999999999999999"), hw_threads);
+  ASSERT_EQ(warnings.size(), 1u);
+
+  // Non-positive values clamp to 1 with a warning.
+  for (const char* low : {"0", "-3", "-999999999999999999"}) {
+    EXPECT_EQ(from(low), 1) << "value: \"" << low << "\"";
+    ASSERT_EQ(warnings.size(), 1u) << "value: \"" << low << "\"";
+    EXPECT_NE(warnings[0].find("clamping to 1"), std::string::npos);
+  }
+
+  // Oversized values clamp to 4x hardware_concurrency with a warning.
+  EXPECT_EQ(from("1000000"), max_threads);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("exceeds 4x hardware_concurrency"),
+            std::string::npos);
+
+  unsetenv("DWRED_THREADS");
+  obs::SetLogSink(nullptr);
 }
 
 TEST(ThreadPool, TaskMetricsAdvance) {

@@ -224,6 +224,91 @@ TEST(ParallelDifferential, QueryClickstream) {
   });
 }
 
+// Error-injecting spec: two pairs of NonCrossing-violating actions, each
+// tripping MaxSpecGran on a different set of facts (by URL domain). The error
+// Reduce reports must be the *globally first* failing fact's error at every
+// thread count — the interleaved serial order — even though at higher thread
+// counts a later shard independently hits the other failing domain.
+TEST(ParallelDifferential, ReduceErrorOrderMatchesSerial) {
+  ClickstreamConfig cfg;
+  cfg.seed = 71;
+  cfg.num_domains = 12;
+  cfg.urls_per_domain = 4;
+  cfg.num_clicks = 4000;  // > 1024-grain shards at higher thread counts
+  cfg.span_days = 2 * 365;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  int64_t now = DaysFromCivil(cfg.start) + 400;
+
+  DimensionId url_d = 0;
+  for (size_t d = 0; d < w.mo->num_dimensions(); ++d) {
+    auto dd = static_cast<DimensionId>(d);
+    if (w.mo->dimension(dd)->type().name() == "URL") url_d = dd;
+  }
+  const Dimension& url_dim = *w.mo->dimension(url_d);
+  CategoryId domain_cat = url_dim.type().CategoryByName("domain").take();
+
+  auto domain_pred = [&](std::string_view domain_name) {
+    Atom a;
+    a.dim = url_d;
+    a.category = domain_cat;
+    a.op = CmpOp::kEq;
+    a.values = {url_dim.ValueByName(domain_cat, domain_name).take()};
+    return PredExpr::MakeAtom(a);
+  };
+  auto crossing_pair = [&](std::shared_ptr<PredExpr> pred, const char* stem,
+                           ReductionSpecification* spec) {
+    // (Time.month, URL.url) and (Time.day, URL.domain) are incomparable:
+    // any fact satisfying `pred` satisfies both, violating NonCrossing.
+    Action lift_time;
+    lift_time.granularity = ParseGranularityList(*w.mo, "Time.month, URL.url").take();
+    lift_time.predicate = pred;
+    lift_time.name = std::string(stem) + "_time";
+    Action lift_url;
+    lift_url.granularity = ParseGranularityList(*w.mo, "Time.day, URL.domain").take();
+    lift_url.predicate = std::move(pred);
+    lift_url.name = std::string(stem) + "_url";
+    spec->Add(std::move(lift_time));
+    spec->Add(std::move(lift_url));
+  };
+
+  std::shared_ptr<PredExpr> pred_a = domain_pred("site5.edu");
+  std::shared_ptr<PredExpr> pred_b = domain_pred("site7.net");
+  ReductionSpecification spec;
+  crossing_pair(pred_a, "a", &spec);
+  crossing_pair(pred_b, "b", &spec);
+
+  // The serial interleaved loop fails at the first fact matching either
+  // domain; later matches (which land in later shards) must never win.
+  FactId first_bad = w.mo->num_facts();
+  FactId last_bad = 0;
+  for (FactId f = 0; f < w.mo->num_facts(); ++f) {
+    if (EvalPredOnFact(*pred_a, *w.mo, f, now) ||
+        EvalPredOnFact(*pred_b, *w.mo, f, now)) {
+      if (first_bad == w.mo->num_facts()) first_bad = f;
+      last_bad = f;
+    }
+  }
+  ASSERT_LT(first_bad, w.mo->num_facts()) << "workload matched no domain";
+  ASSERT_LT(first_bad, 1024u) << "first failing fact must sit in shard 0";
+  ASSERT_GE(last_bad, 2048u) << "need a failing fact in a later shard";
+
+  ExpectIdenticalAcrossThreadCounts([&](int) {
+    auto reduced = Reduce(*w.mo, spec, now);
+    EXPECT_FALSE(reduced.ok());
+    return reduced.status().message();
+  });
+
+  exec::ThreadPool::ResetGlobal(8);
+  auto reduced = Reduce(*w.mo, spec, now);
+  ASSERT_FALSE(reduced.ok());
+  EXPECT_NE(reduced.status().message().find(
+                "for " + w.mo->FactName(first_bad) + " "),
+            std::string::npos)
+      << "error does not name the globally first failing fact: "
+      << reduced.status().message();
+  exec::ThreadPool::ResetGlobal(2);
+}
+
 TEST(ParallelDifferential, EndToEndSnapshotImage) {
   ClickstreamConfig cfg;
   cfg.seed = 59;

@@ -177,6 +177,113 @@ TEST(ScanPlanTest, PrunedMaterializationMatchesFullSelect) {
   }
 }
 
+/// Formats the day `start + offset` as predicate-literal text (y/m/d).
+std::string DayLiteral(int64_t start, int64_t offset) {
+  CivilDate c = CivilFromDays(start + offset);
+  return std::to_string(c.year) + "/" + std::to_string(c.month) + "/" +
+         std::to_string(c.day);
+}
+
+// Zone-map staleness audit (lightly-tombstoned segments): tombstoning the
+// zone-extremal rows of a segment *below* the 25% compaction threshold takes
+// the deferred path — no rewrite, no drop — yet the segment's zones must
+// shrink to the live rows, so a predicate matching only the tombstoned
+// extremes prunes the segment soundly and pruned materialization stays
+// byte-identical to the full scan.
+TEST(ScanPlanTest, TombstonedZoneExtremesStaySound) {
+  ChronoTable ct;
+  int64_t start = DaysFromCivil({2000, 1, 1});
+  ASSERT_EQ(ct.t.num_segments(), 10u);  // 320 rows / 32 per segment
+
+  // Segment 3 covers days start+96 .. start+127. Tombstone its zone-extremal
+  // rows on the time dimension: the 2 earliest and the 5 latest days —
+  // 7/32 = 21.9%, below kCompactTombstoneRatio.
+  std::vector<bool> erase(ct.t.num_rows(), false);
+  for (RowId r : {96, 97, 123, 124, 125, 126, 127}) erase[r] = true;
+  ASSERT_TRUE(ct.t.EraseRows(erase).ok());
+
+  // Deferred path: same segment count, same physical rows, 7 tombstones.
+  ASSERT_EQ(ct.t.num_segments(), 10u);
+  EXPECT_EQ(ct.t.SegmentPhysicalRows(3), 32u);
+  EXPECT_EQ(ct.t.SegmentTombstones(3), 7u);
+  EXPECT_EQ(ct.t.SegmentLiveRows(3), 25u);
+
+  // The time zones must have shrunk to the surviving rows (day ids intern in
+  // chronological order, so zone endpoints are the live extreme days).
+  auto time = ct.ex.mo->dimension(ct.ex.time_dim);
+  ValueId live_min = time->EnsureTimeValue(DayGranule(start + 98)).take();
+  ValueId live_max = time->EnsureTimeValue(DayGranule(start + 122)).take();
+  EXPECT_EQ(ct.t.SegmentDimMin(3, 0), live_min);
+  EXPECT_EQ(ct.t.SegmentDimMax(3, 0), live_max);
+
+  std::vector<MeasureType> measures(ct.ex.mo->measure_types());
+  auto check_byte_identical = [&](const std::string& text,
+                                  size_t* facts_out) {
+    auto pred = ParsePredicate(*ct.ex.mo, text).take();
+    MultidimensionalObject full =
+        ct.t.ToMO("Click", ct.ex.mo->dimensions(), measures);
+    SelectionResult want =
+        Select(full, *pred, ct.now, SelectionApproach::kConservative).take();
+    scan::ScanSpec spec = scan::ScanSpec::Compile(*ct.ex.mo, *pred, ct.now,
+                                                  LiberalOracle(ct.now));
+    scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+    MultidimensionalObject pruned = scan::MaterializeMO(
+        ct.t, plan, "Click", ct.ex.mo->dimensions(), measures);
+    SelectionResult got =
+        Select(pruned, *pred, ct.now, SelectionApproach::kConservative).take();
+    EXPECT_EQ(got.mo.num_facts(), want.mo.num_facts()) << text;
+    if (got.mo.num_facts() == want.mo.num_facts()) {
+      for (FactId f = 0; f < want.mo.num_facts(); ++f) {
+        EXPECT_EQ(got.mo.FormatFact(f), want.mo.FormatFact(f)) << text;
+      }
+    }
+    if (facts_out) *facts_out = want.mo.num_facts();
+    return plan;
+  };
+
+  // A window covering only the tombstoned latest days of segment 3: every
+  // matching row is dead, so the result must be empty and pruning must stay
+  // sound. Two segments survive pruning — the liberal oracle also admits
+  // week/month parent values whose interleaved ValueIds fall inside their
+  // zone ranges — but the scanned segments expose live rows only, so nothing
+  // leaks.
+  {
+    size_t facts = ~0u;
+    std::string text = DayLiteral(start, 123) + " <= Time.day AND Time.day <= " +
+                       DayLiteral(start, 127);
+    scan::ScanPlan plan = check_byte_identical(text, &facts);
+    EXPECT_EQ(facts, 0u) << "tombstoned rows leaked into the result";
+    EXPECT_GE(plan.segments_pruned, ct.t.num_segments() - 2);
+  }
+
+  // Same for the tombstoned earliest days. Here the zone shrink shows up
+  // directly: segment 3's recomputed dmin rose past the erased days' ids, so
+  // the segment whose only matching rows were tombstoned is itself pruned
+  // (only segment 2 survives, via liberal parent-value ids in its zone).
+  {
+    size_t facts = ~0u;
+    std::string text = DayLiteral(start, 96) + " <= Time.day AND Time.day <= " +
+                       DayLiteral(start, 97);
+    scan::ScanPlan plan = check_byte_identical(text, &facts);
+    EXPECT_EQ(facts, 0u);
+    EXPECT_EQ(plan.segments_pruned, ct.t.num_segments() - 1);
+    ASSERT_EQ(plan.units.size(), 1u);
+    EXPECT_LE(plan.units[0].end, static_cast<size_t>(ct.t.SegmentBegin(3)))
+        << "the tombstoned-extreme segment was scanned despite its shrunk zone";
+  }
+
+  // A window straddling live rows of segment 3 and the tombstoned boundary:
+  // the segment must survive pruning and materialize exactly the live rows.
+  {
+    size_t facts = 0;
+    std::string text = DayLiteral(start, 120) + " <= Time.day AND Time.day <= " +
+                       DayLiteral(start, 130);
+    check_byte_identical(text, &facts);
+    // Live matches: days 120..122 (seg 3) and 128..130 (seg 4).
+    EXPECT_EQ(facts, 6u);
+  }
+}
+
 TEST(ScanPlanTest, MaterializeKeepsLogicalFactNames) {
   ChronoTable ct;
   auto pred = ParsePredicate(*ct.ex.mo, "Time.day >= 2000/10/1").take();

@@ -31,6 +31,8 @@
 //   subcube-sync <date>                      # Section 7.2 synchronization
 //   subcube-query <date> <granularity list>  # Section 7.3 combined query
 //   storage                                  # per-subcube segments + zone maps
+//   cache                                    # epoch, cache entries, hit rates
+//   cache clear                              # drop every cached entry
 //   attach <dir>                             # bind to a durable directory:
 //                                            #   fresh dir: journal this warehouse
 //                                            #   existing: recover, then continue
@@ -53,6 +55,7 @@
 #include <memory>
 #include <sstream>
 
+#include "cache/cache.h"
 #include "common/strings.h"
 #include "io/csv.h"
 #include "io/recovery.h"
@@ -615,6 +618,43 @@ struct Shell {
                       t.num_segments() - kMaxSegments);
         }
       }
+      return Status::OK();
+    }
+    if (cmd == "cache") {
+      DWRED_RETURN_IF_ERROR(RequireSubcubes());
+      cache::WarehouseCache& wc = CurSubcubes().warehouse_cache();
+      if (Trim(rest) == "clear") {
+        wc.Clear();
+        std::printf("cache cleared\n");
+        return Status::OK();
+      }
+      if (!Trim(rest).empty()) {
+        return Status::InvalidArgument("usage: cache [clear]");
+      }
+      cache::WarehouseCache::Stats st = wc.GetStats();
+      auto& reg = obs::MetricsRegistry::Global();
+      std::printf("cache %s: epoch=%llu\n",
+                  cache::Enabled() ? "enabled" : "disabled (DWRED_CACHE_DISABLED)",
+                  static_cast<unsigned long long>(st.epoch));
+      std::printf("  query entries=%zu scanspec entries=%zu bytes=%s "
+                  "(budget %zu entries, %s)\n",
+                  st.query_entries, st.scanspec_entries,
+                  HumanBytes(st.bytes).c_str(), st.max_entries,
+                  HumanBytes(st.max_bytes).c_str());
+      std::printf("  query hits=%llu misses=%llu | scanspec hits=%llu "
+                  "misses=%llu | evictions=%llu invalidations=%llu\n",
+                  static_cast<unsigned long long>(
+                      reg.GetCounter("dwred_cache_query_hits", "").Value()),
+                  static_cast<unsigned long long>(
+                      reg.GetCounter("dwred_cache_query_misses", "").Value()),
+                  static_cast<unsigned long long>(
+                      reg.GetCounter("dwred_cache_scanspec_hits", "").Value()),
+                  static_cast<unsigned long long>(
+                      reg.GetCounter("dwred_cache_scanspec_misses", "").Value()),
+                  static_cast<unsigned long long>(
+                      reg.GetCounter("dwred_cache_evictions", "").Value()),
+                  static_cast<unsigned long long>(
+                      reg.GetCounter("dwred_cache_invalidations", "").Value()));
       return Status::OK();
     }
     return Status::InvalidArgument("unknown command: " + cmd);
