@@ -15,6 +15,7 @@
 #include "common/strings.h"
 #include "obs/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dwred::exec {
 
@@ -65,6 +66,7 @@ struct PoolMetrics {
 struct Op {
   const std::function<void(size_t, size_t, size_t)>* fn;
   const std::vector<Shard>* shards;
+  obs::TraceContext ctx;  ///< submitter's trace context, installed per shard
   std::atomic<size_t> remaining;
   std::mutex mu;
   std::condition_variable cv;
@@ -131,6 +133,10 @@ struct ThreadPool::Impl {
     auto& m = PoolMetrics::Get();
     m.tasks.Increment();
     const Shard& s = (*t.op->shards)[t.shard];
+    // Carry the submitter's trace context onto this thread for the shard's
+    // duration: spans the body opens parent under the submitting span even
+    // when a worker (or a stealing submitter of another op) runs it.
+    obs::ScopedTraceContext trace_scope(t.op->ctx);
     if constexpr (obs::kObsEnabled) {
       auto t0 = std::chrono::steady_clock::now();
       (*t.op->fn)(t.shard, s.begin, s.end);
@@ -242,6 +248,7 @@ void ThreadPool::ParallelForShards(
   Op op;
   op.fn = &fn;
   op.shards = &shards;
+  op.ctx = obs::CurrentTraceContext();
   op.remaining.store(shards.size(), std::memory_order_release);
   {
     // Distribute round-robin starting at a moving cursor so consecutive small

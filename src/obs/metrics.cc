@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 namespace dwred::obs {
@@ -12,6 +13,32 @@ std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", v);
   return buf;
+}
+
+// Anchored at static init: dwred_uptime_seconds measures from roughly process
+// start, not from whenever the registry was first touched.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+#ifndef DWRED_VERSION
+#define DWRED_VERSION "unknown"
+#endif
+#ifndef DWRED_BUILD_TYPE
+#define DWRED_BUILD_TYPE "unknown"
+#endif
+
+std::string BuildInfoLabels() {
+  std::string labels = "version=\"" DWRED_VERSION "\"";
+  labels += ",build_type=\"" DWRED_BUILD_TYPE "\"";
+#if defined(__clang__)
+  labels += ",compiler=\"clang\"";
+#elif defined(__GNUC__)
+  labels += ",compiler=\"gcc\"";
+#else
+  labels += ",compiler=\"unknown\"";
+#endif
+  labels += kObsEnabled ? ",obs=\"on\"" : ",obs=\"off\"";
+  return labels;
 }
 
 }  // namespace
@@ -92,7 +119,36 @@ MetricsRegistry& MetricsRegistry::Global() {
   // accounting) may run during static teardown, after a function-local
   // static registry would already be gone.
   static MetricsRegistry* g = new MetricsRegistry();
+  // Second function-local static so the process-level gauges register exactly
+  // once, strictly after `g` exists (Get* must not re-enter Global()).
+  [[maybe_unused]] static const int process_metrics = [] {
+    g->GetGauge("dwred_build_info",
+                "constant 1; version/build labels in the text exposition")
+        .Set(1);
+    g->SetConstLabels("dwred_build_info", BuildInfoLabels());
+    g->GetGauge("dwred_uptime_seconds",
+                "seconds since process start (stamped at render time)");
+    return 0;
+  }();
   return *g;
+}
+
+void MetricsRegistry::SetConstLabels(const std::string& name,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  labels_[name] = labels;
+}
+
+void MetricsRegistry::RefreshUptimeLocked() const {
+  auto it = gauges_.find("dwred_uptime_seconds");
+  if (it == gauges_.end()) return;
+  it->second->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                      std::chrono::steady_clock::now() - g_process_start)
+                      .count());
+  // dwred_build_info is 1 by definition; re-assert it so the exposition stays
+  // correct even after ResetAllForTest zeroed every gauge.
+  auto bi = gauges_.find("dwred_build_info");
+  if (bi != gauges_.end()) bi->second->Set(1);
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name,
@@ -134,6 +190,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lock(mu_);
+  RefreshUptimeLocked();
   std::string out;
   auto header = [&](const std::string& name, const char* type) {
     auto h = help_.find(name);
@@ -142,13 +199,17 @@ std::string MetricsRegistry::RenderText() const {
     }
     out += "# TYPE " + name + " " + type + "\n";
   };
+  auto labeled = [&](const std::string& name) {
+    auto l = labels_.find(name);
+    return l == labels_.end() ? name : name + "{" + l->second + "}";
+  };
   for (const auto& [name, c] : counters_) {
     header(name, "counter");
-    out += name + " " + std::to_string(c->Value()) + "\n";
+    out += labeled(name) + " " + std::to_string(c->Value()) + "\n";
   }
   for (const auto& [name, g] : gauges_) {
     header(name, "gauge");
-    out += name + " " + std::to_string(g->Value()) + "\n";
+    out += labeled(name) + " " + std::to_string(g->Value()) + "\n";
   }
   for (const auto& [name, h] : histograms_) {
     header(name, "histogram");
@@ -165,6 +226,7 @@ std::string MetricsRegistry::RenderText() const {
 
 std::string MetricsRegistry::RenderJson() const {
   std::lock_guard<std::mutex> lock(mu_);
+  RefreshUptimeLocked();
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {

@@ -117,12 +117,21 @@ std::string JsonEscape(std::string_view s);
 /// The process-wide registry. Get*() registers on first use and returns a
 /// reference that stays valid for the life of the process (metrics are
 /// node-stable), so hot paths can cache it in a function-local static.
+///
+/// Global() also self-registers two process-level gauges on first use:
+/// dwred_build_info (constant 1, version/build labels in the text exposition)
+/// and dwred_uptime_seconds (refreshed at render time).
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
   Counter& GetCounter(const std::string& name, const std::string& help = "");
   Gauge& GetGauge(const std::string& name, const std::string& help = "");
+
+  /// Attaches a constant Prometheus label set (already-rendered, e.g.
+  /// `version="0.6",toolchain="gcc"`) to `name`. The text exposition emits
+  /// `name{labels} value`; the JSON snapshot keeps the plain name as its key.
+  void SetConstLabels(const std::string& name, const std::string& labels);
   /// Registers with the given bounds on first use; later calls with the same
   /// name return the existing histogram (their bounds argument is ignored).
   Histogram& GetHistogram(const std::string& name,
@@ -145,11 +154,16 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
+  /// Re-stamps dwred_uptime_seconds. Called at render time with mu_ held, so
+  /// it touches gauges_ directly instead of going through GetGauge().
+  void RefreshUptimeLocked() const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::string> help_;
+  std::map<std::string, std::string> labels_;  ///< const label sets (text only)
 };
 
 }  // namespace dwred::obs

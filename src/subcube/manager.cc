@@ -285,16 +285,30 @@ Status SubcubeManager::RestoreRow(size_t cube, std::span<const ValueId> cell,
   return Status::OK();
 }
 
-Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
+Result<size_t> SubcubeManager::Synchronize(int64_t now_day,
+                                           obs::OpProfile* profile) {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Histogram& sync_latency = registry.GetHistogram(
       "dwred_subcube_sync_seconds", obs::DefaultLatencyBuckets(),
       "wall time of one subcube synchronization pass (Section 7.2)");
   obs::TraceSpan span("subcube.sync", &sync_latency);
 
+  obs::OpProfile local_profile;
+  obs::OpProfile* prof = nullptr;
+  if (obs::ProfilingEnabled()) {
+    prof = profile != nullptr ? profile : &local_profile;
+    prof->op = "subcube.sync";
+    prof->trace_id = span.context().trace_id;
+    prof->now_day = now_day;
+    prof->parallel = true;  // plan fans out over the pool; apply is serial
+    prof->fan_out = static_cast<int64_t>(cubes_.size());
+  }
+  obs::StageTimer stage_timer;
+
   // Writers are exclusive: no query may observe a half-migrated manifest.
   std::unique_lock<std::shared_mutex> snapshot_lock(cache_->snapshot_mutex());
   EpochBumpGuard bump(*cache_);
+  if (prof != nullptr) prof->epoch = cache_->epoch();
 
   std::vector<AggFn> aggs;
   for (const auto& m : measures_) aggs.push_back(m.agg);
@@ -364,7 +378,13 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
     // Lowest shard's error is the globally first failing row's error. Unlike
     // the serial formulation, a failed pass mutates nothing.
     for (const Status& s : plan.shard_error) DWRED_RETURN_IF_ERROR(s);
+    if (prof != nullptr) {
+      prof->rows_scanned += static_cast<int64_t>(snapshot[i]);
+      prof->segments_total += static_cast<int64_t>(splan.segments_total);
+      prof->segments_scanned += static_cast<int64_t>(splan.segments_total);
+    }
   }
+  if (prof != nullptr) prof->AddStage("plan", stage_timer.LapMicros());
 
   // The apply phase mutates tables; from here on the caches must be dropped
   // even if a later step fails.
@@ -399,6 +419,7 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
     erase.resize(cube.table.num_rows(), false);
     DWRED_RETURN_IF_ERROR(cube.table.EraseRows(erase));
   }
+  if (prof != nullptr) prof->AddStage("apply", stage_timer.LapMicros());
   // Cells that received data from several places are aggregated one final
   // time (Section 7.2).
   for (size_t i = 0; i < cubes_.size(); ++i) {
@@ -406,6 +427,7 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
     DWRED_ASSIGN_OR_RETURN(size_t folded, cubes_[i]->table.CompactCells(aggs));
     compacted += folded;
   }
+  if (prof != nullptr) prof->AddStage("compact", stage_timer.LapMicros());
 
   static obs::Counter& c_syncs = registry.GetCounter(
       "dwred_subcube_syncs", "completed synchronization passes");
@@ -425,6 +447,15 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day) {
   span.AddField("rows_migrated", static_cast<int64_t>(migrated));
   span.AddField("rows_deleted", static_cast<int64_t>(deleted));
   span.AddField("cells_compacted", static_cast<int64_t>(compacted));
+  if (prof != nullptr) {
+    prof->AddCounter("rows_migrated", static_cast<int64_t>(migrated));
+    prof->AddCounter("rows_deleted", static_cast<int64_t>(deleted));
+    prof->AddCounter("cells_compacted", static_cast<int64_t>(compacted));
+    prof->total_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
+    static obs::Histogram& op_hist = obs::OpLatencyHistogram("subcube.sync");
+    op_hist.Record(prof->total_us * 1e-6);
+    obs::FlightRecorder::Global().Record(*prof);
+  }
   DWRED_LOG(Debug) << "subcube sync at day " << now_day << ": " << migrated
                    << " rows migrated, " << deleted << " deleted, "
                    << compacted << " compacted";
@@ -444,7 +475,9 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
                                       const std::vector<CategoryId>* target,
                                       int64_t now_day,
                                       bool assume_synchronized,
-                                      bool parallel) const {
+                                      bool parallel,
+                                      obs::OpProfile* profile) const {
+  obs::StageTimer stage_timer;
   // On the synchronized path every row already sits in its responsible cube,
   // so the selection predicate can prune whole storage segments via zone
   // maps before materialization: pruned segments hold only rows whose
@@ -474,6 +507,16 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
     }
   }
 
+  if (profile != nullptr) {
+    profile->AddStage("plan", stage_timer.LapMicros());
+    profile->fan_out = static_cast<int64_t>(cubes_.size());
+    profile->subcubes.assign(cubes_.size(), obs::SubcubeProfile{});
+  }
+  // Per-cube stage sums, folded into the profile serially after the fan-out
+  // (each cube writes only its own slot — no atomics, deterministic).
+  std::vector<int64_t> scan_us(profile != nullptr ? cubes_.size() : 0, 0);
+  std::vector<int64_t> agg_us(profile != nullptr ? cubes_.size() : 0, 0);
+
   // One evaluation per subcube; in parallel mode the evaluations fan out
   // over the process-wide pool (only shared *reads*: dimensions, spec,
   // sibling tables, the compiled scan spec).
@@ -482,17 +525,45 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
         obs::MetricsRegistry::Global().GetHistogram(
             "dwred_subcube_subquery_seconds", obs::DefaultLatencyBuckets(),
             "wall time of one per-subcube subquery evaluation (Section 7.3)");
-    obs::TraceSpan span("subcube.subquery", &subquery_latency);
+    const Subcube& cube = *cubes_[i];
+    obs::TraceSpan span(obs::TraceBuffer::Global().enabled()
+                            ? "subcube.subquery/cube=" + cube.name
+                            : std::string("subcube.subquery"),
+                        &subquery_latency);
     span.AddField("cube", static_cast<int64_t>(i));
+    obs::StageTimer cube_timer;
+    obs::SubcubeProfile* sc =
+        profile != nullptr ? &profile->subcubes[i] : nullptr;
 
     const size_t ndims = dims_.size();
     std::vector<ValueId> cell(ndims);
-    const Subcube& cube = *cubes_[i];
-    MultidimensionalObject base =
-        prune ? scan::MaterializeMO(cube.table,
-                                    scan::PlanTableScan(cube.table, scan_spec),
-                                    fact_type_, dims_, measures_)
-              : cube.table.ToMO(fact_type_, dims_, measures_);
+    MultidimensionalObject base(fact_type_, dims_, measures_);
+    if (prune) {
+      scan::ScanPlan plan = scan::PlanTableScan(cube.table, scan_spec);
+      if (sc != nullptr) {
+        sc->segments_total = static_cast<int64_t>(plan.segments_total);
+        sc->segments_pruned = static_cast<int64_t>(plan.segments_pruned);
+        sc->segments_scanned = static_cast<int64_t>(plan.segments_total -
+                                                    plan.segments_pruned);
+        sc->rows_skipped = static_cast<int64_t>(plan.rows_skipped);
+        for (const exec::Shard& u : plan.units) {
+          sc->rows_scanned += static_cast<int64_t>(u.end - u.begin);
+        }
+      }
+      base = scan::MaterializeMO(cube.table, plan, fact_type_, dims_,
+                                 measures_);
+    } else {
+      // Unpruned path: no scan plan, hence no counter movement to attribute;
+      // only the rows read are reported.
+      if (sc != nullptr) {
+        sc->rows_scanned = static_cast<int64_t>(cube.table.num_rows());
+      }
+      base = cube.table.ToMO(fact_type_, dims_, measures_);
+    }
+    if (sc != nullptr) {
+      sc->name = cube.name;
+      scan_us[i] = cube_timer.LapMicros();
+    }
     if (!assume_synchronized) {
       // Figure 9: evaluate on α[G_i]σ[P_i](K_i ∪ parents) — pull un-migrated
       // facts from ancestor cubes, keep only the facts this cube is
@@ -561,7 +632,33 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
                                    AggregationApproach::kAvailability,
                                    /*track_provenance=*/false));
     }
+    if (sc != nullptr) {
+      agg_us[i] = cube_timer.LapMicros();
+      sc->result_facts = static_cast<int64_t>(base.num_facts());
+      sc->wall_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
+    }
     return base;
+  };
+
+  // Serial fold of the per-cube slots: attribution totals plus the summed
+  // scan/aggregate stage times (per-cube sums; they overlap under parallel
+  // evaluation, unlike the caller's wall-clock stage).
+  auto fold_profile = [&] {
+    if (profile == nullptr) return;
+    int64_t scan_sum = 0;
+    int64_t agg_sum = 0;
+    for (size_t i = 0; i < cubes_.size(); ++i) {
+      const obs::SubcubeProfile& sc = profile->subcubes[i];
+      profile->segments_total += sc.segments_total;
+      profile->segments_scanned += sc.segments_scanned;
+      profile->segments_pruned += sc.segments_pruned;
+      profile->rows_scanned += sc.rows_scanned;
+      profile->rows_skipped += sc.rows_skipped;
+      scan_sum += scan_us[i];
+      agg_sum += agg_us[i];
+    }
+    profile->AddStage("scan", scan_sum);
+    profile->AddStage("aggregate", agg_sum);
   };
 
   std::vector<MultidimensionalObject> subresults;
@@ -570,6 +667,7 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
       DWRED_ASSIGN_OR_RETURN(MultidimensionalObject sub, eval_one(i));
       subresults.push_back(std::move(sub));
     }
+    fold_profile();
     return subresults;
   }
 
@@ -587,13 +685,14 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
     if (!slots[i]->ok()) return slots[i]->status();
     subresults.push_back(std::move(slots[i]->value()));
   }
+  fold_profile();
   return subresults;
 }
 
 Result<MultidimensionalObject> SubcubeManager::Query(
     const PredExpr* pred, const std::vector<CategoryId>* target,
     int64_t now_day, bool assume_synchronized, bool parallel,
-    uint64_t* pinned_epoch) const {
+    uint64_t* pinned_epoch, obs::OpProfile* profile) const {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Histogram& query_latency = registry.GetHistogram(
       "dwred_subcube_query_seconds", obs::DefaultLatencyBuckets(),
@@ -602,6 +701,21 @@ Result<MultidimensionalObject> SubcubeManager::Query(
       "dwred_subcube_queries", "subcube queries evaluated");
   obs::TraceSpan span("subcube.query", &query_latency);
   c_queries.Increment();
+
+  // Profile into the caller's slot when given one, else into a local so the
+  // flight recorder still sees every operation. DWRED_PROFILE_DISABLED
+  // short-circuits both (prof == nullptr costs nothing below).
+  obs::OpProfile local_profile;
+  obs::OpProfile* prof = nullptr;
+  if (obs::ProfilingEnabled()) {
+    prof = profile != nullptr ? profile : &local_profile;
+    prof->op = "subcube.query";
+    prof->trace_id = span.context().trace_id;
+    prof->now_day = now_day;
+    prof->assume_synchronized = assume_synchronized;
+    prof->parallel = parallel;
+  }
+  obs::StageTimer stage_timer;
 
   // Epoch-pinned snapshot: the shared lock spans lookup, evaluation and
   // insert, so the epoch read here is the epoch of every byte this query
@@ -616,15 +730,45 @@ Result<MultidimensionalObject> SubcubeManager::Query(
 
   const std::string key = cache::QueryFingerprint(
       ctx_, pred, target, now_day, assume_synchronized, epoch);
+  if (prof != nullptr) {
+    prof->epoch = epoch;
+    prof->cache =
+        cache::Enabled() ? obs::CacheOutcome::kMiss : obs::CacheOutcome::kDisabled;
+  }
   if (std::shared_ptr<const MultidimensionalObject> hit =
           cache_->LookupQuery(key)) {
     span.AddField("cache_hit", int64_t{1});
+    if (prof != nullptr) {
+      prof->cache = obs::CacheOutcome::kHit;
+      prof->result_facts = static_cast<int64_t>(hit->num_facts());
+      prof->total_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
+      static obs::Histogram& op_hist = obs::OpLatencyHistogram("subcube.query");
+      op_hist.Record(prof->total_us * 1e-6);
+      // Hash the key only when someone will read the fingerprint: an EXPLAIN
+      // caller or a flight-recorder admission. Keeps the steady-state warm
+      // path within its overhead budget (bench_query_cache.cc).
+      if (profile != nullptr ||
+          obs::FlightRecorder::Global().WouldRecord(prof->total_us)) {
+        prof->fingerprint = obs::Fnv1a64(key);
+      }
+      obs::FlightRecorder::Global().Record(*prof);
+    }
     return *hit;
+  }
+  if (prof != nullptr) {
+    // Miss path: the scan dwarfs the hash, so always fingerprint.
+    prof->fingerprint = obs::Fnv1a64(key);
+    prof->AddStage("lookup", stage_timer.LapMicros());
   }
 
   DWRED_ASSIGN_OR_RETURN(std::vector<MultidimensionalObject> subs,
                          QuerySubresultsLocked(pred, target, now_day,
-                                               assume_synchronized, parallel));
+                                               assume_synchronized, parallel,
+                                               prof));
+  // Wall clock of the whole fan-out (the scan/aggregate stages recorded by
+  // QuerySubresultsLocked are per-cube sums, which overlap under parallel
+  // evaluation).
+  if (prof != nullptr) prof->AddStage("subqueries_wall", stage_timer.LapMicros());
   // Union of disjoint subresults ...
   MultidimensionalObject unioned(fact_type_, dims_, measures_);
   std::vector<ValueId> cell(dims_.size());
@@ -654,6 +798,15 @@ Result<MultidimensionalObject> SubcubeManager::Query(
   DWRED_CHECK(version_check == version_sum);
   cache_->InsertQuery(key,
                       std::make_shared<MultidimensionalObject>(unioned));
+  if (prof != nullptr) {
+    // The union + final combining aggregation materializes the result.
+    prof->AddStage("materialize", stage_timer.LapMicros());
+    prof->result_facts = static_cast<int64_t>(unioned.num_facts());
+    prof->total_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
+    static obs::Histogram& op_hist = obs::OpLatencyHistogram("subcube.query");
+    op_hist.Record(prof->total_us * 1e-6);
+    obs::FlightRecorder::Global().Record(*prof);
+  }
   return unioned;
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "cache/cache.h"
+#include "obs/profile.h"
 #include "query/operators.h"
 #include "spec/action.h"
 #include "storage/fact_table.h"
@@ -95,8 +96,11 @@ class SubcubeManager {
 
   /// Migrates every fact to its responsible subcube at that cube's
   /// granularity and compacts receiving cubes (Section 7.2). Returns the
-  /// number of migrated rows.
-  Result<size_t> Synchronize(int64_t now_day);
+  /// number of migrated rows. A non-null `profile` receives the pass's
+  /// EXPLAIN profile (stage times, rows migrated/deleted/compacted) when
+  /// profiling is enabled (see obs/profile.h).
+  Result<size_t> Synchronize(int64_t now_day,
+                             obs::OpProfile* profile = nullptr);
 
   /// Deserialization hook (io/recovery.h): appends one saved row to subcube
   /// `cube` verbatim, without responsibility routing or granularity rollup —
@@ -125,12 +129,19 @@ class SubcubeManager {
   /// receives the epoch this query evaluated against. Results and compiled
   /// ScanSpecs are served from the epoch-keyed caches when enabled
   /// (docs/CACHING.md); a cache hit is byte-identical to re-evaluation.
+  /// A non-null `profile` receives the query's EXPLAIN profile — pinned
+  /// epoch, cache outcome + fingerprint, per-subcube fan-out, segments
+  /// scanned vs. pruned, rows skipped, per-stage wall times — when profiling
+  /// is enabled (DWRED_PROFILE_DISABLED unset; see obs/profile.h). On the
+  /// pruned path the profile's segment/row totals equal the
+  /// dwred_scan_segments_* / dwred_scan_rows_skipped counter deltas exactly.
   Result<MultidimensionalObject> Query(const PredExpr* pred,
                                        const std::vector<CategoryId>* target,
                                        int64_t now_day,
                                        bool assume_synchronized,
                                        bool parallel = false,
-                                       uint64_t* pinned_epoch = nullptr) const;
+                                       uint64_t* pinned_epoch = nullptr,
+                                       obs::OpProfile* profile = nullptr) const;
 
   /// Per-cube subresults of a query (exposed to reproduce Figure 8's S0..S4).
   /// Takes the shared snapshot lock like Query (but only Query consults the
@@ -167,7 +178,8 @@ class SubcubeManager {
   /// (the lock is not recursive, so Query cannot call the public wrapper).
   Result<std::vector<MultidimensionalObject>> QuerySubresultsLocked(
       const PredExpr* pred, const std::vector<CategoryId>* target,
-      int64_t now_day, bool assume_synchronized, bool parallel) const;
+      int64_t now_day, bool assume_synchronized, bool parallel,
+      obs::OpProfile* profile = nullptr) const;
 
   std::string fact_type_;
   std::vector<std::shared_ptr<Dimension>> dims_;

@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -204,6 +207,165 @@ TEST_F(ObsTest, LoggerRespectsMinLevelAndSink) {
   EXPECT_EQ(captured[0].first, LogLevel::kError);
   EXPECT_NE(captured[0].second.find("kept 2"), std::string::npos);
   EXPECT_NE(captured[0].second.find("obs_test.cc:"), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanOwnsDynamicName) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  TraceBuffer::Global().Enable(16);
+  std::unique_ptr<TraceSpan> span;
+  {
+    // The source string dies before the span closes: the span must own its
+    // copy (no "name must outlive the span" contract).
+    std::string name = "dynamic/" + std::to_string(7);
+    span = std::make_unique<TraceSpan>(name);
+  }
+  span.reset();
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "dynamic/7");
+}
+
+TEST_F(ObsTest, TraceContextPropagatesAcrossPoolWorkers) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  exec::ThreadPool::ResetGlobal(4);
+  TraceBuffer::Global().Enable(256);
+  TraceContext root_ctx;
+  {
+    TraceSpan root("pool.root");
+    root_ctx = root.context();
+    exec::ThreadPool::Global().ParallelFor(
+        16, /*grain=*/1, [](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            TraceSpan child("pool.child/" + std::to_string(i));
+          }
+        });
+  }
+  ASSERT_NE(root_ctx.trace_id, 0u);
+
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  std::set<uint64_t> span_ids;
+  size_t children = 0;
+  for (const TraceEvent& ev : events) {
+    EXPECT_TRUE(span_ids.insert(ev.span_id).second) << "span ids must be unique";
+    if (ev.name.rfind("pool.child/", 0) != 0) continue;
+    ++children;
+    // Every child parented under the submitting span, no matter which worker
+    // (or the submitter itself) ran its shard.
+    EXPECT_EQ(ev.trace_id, root_ctx.trace_id) << ev.name;
+    EXPECT_EQ(ev.parent_id, root_ctx.span_id) << ev.name;
+  }
+  EXPECT_EQ(children, 16u);
+  exec::ThreadPool::ResetGlobal(2);
+}
+
+// Pool workers hammer a deliberately tiny ring concurrently: the buffer must
+// stay bounded at its capacity with every surviving event intact. Runs under
+// TSan in the sanitizer suite (tools/run_tier1.sh).
+TEST_F(ObsTest, ConcurrentSpansFromPoolWorkersWrapTheRing) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  exec::ThreadPool::ResetGlobal(8);
+  constexpr size_t kCapacity = 64;
+  TraceBuffer::Global().Enable(kCapacity);
+  TraceContext root_ctx;
+  {
+    TraceSpan root("stress.root");
+    root_ctx = root.context();
+    exec::ThreadPool::Global().ParallelFor(
+        64, /*grain=*/1, [](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            for (int j = 0; j < 8; ++j) {
+              TraceSpan span("stress.span");
+            }
+          }
+        });
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), kCapacity) << "ring must stay bounded";
+  for (const TraceEvent& ev : events) {
+    // The root span closed last, so every survivor is a worker span carrying
+    // the root's trace, or the root itself.
+    EXPECT_EQ(ev.trace_id, root_ctx.trace_id);
+    EXPECT_GE(ev.duration_us, 0);
+    EXPECT_FALSE(ev.name.empty());
+  }
+  exec::ThreadPool::ResetGlobal(2);
+}
+
+TEST_F(ObsTest, TraceJsonLinesRoundTripAndTreeRender) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  TraceBuffer::Global().Enable(16);
+  {
+    TraceSpan outer("outer");
+    outer.AddField("rows", 7);
+    { TraceSpan inner("inner"); }
+  }
+  std::vector<TraceEvent> original = TraceBuffer::Global().Snapshot();
+  std::string dump = TraceBuffer::Global().DumpJsonLines();
+
+  std::vector<TraceEvent> parsed;
+  ASSERT_TRUE(ParseTraceJsonLines(dump, &parsed));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, original[i].name);
+    EXPECT_EQ(parsed[i].trace_id, original[i].trace_id);
+    EXPECT_EQ(parsed[i].span_id, original[i].span_id);
+    EXPECT_EQ(parsed[i].parent_id, original[i].parent_id);
+    EXPECT_EQ(parsed[i].duration_us, original[i].duration_us);
+  }
+  // The structured field survives the round trip.
+  ASSERT_EQ(parsed[1].fields.size(), 1u);
+  EXPECT_EQ(parsed[1].fields[0].first, "rows");
+  EXPECT_EQ(parsed[1].fields[0].second, 7);
+
+  // The tree renders parents above indented children.
+  std::string tree = RenderTraceTree(parsed);
+  size_t outer_pos = tree.find("outer");
+  size_t inner_pos = tree.find("inner");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  EXPECT_NE(tree.find("trace "), std::string::npos);
+
+  // Garbage input parses nothing.
+  std::vector<TraceEvent> none;
+  EXPECT_FALSE(ParseTraceJsonLines("not a trace\nstill not\n", &none));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(ObsTest, BuildInfoAndUptimeGaugesAreExposed) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  std::string text = MetricsRegistry::Global().RenderText();
+  // dwred_build_info carries its labels in the text exposition and is always
+  // 1 (re-asserted at render time, so ResetAllForTest cannot zero it away).
+  EXPECT_NE(text.find("dwred_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find("build_type=\""), std::string::npos);
+  EXPECT_NE(text.find("compiler=\""), std::string::npos);
+  std::map<std::string, std::string> samples = ParseExposition(text);
+  bool saw_build_info = false;
+  for (const auto& [key, value] : samples) {
+    if (key.rfind("dwred_build_info{", 0) == 0) {
+      saw_build_info = true;
+      EXPECT_EQ(value, "1");
+    }
+  }
+  EXPECT_TRUE(saw_build_info);
+  ASSERT_TRUE(samples.count("dwred_uptime_seconds"));
+  EXPECT_GE(std::stoll(samples.at("dwred_uptime_seconds")), 0);
+  // JSON keys stay label-free.
+  std::string json = MetricsRegistry::Global().RenderJson();
+  EXPECT_NE(json.find("\"dwred_build_info\""), std::string::npos);
+  EXPECT_NE(json.find("\"dwred_uptime_seconds\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ConstLabelsRenderInTextExpositionOnly) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test_labeled_total").Increment(2);
+  reg.SetConstLabels("test_labeled_total", "shard=\"a\"");
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("test_labeled_total{shard=\"a\"} 2"), std::string::npos);
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"test_labeled_total\":2"), std::string::npos);
 }
 
 TEST_F(ObsTest, ResetAllForTestKeepsReferencesValid) {

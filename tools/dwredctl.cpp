@@ -30,6 +30,11 @@
 //   subcube-layout
 //   subcube-sync <date>                      # Section 7.2 synchronization
 //   subcube-query <date> <granularity list>  # Section 7.3 combined query
+//   explain <date> <granularity list> [where <predicate>]
+//                                            # run the query synchronized +
+//                                            # parallel, print its profile
+//   slowlog                                  # flight recorder: slow ops + why
+//   trace-tree                               # span tree of the trace buffer
 //   storage                                  # per-subcube segments + zone maps
 //   cache                                    # epoch, cache entries, hit rates
 //   cache clear                              # drop every cached entry
@@ -48,6 +53,7 @@
 //   $ dwredctl recover <dir>        # replay the journal, checkpoint, report
 //   $ dwredctl stats warehouse.dwred    # run, then dump the metrics registry
 //   $ dwredctl --trace=/tmp/t.jsonl warehouse.dwred   # JSON-lines span trace
+//   $ dwredctl trace-tree /tmp/t.jsonl  # pretty-print a recorded span trace
 
 #include <cstdio>
 #include <iostream>
@@ -62,6 +68,7 @@
 #include "io/snapshot.h"
 #include "io/warehouse_io.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "query/operators.h"
 #include "reduce/dynamics.h"
@@ -582,6 +589,60 @@ struct Shell {
       }
       return Status::OK();
     }
+    if (cmd == "explain") {
+      DWRED_RETURN_IF_ERROR(RequireSubcubes());
+      // explain <date> <granularity list> [where <predicate>]: the query runs
+      // for real (synchronized + parallel, the pruned path) and its profile
+      // is printed instead of its rows.
+      std::string head = rest;
+      std::string pred_text;
+      size_t where_pos = rest.find(" where ");
+      if (where_pos != std::string::npos) {
+        head = rest.substr(0, where_pos);
+        pred_text = std::string(Trim(rest.substr(where_pos + 7)));
+      }
+      std::istringstream args(head);
+      std::string date;
+      args >> date;
+      std::string gran_text;
+      std::getline(args, gran_text);
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
+      DWRED_ASSIGN_OR_RETURN(
+          auto gran,
+          ParseGranularityList(CurSubcubes().context(), Trim(gran_text)));
+      std::shared_ptr<PredExpr> pred;
+      if (!pred_text.empty()) {
+        DWRED_ASSIGN_OR_RETURN(
+            pred, ParsePredicate(CurSubcubes().context(), pred_text));
+      }
+      obs::OpProfile profile;
+      DWRED_ASSIGN_OR_RETURN(
+          MultidimensionalObject result,
+          CurSubcubes().Query(pred.get(), &gran, day.index,
+                              /*assume_synchronized=*/true, /*parallel=*/true,
+                              /*pinned_epoch=*/nullptr, &profile));
+      if (profile.op.empty()) {
+        std::printf("explain: profiling disabled (DWRED_PROFILE_DISABLED)\n");
+      } else {
+        std::printf("%s", profile.Render().c_str());
+      }
+      std::printf("result: %zu cells\n", result.num_facts());
+      return Status::OK();
+    }
+    if (cmd == "slowlog") {
+      std::printf("%s", obs::FlightRecorder::Global().Render().c_str());
+      return Status::OK();
+    }
+    if (cmd == "trace-tree") {
+      if (!obs::TraceBuffer::Global().enabled()) {
+        std::printf("trace-tree: trace buffer disabled (run with --trace=)\n");
+        return Status::OK();
+      }
+      std::printf(
+          "%s", obs::RenderTraceTree(obs::TraceBuffer::Global().Snapshot())
+                    .c_str());
+      return Status::OK();
+    }
     if (cmd == "storage") {
       DWRED_RETURN_IF_ERROR(RequireSubcubes());
       const SubcubeManager& m = CurSubcubes();
@@ -681,6 +742,21 @@ int main(int argc, char** argv) {
       positional.push_back(std::move(arg));
     }
   }
+  if (positional.size() == 2 && positional[0] == "trace-tree") {
+    auto r = ReadFile(positional[1]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "trace-tree: %s\n", r.status().ToString().c_str());
+      return 2;
+    }
+    std::vector<obs::TraceEvent> events;
+    if (!obs::ParseTraceJsonLines(r.value(), &events)) {
+      std::fprintf(stderr, "trace-tree: %s holds no trace events\n",
+                   positional[1].c_str());
+      return 1;
+    }
+    std::printf("%s", obs::RenderTraceTree(events).c_str());
+    return 0;
+  }
   if (positional.size() == 2 && positional[0] == "recover") {
     RecoveryStats rs;
     auto rec = RecoverWarehouse(positional[1], &rs);
@@ -705,8 +781,9 @@ int main(int argc, char** argv) {
   if (positional.size() != 1) {
     std::fprintf(stderr,
                  "usage: %s [stats] [--trace=<file.jsonl>] "
-                 "<script.dwred | -> | %s recover <dir>\n",
-                 argv[0], argv[0]);
+                 "<script.dwred | -> | %s recover <dir> | "
+                 "%s trace-tree <file.jsonl>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
 

@@ -53,7 +53,7 @@ case "$mode" in
     # a multithreaded fork (the fork-safety test self-skips the same way).
     TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
       ctest --output-on-failure \
-        -R 'exec_pool_test|parallel_differential_test|obs_test|cache_coherence_test'
+        -R 'exec_pool_test|parallel_differential_test|obs_test|cache_coherence_test|profile_test'
     ;;
   plain)
     cmake -B build -S . && cmake --build build -j && cd build \
