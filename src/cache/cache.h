@@ -104,6 +104,15 @@ class WarehouseCache {
   /// Query-result cache. Lookup refreshes LRU order and counts a hit or
   /// miss; Insert evicts from the cold end past either budget. Both are
   /// no-ops (miss) while the cache is disabled.
+  ///
+  /// Abort invariant (runtime/cancel.h): a query aborted by cancellation,
+  /// deadline, or budget returns before InsertQuery, so an aborted query
+  /// never inserts a partial result, never moves the hit counter (a hit
+  /// returns before any poll can abort), and never changes entries or bytes.
+  /// The entry poll site (cancel.query.begin) precedes LookupQuery, so an
+  /// abort on entry moves no counter at all; an abort mid-evaluation counts
+  /// exactly the one miss its lookup honestly performed.
+  /// tests/cancel_matrix_test.cc asserts all of this differentially.
   std::shared_ptr<const MultidimensionalObject> LookupQuery(
       const std::string& key) const;
   void InsertQuery(const std::string& key,

@@ -12,6 +12,9 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kGrowingViolation: return "GrowingViolation";
     case StatusCode::kDeleteRejected: return "DeleteRejected";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -26,6 +26,9 @@ enum class StatusCode {
   kGrowingViolation,  ///< Action set violates Growing (Section 4.3).
   kDeleteRejected,    ///< delete-operator precondition failed (Definition 4).
   kInternal,          ///< Invariant breach inside the library.
+  kCancelled,         ///< Operation cancelled cooperatively (runtime/cancel.h).
+  kDeadlineExceeded,  ///< Operation ran past its deadline (runtime/cancel.h).
+  kResourceExhausted, ///< Budget exceeded or admission shed (runtime layer).
 };
 
 /// Human-readable name of a status code (for messages and logs).
@@ -60,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

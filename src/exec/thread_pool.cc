@@ -16,6 +16,7 @@
 #include "obs/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/cancel.h"
 
 namespace dwred::exec {
 
@@ -67,6 +68,7 @@ struct Op {
   const std::function<void(size_t, size_t, size_t)>* fn;
   const std::vector<Shard>* shards;
   obs::TraceContext ctx;  ///< submitter's trace context, installed per shard
+  runtime::OpContext rctx;  ///< submitter's op context (cancel/deadline/budget)
   std::atomic<size_t> remaining;
   std::mutex mu;
   std::condition_variable cv;
@@ -133,10 +135,13 @@ struct ThreadPool::Impl {
     auto& m = PoolMetrics::Get();
     m.tasks.Increment();
     const Shard& s = (*t.op->shards)[t.shard];
-    // Carry the submitter's trace context onto this thread for the shard's
-    // duration: spans the body opens parent under the submitting span even
-    // when a worker (or a stealing submitter of another op) runs it.
+    // Carry the submitter's trace and op contexts onto this thread for the
+    // shard's duration: spans the body opens parent under the submitting span,
+    // and cancellation polls inside the body see the submitter's token /
+    // deadline / budget, even when a worker (or a stealing submitter of
+    // another op) runs it.
     obs::ScopedTraceContext trace_scope(t.op->ctx);
+    runtime::ScopedOpContext op_scope(t.op->rctx);
     if constexpr (obs::kObsEnabled) {
       auto t0 = std::chrono::steady_clock::now();
       (*t.op->fn)(t.shard, s.begin, s.end);
@@ -249,6 +254,7 @@ void ThreadPool::ParallelForShards(
   op.fn = &fn;
   op.shards = &shards;
   op.ctx = obs::CurrentTraceContext();
+  op.rctx = runtime::CurrentOpContext();
   op.remaining.store(shards.size(), std::memory_order_release);
   {
     // Distribute round-robin starting at a moving cursor so consecutive small

@@ -9,6 +9,7 @@
 #include "io/atomic_file.h"
 #include "io/wire.h"
 #include "obs/metrics.h"
+#include "runtime/retry.h"
 #include "testing/fault.h"
 
 namespace dwred {
@@ -205,7 +206,13 @@ Status Journal::Append(const JournalRecord& rec, const char* write_site,
     off += static_cast<size_t>(n);
   }
   DWRED_RETURN_IF_ERROR(testing::FaultPoint(fsync_site));
-  DWRED_RETURN_IF_ERROR(FsyncFd(fd_, path_));
+  // Fsync is idempotent, so a transient failure (EINTR-class, momentary
+  // ENOSPC) is retried with backoff before giving up. The framed write loop
+  // above is deliberately NOT retried: re-running it after a partial write
+  // would duplicate bytes and corrupt the framing.
+  DWRED_RETURN_IF_ERROR(runtime::RetryWithBackoff(
+      runtime::RetryPolicy{}, [&] { return FsyncFd(fd_, path_); },
+      "journal fsync"));
   RecordsCounter().Increment();
   BytesCounter().Increment(framed.size());
   return Status::OK();
@@ -232,7 +239,9 @@ Status Journal::Reset() {
     return Status::Internal("journal truncate failed: " +
                             std::string(std::strerror(errno)));
   }
-  DWRED_RETURN_IF_ERROR(FsyncFd(fd_, path_));
+  DWRED_RETURN_IF_ERROR(runtime::RetryWithBackoff(
+      runtime::RetryPolicy{}, [&] { return FsyncFd(fd_, path_); },
+      "journal reset fsync"));
   static obs::Counter& c_resets = obs::MetricsRegistry::Global().GetCounter(
       "dwred_journal_resets",
       "journal truncations after a successful snapshot checkpoint");

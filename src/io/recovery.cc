@@ -9,6 +9,7 @@
 #include "io/wire.h"
 #include "obs/metrics.h"
 #include "reduce/dynamics.h"
+#include "runtime/cancel.h"
 #include "spec/parser.h"
 #include "testing/fault.h"
 
@@ -712,6 +713,10 @@ Status DurableWarehouse::RunJournaled(JournalOp op) {
         "warehouse is poisoned by an earlier IO failure; reopen " + dir_ +
         " to recover");
   }
+  // An already-cancelled or expired context bails before the intent is even
+  // planned — no journal traffic for an operation that will not run.
+  DWRED_RETURN_IF_ERROR(
+      runtime::CountAbort(runtime::CurrentOpContext().Check()));
   DWRED_ASSIGN_OR_RETURN(IntentRecord intent, PlanOp(op));
   intent.lsn = applied_lsn_ + 1;
   // An intent-append failure leaves memory untouched: whatever (possibly
@@ -721,6 +726,13 @@ Status DurableWarehouse::RunJournaled(JournalOp op) {
   Status applied = testing::FaultPoint(ApplySite(op.kind));
   if (applied.ok()) applied = ApplyOp(op);
   if (!applied.ok()) {
+    if (runtime::IsAbort(applied.code())) {
+      // Cooperative aborts are clean by contract (runtime/cancel.h): every
+      // poll site sits in a read-only phase, so memory is still the journal's
+      // pre-image. The dangling intent is superseded by the next append or
+      // rolled back at recovery — exactly the crash-before-apply semantics.
+      return applied;
+    }
     // The apply may have mutated part of the state; memory is no longer
     // provably the journal's pre-image.
     poisoned_ = true;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "common/strings.h"
+#include "obs/logging.h"
 
 namespace dwred::obs {
 
@@ -44,12 +46,29 @@ std::string HexFingerprint(uint64_t fp) {
   return buf;
 }
 
-int64_t EnvInt(const char* name, int64_t fallback, int64_t min_value) {
+int64_t EnvInt(const char* name, int64_t fallback, int64_t min_value,
+               int64_t max_value) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;
   int64_t v = 0;
-  if (!ParseInt64(Trim(env), &v)) return fallback;
-  return v < min_value ? min_value : v;
+  // Garbage must not silently misconfigure the slowlog (same contract as
+  // DWRED_THREADS, thread_pool.cc): warn and fall back / clamp.
+  if (!ParseInt64(Trim(env), &v)) {
+    DWRED_LOG(Warn) << name << "=\"" << env
+                    << "\" is not an integer; using " << fallback;
+    return fallback;
+  }
+  if (v < min_value) {
+    DWRED_LOG(Warn) << name << "=" << v << " is below " << min_value
+                    << "; clamping to " << min_value;
+    return min_value;
+  }
+  if (v > max_value) {
+    DWRED_LOG(Warn) << name << "=" << v << " exceeds " << max_value
+                    << "; clamping to " << max_value;
+    return max_value;
+  }
+  return v;
 }
 
 }  // namespace
@@ -81,6 +100,11 @@ std::string OpProfile::Render() const {
                         std::to_string(segments_total));
   line("rows:", std::to_string(rows_scanned) + " scanned, " +
                     std::to_string(rows_skipped) + " skipped");
+  line("outcome:", outcome);
+  if (budget_max_rows > 0) {
+    line("row budget:", std::to_string(budget_rows_charged) + " charged of " +
+                            std::to_string(budget_max_rows));
+  }
   line("result facts:", std::to_string(result_facts));
   for (const auto& [name, value] : counters) {
     line((name + ":").c_str(), std::to_string(value));
@@ -134,6 +158,9 @@ std::string OpProfile::ToJson() const {
   out += ",\"rows_scanned\":" + std::to_string(rows_scanned);
   out += ",\"rows_skipped\":" + std::to_string(rows_skipped);
   out += ",\"result_facts\":" + std::to_string(result_facts);
+  out += ",\"outcome\":\"" + JsonEscape(outcome) + "\"";
+  out += ",\"budget_max_rows\":" + std::to_string(budget_max_rows);
+  out += ",\"budget_rows_charged\":" + std::to_string(budget_rows_charged);
   for (const auto& [name, value] : counters) {
     out += ",\"" + JsonEscape(name) + "\":" + std::to_string(value);
   }
@@ -169,6 +196,8 @@ std::string OpProfile::Summary() const {
          std::to_string(segments_pruned);
   out += " rows_skipped=" + std::to_string(rows_skipped);
   out += " facts=" + std::to_string(result_facts);
+  // Append the outcome only when abnormal: existing summaries stay stable.
+  if (!outcome.empty() && outcome != "ok") out += " outcome=" + outcome;
   for (const auto& [name, value] : counters) {
     out += " " + name + "=" + std::to_string(value);
   }
@@ -194,9 +223,12 @@ FlightRecorder& FlightRecorder::Global() {
 }
 
 void FlightRecorder::ReloadConfigFromEnv() {
-  int64_t topk = EnvInt("DWRED_SLOWLOG_TOPK", 16, 1);
-  int64_t lastn = EnvInt("DWRED_SLOWLOG_LASTN", 64, 1);
-  int64_t min_us = EnvInt("DWRED_SLOWLOG_MIN_US", 1000, 0);
+  // Board/ring sizes are clamped to 4096: the recorder is a bounded in-memory
+  // debugging aid, and a stray huge value would pin arbitrary memory.
+  int64_t topk = EnvInt("DWRED_SLOWLOG_TOPK", 16, 1, 4096);
+  int64_t lastn = EnvInt("DWRED_SLOWLOG_LASTN", 64, 1, 4096);
+  int64_t min_us = EnvInt("DWRED_SLOWLOG_MIN_US", 1000, 0,
+                          std::numeric_limits<int64_t>::max());
   std::lock_guard<std::mutex> lock(mu_);
   topk_ = static_cast<size_t>(topk);
   lastn_ = static_cast<size_t>(lastn);

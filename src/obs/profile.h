@@ -97,6 +97,14 @@ struct OpProfile {
   int64_t rows_skipped = 0;
   int64_t result_facts = 0;
 
+  /// How the operation ended: "ok", "cancelled", "deadline_exceeded",
+  /// "resource_exhausted", or "error" (runtime::OutcomeLabel). Abort paths
+  /// fill the profile too, so EXPLAIN and the flight recorder show *why* an
+  /// operation produced nothing.
+  std::string outcome = "ok";
+  int64_t budget_max_rows = 0;      ///< row budget in force (0 = unlimited)
+  int64_t budget_rows_charged = 0;  ///< rows charged against it
+
   std::vector<StageTime> stages;
   std::vector<SubcubeProfile> subcubes;
   /// Op-specific extras (sync: rows migrated/deleted; reduce: cells, etc.).

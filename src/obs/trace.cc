@@ -299,8 +299,14 @@ std::string RenderTraceTree(const std::vector<TraceEvent>& events) {
   for (auto& [_, v] : roots) std::sort(v.begin(), v.end(), by_start);
 
   std::string out;
+  // Guards against parent cycles in malformed input (a span whose ancestor
+  // chain reaches itself — possible with duplicate span ids): each event
+  // renders at most once, so the recursion always terminates.
+  std::vector<bool> rendered(events.size(), false);
   auto render_one = [&](size_t i, const std::string& prefix, bool last,
                         bool top, auto&& self) -> void {
+    if (rendered[i]) return;
+    rendered[i] = true;
     const TraceEvent& ev = events[i];
     if (!top) {
       out += prefix + (last ? "└─ " : "├─ ");

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "runtime/cancel.h"
 #include "scan/scan.h"
 #include "storage/fact_table.h"
 
@@ -158,6 +159,15 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
 
   scan::Execute(plan, [&](size_t si, size_t begin, size_t end) {
     ShardAccum& acc = accums[si];
+    // Cooperative abort point (runtime/cancel.h): polled once per shard, and
+    // the shard's rows are charged against the operation's budget before any
+    // of them are scanned. Reduce builds `out` fresh and the caller assigns
+    // it only on success, so stopping here leaves no partial state anywhere.
+    acc.error = runtime::PollCancel("cancel.reduce.shard");
+    if (!acc.error.ok()) return;
+    acc.error = runtime::CurrentOpContext().ChargeRows(
+        static_cast<int64_t>(end - begin));
+    if (!acc.error.ok()) return;
     std::vector<ValueId> cell(ndims);
     for (FactId f = begin; f < end; ++f) {
       ActionId responsible = kNoAction;
@@ -270,7 +280,7 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
                          sg.sources.end());
       }
     }
-    DWRED_RETURN_IF_ERROR(acc.error);
+    if (!acc.error.ok()) return runtime::CountAbort(acc.error);
     facts_aggregated += acc.facts_aggregated;
     facts_deleted += acc.facts_deleted;
   }

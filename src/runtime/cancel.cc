@@ -1,0 +1,128 @@
+#include "runtime/cancel.h"
+
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "testing/fault.h"
+
+namespace dwred::runtime {
+
+namespace {
+
+// One thread-local context per thread; the default is fully inert, so
+// CurrentOpContext().Check() on a thread that never installed a context is
+// three always-false branches.
+thread_local OpContext g_ctx;
+
+}  // namespace
+
+int64_t Deadline::remaining_millis() const {
+  if (!has_) return std::numeric_limits<int64_t>::max();
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  at_ - std::chrono::steady_clock::now())
+                  .count();
+  return left > 0 ? left : 0;
+}
+
+void OpContext::SetMaxRows(int64_t max_rows) {
+  if (max_rows <= 0) {
+    max_rows_ = 0;
+    charged_.reset();
+    return;
+  }
+  max_rows_ = max_rows;
+  charged_ = std::make_shared<std::atomic<int64_t>>(0);
+}
+
+Status OpContext::ChargeRows(int64_t rows) const {
+  if (!charged_) return Status::OK();
+  int64_t total = charged_->fetch_add(rows, std::memory_order_relaxed) + rows;
+  if (total > max_rows_) {
+    return Status::ResourceExhausted(
+        "row budget exceeded: " + std::to_string(total) + " rows charged, " +
+        std::to_string(max_rows_) + " allowed");
+  }
+  return Status::OK();
+}
+
+Status OpContext::Check() const {
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("operation ran past its deadline");
+  }
+  if (token.cancelled()) {
+    return Status::Cancelled("operation cancelled");
+  }
+  if (charged_ && charged_->load(std::memory_order_relaxed) > max_rows_) {
+    return Status::ResourceExhausted(
+        "row budget exceeded: " +
+        std::to_string(charged_->load(std::memory_order_relaxed)) +
+        " rows charged, " + std::to_string(max_rows_) + " allowed");
+  }
+  return Status::OK();
+}
+
+const OpContext& CurrentOpContext() { return g_ctx; }
+
+ScopedOpContext::ScopedOpContext(OpContext ctx) : prev_(std::move(g_ctx)) {
+  g_ctx = std::move(ctx);
+}
+
+ScopedOpContext::~ScopedOpContext() { g_ctx = std::move(prev_); }
+
+Status PollCancel(const char* site) {
+  Status injected = testing::FaultPoint(site);
+  if (!injected.ok()) {
+    // An injected cancel behaves like a real one: fire the operation's token
+    // so sibling shards already in flight also stop, then report from here.
+    if (injected.code() == StatusCode::kCancelled) g_ctx.token.Cancel();
+    return injected;
+  }
+  return g_ctx.Check();
+}
+
+bool IsAbort(StatusCode code) {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
+}
+
+Status CountAbort(Status s) {
+  switch (s.code()) {
+    case StatusCode::kCancelled: {
+      static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+          "dwred_cancel_cancelled", "operations aborted by cancellation");
+      c.Increment();
+      break;
+    }
+    case StatusCode::kDeadlineExceeded: {
+      static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+          "dwred_cancel_deadline_exceeded",
+          "operations aborted by deadline expiry");
+      c.Increment();
+      break;
+    }
+    case StatusCode::kResourceExhausted: {
+      static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+          "dwred_cancel_resource_exhausted",
+          "operations aborted by budget exhaustion");
+      c.Increment();
+      break;
+    }
+    default:
+      break;
+  }
+  return s;
+}
+
+const char* OutcomeLabel(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    default: return "error";
+  }
+}
+
+}  // namespace dwred::runtime

@@ -1,0 +1,165 @@
+#pragma once
+
+// Cooperative cancellation, deadlines, and per-operation resource budgets
+// (docs/ROBUSTNESS.md).
+//
+// The engine's long-running passes — the sharded Reduce scan, the Synchronize
+// plan phase, and the per-subcube query fan-out — poll an *operation context*
+// at shard granularity. The context is thread-local and propagates through
+// exec::ThreadPool ops exactly like the trace context (obs/trace.h): the
+// submitting thread's context is captured at submission and installed around
+// every shard, so a deadline set before Query() governs work executed on any
+// worker thread.
+//
+// Degradation contract: every poll site sits in a *read-only* phase of its
+// operation (Synchronize polls only while planning, before the first table
+// byte moves; Reduce builds a fresh MO and assigns it only on success; query
+// evaluation never writes). An abort status — kCancelled, kDeadlineExceeded,
+// kResourceExhausted — therefore guarantees the warehouse is byte-identical
+// to never having started: epoch unbumped, caches untouched, snapshot
+// unchanged. tests/cancel_matrix_test.cc enforces this differentially via
+// DWRED_FAULT cancel sites (testing/fault.h), mirroring the crash matrix.
+//
+// Cost when nothing is armed: CheckCancelled on a default context is a
+// thread-local read plus three predictable branches; no atomics, no locks.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace dwred::runtime {
+
+/// A shareable cancellation flag. Default-constructed tokens are *inert*
+/// (never cancelled, Cancel() is a no-op) so the ambient default OpContext
+/// costs nothing; Create() makes a real token whose copies share one flag.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  static CancelToken Create() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// Requests cancellation. All copies of the token observe it; no-op on an
+  /// inert token.
+  void Cancel() const {
+    if (state_) state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return state_ && state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// True for tokens made by Create() (inert tokens cannot be cancelled).
+  bool cancellable() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// A wall-clock cutoff on the steady clock. Default: none (never expires).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline AfterMillis(int64_t ms) {
+    Deadline d;
+    d.has_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool has_deadline() const { return has_; }
+  bool expired() const {
+    return has_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Time left, clamped at zero; the full int64 range when no deadline.
+  int64_t remaining_millis() const;
+
+ private:
+  bool has_ = false;
+  std::chrono::steady_clock::time_point at_;
+};
+
+/// The ambient per-operation context: cancel token, deadline, and row budget.
+/// Copyable (copies share the token flag and the charged-rows accumulator, so
+/// parallel shards of one operation charge one budget).
+class OpContext {
+ public:
+  CancelToken token;   ///< inert by default
+  Deadline deadline;   ///< none by default
+
+  /// Installs a row budget: Check()/ChargeRows() fail with
+  /// kResourceExhausted once more than `max_rows` rows have been charged.
+  /// max_rows <= 0 removes the budget.
+  void SetMaxRows(int64_t max_rows);
+
+  int64_t max_rows() const { return max_rows_; }
+  int64_t rows_charged() const {
+    return charged_ ? charged_->load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Adds `rows` to the operation's charged total; kResourceExhausted when
+  /// the budget is exceeded. No-op (always OK) without a budget.
+  Status ChargeRows(int64_t rows) const;
+
+  /// kCancelled if the token fired, else kDeadlineExceeded if past the
+  /// deadline, else kResourceExhausted if the row budget is already blown,
+  /// else OK. Deadline is checked before the token so an expired deadline
+  /// reports deterministically even after it cancelled sibling shards.
+  Status Check() const;
+
+ private:
+  int64_t max_rows_ = 0;  ///< 0 = unlimited
+  std::shared_ptr<std::atomic<int64_t>> charged_;
+};
+
+/// The calling thread's current context. Defaults to an inert context (no
+/// token, no deadline, no budget).
+const OpContext& CurrentOpContext();
+
+/// Installs `ctx` as the thread's current context for the scope's lifetime,
+/// restoring the previous one on destruction. exec::ThreadPool uses this to
+/// carry the submitter's context onto worker threads (thread_pool.cc).
+class ScopedOpContext {
+ public:
+  explicit ScopedOpContext(OpContext ctx);
+  ~ScopedOpContext();
+
+  ScopedOpContext(const ScopedOpContext&) = delete;
+  ScopedOpContext& operator=(const ScopedOpContext&) = delete;
+
+ private:
+  OpContext prev_;
+};
+
+/// A cancellation poll site: a named fault point (so the cancel matrix can
+/// inject an abort at exactly this site via DWRED_FAULT=<site>:<n>:cancel)
+/// followed by a context check. An injected cancel also fires the current
+/// token so sibling shards of the same operation stop cooperatively.
+Status PollCancel(const char* site);
+
+/// True for the three cooperative-abort codes. Abort statuses are clean by
+/// contract (see the header comment): callers such as the durable layer may
+/// treat them as not-poisoning.
+bool IsAbort(StatusCode code);
+
+/// Increments the matching dwred_cancel_* counter when `s` carries an abort
+/// code (no-op otherwise) and returns `s` unchanged. Engine operations call
+/// this exactly once on their abort return path, so the counters count
+/// aborted *operations*, not poll hits.
+Status CountAbort(Status s);
+
+/// Short outcome label for profiles: "ok", "cancelled", "deadline_exceeded",
+/// "resource_exhausted", or "error".
+const char* OutcomeLabel(StatusCode code);
+
+}  // namespace dwred::runtime

@@ -1,0 +1,149 @@
+#include "runtime/governor.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/logging.h"
+#include "obs/metrics.h"
+#include "runtime/cancel.h"
+
+namespace dwred::runtime {
+
+namespace {
+
+obs::Counter& AdmittedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dwred_admission_admitted", "queries admitted through the gate");
+  return c;
+}
+
+obs::Counter& WaitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dwred_admission_waits", "admissions that had to wait for a slot");
+  return c;
+}
+
+obs::Counter& ShedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dwred_shed_total", "queries shed by the admission gate");
+  return c;
+}
+
+obs::Gauge& InflightGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "dwred_admission_inflight", "queries currently holding admission slots");
+  return g;
+}
+
+/// Parses a non-negative integer environment knob; warns and returns
+/// `fallback` on garbage (same contract as DWRED_THREADS, thread_pool.cc).
+int64_t EnvNonNegative(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < 0) {
+    DWRED_LOG(Warn) << name << "=\"" << raw
+                    << "\" is not a non-negative integer; using "
+                    << fallback;
+    return fallback;
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+void AdmissionTicket::Release() {
+  if (governor_ != nullptr) {
+    governor_->ReleaseSlot();
+    governor_ = nullptr;
+  }
+}
+
+ResourceGovernor& ResourceGovernor::Global() {
+  static ResourceGovernor* g = new ResourceGovernor();  // leaked by design
+  return *g;
+}
+
+void ResourceGovernor::Configure(int max_concurrent, int64_t max_wait_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_concurrent_ = max_concurrent > 0 ? max_concurrent : 0;
+  max_wait_ms_ = max_wait_ms > 0 ? max_wait_ms : 0;
+  env_loaded_ = true;
+  cv_.notify_all();
+}
+
+void ResourceGovernor::ConfigureFromEnv() {
+  int64_t limit = EnvNonNegative("DWRED_MAX_CONCURRENT_QUERIES", 0);
+  int64_t wait_ms = EnvNonNegative("DWRED_ADMISSION_WAIT_MS", 100);
+  std::lock_guard<std::mutex> lock(mu_);
+  max_concurrent_ = static_cast<int>(limit);
+  max_wait_ms_ = wait_ms;
+  env_loaded_ = true;
+}
+
+Status ResourceGovernor::Admit(AdmissionTicket* ticket) {
+  // Don't burn a slot (or a wait) on an operation that is already dead.
+  DWRED_RETURN_IF_ERROR(CurrentOpContext().Check());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!env_loaded_) {
+    lock.unlock();
+    ConfigureFromEnv();
+    lock.lock();
+  }
+  if (max_concurrent_ <= 0) {
+    // Unlimited: nothing to count, the ticket stays empty.
+    AdmittedCounter().Increment();
+    return Status::OK();
+  }
+
+  int64_t wait_ms = max_wait_ms_;
+  int64_t remaining = CurrentOpContext().deadline.remaining_millis();
+  if (remaining < wait_ms) wait_ms = remaining;
+  auto give_up = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(wait_ms);
+
+  bool waited = false;
+  while (inflight_ >= max_concurrent_ && max_concurrent_ > 0) {
+    waited = true;
+    if (cv_.wait_until(lock, give_up) == std::cv_status::timeout &&
+        inflight_ >= max_concurrent_ && max_concurrent_ > 0) {
+      ShedCounter().Increment();
+      return Status::ResourceExhausted(
+          "admission gate full: " + std::to_string(inflight_) + "/" +
+          std::to_string(max_concurrent_) + " queries in flight after " +
+          std::to_string(wait_ms) + "ms wait");
+    }
+    Status ctx = CurrentOpContext().Check();
+    if (!ctx.ok()) return ctx;
+  }
+
+  ++inflight_;
+  InflightGauge().Set(inflight_);
+  AdmittedCounter().Increment();
+  if (waited) WaitsCounter().Increment();
+  *ticket = AdmissionTicket(this);
+  return Status::OK();
+}
+
+void ResourceGovernor::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    InflightGauge().Set(inflight_);
+  }
+  cv_.notify_one();
+}
+
+int ResourceGovernor::max_concurrent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_concurrent_;
+}
+
+int64_t ResourceGovernor::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace dwred::runtime

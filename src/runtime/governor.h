@@ -1,0 +1,101 @@
+#pragma once
+
+// Admission control for queries (docs/ROBUSTNESS.md): a process-wide gate
+// bounding how many queries run concurrently, with bounded wait-then-shed
+// backpressure. A query that cannot get a slot within the wait budget is
+// *shed* — rejected with kResourceExhausted — instead of queueing without
+// bound and wedging every caller behind a pathological workload. Modeled on
+// the load-shedding front door of partitioned cube servers (SNIPPETS.md).
+//
+// Unlimited (the default) is the fast path: no mutex, no atomics beyond the
+// limit load. Configure via code or environment:
+//
+//   DWRED_MAX_CONCURRENT_QUERIES=<n>   0 = unlimited (default)
+//   DWRED_ADMISSION_WAIT_MS=<ms>       bounded wait before shedding (default 100)
+//
+// Metrics: dwred_admission_admitted, dwred_admission_waits (admissions that
+// had to wait), dwred_admission_inflight (gauge), dwred_shed_total.
+
+#include <cstdint>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace dwred::runtime {
+
+class ResourceGovernor;
+
+/// RAII admission slot. Move-only; releases its slot (and wakes one waiter)
+/// on destruction. A default-constructed or shed ticket holds nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : governor_(other.governor_) {
+    other.governor_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      governor_ = other.governor_;
+      other.governor_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// True when this ticket actually holds a counted slot (admission was
+  /// gated). Fast-path admissions under an unlimited governor hold nothing —
+  /// there is no slot count to keep balanced.
+  bool counted() const { return governor_ != nullptr; }
+
+ private:
+  friend class ResourceGovernor;
+  explicit AdmissionTicket(ResourceGovernor* governor) : governor_(governor) {}
+  void Release();
+
+  ResourceGovernor* governor_ = nullptr;
+};
+
+/// The process-wide admission gate. Thread-safe.
+class ResourceGovernor {
+ public:
+  static ResourceGovernor& Global();
+
+  /// `max_concurrent` <= 0 means unlimited; `max_wait_ms` < 0 is clamped to
+  /// 0 (shed immediately when full). Reconfiguring does not disturb tickets
+  /// already issued: each ticket remembers whether it was counted.
+  void Configure(int max_concurrent, int64_t max_wait_ms);
+
+  /// Re-reads DWRED_MAX_CONCURRENT_QUERIES / DWRED_ADMISSION_WAIT_MS,
+  /// warning and falling back on unparseable values. Called once
+  /// automatically on first Admit(); exposed for tests.
+  void ConfigureFromEnv();
+
+  /// Acquires an admission slot, waiting at most the configured bound when
+  /// the gate is full. On success the ticket holds the slot until destroyed;
+  /// on timeout the query is shed with kResourceExhausted and the ticket is
+  /// empty. Also fails fast (without waiting) when the caller's OpContext is
+  /// already cancelled or past deadline — never waits longer than the
+  /// caller's remaining deadline.
+  Status Admit(AdmissionTicket* ticket);
+
+  int max_concurrent() const;
+  int64_t inflight() const;
+
+ private:
+  friend class AdmissionTicket;
+  ResourceGovernor() = default;
+  void ReleaseSlot();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int max_concurrent_ = 0;  ///< 0 = unlimited
+  int64_t max_wait_ms_ = 100;
+  int64_t inflight_ = 0;
+  bool env_loaded_ = false;
+};
+
+}  // namespace dwred::runtime

@@ -1,0 +1,42 @@
+#include "runtime/retry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/logging.h"
+#include "obs/metrics.h"
+#include "runtime/cancel.h"
+#include "testing/fault.h"
+
+namespace dwred::runtime {
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& op,
+                        const char* what) {
+  static obs::Counter& retries = obs::MetricsRegistry::Global().GetCounter(
+      "dwred_io_retries", "transient IO failures retried with backoff");
+
+  int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  int64_t backoff_us = policy.initial_backoff_us;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    bool fired_before = testing::FaultInjector::Global().fired();
+    last = op();
+    if (last.ok()) return last;
+    // A failure that flipped the injector's fired flag is deterministic by
+    // design — the durability tests armed it and expect it to surface.
+    if (!fired_before && testing::FaultInjector::Global().fired()) return last;
+    if (last.code() != StatusCode::kInternal) return last;
+    if (attempt == attempts) break;
+    DWRED_RETURN_IF_ERROR(CurrentOpContext().Check());
+    DWRED_LOG(Warn) << what << " failed (attempt " << attempt << "/"
+                    << attempts << "), retrying in " << backoff_us
+                    << "us: " << last.ToString();
+    retries.Increment();
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us *= policy.backoff_multiplier;
+  }
+  return last;
+}
+
+}  // namespace dwred::runtime

@@ -1,0 +1,42 @@
+#pragma once
+
+// Retry-with-exponential-backoff for transient IO failures
+// (docs/ROBUSTNESS.md). Adopted by the journal fsync and the atomic-file
+// rename (src/io) — the two syscalls where a transient ENOSPC/EINTR-class
+// failure is worth absorbing before poisoning a durable warehouse. Only
+// idempotent syscalls are wrapped; the journal's framed write loop is never
+// retried (a duplicated partial write would corrupt the framing).
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace dwred::runtime {
+
+struct RetryPolicy {
+  int max_attempts = 3;          ///< total attempts, including the first
+  int64_t initial_backoff_us = 100;
+  int64_t backoff_multiplier = 4;
+};
+
+/// Runs `op` up to `policy.max_attempts` times, sleeping an exponentially
+/// growing backoff between attempts, and returns the last status. Counts
+/// retries (not first attempts) in dwred_io_retries.
+///
+/// Only kInternal failures are retried — that is the code IO syscall
+/// wrappers return for errno failures. Abort codes (cancel / deadline /
+/// budget) and specification errors propagate immediately, and the caller's
+/// OpContext is checked between attempts so a cancelled operation stops
+/// backing off.
+///
+/// Failures produced by the fault injector (testing/fault.h) are never
+/// retried: injected faults are deterministic by design — the crash matrix
+/// and error-mode durability tests arm "fail the Nth fsync" and assert the
+/// failure surfaces. RetryWithBackoff snapshots FaultInjector::fired() around
+/// each attempt and returns immediately when the failure was injected.
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& op,
+                        const char* what);
+
+}  // namespace dwred::runtime

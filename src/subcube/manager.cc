@@ -11,6 +11,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/compare.h"
+#include "runtime/cancel.h"
+#include "runtime/governor.h"
 #include "scan/scan.h"
 #include "spec/predicate_analysis.h"
 
@@ -162,6 +164,10 @@ Status SubcubeManager::InsertBottomFacts(const MultidimensionalObject& batch) {
       }
     }
   }
+  // Cooperative abort point: the batch is validated but not yet appended, so
+  // cancelling here leaves the warehouse byte-identical to never inserting.
+  DWRED_RETURN_IF_ERROR(
+      runtime::CountAbort(runtime::PollCancel("cancel.insert.batch")));
   if (batch.num_facts() > 0) bump.Arm();
   DWRED_RETURN_IF_ERROR(cubes_[0]->table.AppendFrom(batch));
   return Status::OK();
@@ -305,6 +311,20 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day,
   }
   obs::StageTimer stage_timer;
 
+  // Abort finalization: stamp the profile with the abort outcome (so EXPLAIN
+  // and the flight recorder show *why* the pass produced nothing) and count
+  // the aborted operation once. Only reached from the read-only plan phase,
+  // before bump.Arm() — the tables, epoch, and caches are untouched.
+  auto abort_sync = [&](Status s) -> Status {
+    s = runtime::CountAbort(std::move(s));
+    if (prof != nullptr && runtime::IsAbort(s.code())) {
+      prof->outcome = runtime::OutcomeLabel(s.code());
+      prof->total_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
+      obs::FlightRecorder::Global().Record(*prof);
+    }
+    return s;
+  };
+
   // Writers are exclusive: no query may observe a half-migrated manifest.
   std::unique_lock<std::shared_mutex> snapshot_lock(cache_->snapshot_mutex());
   EpochBumpGuard bump(*cache_);
@@ -350,6 +370,11 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day,
     scan::ScanPlan splan = scan::PlanTableScan(cube.table, scan::ScanSpec::All());
     plan.shard_error.assign(splan.units.size(), Status::OK());
     scan::Execute(splan, [&](size_t si, size_t begin, size_t end) {
+      // Cooperative abort point, polled per shard while the pass is still
+      // read-only (before bump.Arm() below): cancelling any plan shard
+      // abandons the whole pass with nothing mutated.
+      plan.shard_error[si] = runtime::PollCancel("cancel.sync.plan");
+      if (!plan.shard_error[si].ok()) return;
       std::vector<ValueId> row_cell(ndims);
       bool failed = false;
       cube.table.ForEachRow(
@@ -377,7 +402,12 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day,
     });
     // Lowest shard's error is the globally first failing row's error. Unlike
     // the serial formulation, a failed pass mutates nothing.
-    for (const Status& s : plan.shard_error) DWRED_RETURN_IF_ERROR(s);
+    for (const Status& s : plan.shard_error) {
+      if (!s.ok()) return abort_sync(s);
+    }
+    DWRED_RETURN_IF_ERROR(abort_sync(
+        runtime::CurrentOpContext().ChargeRows(
+            static_cast<int64_t>(snapshot[i]))));
     if (prof != nullptr) {
       prof->rows_scanned += static_cast<int64_t>(snapshot[i]);
       prof->segments_total += static_cast<int64_t>(splan.segments_total);
@@ -521,6 +551,13 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
   // over the process-wide pool (only shared *reads*: dimensions, spec,
   // sibling tables, the compiled scan spec).
   auto eval_one = [&](size_t i) -> Result<MultidimensionalObject> {
+    // Cooperative abort point, polled once per subcube before its rows are
+    // touched; the cube's full row count is charged against the query's row
+    // budget up front so an over-budget fan-out stops at subcube granularity.
+    // Evaluation is read-only, so aborting here leaves no state behind.
+    DWRED_RETURN_IF_ERROR(runtime::PollCancel("cancel.query.subcube"));
+    DWRED_RETURN_IF_ERROR(runtime::CurrentOpContext().ChargeRows(
+        static_cast<int64_t>(cubes_[i]->table.num_rows())));
     static obs::Histogram& subquery_latency =
         obs::MetricsRegistry::Global().GetHistogram(
             "dwred_subcube_subquery_seconds", obs::DefaultLatencyBuckets(),
@@ -717,6 +754,32 @@ Result<MultidimensionalObject> SubcubeManager::Query(
   }
   obs::StageTimer stage_timer;
 
+  // Abort finalization: count the aborted query once, stamp the profile with
+  // the outcome and budget so EXPLAIN shows why the query returned nothing.
+  // Every abort return below precedes cache_->InsertQuery, so an aborted
+  // query never pollutes the cache (docs/ROBUSTNESS.md).
+  auto abort_query = [&](Status s) -> Status {
+    s = runtime::CountAbort(std::move(s));
+    if (prof != nullptr && runtime::IsAbort(s.code())) {
+      prof->outcome = runtime::OutcomeLabel(s.code());
+      prof->budget_max_rows = runtime::CurrentOpContext().max_rows();
+      prof->budget_rows_charged = runtime::CurrentOpContext().rows_charged();
+      prof->total_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
+      obs::FlightRecorder::Global().Record(*prof);
+    }
+    return s;
+  };
+
+  // Admission gate (runtime/governor.h): bounded wait for a slot, then shed
+  // with kResourceExhausted. Acquired before the snapshot lock so a queued
+  // query holds no reader lock while it waits; the ticket spans the whole
+  // evaluation.
+  runtime::AdmissionTicket ticket;
+  {
+    Status admitted = runtime::ResourceGovernor::Global().Admit(&ticket);
+    if (!admitted.ok()) return abort_query(std::move(admitted));
+  }
+
   // Epoch-pinned snapshot: the shared lock spans lookup, evaluation and
   // insert, so the epoch read here is the epoch of every byte this query
   // observes (writers are exclusive).
@@ -727,6 +790,10 @@ Result<MultidimensionalObject> SubcubeManager::Query(
   // move while the shared lock is held.
   uint64_t version_sum = 0;
   for (const auto& c : cubes_) version_sum += c->table.content_version();
+
+  // Cooperative abort point: before the cache lookup, so a cancelled query
+  // moves no cache counters and the differential test sees identical stats.
+  DWRED_RETURN_IF_ERROR(abort_query(runtime::PollCancel("cancel.query.begin")));
 
   const std::string key = cache::QueryFingerprint(
       ctx_, pred, target, now_day, assume_synchronized, epoch);
@@ -740,6 +807,7 @@ Result<MultidimensionalObject> SubcubeManager::Query(
     span.AddField("cache_hit", int64_t{1});
     if (prof != nullptr) {
       prof->cache = obs::CacheOutcome::kHit;
+      prof->budget_max_rows = runtime::CurrentOpContext().max_rows();
       prof->result_facts = static_cast<int64_t>(hit->num_facts());
       prof->total_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
       static obs::Histogram& op_hist = obs::OpLatencyHistogram("subcube.query");
@@ -761,10 +829,10 @@ Result<MultidimensionalObject> SubcubeManager::Query(
     prof->AddStage("lookup", stage_timer.LapMicros());
   }
 
-  DWRED_ASSIGN_OR_RETURN(std::vector<MultidimensionalObject> subs,
-                         QuerySubresultsLocked(pred, target, now_day,
-                                               assume_synchronized, parallel,
-                                               prof));
+  auto subs_r = QuerySubresultsLocked(pred, target, now_day,
+                                      assume_synchronized, parallel, prof);
+  if (!subs_r.ok()) return abort_query(subs_r.status());
+  std::vector<MultidimensionalObject> subs = subs_r.take();
   // Wall clock of the whole fan-out (the scan/aggregate stages recorded by
   // QuerySubresultsLocked are per-cube sums, which overlap under parallel
   // evaluation).
@@ -801,6 +869,8 @@ Result<MultidimensionalObject> SubcubeManager::Query(
   if (prof != nullptr) {
     // The union + final combining aggregation materializes the result.
     prof->AddStage("materialize", stage_timer.LapMicros());
+    prof->budget_max_rows = runtime::CurrentOpContext().max_rows();
+    prof->budget_rows_charged = runtime::CurrentOpContext().rows_charged();
     prof->result_facts = static_cast<int64_t>(unioned.num_facts());
     prof->total_us = static_cast<int64_t>(span.ElapsedSeconds() * 1e6);
     static obs::Histogram& op_hist = obs::OpLatencyHistogram("subcube.query");
@@ -812,6 +882,10 @@ Result<MultidimensionalObject> SubcubeManager::Query(
 
 Status SubcubeManager::ChangeSpecification(ReductionSpecification new_spec,
                                            int64_t now_day) {
+  // Last cooperative check before the irrevocable layout swap: a
+  // specification change cannot unwind cleanly once rows start moving, so an
+  // already-cancelled or expired context is rejected up front and never after.
+  DWRED_RETURN_IF_ERROR(runtime::CountAbort(runtime::CurrentOpContext().Check()));
   std::unique_lock<std::shared_mutex> snapshot(cache_->snapshot_mutex());
   EpochBumpGuard bump(*cache_);
   bump.Arm();  // the layout swap below always invalidates cached results

@@ -67,7 +67,8 @@ void FaultInjector::ArmFromEnv() {
   }
   std::vector<std::string> parts = Split(spec, ':');
   if (parts.size() < 2) {
-    std::fprintf(stderr, "DWRED_FAULT: expected <site>:<nth>[:error], got %s\n",
+    std::fprintf(stderr,
+                 "DWRED_FAULT: expected <site>:<nth>[:error|:cancel], got %s\n",
                  spec);
     return;
   }
@@ -79,6 +80,7 @@ void FaultInjector::ArmFromEnv() {
   }
   FaultMode mode = FaultMode::kKill;
   if (parts.size() >= 3 && parts[2] == "error") mode = FaultMode::kError;
+  if (parts.size() >= 3 && parts[2] == "cancel") mode = FaultMode::kCancel;
   Arm(parts[0], static_cast<int>(nth), mode);
 }
 
@@ -134,6 +136,9 @@ Status FaultInjector::Hit(const char* site) {
   if (mode == FaultMode::kKill) {
     std::fprintf(stderr, "DWRED_FAULT: killing process at site %s\n", site);
     _exit(kFaultKillExitCode);
+  }
+  if (mode == FaultMode::kCancel) {
+    return Status::Cancelled(std::string("cancel injected at site ") + site);
   }
   return Status::Internal(std::string("fault injected at site ") + site);
 }

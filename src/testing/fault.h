@@ -11,12 +11,16 @@
 //   * kills the process immediately (`_exit(kFaultKillExitCode)`, simulating
 //     a crash with no destructors, no stdio flush, no atexit handlers), or
 //   * returns an Internal Status that propagates out of the IO operation
-//     (simulating an IO error, e.g. ENOSPC on fsync).
+//     (simulating an IO error, e.g. ENOSPC on fsync), or
+//   * returns a Cancelled Status (simulating a cooperative cancellation
+//     arriving at exactly that poll site — see runtime/cancel.h; the
+//     cancellation matrix in tests/cancel_matrix_test.cc iterates these).
 //
 // Arming is either programmatic (FaultInjector::Arm) or via the environment:
 //
 //   DWRED_FAULT=<site>:<nth>           # kill at the nth execution (1-based)
 //   DWRED_FAULT=<site>:<nth>:error     # fail with a Status instead
+//   DWRED_FAULT=<site>:<nth>:cancel    # fail with Status::Cancelled
 //
 // Every site registers itself on first execution, so a fault-free run of a
 // workload enumerates exactly the sites that guard its IO boundaries
@@ -33,8 +37,9 @@ namespace dwred::testing {
 inline constexpr int kFaultKillExitCode = 42;
 
 enum class FaultMode {
-  kKill,   ///< _exit(kFaultKillExitCode) at the site
-  kError,  ///< return Status::Internal from the site
+  kKill,    ///< _exit(kFaultKillExitCode) at the site
+  kError,   ///< return Status::Internal from the site
+  kCancel,  ///< return Status::Cancelled from the site
 };
 
 /// Process-wide fault registry. Thread-safe; the disarmed fast path is one

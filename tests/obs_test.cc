@@ -332,6 +332,71 @@ TEST_F(ObsTest, TraceJsonLinesRoundTripAndTreeRender) {
   EXPECT_TRUE(none.empty());
 }
 
+TEST_F(ObsTest, ParseTraceJsonLinesSkipsMalformedLinesAndKeepsTheRest) {
+  // A trace file truncated mid-write or hand-edited must degrade to
+  // skip-and-report: every parseable line survives, no crash, no wedge.
+  const std::string text =
+      "{\"name\":\"good\",\"trace\":1,\"span\":2,\"parent\":0,"
+      "\"start_us\":10,\"dur_us\":5}\n"
+      "this line is garbage\n"
+      "{\"no_name_key\":1,\"trace\":1,\"span\":9}\n"
+      "{\"name\":\"truncated\",\"trace\":1,\"span\":3,\"par\n"
+      "{\"name\":\"also_good\",\"trace\":1,\"span\":4,\"parent\":2,"
+      "\"start_us\":12,\"dur_us\":1}\n";
+  std::vector<TraceEvent> events;
+  ASSERT_TRUE(ParseTraceJsonLines(text, &events));
+  // The garbage line and the name-less object are dropped; the truncated
+  // line still carries a complete name field so it parses with what it has.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "good");
+  EXPECT_EQ(events[1].name, "truncated");
+  EXPECT_EQ(events[1].parent_id, 0u);  // the torn key is ignored
+  EXPECT_EQ(events[2].name, "also_good");
+  // The surviving events still render.
+  std::string tree = RenderTraceTree(events);
+  EXPECT_NE(tree.find("good"), std::string::npos);
+  EXPECT_NE(tree.find("also_good"), std::string::npos);
+}
+
+TEST_F(ObsTest, ParseTraceJsonLinesMissingIdsRenderAsUntraced) {
+  const std::string text =
+      "{\"name\":\"orphan\",\"dur_us\":3}\n"
+      "{\"name\":\"rooted\",\"trace\":5,\"span\":6,\"dur_us\":4}\n";
+  std::vector<TraceEvent> events;
+  ASSERT_TRUE(ParseTraceJsonLines(text, &events));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  std::string tree = RenderTraceTree(events);
+  EXPECT_NE(tree.find("(untraced)"), std::string::npos);
+  EXPECT_NE(tree.find("orphan"), std::string::npos);
+  EXPECT_NE(tree.find("trace 5"), std::string::npos);
+}
+
+TEST_F(ObsTest, RenderTraceTreeSurvivesDuplicateSpanIdsAndParentCycles) {
+  // Duplicate span ids can make an event its own ancestor; the renderer
+  // must terminate (each event renders at most once) instead of recursing
+  // forever. Regression test for the cycle guard in RenderTraceTree.
+  const std::string text =
+      "{\"name\":\"root\",\"trace\":1,\"span\":5,\"parent\":0,"
+      "\"start_us\":1,\"dur_us\":9}\n"
+      "{\"name\":\"self_child\",\"trace\":1,\"span\":5,\"parent\":5,"
+      "\"start_us\":2,\"dur_us\":1}\n"
+      "{\"name\":\"mutual_a\",\"trace\":2,\"span\":7,\"parent\":8,"
+      "\"start_us\":3,\"dur_us\":1}\n"
+      "{\"name\":\"mutual_b\",\"trace\":2,\"span\":8,\"parent\":7,"
+      "\"start_us\":4,\"dur_us\":1}\n";
+  std::vector<TraceEvent> events;
+  ASSERT_TRUE(ParseTraceJsonLines(text, &events));
+  ASSERT_EQ(events.size(), 4u);
+  std::string tree = RenderTraceTree(events);  // must return, not recurse
+  EXPECT_NE(tree.find("root"), std::string::npos);
+  // Each event appears at most once.
+  size_t first = tree.find("self_child");
+  if (first != std::string::npos) {
+    EXPECT_EQ(tree.find("self_child", first + 1), std::string::npos);
+  }
+}
+
 TEST_F(ObsTest, BuildInfoAndUptimeGaugesAreExposed) {
   if (!kObsEnabled) GTEST_SKIP() << "built with DWRED_OBS_DISABLED";
   std::string text = MetricsRegistry::Global().RenderText();

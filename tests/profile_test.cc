@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +20,7 @@
 #include "chrono/civil.h"
 #include "exec/thread_pool.h"
 #include "mdm/paper_example.h"
+#include "obs/logging.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -348,6 +350,52 @@ TEST_F(ProfileTest, FlightRecorderRespectsThresholdAndBounds) {
   EXPECT_TRUE(fr.TopK().empty());
   EXPECT_TRUE(fr.LastN().empty());
   EXPECT_NE(fr.Render().find("(none at/above threshold)"), std::string::npos);
+}
+
+// Garbage or out-of-range DWRED_SLOWLOG_* values must not break the flight
+// recorder: they warn through the obs logger and fall back / clamp to the
+// documented bounds instead of being adopted verbatim.
+TEST_F(ProfileTest, SlowlogEnvGarbageWarnsAndClamps) {
+  std::vector<std::string> warnings;
+  obs::SetLogSink([&warnings](obs::LogLevel level, std::string_view msg) {
+    if (level == obs::LogLevel::kWarn) warnings.emplace_back(msg);
+  });
+  ::setenv("DWRED_SLOWLOG_TOPK", "banana", 1);
+  ::setenv("DWRED_SLOWLOG_LASTN", "0", 1);       // below the min of 1
+  ::setenv("DWRED_SLOWLOG_MIN_US", "-50", 1);    // below the min of 0
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.ReloadConfigFromEnv();
+  obs::SetLogSink(nullptr);
+
+  // Unparseable TOPK: default. LASTN/MIN_US: clamped to their minimums.
+  EXPECT_EQ(fr.threshold_us(), 0);
+  ASSERT_GE(warnings.size(), 3u) << "each bad knob warns once";
+  std::string all;
+  for (const std::string& w : warnings) all += w + "\n";
+  EXPECT_NE(all.find("DWRED_SLOWLOG_TOPK"), std::string::npos);
+  EXPECT_NE(all.find("DWRED_SLOWLOG_LASTN"), std::string::npos);
+  EXPECT_NE(all.find("DWRED_SLOWLOG_MIN_US"), std::string::npos);
+
+  // Clamped LASTN=1 is live: the ring keeps exactly one entry.
+  fr.Clear();
+  for (int64_t us : {100, 200}) {
+    obs::OpProfile p;
+    p.op = "clamped";
+    p.total_us = us;
+    fr.Record(p);
+  }
+  EXPECT_EQ(fr.LastN().size(), 1u);
+
+  // An over-the-top TOPK clamps to 4096 with a warning, not an allocation.
+  warnings.clear();
+  obs::SetLogSink([&warnings](obs::LogLevel level, std::string_view msg) {
+    if (level == obs::LogLevel::kWarn) warnings.emplace_back(msg);
+  });
+  ::setenv("DWRED_SLOWLOG_TOPK", "99999999", 1);
+  fr.ReloadConfigFromEnv();
+  obs::SetLogSink(nullptr);
+  EXPECT_FALSE(warnings.empty());
+  EXPECT_NE(warnings.front().find("DWRED_SLOWLOG_TOPK"), std::string::npos);
 }
 
 // Fingerprints are real FNV-1a 64 (known-answer vectors) and the three render

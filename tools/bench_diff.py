@@ -19,8 +19,10 @@ that also appears in a baseline:
     so only order-of-magnitude regressions — an accidentally quadratic path,
     a lock on the warm path — should trip it. Speedups never fail.
 
-Rows without a baseline are reported as new and pass. Exit status is 1 when
-any check fails, 0 otherwise.
+Rows without a baseline are reported as new and pass. Exit status: 0 when all
+checks pass, 1 when a CRC or throughput check fails, 2 when the inputs are
+unusable (missing or truncated --fresh sidecar, missing --baseline-dir) — so
+CI can tell "the code regressed" from "the harness never produced numbers".
 
 With --trajectory, the run is also appended to a top-level trajectory file
 (BENCH_query.json): one entry per run keyed by the sidecar's context date,
@@ -73,10 +75,27 @@ def main():
                     help="append this run to the given trajectory json")
     args = ap.parse_args()
 
-    fresh_doc, fresh = load_rows(args.fresh)
+    # Input problems exit 2 with a single clear line: a missing or truncated
+    # sidecar means the benchmark run itself broke, which is a different
+    # failure class than a regression (exit 1).
+    try:
+        fresh_doc, fresh = load_rows(args.fresh)
+    except FileNotFoundError:
+        print(f"bench_diff: fresh sidecar not found: {args.fresh}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError) as e:
+        print(f"bench_diff: fresh sidecar {args.fresh} is truncated or "
+              f"malformed: {e}", file=sys.stderr)
+        return 2
     if not fresh:
         print(f"bench_diff: no benchmark rows in {args.fresh}", file=sys.stderr)
-        return 1
+        return 2
+
+    if not os.path.isdir(args.baseline_dir):
+        print(f"bench_diff: baseline dir not found: {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
 
     baselines = {}  # name -> (row, source file)
     for fname in sorted(os.listdir(args.baseline_dir)):

@@ -46,7 +46,10 @@
 //   echo <text>
 //
 // Blank lines and '#' comments are ignored. The tool stops at the first
-// failing command and reports its diagnostic.
+// failing command and reports its diagnostic (Status on stderr), exiting
+// with a code that names the failure class (see --help): 1 generic command
+// failure, 2 usage / IO, 3 cancelled, 4 deadline exceeded, 5 resource
+// exhausted (budget or admission shed).
 //
 //   $ dwredctl warehouse.dwred
 //   $ dwredctl -                    # read from stdin
@@ -54,6 +57,8 @@
 //   $ dwredctl stats warehouse.dwred    # run, then dump the metrics registry
 //   $ dwredctl --trace=/tmp/t.jsonl warehouse.dwred   # JSON-lines span trace
 //   $ dwredctl trace-tree /tmp/t.jsonl  # pretty-print a recorded span trace
+//   $ dwredctl --deadline-ms=500 warehouse.dwred  # per-command deadline
+//   $ dwredctl --max-rows=100000 warehouse.dwred  # per-command row budget
 
 #include <cstdio>
 #include <iostream>
@@ -72,6 +77,7 @@
 #include "obs/trace.h"
 #include "query/operators.h"
 #include "reduce/dynamics.h"
+#include "runtime/cancel.h"
 #include "reduce/schema_reduction.h"
 #include "reduce/semantics.h"
 #include "spec/parser.h"
@@ -722,18 +728,73 @@ struct Shell {
   }
 };
 
+/// Maps a Status code to the process exit code documented in --help. The
+/// abort codes get distinct values so scripts and supervisors can tell a
+/// timed-out command from a plain failure without parsing stderr.
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCancelled: return 3;
+    case StatusCode::kDeadlineExceeded: return 4;
+    case StatusCode::kResourceExhausted: return 5;
+    default: return 1;
+  }
+}
+
+void PrintHelp(const char* argv0) {
+  std::printf(
+      "usage: %s [stats] [--trace=<file.jsonl>] [--deadline-ms=<n>] "
+      "[--max-rows=<n>] <script.dwred | ->\n"
+      "       %s recover <dir>\n"
+      "       %s trace-tree <file.jsonl>\n"
+      "\n"
+      "flags:\n"
+      "  --trace=<file>     record a JSON-lines span trace of the run\n"
+      "  --deadline-ms=<n>  per-command deadline: each script command gets a\n"
+      "                     fresh n-millisecond budget; a command that runs\n"
+      "                     past it aborts cleanly (DeadlineExceeded)\n"
+      "  --max-rows=<n>     per-command row budget: a command that charges\n"
+      "                     more than n rows aborts (ResourceExhausted)\n"
+      "  stats              dump the metrics registry after the script\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  a command failed (Status printed on stderr, mid-stream)\n"
+      "  2  usage error, unreadable input, or trace-write failure\n"
+      "  3  command cancelled (Cancelled)\n"
+      "  4  command exceeded its deadline (DeadlineExceeded)\n"
+      "  5  budget exceeded or admission shed (ResourceExhausted)\n",
+      argv0, argv0, argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool dump_stats = false;
   std::string trace_path;
+  int64_t deadline_ms = 0;
+  int64_t max_rows = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--trace=", 0) == 0) {
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(argv[0]);
+      return 0;
+    } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::string("--trace=").size());
       if (trace_path.empty()) {
         std::fprintf(stderr, "--trace= requires a file path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      std::string v = arg.substr(std::string("--deadline-ms=").size());
+      if (!ParseInt64(v, &deadline_ms) || deadline_ms < 1) {
+        std::fprintf(stderr, "--deadline-ms= requires a positive integer\n");
+        return 2;
+      }
+    } else if (arg.rfind("--max-rows=", 0) == 0) {
+      std::string v = arg.substr(std::string("--max-rows=").size());
+      if (!ParseInt64(v, &max_rows) || max_rows < 1) {
+        std::fprintf(stderr, "--max-rows= requires a positive integer\n");
         return 2;
       }
     } else if (arg == "stats" && positional.empty()) {
@@ -781,8 +842,9 @@ int main(int argc, char** argv) {
   if (positional.size() != 1) {
     std::fprintf(stderr,
                  "usage: %s [stats] [--trace=<file.jsonl>] "
+                 "[--deadline-ms=<n>] [--max-rows=<n>] "
                  "<script.dwred | -> | %s recover <dir> | "
-                 "%s trace-tree <file.jsonl>\n",
+                 "%s trace-tree <file.jsonl>  (see --help)\n",
                  argv[0], argv[0], argv[0]);
     return 2;
   }
@@ -809,11 +871,21 @@ int main(int argc, char** argv) {
     size_t line_no = 0;
     for (const std::string& line : Split(script, '\n')) {
       ++line_no;
-      Status st = shell.Run(line);
+      // Each command gets a fresh operation context: the deadline restarts
+      // per command (a slow command can't starve the next one of budget it
+      // already burned) and the row budget is per command too.
+      runtime::OpContext ctx;
+      if (deadline_ms > 0) ctx.deadline = runtime::Deadline::AfterMillis(deadline_ms);
+      if (max_rows > 0) ctx.SetMaxRows(max_rows);
+      Status st;
+      {
+        runtime::ScopedOpContext scope(ctx);
+        st = shell.Run(line);
+      }
       if (!st.ok()) {
         std::fprintf(stderr, "line %zu: %s\n  %s\n", line_no,
                      st.ToString().c_str(), line.c_str());
-        rc = 1;
+        rc = ExitCodeFor(st.code());
         break;
       }
     }

@@ -48,12 +48,14 @@ case "$mode" in
     cmake --build build-tsan -j
     cd build-tsan
     # The concurrency surface: pool internals under stress, the parallel
-    # reduce/synchronize/query passes, and the metrics they update. The
-    # crash matrix is excluded — TSan does not support threads created after
-    # a multithreaded fork (the fork-safety test self-skips the same way).
+    # reduce/synchronize/query passes, the metrics they update, and the
+    # cancellation/admission runtime (cooperative aborts racing worker
+    # shards, the oversubscribed admission gate). The crash matrix is
+    # excluded — TSan does not support threads created after a multithreaded
+    # fork (the fork-safety test self-skips the same way).
     TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
       ctest --output-on-failure \
-        -R 'exec_pool_test|parallel_differential_test|obs_test|cache_coherence_test|profile_test'
+        -R 'exec_pool_test|parallel_differential_test|obs_test|cache_coherence_test|profile_test|cancel_test|cancel_matrix_test'
     ;;
   plain)
     cmake -B build -S . && cmake --build build -j && cd build \
