@@ -1,0 +1,153 @@
+// B12 — the predicate/fold bytecode VM (docs/COMPILATION.md): selection
+// predicates and per-row measure folds are compiled to compact programs
+// (src/vm) and evaluated by an interpreter loop that never touches the AST.
+//
+// Expected shape: on the cold path (result + program caches disabled, so
+// every iteration recompiles and re-evaluates) the VM-on rows beat the
+// AST-walking interpreter by >= 3x; on the warm path both variants serve the
+// result from the LRU and are indistinguishable. The `snapshot_crc` counter
+// is identical for every variant and thread count — compilation never
+// changes bytes, only cost. The sweep records vm on/off x cold/warm across
+// pool sizes {1, 2, 4, 8} in the JSON sidecar (DWRED_BENCH_SIDECAR,
+// bench_main.cc); tools/bench_diff.py pairs the cold rows and fails CI when
+// the VM regresses below the interpreter baseline.
+
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "exec/thread_pool.h"
+#include "io/atomic_file.h"
+#include "subcube/manager.h"
+
+namespace dwred::bench {
+namespace {
+
+struct Warehouse {
+  std::shared_ptr<Dimension> time_dim, url_dim;
+  std::unique_ptr<SubcubeManager> mgr;
+  std::shared_ptr<PredExpr> pred;
+  std::vector<CategoryId> gran;
+  int64_t t;
+};
+
+// Same canonical warehouse as bench_query_cache: 30 monthly batches reduced
+// under the three-tier policy, queried at 2002/7/1 with a two-atom
+// conjunction (one enumerable URL atom, one NOW-relative time window).
+Warehouse MakeWarehouse(size_t per_month) {
+  Warehouse wh;
+  ClickstreamWorkload w = MakeWorkload(0);
+  wh.time_dim = w.time_dim;
+  wh.url_dim = w.url_dim;
+  ReductionSpecification spec = TakeOrAbort(MakePolicy(*w.mo, 3));
+  wh.mgr = std::make_unique<SubcubeManager>(
+      SubcubeManager::Create("Click", w.mo->dimensions(),
+                             std::vector<MeasureType>(w.mo->measure_types()),
+                             spec)
+          .take());
+  uint64_t seed = 17;
+  for (int m = 0; m < 30; ++m) {
+    int year = 2000 + m / 12, month = m % 12 + 1;
+    int64_t lo = DaysFromCivil({year, month, 1});
+    int64_t hi = DaysFromCivil({year, month, DaysInMonth(year, month)});
+    MultidimensionalObject batch =
+        MakeClickBatch(w.time_dim, w.url_dim, lo, hi, per_month, ++seed);
+    (void)wh.mgr->InsertBottomFacts(batch);
+    (void)wh.mgr->Synchronize(hi + 1);
+  }
+  wh.t = DaysFromCivil({2002, 7, 1});
+  (void)wh.mgr->Synchronize(wh.t);
+  wh.pred = ParsePredicate(wh.mgr->context(),
+                           "URL.domain_grp = .com AND "
+                           "NOW - 24 months <= Time.month")
+                .take();
+  wh.gran =
+      ParseGranularityList(wh.mgr->context(), "Time.month, URL.domain_grp")
+          .take();
+  return wh;
+}
+
+/// CRC32 over a full-fidelity serialization of the result — the differential
+/// check: every variant and thread count must report the same value.
+uint32_t SnapshotCrc(const MultidimensionalObject& mo) {
+  std::ostringstream out;
+  out << mo.num_facts() << "\n";
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    out << mo.FactName(f) << "|";
+    for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+      out << mo.Coord(f, static_cast<DimensionId>(d)) << ",";
+    }
+    out << "|";
+    for (size_t m = 0; m < mo.num_measures(); ++m) {
+      out << mo.Measure(f, static_cast<MeasureId>(m)) << ",";
+    }
+    out << "\n";
+  }
+  return Crc32(out.str());
+}
+
+// `cold` disables the PR-5 LRU entirely (results AND compiled programs), so
+// each iteration pays compile + full per-subcube evaluation; warm rows serve
+// the result from the cache and exist to show the VM leaves the warm path
+// untouched. `vm_on` flips the DWRED_VM_DISABLED kill switch.
+void RunVmQuery(benchmark::State& state, bool vm_on, bool cold, int threads) {
+  if (vm_on) {
+    ::unsetenv("DWRED_VM_DISABLED");
+  } else {
+    ::setenv("DWRED_VM_DISABLED", "1", 1);
+  }
+  if (cold) {
+    ::setenv("DWRED_CACHE_DISABLED", "1", 1);
+  } else {
+    ::unsetenv("DWRED_CACHE_DISABLED");
+  }
+  Warehouse wh = MakeWarehouse(static_cast<size_t>(state.range(0)));
+  exec::ThreadPool::ResetGlobal(threads);
+  const bool parallel = threads > 1;
+  uint32_t crc = 0;
+  for (auto _ : state) {
+    auto r = wh.mgr->Query(wh.pred.get(), &wh.gran, wh.t,
+                           /*assume_synchronized=*/true, parallel);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    crc = SnapshotCrc(r.value());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.counters["snapshot_crc"] = static_cast<double>(crc);
+  state.counters["threads"] = threads;
+  state.counters["vm"] = vm_on ? 1 : 0;
+  state.counters["cold"] = cold ? 1 : 0;
+  state.SetItemsProcessed(state.iterations());
+  exec::ThreadPool::ResetGlobal(0);
+  ::unsetenv("DWRED_VM_DISABLED");
+  ::unsetenv("DWRED_CACHE_DISABLED");
+}
+
+// The headline pair: serial cold path, VM on vs off. tools/bench_diff.py
+// matches these two rows (same threads, cold == 1) and fails when the
+// compiled row is slower than the interpreter row.
+void BM_VmQueryColdCompiled(benchmark::State& state) {
+  RunVmQuery(state, /*vm_on=*/true, /*cold=*/true, /*threads=*/1);
+}
+BENCHMARK(BM_VmQueryColdCompiled)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_VmQueryColdInterpreted(benchmark::State& state) {
+  RunVmQuery(state, /*vm_on=*/false, /*cold=*/true, /*threads=*/1);
+}
+BENCHMARK(BM_VmQueryColdInterpreted)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Thread sweep x vm on/off x cold/warm: sixteen rows in the sidecar, one
+// snapshot_crc.
+void BM_VmQuerySweep(benchmark::State& state) {
+  RunVmQuery(state, state.range(2) != 0, state.range(3) != 0,
+             static_cast<int>(state.range(1)));
+}
+BENCHMARK(BM_VmQuerySweep)
+    ->ArgsProduct({{10000}, {1, 2, 4, 8}, {0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dwred::bench

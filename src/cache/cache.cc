@@ -83,6 +83,20 @@ std::string ScanSpecFingerprint(const MultidimensionalObject& ctx,
          "|p=" + pred.ToString(ctx);
 }
 
+std::string ProgramFingerprint(const MultidimensionalObject& ctx,
+                               const PredExpr& pred, int64_t now_day,
+                               uint64_t epoch, const char* approach) {
+  return std::string("v|a=") + approach + "|e=" + std::to_string(epoch) +
+         "|now=" + std::to_string(now_day) + "|p=" + pred.ToString(ctx);
+}
+
+std::string RollupFingerprint(const std::vector<CategoryId>& target,
+                              uint64_t epoch) {
+  std::string key = "r|e=" + std::to_string(epoch) + "|g=";
+  AppendGranularity(&target, &key);
+  return key;
+}
+
 WarehouseCache::WarehouseCache(size_t max_entries, size_t max_bytes)
     : max_entries_(max_entries), max_bytes_(max_bytes) {}
 
@@ -157,7 +171,8 @@ size_t WarehouseCache::DropAll(Lru<V>& lru) {
 uint64_t WarehouseCache::BumpEpoch() {
   uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   std::lock_guard<std::mutex> lock(cache_mu_);
-  size_t dropped = DropAll(query_) + DropAll(scanspec_);
+  size_t dropped = DropAll(query_) + DropAll(scanspec_) + DropAll(program_) +
+                   DropAll(rollup_);
   if (dropped > 0) CacheMetrics::Get().invalidations.Increment(dropped);
   return next;
 }
@@ -202,13 +217,47 @@ void WarehouseCache::InsertScanSpec(const std::string& key,
          std::make_shared<const scan::ScanSpec>(std::move(spec)), bytes);
 }
 
+std::shared_ptr<const vm::PredProgram> WarehouseCache::LookupProgram(
+    const std::string& key) const {
+  if (!Enabled()) return nullptr;
+  auto hit = Lookup(program_, key);
+  if (hit) vm::CountCacheHit();
+  return hit;
+}
+
+std::shared_ptr<const vm::PredProgram> WarehouseCache::InsertProgram(
+    const std::string& key, std::shared_ptr<const vm::PredProgram> prog) {
+  if (Enabled() && prog != nullptr) {
+    Insert(program_, key, prog, prog->ApproxBytes());
+  }
+  return prog;
+}
+
+std::shared_ptr<const vm::RollupProgram> WarehouseCache::LookupRollup(
+    const std::string& key) const {
+  if (!Enabled()) return nullptr;
+  auto hit = Lookup(rollup_, key);
+  if (hit) vm::CountCacheHit();
+  return hit;
+}
+
+std::shared_ptr<const vm::RollupProgram> WarehouseCache::InsertRollup(
+    const std::string& key, std::shared_ptr<const vm::RollupProgram> prog) {
+  if (Enabled() && prog != nullptr) {
+    Insert(rollup_, key, prog, prog->ApproxBytes());
+  }
+  return prog;
+}
+
 WarehouseCache::Stats WarehouseCache::GetStats() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   Stats s;
   s.epoch = epoch();
   s.query_entries = query_.index.size();
   s.scanspec_entries = scanspec_.index.size();
-  s.bytes = query_.bytes + scanspec_.bytes;
+  s.program_entries = program_.index.size() + rollup_.index.size();
+  s.bytes = query_.bytes + scanspec_.bytes + program_.bytes + rollup_.bytes;
+  s.program_bytes = program_.bytes + rollup_.bytes;
   s.max_entries = max_entries_;
   s.max_bytes = max_bytes_;
   return s;
@@ -218,6 +267,8 @@ void WarehouseCache::Clear() {
   std::lock_guard<std::mutex> lock(cache_mu_);
   DropAll(query_);
   DropAll(scanspec_);
+  DropAll(program_);
+  DropAll(rollup_);
 }
 
 }  // namespace dwred::cache

@@ -49,6 +49,7 @@
 #include "mdm/mo.h"
 #include "scan/scan.h"
 #include "spec/predicate.h"
+#include "vm/program.h"
 
 namespace dwred::cache {
 
@@ -74,6 +75,22 @@ std::string QueryFingerprint(const MultidimensionalObject& ctx,
 std::string ScanSpecFingerprint(const MultidimensionalObject& ctx,
                                 const PredExpr& pred, int64_t now_day,
                                 uint64_t epoch);
+
+/// Fingerprint of a compiled vm::PredProgram: predicate rendering + resolved
+/// NOW day + epoch (the same keying contract as ScanSpecFingerprint — atom
+/// weight tables depend only on the dimension extents, and any extent change
+/// is an epoch bump) plus an `approach` tag, because the weighted/liberal/
+/// conservative oracles fill the tables differently ("spec" for 0/1 spec
+/// predicates).
+std::string ProgramFingerprint(const MultidimensionalObject& ctx,
+                               const PredExpr& pred, int64_t now_day,
+                               uint64_t epoch, const char* approach);
+
+/// Fingerprint of a compiled vm::RollupProgram: the target granularity ids +
+/// epoch. NOW plays no part — rollup tables depend only on the hierarchy,
+/// and any hierarchy change is an epoch bump.
+std::string RollupFingerprint(const std::vector<CategoryId>& target,
+                              uint64_t epoch);
 
 /// One warehouse's epoch counter, snapshot lock, and LRU caches. Heap-held
 /// by SubcubeManager (the manager must stay movable through
@@ -113,6 +130,12 @@ class WarehouseCache {
   /// abort on entry moves no counter at all; an abort mid-evaluation counts
   /// exactly the one miss its lookup honestly performed.
   /// tests/cancel_matrix_test.cc asserts all of this differentially.
+  ///
+  /// Compiled vm::PredPrograms are the deliberate exception: a program is a
+  /// complete artifact of (predicate, NOW, epoch, approach) alone — never of
+  /// the operation's outcome — so programs compiled before an abort are
+  /// retained (Stats.program_bytes reports their share). Retaining them only
+  /// warms the retry; it can never change result bytes.
   std::shared_ptr<const MultidimensionalObject> LookupQuery(
       const std::string& key) const;
   void InsertQuery(const std::string& key,
@@ -123,11 +146,29 @@ class WarehouseCache {
       const std::string& key) const;
   void InsertScanSpec(const std::string& key, scan::ScanSpec spec);
 
+  /// Compiled vm::PredProgram cache, same discipline, but its hit counter is
+  /// dwred_vm_cache_hits (the VM surface) rather than a cache counter.
+  /// Insert returns the cached (or, while the cache is disabled, the passed)
+  /// program so call sites always use one canonical shared program.
+  std::shared_ptr<const vm::PredProgram> LookupProgram(
+      const std::string& key) const;
+  std::shared_ptr<const vm::PredProgram> InsertProgram(
+      const std::string& key, std::shared_ptr<const vm::PredProgram> prog);
+
+  /// Compiled vm::RollupProgram cache (aggregate formation's per-dimension
+  /// rollup tables), same discipline and counters as the PredProgram cache.
+  std::shared_ptr<const vm::RollupProgram> LookupRollup(
+      const std::string& key) const;
+  std::shared_ptr<const vm::RollupProgram> InsertRollup(
+      const std::string& key, std::shared_ptr<const vm::RollupProgram> prog);
+
   struct Stats {
     uint64_t epoch = 0;
     size_t query_entries = 0;
     size_t scanspec_entries = 0;
-    size_t bytes = 0;
+    size_t program_entries = 0;  ///< PredPrograms + RollupPrograms
+    size_t bytes = 0;            ///< all LRUs together
+    size_t program_bytes = 0;    ///< the program LRUs' share of `bytes`
     size_t max_entries = 0;
     size_t max_bytes = 0;
   };
@@ -166,6 +207,8 @@ class WarehouseCache {
   mutable std::mutex cache_mu_;  ///< guards the LRU structures below
   mutable Lru<MultidimensionalObject> query_;
   mutable Lru<scan::ScanSpec> scanspec_;
+  mutable Lru<vm::PredProgram> program_;
+  mutable Lru<vm::RollupProgram> rollup_;
   size_t max_entries_;
   size_t max_bytes_;
 };

@@ -63,18 +63,51 @@ class MultidimensionalObject {
   Result<FactId> AddBottomFact(std::span<const ValueId> coords,
                                std::span<const int64_t> measures);
 
+  /// Pre-sizes fact storage (coords, measures, names) for `additional` more
+  /// facts — the bulk-materialization entry for operators that know their
+  /// output cardinality up front.
+  void ReserveFacts(size_t additional) {
+    coords_.reserve(coords_.size() + additional * dims_.size());
+    meas_.reserve(meas_.size() + additional * measures_.size());
+    fact_names_.reserve(fact_names_.size() + additional);
+  }
+
+  /// AddFact minus the per-coordinate validation, for coordinates copied
+  /// verbatim from an already-validated row of a same-schema source (the
+  /// selection operators' survivor materialization).
+  FactId AppendFactUnchecked(std::span<const ValueId> coords,
+                             std::span<const int64_t> measures) {
+    FactId id = num_facts_++;
+    coords_.insert(coords_.end(), coords.begin(), coords.end());
+    meas_.insert(meas_.end(), measures.begin(), measures.end());
+    return id;
+  }
+
   /// The fact's value in dimension d (the single pair (f, v) in R_d).
   ValueId Coord(FactId f, DimensionId d) const {
     return coords_[f * dims_.size() + d];
   }
+  /// The fact's whole direct cell (one ValueId per dimension, contiguous).
+  std::span<const ValueId> FactCoords(FactId f) const {
+    return {coords_.data() + f * dims_.size(), dims_.size()};
+  }
   int64_t Measure(FactId f, MeasureId m) const {
     return meas_[f * measures_.size() + m];
+  }
+  /// The fact's whole measure row (one value per measure, contiguous).
+  std::span<const int64_t> FactMeasures(FactId f) const {
+    return {meas_.data() + f * measures_.size(), measures_.size()};
   }
 
   /// Overwrites a measure value in place (used by reduction and aggregation
   /// to fold partial aggregates into a group's output fact).
   void SetMeasure(FactId f, MeasureId m, int64_t value) {
     meas_[f * measures_.size() + m] = value;
+  }
+  /// Mutable view of the fact's measure row — the in-place accumulator for
+  /// precompiled measure folds (vm::FoldProgram).
+  std::span<int64_t> MutableFactMeasures(FactId f) {
+    return {meas_.data() + f * measures_.size(), measures_.size()};
   }
 
   /// f ~> v in dimension d: the fact is characterized by v (directly related

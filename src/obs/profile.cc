@@ -95,6 +95,7 @@ std::string OpProfile::Render() const {
     cache_desc += " (fingerprint " + HexFingerprint(fingerprint) + ")";
   }
   line("cache:", cache_desc);
+  line("compiled:", compiled ? "yes (bytecode VM)" : "no (tree interpreter)");
   line("segments:", std::to_string(segments_scanned) + " scanned / " +
                         std::to_string(segments_pruned) + " pruned of " +
                         std::to_string(segments_total));
@@ -151,6 +152,8 @@ std::string OpProfile::ToJson() const {
   out += assume_synchronized ? "true" : "false";
   out += ",\"parallel\":";
   out += parallel ? "true" : "false";
+  out += ",\"compiled\":";
+  out += compiled ? "true" : "false";
   out += ",\"fan_out\":" + std::to_string(fan_out);
   out += ",\"segments_total\":" + std::to_string(segments_total);
   out += ",\"segments_scanned\":" + std::to_string(segments_scanned);
@@ -196,7 +199,9 @@ std::string OpProfile::Summary() const {
          std::to_string(segments_pruned);
   out += " rows_skipped=" + std::to_string(rows_skipped);
   out += " facts=" + std::to_string(result_facts);
-  // Append the outcome only when abnormal: existing summaries stay stable.
+  // Append compiled/outcome only when abnormal-or-notable: existing
+  // summaries stay stable.
+  if (compiled) out += " compiled=1";
   if (!outcome.empty() && outcome != "ok") out += " outcome=" + outcome;
   for (const auto& [name, value] : counters) {
     out += " " + name + "=" + std::to_string(value);

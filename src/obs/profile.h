@@ -85,6 +85,7 @@ struct OpProfile {
   int64_t now_day = 0;
   bool assume_synchronized = false;
   bool parallel = false;
+  bool compiled = false;     ///< predicate ran as VM bytecode (src/vm)
   int64_t fan_out = 0;       ///< subcubes (or shards) the op fanned out to
 
   // Scan-layer attribution. On the pruned path these sum the per-subcube

@@ -329,4 +329,41 @@ scan::AtomOracle LiberalScanOracle(int64_t now_day) {
   };
 }
 
+scan::AtomOracle QueryAtomOracle(int64_t now_day, SelectionApproach ap) {
+  return [now_day, ap](const Atom& a, const Dimension& dim, ValueId v) {
+    return EvalQueryAtomOnValue(a, dim, v, now_day, ap);
+  };
+}
+
+double EvalQueryPredOnCoords(
+    const PredExpr& e, const std::vector<std::shared_ptr<Dimension>>& dims,
+    const ValueId* coords, int64_t now_day, SelectionApproach ap) {
+  switch (e.kind) {
+    case PredExpr::Kind::kTrue: return 1.0;
+    case PredExpr::Kind::kFalse: return 0.0;
+    case PredExpr::Kind::kAtom:
+      return EvalQueryAtomOnValue(e.atom, *dims[e.atom.dim],
+                                  coords[e.atom.dim], now_day, ap);
+    case PredExpr::Kind::kNot:
+      return 1.0 - EvalQueryPredOnCoords(*e.kids[0], dims, coords, now_day, ap);
+    case PredExpr::Kind::kAnd: {
+      double w = 1.0;
+      for (const auto& k : e.kids) {
+        w *= EvalQueryPredOnCoords(*k, dims, coords, now_day, ap);
+        if (w == 0.0) break;
+      }
+      return w;
+    }
+    case PredExpr::Kind::kOr: {
+      double w = 0.0;
+      for (const auto& k : e.kids) {
+        w = std::max(w, EvalQueryPredOnCoords(*k, dims, coords, now_day, ap));
+        if (w == 1.0) break;
+      }
+      return w;
+    }
+  }
+  return 0.0;
+}
+
 }  // namespace dwred

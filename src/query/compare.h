@@ -62,4 +62,17 @@ double EvalQueryPredOnFact(const PredExpr& e, const MultidimensionalObject& mo,
 /// selection approaches.
 scan::AtomOracle LiberalScanOracle(int64_t now_day);
 
+/// EvalQueryAtomOnValue bound as an atom oracle under an arbitrary approach —
+/// the table builder for vm::PredProgram compilation (docs/COMPILATION.md).
+scan::AtomOracle QueryAtomOracle(int64_t now_day, SelectionApproach ap);
+
+/// Evaluates a predicate tree on a bare direct cell (one ValueId per
+/// dimension of `dims`). Identical fold order and short-circuiting to
+/// EvalQueryPredOnFact — the per-row interpreter fallback for compiled scans
+/// over fact tables, where no MO exists.
+double EvalQueryPredOnCoords(const PredExpr& e,
+                             const std::vector<std::shared_ptr<Dimension>>& dims,
+                             const ValueId* coords, int64_t now_day,
+                             SelectionApproach ap);
+
 }  // namespace dwred

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -25,7 +26,9 @@ const char* AggregationApproachName(AggregationApproach a) {
 
 Result<SelectionResult> Select(const MultidimensionalObject& mo,
                                const PredExpr& pred, int64_t now_day,
-                               SelectionApproach approach) {
+                               SelectionApproach approach,
+                               const std::shared_ptr<const vm::PredProgram>&
+                                   compiled) {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Histogram& select_latency = registry.GetHistogram(
       "dwred_query_select_seconds", obs::DefaultLatencyBuckets(),
@@ -38,39 +41,99 @@ Result<SelectionResult> Select(const MultidimensionalObject& mo,
   SelectionResult out{MultidimensionalObject(mo.fact_type(), mo.dimensions(),
                                              mo.measure_types()),
                       {}};
-  const size_t ndims = mo.num_dimensions();
-  const size_t nmeas = mo.num_measures();
 
   // Predicate evaluation is independent per fact, so it shards over fact
   // ranges; the output MO is then built serially in fact order from the
   // precomputed weights, which keeps the result byte-identical at every
   // thread count (docs/PARALLELISM.md).
   std::vector<double> weights(mo.num_facts());
-  scan::Execute(scan::PlanMoScan(mo.num_facts(), /*grain=*/512),
-                [&](size_t, size_t begin, size_t end) {
-                  for (FactId f = begin; f < end; ++f) {
-                    weights[f] =
-                        EvalQueryPredOnFact(pred, mo, f, now_day, approach);
-                  }
-                });
+  if (compiled != nullptr) {
+    vm::CompiledScan cs(compiled, [&](const ValueId* c) {
+      return EvalQueryPredOnCoords(pred, mo.dimensions(), c, now_day, approach);
+    });
+    cs.WeighMo(mo, &weights);
+  } else {
+    scan::Execute(scan::PlanMoScan(mo.num_facts(), /*grain=*/512),
+                  [&](size_t, size_t begin, size_t end) {
+                    for (FactId f = begin; f < end; ++f) {
+                      weights[f] =
+                          EvalQueryPredOnFact(pred, mo, f, now_day, approach);
+                    }
+                  });
+  }
 
-  std::vector<ValueId> coords(ndims);
-  std::vector<int64_t> meas(nmeas);
+  size_t survivors = 0;
+  for (double w : weights) survivors += w > 0.0 ? 1 : 0;
+  out.mo.ReserveFacts(survivors);
+  if (approach == SelectionApproach::kWeighted) out.weights.reserve(survivors);
   for (FactId f = 0; f < mo.num_facts(); ++f) {
     double w = weights[f];
     if (w <= 0.0) continue;
-    for (size_t d = 0; d < ndims; ++d) {
-      coords[d] = mo.Coord(f, static_cast<DimensionId>(d));
-    }
-    for (size_t m = 0; m < nmeas; ++m) {
-      meas[m] = mo.Measure(f, static_cast<MeasureId>(m));
-    }
-    DWRED_ASSIGN_OR_RETURN(FactId nf, out.mo.AddFact(coords, meas));
+    // Source coordinates were validated when `mo` was built and the schemas
+    // are identical, so the survivors append unchecked.
+    FactId nf = out.mo.AppendFactUnchecked(mo.FactCoords(f), mo.FactMeasures(f));
     out.mo.SetFactName(nf, mo.FactName(f));
     if (const std::vector<FactId>* prov = mo.Provenance(f)) {
       out.mo.SetProvenance(nf, *prov, mo.ResponsibleAction(f));
     }
     if (approach == SelectionApproach::kWeighted) out.weights.push_back(w);
+  }
+  return out;
+}
+
+Result<SelectionResult> SelectFromScan(
+    const FactTable& t, const scan::ScanPlan& plan, const PredExpr& pred,
+    int64_t now_day, SelectionApproach approach, const std::string& fact_type,
+    const std::vector<std::shared_ptr<Dimension>>& dims,
+    const std::vector<MeasureType>& measures,
+    const std::shared_ptr<const vm::PredProgram>& compiled,
+    bool materialize_names) {
+  DWRED_CHECK(dims.size() == t.num_dims());
+  DWRED_CHECK(measures.size() == t.num_measures());
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& select_latency = registry.GetHistogram(
+      "dwred_query_select_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one selection operator evaluation (Section 6)");
+  static obs::Counter& c_selects =
+      registry.GetCounter("dwred_query_selects", "selection operators run");
+  obs::TraceSpan span("query.select", &select_latency);
+  c_selects.Increment();
+  size_t facts_in = 0;
+  for (const exec::Shard& u : plan.units) facts_in += u.end - u.begin;
+  span.AddField("facts_in", static_cast<int64_t>(facts_in));
+
+  // Same two-phase shape as Select: shard-parallel weights indexed by
+  // logical row id, then a serial ascending materialization of the
+  // survivors. Rows in pruned segments keep weight 0 — ScanSpec pruning is
+  // sound for every approach — so output bytes match the unpruned pipeline.
+  std::vector<double> weights;
+  vm::CompiledScan cs(compiled, [&](const ValueId* c) {
+    return EvalQueryPredOnCoords(pred, dims, c, now_day, approach);
+  });
+  cs.WeighTable(t, plan, &weights);
+
+  SelectionResult out{MultidimensionalObject(fact_type, dims, measures), {}};
+  const size_t ndims = dims.size();
+  const size_t nmeas = measures.size();
+  size_t survivors = 0;
+  for (double w : weights) survivors += w > 0.0 ? 1 : 0;
+  out.mo.ReserveFacts(survivors);
+  if (approach == SelectionApproach::kWeighted) out.weights.reserve(survivors);
+  std::vector<ValueId> coords(ndims);
+  std::vector<int64_t> meas(nmeas);
+  for (const exec::Shard& u : plan.units) {
+    t.ForEachRow(u.begin, u.end, [&](RowId r, const FactTable::RowRef& row) {
+      const double w = weights[r];
+      if (w <= 0.0) return;
+      for (size_t d = 0; d < ndims; ++d) coords[d] = row.coord(d);
+      for (size_t m = 0; m < nmeas; ++m) meas[m] = row.measure(m);
+      // Table rows were validated on insert against these same dimensions,
+      // so the survivors append unchecked.
+      FactId nf = out.mo.AppendFactUnchecked(coords, meas);
+      // The names Select over MaterializeMO would have produced.
+      if (materialize_names) out.mo.SetFactName(nf, "fact_" + std::to_string(r));
+      if (approach == SelectionApproach::kWeighted) out.weights.push_back(w);
+    });
   }
   return out;
 }
@@ -142,7 +205,8 @@ std::vector<FactId> GroupHigh(const MultidimensionalObject& mo,
 
 Result<MultidimensionalObject> AggregateFormation(
     const MultidimensionalObject& mo, const std::vector<CategoryId>& target,
-    AggregationApproach approach, bool track_provenance) {
+    AggregationApproach approach, bool track_provenance,
+    const std::shared_ptr<const vm::RollupProgram>& rollup_in) {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Histogram& agg_latency = registry.GetHistogram(
       "dwred_query_aggregate_seconds", obs::DefaultLatencyBuckets(),
@@ -232,19 +296,61 @@ Result<MultidimensionalObject> AggregateFormation(
     flat_cells.resize(mo.num_facts() * ndims);
     drops.assign(mo.num_facts(), 0);
     std::atomic<bool> lub_error{false};
+    // The per-fact Leq + Rollup walks compiled to per-dimension lookup
+    // tables (src/vm): the tables are filled by the same walks, so rolled
+    // cells are identical — only the per-row cost changes. Oversized
+    // dimensions or a disabled VM fall back to walking every fact. A
+    // caller-supplied program (compiled once per query and cached per
+    // epoch+granularity) is valid whenever the effective categories are
+    // `target`; the LUB approach's may differ, so it compiles its own. Local
+    // compilation enumerates every dimension value, so it only pays off when
+    // the per-fact walks it replaces outnumber the table entries.
+    const std::vector<CategoryId>& want_cats =
+        approach == AggregationApproach::kLub ? lub : target;
+    std::optional<vm::RollupProgram> local;
+    const vm::RollupProgram* rollup = nullptr;
+    if (vm::Enabled()) {
+      if (rollup_in != nullptr && approach != AggregationApproach::kLub) {
+        rollup = rollup_in.get();
+      } else {
+        size_t extent_sum = 0;
+        for (const auto& d : mo.dimensions()) extent_sum += d->num_values();
+        if (mo.num_facts() * ndims >= extent_sum) {
+          local = vm::RollupProgram::Compile(mo.dimensions(), want_cats);
+          if (local.has_value()) rollup = &*local;
+        }
+      }
+    } else {
+      vm::CountFallback();
+    }
     scan::Execute(
         scan::PlanMoScan(mo.num_facts(), /*grain=*/512),
         [&](size_t, size_t begin, size_t end) {
           for (FactId f = begin; f < end; ++f) {
             ValueId* c = &flat_cells[f * ndims];
+            const ValueId* in = mo.FactCoords(f).data();
+            if (rollup != nullptr && rollup->Map(in, c)) {
+              for (size_t d = 0; d < ndims; ++d) {
+                if (c[d] != vm::RollupProgram::kNotBelow) continue;
+                if (approach == AggregationApproach::kAvailability) {
+                  c[d] = in[d];  // finest available level >= desired
+                } else if (approach == AggregationApproach::kStrict) {
+                  drops[f] = 1;
+                  break;
+                } else {  // kLub: lub was joined above every fact's category
+                  lub_error.store(true, std::memory_order_relaxed);
+                  return;
+                }
+              }
+              continue;
+            }
+            if (rollup != nullptr) vm::CountFallback();
             for (size_t d = 0; d < ndims; ++d) {
               auto dd = static_cast<DimensionId>(d);
               const Dimension& dim = *mo.dimension(dd);
-              ValueId v = mo.Coord(f, dd);
+              ValueId v = in[d];
               CategoryId cf = dim.value_category(v);
-              CategoryId want = approach == AggregationApproach::kLub
-                                    ? lub[d]
-                                    : target[d];
+              CategoryId want = want_cats[d];
               if (dim.type().Leq(cf, want)) {
                 c[d] = dim.Rollup(v, want);
                 DWRED_CHECK(c[d] != kInvalidValue);
@@ -366,6 +472,98 @@ Result<MultidimensionalObject> AggregateFormation(
       out.SetFactName(g.out_id, std::move(name));
       out.SetProvenance(g.out_id, g.sources, kNoAction);
     }
+  }
+  return out;
+}
+
+Result<MultidimensionalObject> AggregateFromScan(
+    const FactTable& t, const scan::ScanPlan& plan, const PredExpr& pred,
+    int64_t now_day, SelectionApproach approach, const std::string& fact_type,
+    const std::vector<std::shared_ptr<Dimension>>& dims,
+    const std::vector<MeasureType>& measures,
+    const std::vector<CategoryId>& target,
+    const std::shared_ptr<const vm::PredProgram>& compiled,
+    const std::shared_ptr<const vm::RollupProgram>& rollup) {
+  DWRED_CHECK(dims.size() == t.num_dims());
+  DWRED_CHECK(measures.size() == t.num_measures());
+  if (target.size() != dims.size()) {
+    return Status::InvalidArgument(
+        "aggregate formation needs one category per dimension");
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& fused_latency = registry.GetHistogram(
+      "dwred_query_select_aggregate_seconds", obs::DefaultLatencyBuckets(),
+      "wall time of one fused selection + aggregate-formation evaluation");
+  static obs::Counter& c_selects =
+      registry.GetCounter("dwred_query_selects", "selection operators run");
+  static obs::Counter& c_aggs = registry.GetCounter(
+      "dwred_query_aggregations", "aggregate-formation operators run");
+  obs::TraceSpan span("query.select_aggregate", &fused_latency);
+  // One σ and one α did run, just without the intermediate MO between them.
+  c_selects.Increment();
+  c_aggs.Increment();
+  size_t facts_in = 0;
+  for (const exec::Shard& u : plan.units) facts_in += u.end - u.begin;
+  span.AddField("facts_in", static_cast<int64_t>(facts_in));
+
+  // Phase 1 — identical to SelectFromScan: shard-parallel weights indexed by
+  // logical row id (rows in pruned segments keep weight 0).
+  std::vector<double> weights;
+  vm::CompiledScan cs(compiled, [&](const ValueId* c) {
+    return EvalQueryPredOnCoords(pred, dims, c, now_day, approach);
+  });
+  cs.WeighTable(t, plan, &weights);
+
+  // Phase 2 — the serial ascending pass SelectFromScan + AggregateFormation
+  // would have made twice, collapsed into one: each surviving row's cell is
+  // rolled up (tables, else the walk) and folded into its group directly.
+  const size_t ndims = dims.size();
+  const size_t nmeas = measures.size();
+  MultidimensionalObject out(fact_type, dims, measures);
+  struct Group {
+    FactId out_id;
+  };
+  std::unordered_map<std::vector<ValueId>, Group, CellKeyHash> groups;
+  const vm::RollupProgram* rp = rollup.get();
+  std::vector<ValueId> in(ndims);
+  std::vector<ValueId> cell(ndims);
+  std::vector<int64_t> meas(nmeas);
+  for (const exec::Shard& u : plan.units) {
+    t.ForEachRow(u.begin, u.end, [&](RowId r, const FactTable::RowRef& row) {
+      if (weights[r] <= 0.0) return;
+      for (size_t d = 0; d < ndims; ++d) in[d] = row.coord(d);
+      if (rp != nullptr && rp->Map(in.data(), cell.data())) {
+        for (size_t d = 0; d < ndims; ++d) {
+          if (cell[d] == vm::RollupProgram::kNotBelow) {
+            cell[d] = in[d];  // availability: finest available level
+          }
+        }
+      } else {
+        if (rp != nullptr) vm::CountFallback();
+        for (size_t d = 0; d < ndims; ++d) {
+          const Dimension& dim = *dims[d];
+          CategoryId cf = dim.value_category(in[d]);
+          if (dim.type().Leq(cf, target[d])) {
+            cell[d] = dim.Rollup(in[d], target[d]);
+            DWRED_CHECK(cell[d] != kInvalidValue);
+          } else {
+            cell[d] = in[d];  // availability: finest available level
+          }
+        }
+      }
+      for (size_t m = 0; m < nmeas; ++m) meas[m] = row.measure(m);
+      auto it = groups.find(cell);
+      if (it == groups.end()) {
+        // Rolled-up coordinates are interned values of these same
+        // dimensions, so the group cells append unchecked.
+        groups.emplace(cell, Group{out.AppendFactUnchecked(cell, meas)});
+      } else {
+        std::span<int64_t> acc = out.MutableFactMeasures(it->second.out_id);
+        for (size_t m = 0; m < nmeas; ++m) {
+          acc[m] = CombineMeasure(measures[m].agg, acc[m], meas[m]);
+        }
+      }
+    });
   }
   return out;
 }

@@ -10,6 +10,7 @@
 
 #include "query/compare.h"
 #include "spec/action.h"
+#include "vm/compiled_scan.h"
 
 namespace dwred {
 
@@ -22,10 +23,35 @@ struct SelectionResult {
 
 /// σ[p](O): facts characterized by values satisfying p, under the given
 /// approach. Fact names, provenance and responsible actions are preserved.
+/// A non-null `compiled` (a vm::PredProgram of `pred` under `approach` at
+/// `now_day`) replaces the per-fact tree walk with bytecode table lookups;
+/// results are byte-identical either way (docs/COMPILATION.md).
 Result<SelectionResult> Select(const MultidimensionalObject& mo,
                                const PredExpr& pred, int64_t now_day,
                                SelectionApproach approach =
-                                   SelectionApproach::kConservative);
+                                   SelectionApproach::kConservative,
+                               const std::shared_ptr<const vm::PredProgram>&
+                                   compiled = nullptr);
+
+/// The fused scan-and-select of the pruned query path: evaluates σ[pred]
+/// directly over the plan's rows of a fact table, skipping the intermediate
+/// MaterializeMO copy. Byte-identical to
+/// Select(MaterializeMO(t, plan, ...), pred, ...): facts are emitted in
+/// ascending logical row order under their table-scan names
+/// ("fact_<logical row>"), so output does not depend on pruning or thread
+/// count. `compiled` as in Select.
+/// `materialize_names` (default true) stores the "fact_<row>" display names
+/// Select over MaterializeMO would have produced. Callers that immediately
+/// aggregate the selection — which rebuilds facts and discards names — pass
+/// false to skip the per-survivor string materialization; result *query*
+/// bytes are unchanged because the intermediate MO never escapes.
+Result<SelectionResult> SelectFromScan(
+    const FactTable& t, const scan::ScanPlan& plan, const PredExpr& pred,
+    int64_t now_day, SelectionApproach approach, const std::string& fact_type,
+    const std::vector<std::shared_ptr<Dimension>>& dims,
+    const std::vector<MeasureType>& measures,
+    const std::shared_ptr<const vm::PredProgram>& compiled = nullptr,
+    bool materialize_names = true);
 
 /// π[dims][measures](O): retains the given dimensions and measures; the fact
 /// set is unchanged (duplicate value combinations are kept, as in star
@@ -55,10 +81,37 @@ const char* AggregationApproachName(AggregationApproach a);
 /// the requested granularity — facts mapped directly to higher-granularity
 /// values group at those values (Group_high) — and folds measures with their
 /// default aggregate functions.
+/// `rollup` optionally supplies the per-dimension rollup tables compiled for
+/// `target` (vm::RollupProgram, cached per epoch+granularity by the subcube
+/// manager); ignored under the LUB approach, whose effective categories are
+/// data-dependent. When absent the walk is table-compiled locally only if
+/// the fact count amortizes the compilation, else evaluated per fact.
 Result<MultidimensionalObject> AggregateFormation(
     const MultidimensionalObject& mo, const std::vector<CategoryId>& target,
     AggregationApproach approach = AggregationApproach::kAvailability,
-    bool track_provenance = true);
+    bool track_provenance = true,
+    const std::shared_ptr<const vm::RollupProgram>& rollup = nullptr);
+
+/// The fully fused σ→α of the compiled query path: selection weights are
+/// computed over the plan's rows and each surviving row's rolled-up cell is
+/// folded straight into its output group, skipping the intermediate
+/// selection MO entirely. Byte-identical to
+///   AggregateFormation(SelectFromScan(t, plan, pred, now_day, approach,
+///                      ..., compiled, /*materialize_names=*/false).mo,
+///                      target, kAvailability, /*track_provenance=*/false,
+///                      rollup)
+/// because rows are visited in the same ascending logical order, so group
+/// discovery order and measure fold order are unchanged
+/// (docs/COMPILATION.md). Availability approach only — the only one the
+/// subcube query path combines with. `rollup` may be null (per-row walks).
+Result<MultidimensionalObject> AggregateFromScan(
+    const FactTable& t, const scan::ScanPlan& plan, const PredExpr& pred,
+    int64_t now_day, SelectionApproach approach, const std::string& fact_type,
+    const std::vector<std::shared_ptr<Dimension>>& dims,
+    const std::vector<MeasureType>& measures,
+    const std::vector<CategoryId>& target,
+    const std::shared_ptr<const vm::PredProgram>& compiled,
+    const std::shared_ptr<const vm::RollupProgram>& rollup);
 
 /// The paper's Group_high (eq. (38)), exposed for tests: all facts
 /// characterized by every value of `cell` and mapped *directly* to those cell

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "scan/scan.h"
 #include "storage/fact_table.h"
+#include "vm/program.h"
 
 namespace dwred {
 
@@ -35,6 +36,8 @@ Result<MultidimensionalObject> DropDimension(const MultidimensionalObject& mo,
   const size_t nmeas = mo.num_measures();
   std::vector<ValueId> cell(kept_ids.size());
   std::vector<int64_t> meas(nmeas);
+  // Measure fold precompiled once for the pass (same CombineMeasure calls).
+  const vm::FoldProgram fold = vm::FoldProgram::Compile(mo.measure_types());
   // Grouping is first-occurrence ordered, so the scan units are walked
   // serially in ascending order (scan::Execute would race the out-MO).
   scan::ScanPlan plan = scan::PlanMoScan(mo.num_facts(), /*grain=*/1024);
@@ -59,13 +62,8 @@ Result<MultidimensionalObject> DropDimension(const MultidimensionalObject& mo,
       groups.emplace(cell, std::move(g));
     } else {
       Group& g = it->second;
-      for (size_t m = 0; m < nmeas; ++m) {
-        auto mm = static_cast<MeasureId>(m);
-        out.SetMeasure(g.out_id, mm,
-                       CombineMeasure(mo.measure_type(mm).agg,
-                                      out.Measure(g.out_id, mm),
-                                      mo.Measure(f, mm)));
-      }
+      fold.Fold(out.MutableFactMeasures(g.out_id).data(),
+                mo.FactMeasures(f).data());
       if (const std::vector<FactId>* prov = mo.Provenance(f)) {
         g.sources.insert(g.sources.end(), prov->begin(), prov->end());
       } else {

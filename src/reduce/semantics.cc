@@ -10,14 +10,32 @@
 #include "runtime/cancel.h"
 #include "scan/scan.h"
 #include "storage/fact_table.h"
+#include "vm/program.h"
 
 namespace dwred {
 
-Result<std::vector<CategoryId>> MaxSpecGran(const MultidimensionalObject& mo,
-                                            const ReductionSpecification& spec,
-                                            FactId f, int64_t now_day,
-                                            ActionId* responsible,
-                                            bool* deleted) {
+namespace {
+
+using ActionPrograms = std::vector<std::shared_ptr<const vm::PredProgram>>;
+
+/// Per-action satisfaction test: the compiled 0/1 program when one is
+/// available, the tree interpreter otherwise — byte-identical either way
+/// (docs/COMPILATION.md).
+bool ActionSatisfied(const Action& a, const vm::PredProgram* prog,
+                     const MultidimensionalObject& mo, FactId f,
+                     int64_t now_day) {
+  if (prog != nullptr) {
+    const double w = prog->Eval(mo.FactCoords(f).data());
+    if (w != vm::PredProgram::kOutOfRange) return w != 0.0;
+    vm::CountFallback();  // coordinate interned after compilation
+  }
+  return EvalPredOnFact(*a.predicate, mo, f, now_day);
+}
+
+Result<std::vector<CategoryId>> MaxSpecGranImpl(
+    const MultidimensionalObject& mo, const ReductionSpecification& spec,
+    FactId f, int64_t now_day, ActionId* responsible, bool* deleted,
+    const ActionPrograms* progs) {
   if (deleted) *deleted = false;
   std::vector<CategoryId> fact_gran = mo.Gran(f);
 
@@ -27,7 +45,9 @@ Result<std::vector<CategoryId>> MaxSpecGran(const MultidimensionalObject& mo,
   ActionId best_action = kNoAction;
   for (size_t i = 0; i < spec.size(); ++i) {
     const Action& a = spec.action(static_cast<ActionId>(i));
-    if (!EvalPredOnFact(*a.predicate, mo, f, now_day)) continue;
+    const vm::PredProgram* prog =
+        progs != nullptr && i < progs->size() ? (*progs)[i].get() : nullptr;
+    if (!ActionSatisfied(a, prog, mo, f, now_day)) continue;
     if (a.deletes) {
       // Deletion dominates every aggregation level.
       if (deleted) *deleted = true;
@@ -65,6 +85,39 @@ Result<std::vector<CategoryId>> MaxSpecGran(const MultidimensionalObject& mo,
     *responsible = best_action;
   }
   return best;
+}
+
+/// One compiled program per action, or an empty vector while the VM is
+/// disabled (null slots for predicates the compiler rejects).
+ActionPrograms CompileActionPrograms(const MultidimensionalObject& mo,
+                                     const ReductionSpecification& spec,
+                                     int64_t now_day) {
+  ActionPrograms progs;
+  if (!vm::Enabled()) {
+    vm::CountFallback();
+    return progs;
+  }
+  progs.reserve(spec.size());
+  const scan::AtomOracle oracle = vm::SpecAtomOracle(mo, now_day);
+  for (size_t i = 0; i < spec.size(); ++i) {
+    const Action& a = spec.action(static_cast<ActionId>(i));
+    auto compiled = vm::PredProgram::Compile(mo, *a.predicate, oracle);
+    progs.push_back(compiled
+                        ? std::make_shared<const vm::PredProgram>(
+                              std::move(*compiled))
+                        : nullptr);
+  }
+  return progs;
+}
+
+}  // namespace
+
+Result<std::vector<CategoryId>> MaxSpecGran(const MultidimensionalObject& mo,
+                                            const ReductionSpecification& spec,
+                                            FactId f, int64_t now_day,
+                                            ActionId* responsible,
+                                            bool* deleted) {
+  return MaxSpecGranImpl(mo, spec, f, now_day, responsible, deleted, nullptr);
 }
 
 Result<std::vector<ValueId>> CellOf(const MultidimensionalObject& mo,
@@ -154,6 +207,12 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
     Status error = Status::OK();  // first error; shard stops there
   };
 
+  // The per-action predicate programs and the measure fold, compiled once
+  // for the whole pass (src/vm) and shared read-only by every shard.
+  const ActionPrograms action_progs = CompileActionPrograms(mo, spec, now_day);
+  const ActionPrograms* progs = action_progs.empty() ? nullptr : &action_progs;
+  const vm::FoldProgram fold = vm::FoldProgram::Compile(mo.measure_types());
+
   scan::ScanPlan plan = scan::PlanMoScan(mo.num_facts(), /*grain=*/1024);
   std::vector<ShardAccum> accums(plan.units.size());
 
@@ -172,7 +231,8 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
     for (FactId f = begin; f < end; ++f) {
       ActionId responsible = kNoAction;
       bool deleted = false;
-      auto gran_r = MaxSpecGran(mo, spec, f, now_day, &responsible, &deleted);
+      auto gran_r =
+          MaxSpecGranImpl(mo, spec, f, now_day, &responsible, &deleted, progs);
       if (!gran_r.ok()) {
         acc.error = gran_r.status();
         return;
@@ -222,12 +282,9 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
         acc.ordered.push_back(std::move(g));
       } else {
         ShardGroup& g = acc.ordered[it->second];
-        // Fold measures with the default aggregate functions (Definition 2).
-        for (size_t m = 0; m < nmeas; ++m) {
-          auto mm = static_cast<MeasureId>(m);
-          g.meas[m] = CombineMeasure(mo.measure_type(mm).agg, g.meas[m],
-                                     mo.Measure(f, mm));
-        }
+        // Fold measures with the default aggregate functions (Definition 2),
+        // through the precompiled fold (same CombineMeasure calls).
+        fold.Fold(g.meas.data(), mo.FactMeasures(f).data());
         g.aggregated_if_first = true;  // two members make the group aggregated
         if (responsible != kNoAction) g.last_action_resp = responsible;
         if (options.track_provenance) {

@@ -74,11 +74,16 @@ void IntersectSorted(std::vector<ValueId>& a, const std::vector<ValueId>& b) {
 ScanSpec ScanSpec::All() { return ScanSpec{}; }
 
 size_t ScanSpec::ApproxBytes() const {
+  // Count what the allocator actually holds — the *capacity* of every vector
+  // level, not its size. Compilation's push_back growth routinely leaves
+  // capacity above size, and a size-only count let the 64 MiB cache budget
+  // admit more than it should.
   size_t bytes = sizeof(ScanSpec);
+  bytes += conjuncts_.capacity() * sizeof(ConjunctFilter);
   for (const ConjunctFilter& c : conjuncts_) {
-    bytes += sizeof(ConjunctFilter);
+    bytes += c.filters.capacity() * sizeof(DimFilter);
     for (const DimFilter& f : c.filters) {
-      bytes += sizeof(DimFilter) + f.allowed.size() * sizeof(ValueId);
+      bytes += f.allowed.capacity() * sizeof(ValueId);
     }
   }
   return bytes;

@@ -15,6 +15,7 @@
 #include "runtime/governor.h"
 #include "scan/scan.h"
 #include "spec/predicate_analysis.h"
+#include "vm/program.h"
 
 namespace dwred {
 
@@ -190,11 +191,57 @@ std::vector<CategoryId> CellGranularity(
 
 Result<size_t> SubcubeManager::ResponsibleCube(std::span<const ValueId> cell,
                                                int64_t now_day) const {
+  return ResponsibleCubeWith(cell, now_day, nullptr);
+}
+
+SubcubeManager::SpecPrograms SubcubeManager::CompileSpecPrograms(
+    int64_t now_day) const {
+  SpecPrograms progs;
+  if (!vm::Enabled()) {
+    vm::CountFallback();
+    return progs;
+  }
+  progs.reserve(spec_.size());
+  const scan::AtomOracle oracle = vm::SpecAtomOracle(ctx_, now_day);
+  for (ActionId a = 0; a < spec_.size(); ++a) {
+    const PredExpr& pred = *spec_.action(a).predicate;
+    const std::string key = cache::ProgramFingerprint(
+        ctx_, pred, now_day, cache_->epoch(), "spec");
+    std::shared_ptr<const vm::PredProgram> prog = cache_->LookupProgram(key);
+    if (prog == nullptr) {
+      if (auto compiled = vm::PredProgram::Compile(ctx_, pred, oracle)) {
+        prog = cache_->InsertProgram(
+            key,
+            std::make_shared<const vm::PredProgram>(std::move(*compiled)));
+      }
+    }
+    progs.push_back(std::move(prog));  // null slot: interpret that action
+  }
+  return progs;
+}
+
+Result<size_t> SubcubeManager::ResponsibleCubeWith(
+    std::span<const ValueId> cell, int64_t now_day,
+    const SpecPrograms* progs) const {
   std::vector<CategoryId> cell_gran = CellGranularity(dims_, cell);
   const std::vector<CategoryId>* action_gran = nullptr;
   for (ActionId a = 0; a < spec_.size(); ++a) {
     const Action& act = spec_.action(a);
-    if (!EvalPredOnCell(*act.predicate, ctx_, cell, now_day)) continue;
+    bool satisfied;
+    const vm::PredProgram* prog =
+        progs != nullptr && a < progs->size() ? (*progs)[a].get() : nullptr;
+    if (prog != nullptr) {
+      const double w = prog->Eval(cell.data());
+      if (w == vm::PredProgram::kOutOfRange) {
+        vm::CountFallback();  // coordinate interned after compilation
+        satisfied = EvalPredOnCell(*act.predicate, ctx_, cell, now_day);
+      } else {
+        satisfied = w != 0.0;
+      }
+    } else {
+      satisfied = EvalPredOnCell(*act.predicate, ctx_, cell, now_day);
+    }
+    if (!satisfied) continue;
     if (act.deletes) return kDeletedCell;
     if (action_gran) {
       if (GranularityLeq(ctx_, act.granularity, *action_gran)) continue;
@@ -333,6 +380,13 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day,
   std::vector<AggFn> aggs;
   for (const auto& m : measures_) aggs.push_back(m.agg);
 
+  // Per-action predicate programs (src/vm), compiled once for the whole
+  // pass and shared read-only by every plan shard; empty while the VM is
+  // disabled (per-row interpretation, byte-identical).
+  const SpecPrograms spec_progs = CompileSpecPrograms(now_day);
+  const SpecPrograms* progs = spec_progs.empty() ? nullptr : &spec_progs;
+  if (prof != nullptr) prof->compiled = progs != nullptr;
+
   size_t migrated = 0;
   size_t deleted = 0;
   size_t compacted = 0;
@@ -381,7 +435,7 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day,
           begin, end, [&](RowId r, const FactTable::RowRef& row) {
             if (failed) return;
             for (size_t d = 0; d < ndims; ++d) row_cell[d] = row.coord(d);
-            auto target_r = ResponsibleCube(row_cell, now_day);
+            auto target_r = ResponsibleCubeWith(row_cell, now_day, progs);
             if (!target_r.ok()) {
               plan.shard_error[si] = target_r.status();
               failed = true;
@@ -500,13 +554,29 @@ Result<std::vector<MultidimensionalObject>> SubcubeManager::QuerySubresults(
                                parallel);
 }
 
+std::shared_ptr<const vm::RollupProgram> SubcubeManager::CompileRollup(
+    const std::vector<CategoryId>& target) const {
+  // No fallback counted here: the evaluation sites (AggregateFormation)
+  // count one when they walk per fact instead.
+  if (!vm::Enabled()) return nullptr;
+  const std::string rkey = cache::RollupFingerprint(target, cache_->epoch());
+  std::shared_ptr<const vm::RollupProgram> roll = cache_->LookupRollup(rkey);
+  if (roll == nullptr) {
+    if (auto compiled = vm::RollupProgram::Compile(dims_, target)) {
+      roll = cache_->InsertRollup(
+          rkey,
+          std::make_shared<const vm::RollupProgram>(std::move(*compiled)));
+    }
+  }
+  return roll;
+}
+
 Result<std::vector<MultidimensionalObject>>
-SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
-                                      const std::vector<CategoryId>* target,
-                                      int64_t now_day,
-                                      bool assume_synchronized,
-                                      bool parallel,
-                                      obs::OpProfile* profile) const {
+SubcubeManager::QuerySubresultsLocked(
+    const PredExpr* pred, const std::vector<CategoryId>* target,
+    int64_t now_day, bool assume_synchronized, bool parallel,
+    obs::OpProfile* profile,
+    std::shared_ptr<const vm::RollupProgram> rollup) const {
   obs::StageTimer stage_timer;
   // On the synchronized path every row already sits in its responsible cube,
   // so the selection predicate can prune whole storage segments via zone
@@ -535,6 +605,44 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
           scan::ScanSpec::Compile(ctx_, *pred, now_day, LiberalScanOracle(now_day));
       cache_->InsertScanSpec(skey, scan_spec);
     }
+  }
+
+  // The predicate compiled to bytecode (src/vm, docs/COMPILATION.md) under
+  // the conservative approach the per-cube Select uses, cached per
+  // (approach, predicate, NOW day, epoch) like the ScanSpec. Null — per-row
+  // tree interpretation, byte-identical — while DWRED_VM_DISABLED or when
+  // the compiler rejects the predicate.
+  std::shared_ptr<const vm::PredProgram> prog;
+  if (pred != nullptr) {
+    if (vm::Enabled()) {
+      const std::string vkey = cache::ProgramFingerprint(
+          ctx_, *pred, now_day, cache_->epoch(),
+          SelectionApproachName(SelectionApproach::kConservative));
+      prog = cache_->LookupProgram(vkey);
+      if (prog == nullptr) {
+        if (auto compiled = vm::PredProgram::Compile(
+                ctx_, *pred,
+                QueryAtomOracle(now_day, SelectionApproach::kConservative))) {
+          prog = cache_->InsertProgram(
+              vkey,
+              std::make_shared<const vm::PredProgram>(std::move(*compiled)));
+        }
+      }
+    } else {
+      vm::CountFallback();
+    }
+  }
+  // The target-granularity rollup tables, compiled once per query and shared
+  // by every per-cube aggregate formation (Query also reuses them for the
+  // final combining aggregation).
+  if (target != nullptr && rollup == nullptr) rollup = CompileRollup(*target);
+  // The unsynchronized rewrite filters every unioned row through the
+  // specification's action predicates — compile those once per query too.
+  SpecPrograms spec_progs;
+  if (!assume_synchronized) spec_progs = CompileSpecPrograms(now_day);
+  const SpecPrograms* resp_progs = spec_progs.empty() ? nullptr : &spec_progs;
+  if (profile != nullptr) {
+    profile->compiled = prog != nullptr || resp_progs != nullptr;
   }
 
   if (profile != nullptr) {
@@ -574,6 +682,8 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
 
     const size_t ndims = dims_.size();
     std::vector<ValueId> cell(ndims);
+    bool selected = false;
+    bool aggregated = false;
     MultidimensionalObject base(fact_type_, dims_, measures_);
     if (prune) {
       scan::ScanPlan plan = scan::PlanTableScan(cube.table, scan_spec);
@@ -587,8 +697,37 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
           sc->rows_scanned += static_cast<int64_t>(u.end - u.begin);
         }
       }
-      base = scan::MaterializeMO(cube.table, plan, fact_type_, dims_,
-                                 measures_);
+      if (prog != nullptr && target != nullptr && assume_synchronized) {
+        // Fully fused σ→α: weights off the storage segments through the
+        // compiled program, each surviving row folded into its output group
+        // directly — no intermediate selection MO at all. Byte-identical to
+        // the two-operator pipeline below (operators.h: AggregateFromScan).
+        // Only the synchronized path fuses: Figure 9's rewrite needs the
+        // un-aggregated selection first.
+        DWRED_ASSIGN_OR_RETURN(
+            base, AggregateFromScan(cube.table, plan, *pred, now_day,
+                                    SelectionApproach::kConservative,
+                                    fact_type_, dims_, measures_, *target,
+                                    prog, rollup));
+        selected = true;
+        aggregated = true;
+      } else if (prog != nullptr) {
+        // Fused scan-and-select: σ[pred] evaluated straight off the storage
+        // segments through the compiled program, skipping the MaterializeMO
+        // copy. Byte-identical to the two-step pipeline below
+        // (operators.h: SelectFromScan).
+        DWRED_ASSIGN_OR_RETURN(
+            SelectionResult sel,
+            SelectFromScan(cube.table, plan, *pred, now_day,
+                           SelectionApproach::kConservative, fact_type_,
+                           dims_, measures_, prog,
+                           /*materialize_names=*/target == nullptr));
+        base = std::move(sel.mo);
+        selected = true;
+      } else {
+        base = scan::MaterializeMO(cube.table, plan, fact_type_, dims_,
+                                   measures_);
+      }
     } else {
       // Unpruned path: no scan plan, hence no counter movement to attribute;
       // only the rows read are reported.
@@ -642,7 +781,8 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
         for (size_t d = 0; d < ndims; ++d) {
           cell[d] = unioned.Coord(f, static_cast<DimensionId>(d));
         }
-        DWRED_ASSIGN_OR_RETURN(size_t resp, ResponsibleCube(cell, now_day));
+        DWRED_ASSIGN_OR_RETURN(
+            size_t resp, ResponsibleCubeWith(cell, now_day, resp_progs));
         if (resp != i) continue;
         std::vector<int64_t> meas(measures_.size());
         for (size_t m = 0; m < measures_.size(); ++m) {
@@ -657,17 +797,17 @@ SubcubeManager::QuerySubresultsLocked(const PredExpr* pred,
                                    AggregationApproach::kAvailability,
                                    /*track_provenance=*/false));
     }
-    if (pred) {
+    if (pred && !selected) {
       DWRED_ASSIGN_OR_RETURN(
           SelectionResult sel,
-          Select(base, *pred, now_day, SelectionApproach::kConservative));
+          Select(base, *pred, now_day, SelectionApproach::kConservative, prog));
       base = std::move(sel.mo);
     }
-    if (target) {
+    if (target && !aggregated) {
       DWRED_ASSIGN_OR_RETURN(
           base, AggregateFormation(base, *target,
                                    AggregationApproach::kAvailability,
-                                   /*track_provenance=*/false));
+                                   /*track_provenance=*/false, rollup));
     }
     if (sc != nullptr) {
       agg_us[i] = cube_timer.LapMicros();
@@ -829,8 +969,11 @@ Result<MultidimensionalObject> SubcubeManager::Query(
     prof->AddStage("lookup", stage_timer.LapMicros());
   }
 
+  std::shared_ptr<const vm::RollupProgram> roll;
+  if (target != nullptr) roll = CompileRollup(*target);
   auto subs_r = QuerySubresultsLocked(pred, target, now_day,
-                                      assume_synchronized, parallel, prof);
+                                      assume_synchronized, parallel, prof,
+                                      roll);
   if (!subs_r.ok()) return abort_query(subs_r.status());
   std::vector<MultidimensionalObject> subs = subs_r.take();
   // Wall clock of the whole fan-out (the scan/aggregate stages recorded by
@@ -859,7 +1002,7 @@ Result<MultidimensionalObject> SubcubeManager::Query(
     DWRED_ASSIGN_OR_RETURN(
         unioned, AggregateFormation(unioned, *target,
                                     AggregationApproach::kAvailability,
-                                    /*track_provenance=*/false));
+                                    /*track_provenance=*/false, roll));
   }
   uint64_t version_check = 0;
   for (const auto& c : cubes_) version_check += c->table.content_version();
@@ -916,8 +1059,11 @@ Status SubcubeManager::ChangeSpecification(ReductionSpecification new_spec,
 
   std::vector<AggFn> aggs;
   for (const auto& m : measures_) aggs.push_back(m.agg);
+  // Compiled after the layout swap so the programs reflect the new actions.
+  const SpecPrograms spec_progs = CompileSpecPrograms(now_day);
+  const SpecPrograms* progs = spec_progs.empty() ? nullptr : &spec_progs;
   for (const Row& row : rows) {
-    auto target_res = ResponsibleCube(row.cell, now_day);
+    auto target_res = ResponsibleCubeWith(row.cell, now_day, progs);
     if (!target_res.ok()) return target_res.status();
     size_t target = target_res.value();
     if (target == kDeletedCell) continue;  // claimed by a deletion action

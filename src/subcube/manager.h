@@ -94,6 +94,14 @@ class SubcubeManager {
   Result<size_t> ResponsibleCube(std::span<const ValueId> cell,
                                  int64_t now_day) const;
 
+  /// One compiled 0/1 program per specification action (src/vm), or an empty
+  /// vector while DWRED_VM_DISABLED. Slots whose predicate the compiler
+  /// rejects are null — those actions interpret per row. The hot
+  /// responsibility passes (Synchronize, ChangeSpecification, the
+  /// unsynchronized query rewrite) compile once and reuse across every row.
+  using SpecPrograms = std::vector<std::shared_ptr<const vm::PredProgram>>;
+  SpecPrograms CompileSpecPrograms(int64_t now_day) const;
+
   /// Migrates every fact to its responsible subcube at that cube's
   /// granularity and compacts receiving cubes (Section 7.2). Returns the
   /// number of migrated rows. A non-null `profile` receives the pass's
@@ -174,12 +182,27 @@ class SubcubeManager {
   Result<std::vector<ValueId>> RollCell(std::span<const ValueId> cell,
                                         const std::vector<CategoryId>& gran) const;
 
+  /// ResponsibleCube body; `progs` (when non-null and non-empty) supplies
+  /// compiled per-action predicate programs, byte-identical to interpreting.
+  Result<size_t> ResponsibleCubeWith(std::span<const ValueId> cell,
+                                     int64_t now_day,
+                                     const SpecPrograms* progs) const;
+
+  /// The rollup tables for one target granularity, compiled once and cached
+  /// per (granularity, epoch) in the program LRU. Null while DWRED_VM_DISABLED
+  /// or when a dimension is too large to enumerate (per-fact walks instead).
+  std::shared_ptr<const vm::RollupProgram> CompileRollup(
+      const std::vector<CategoryId>& target) const;
+
   /// QuerySubresults body; the caller must hold the shared snapshot lock
   /// (the lock is not recursive, so Query cannot call the public wrapper).
+  /// `rollup` optionally shares the query's target-granularity rollup tables
+  /// with every per-cube aggregation (compiled here when null and needed).
   Result<std::vector<MultidimensionalObject>> QuerySubresultsLocked(
       const PredExpr* pred, const std::vector<CategoryId>* target,
       int64_t now_day, bool assume_synchronized, bool parallel,
-      obs::OpProfile* profile = nullptr) const;
+      obs::OpProfile* profile = nullptr,
+      std::shared_ptr<const vm::RollupProgram> rollup = nullptr) const;
 
   std::string fact_type_;
   std::vector<std::shared_ptr<Dimension>> dims_;

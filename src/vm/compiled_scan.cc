@@ -1,0 +1,29 @@
+#include "vm/compiled_scan.h"
+
+namespace dwred::vm {
+
+void CompiledScan::WeighTable(const FactTable& t, const scan::ScanPlan& plan,
+                              std::vector<double>* weights) const {
+  weights->assign(t.num_rows(), 0.0);
+  const size_t ndims = t.num_dims();
+  scan::Execute(plan, [&](size_t, size_t begin, size_t end) {
+    std::vector<ValueId> cell(ndims);
+    t.ForEachRow(begin, end, [&](RowId r, const FactTable::RowRef& row) {
+      for (size_t d = 0; d < ndims; ++d) cell[d] = row.coord(d);
+      (*weights)[r] = Weigh(cell.data());
+    });
+  });
+}
+
+void CompiledScan::WeighMo(const MultidimensionalObject& mo,
+                           std::vector<double>* weights) const {
+  weights->assign(mo.num_facts(), 0.0);
+  scan::Execute(scan::PlanMoScan(mo.num_facts(), /*grain=*/512),
+                [&](size_t, size_t begin, size_t end) {
+                  for (FactId f = begin; f < end; ++f) {
+                    (*weights)[f] = Weigh(mo.FactCoords(f).data());
+                  }
+                });
+}
+
+}  // namespace dwred::vm

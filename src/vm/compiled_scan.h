@@ -1,0 +1,62 @@
+#pragma once
+
+// CompiledScan: a PredProgram bound to its per-row interpreter fallback,
+// evaluating whole shards without touching the predicate AST
+// (docs/COMPILATION.md). The three hot sites (per-subcube query evaluation,
+// Reduce's cell-grouping scan, the schema-reduction selection scans) hold one
+// of these per predicate and call Weigh*/ — behind the existing ScanSpec
+// planning entry points, so pruning, sharding, and the byte-identical
+// determinism contract are untouched.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "scan/scan.h"
+#include "storage/fact_table.h"
+#include "vm/program.h"
+
+namespace dwred::vm {
+
+/// Interpreter evaluation of one direct cell — the per-row fallback when a
+/// coordinate postdates the compiled tables (or no program compiled at all).
+using RowEval = std::function<double(const ValueId*)>;
+
+class CompiledScan {
+ public:
+  /// `prog` may be null (kill switch / compile rejection): every row then
+  /// goes through `fallback`. The fallback must match the program's
+  /// semantics exactly — bind EvalQueryPredOnCoords for selection weights or
+  /// EvalPredOnCell for 0/1 spec predicates.
+  CompiledScan(std::shared_ptr<const PredProgram> prog, RowEval fallback)
+      : prog_(std::move(prog)), fallback_(std::move(fallback)) {}
+
+  bool compiled() const { return prog_ != nullptr; }
+
+  /// Weight of one direct cell.
+  double Weigh(const ValueId* coords) const {
+    if (prog_ != nullptr) {
+      const double w = prog_->Eval(coords);
+      if (w != PredProgram::kOutOfRange) return w;
+      CountFallback();  // coordinate interned after compilation
+    }
+    return fallback_(coords);
+  }
+
+  /// Fills `weights` (indexed by logical row id, sized to `t`; rows outside
+  /// the plan keep weight 0 — pruning guarantees they cannot match) by
+  /// evaluating every planned row, shard-parallel on the global pool.
+  /// Deterministic: each shard writes a disjoint range.
+  void WeighTable(const FactTable& t, const scan::ScanPlan& plan,
+                  std::vector<double>* weights) const;
+
+  /// Fills `weights` (one slot per fact) over an MO's facts, shard-parallel.
+  void WeighMo(const MultidimensionalObject& mo,
+               std::vector<double>* weights) const;
+
+ private:
+  std::shared_ptr<const PredProgram> prog_;
+  RowEval fallback_;
+};
+
+}  // namespace dwred::vm

@@ -305,5 +305,122 @@ TEST(ScanPlanTest, MaterializeKeepsLogicalFactNames) {
   EXPECT_EQ(f, pruned.num_facts());
 }
 
+// ApproxBytes must count what the allocator actually holds — the struct
+// header and every vector level at *capacity* — not just the allowed-value
+// payload. The old size-only count reported 0 for All() and undercharged the
+// 64 MiB cache budget for every compiled spec.
+TEST(ScanSpecBytesTest, ApproxBytesCountsHeadersAndCapacity) {
+  EXPECT_EQ(scan::ScanSpec::All().ApproxBytes(), sizeof(scan::ScanSpec));
+
+  ChronoTable ct;
+  auto pred = ParsePredicate(*ct.ex.mo, "Time.day <= 2000/5/31").take();
+  scan::ScanSpec spec =
+      scan::ScanSpec::Compile(*ct.ex.mo, *pred, ct.now, LiberalOracle(ct.now));
+  ASSERT_FALSE(spec.unconstrained());
+  ASSERT_FALSE(spec.match_none());
+
+  // Count the allowed values the compiler must have enumerated for the one
+  // time filter — the same liberal probe Compile performs.
+  ASSERT_EQ(pred->kind, PredExpr::Kind::kAtom);
+  const Dimension& time = *ct.ex.mo->dimension(pred->atom.dim);
+  size_t allowed = 0;
+  for (ValueId v = 0; v < time.num_values(); ++v) {
+    if (EvalQueryAtomOnValue(pred->atom, time, v, ct.now,
+                             SelectionApproach::kLiberal) > 0.0) {
+      ++allowed;
+    }
+  }
+  ASSERT_GT(allowed, 0u);
+
+  // Header plus at least the payload: capacity >= size on every level.
+  EXPECT_GE(spec.ApproxBytes(),
+            sizeof(scan::ScanSpec) + allowed * sizeof(ValueId));
+  EXPECT_GT(spec.ApproxBytes(), scan::ScanSpec::All().ApproxBytes());
+}
+
+// Compile's fallback edges. Each rejection must degrade to a *sound* spec —
+// unconstrained (scan everything) or match_none (scan nothing) — and pruned
+// materialization + selection must stay byte-identical to the full scan.
+TEST(ScanPlanTest, CompileFallbackEdgesStaySound) {
+  ChronoTable ct;
+  std::vector<MeasureType> measures(ct.ex.mo->measure_types());
+
+  auto expect_byte_identical = [&](const PredExpr& pred,
+                                   const scan::ScanSpec& spec) {
+    MultidimensionalObject full =
+        ct.t.ToMO("Click", ct.ex.mo->dimensions(), measures);
+    SelectionResult want =
+        Select(full, pred, ct.now, SelectionApproach::kConservative).take();
+    scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+    MultidimensionalObject pruned = scan::MaterializeMO(
+        ct.t, plan, "Click", ct.ex.mo->dimensions(), measures);
+    SelectionResult got =
+        Select(pruned, pred, ct.now, SelectionApproach::kConservative).take();
+    ASSERT_EQ(got.mo.num_facts(), want.mo.num_facts());
+    for (FactId f = 0; f < want.mo.num_facts(); ++f) {
+      EXPECT_EQ(got.mo.FormatFact(f), want.mo.FormatFact(f));
+    }
+  };
+
+  // 1. Conjunct explosion: AND of 13 two-way ORs distributes to 2^13 = 8192
+  //    DNF conjuncts, past CompileToDnf's 4096 cap — the spec degrades to
+  //    unconstrained, never an error.
+  {
+    auto a = ParsePredicate(*ct.ex.mo, "Time.day = 2000/1/5").take();
+    auto b = ParsePredicate(*ct.ex.mo, "Time.day = 2000/2/7").take();
+    std::vector<std::shared_ptr<PredExpr>> clauses;
+    for (int i = 0; i < 13; ++i) clauses.push_back(PredExpr::Or({a, b}));
+    auto exploded = PredExpr::And(std::move(clauses));
+    scan::ScanSpec spec = scan::ScanSpec::Compile(*ct.ex.mo, *exploded, ct.now,
+                                                  LiberalOracle(ct.now));
+    EXPECT_TRUE(spec.unconstrained());
+    EXPECT_FALSE(spec.match_none());
+    scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+    EXPECT_EQ(plan.segments_pruned, 0u);
+    expect_byte_identical(*exploded, spec);
+  }
+
+  // 2. match_none short-circuit: a contradictory conjunct — the two
+  //    required days lie in different years, so their allowed sets (each day
+  //    plus its interned calendar ancestors) share no value and intersect to
+  //    empty — prunes everything, and the selection result is identically
+  //    empty.
+  {
+    auto pred = ParsePredicate(
+                    *ct.ex.mo, "Time.day = 2000/1/5 AND Time.day = 2001/3/7")
+                    .take();
+    scan::ScanSpec spec = scan::ScanSpec::Compile(*ct.ex.mo, *pred, ct.now,
+                                                  LiberalOracle(ct.now));
+    EXPECT_TRUE(spec.match_none());
+    EXPECT_FALSE(spec.unconstrained());
+    scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+    EXPECT_TRUE(plan.units.empty());
+    EXPECT_EQ(plan.segments_pruned, ct.t.num_segments());
+    expect_byte_identical(*pred, spec);
+  }
+  // 3. Too-large dimension (kept last: it grows the shared time dimension
+  //    past the cap for good): once the time dimension's extent exceeds the
+  //    enumeration cap, its atoms are left unconstrained (building the
+  //    allowed set is linear in the extent) and the whole spec degrades to a
+  //    full scan.
+  {
+    auto time = ct.ex.mo->dimension(ct.ex.time_dim);
+    int64_t start = DaysFromCivil({2000, 1, 1});
+    for (int64_t i = time->num_values();
+         static_cast<size_t>(i) <= (1u << 16); ++i) {
+      ASSERT_TRUE(time->EnsureTimeValue(DayGranule(start + 400 + i)).ok());
+    }
+    ASSERT_GT(time->num_values(), 1u << 16);
+    auto pred = ParsePredicate(*ct.ex.mo, "Time.day <= 2000/5/31").take();
+    scan::ScanSpec spec = scan::ScanSpec::Compile(*ct.ex.mo, *pred, ct.now,
+                                                  LiberalOracle(ct.now));
+    EXPECT_TRUE(spec.unconstrained());
+    scan::ScanPlan plan = scan::PlanTableScan(ct.t, spec);
+    EXPECT_EQ(plan.segments_pruned, 0u);
+    expect_byte_identical(*pred, spec);
+  }
+
+}
+
 }  // namespace
 }  // namespace dwred

@@ -1,0 +1,322 @@
+// Differential fuzz harness for the bytecode VM (src/vm): the compiled
+// programs must be *bitwise* indistinguishable from the tree interpreters
+// they replace. Three layers of evidence, all seeded and deterministic:
+//
+//   1. per-row weights — for hundreds of (schema, spec, predicate, approach)
+//      cases drawn through the real generator (src/testing/spec_gen) and the
+//      real parser, every fact's compiled weight equals the interpreter's
+//      double bit for bit (EXPECT_EQ on doubles is exact equality), under
+//      the 0/1 spec semantics and all three query selection approaches;
+//   2. end-to-end bytes — Reduce, Synchronize, and subcube queries produce
+//      identical full-fidelity fingerprints with the VM on and off
+//      (DWRED_VM_DISABLED) at 1 and 8 pool threads;
+//   3. liveness — the VM path demonstrably ran (dwred_vm_compiles moved), so
+//      the equalities above compare two genuinely different code paths.
+
+#include <stdlib.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chrono/civil.h"
+#include "exec/thread_pool.h"
+#include "io/snapshot.h"
+#include "obs/metrics.h"
+#include "query/compare.h"
+#include "reduce/semantics.h"
+#include "spec/parser.h"
+#include "subcube/manager.h"
+#include "testing/spec_gen.h"
+#include "vm/program.h"
+#include "workload/clickstream.h"
+#include "workload/retail.h"
+
+namespace dwred {
+namespace {
+
+/// Flips the VM kill switch for a scope; restores the VM on destruction.
+struct VmSwitch {
+  explicit VmSwitch(bool enabled) { Set(enabled); }
+  ~VmSwitch() { Set(true); }
+  static void Set(bool enabled) {
+    if (enabled) {
+      ::unsetenv("DWRED_VM_DISABLED");
+    } else {
+      ::setenv("DWRED_VM_DISABLED", "1", /*overwrite=*/1);
+    }
+  }
+};
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name, "").Value();
+}
+
+/// Full-fidelity serialization of an MO (coordinates, measures, names,
+/// provenance) — any divergence shows up as a string mismatch.
+std::string Fingerprint(const MultidimensionalObject& mo) {
+  std::ostringstream out;
+  out << mo.num_facts() << "\n";
+  for (FactId f = 0; f < mo.num_facts(); ++f) {
+    out << f << "|" << mo.FactName(f) << "|";
+    for (size_t d = 0; d < mo.num_dimensions(); ++d) {
+      out << mo.Coord(f, static_cast<DimensionId>(d)) << ",";
+    }
+    out << "|";
+    for (size_t m = 0; m < mo.num_measures(); ++m) {
+      out << mo.Measure(f, static_cast<MeasureId>(m)) << ",";
+    }
+    out << "|" << mo.ResponsibleAction(f) << "|";
+    if (const std::vector<FactId>* prov = mo.Provenance(f)) {
+      for (FactId s : *prov) out << s << ",";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string CubeFingerprint(const SubcubeManager& m) {
+  std::ostringstream out;
+  for (size_t i = 0; i < m.num_subcubes(); ++i) {
+    const FactTable& t = m.subcube(i).table;
+    out << "cube " << i << " rows " << t.num_rows() << "\n";
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      for (size_t d = 0; d < t.num_dims(); ++d) out << t.Coord(r, d) << ",";
+      out << "|";
+      for (size_t mm = 0; mm < t.num_measures(); ++mm) {
+        out << t.Measure(r, mm) << ",";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// The generated action predicates plus boolean compositions of them — the
+/// compositions drive the connective bytecode (kPush/kAnd/kOr/kNot and both
+/// short-circuit jumps) far harder than flat action predicates alone.
+std::vector<std::shared_ptr<PredExpr>> PredicateCorpus(
+    const ReductionSpecification& spec) {
+  std::vector<std::shared_ptr<PredExpr>> preds;
+  for (const Action& a : spec.actions()) preds.push_back(a.predicate);
+  const size_t n = preds.size();
+  if (n >= 2) {
+    preds.push_back(PredExpr::And({preds[0], PredExpr::Not(preds[1])}));
+    preds.push_back(PredExpr::Or({preds[0], preds[1]}));
+    preds.push_back(
+        PredExpr::Not(PredExpr::Or({preds[1], PredExpr::Not(preds[0])})));
+  }
+  if (n >= 3) {
+    preds.push_back(
+        PredExpr::Or({preds[0], PredExpr::And({preds[1], preds[2]})}));
+    preds.push_back(PredExpr::And(
+        {PredExpr::Or({preds[0], preds[1]}), PredExpr::Not(preds[2])}));
+  }
+  preds.push_back(PredExpr::And({PredExpr::True(), preds[0]}));
+  preds.push_back(PredExpr::Or({PredExpr::False(), preds[n - 1]}));
+  return preds;
+}
+
+/// One (schema, spec, predicate, approach) case: compile `pred` under every
+/// semantics and require bitwise weight equality with the interpreter on
+/// every fact. Adds the number of cases (compiled programs) to `*cases`.
+void CheckPredicate(const MultidimensionalObject& mo, const PredExpr& pred,
+                    int64_t now, int* cases) {
+  // 0/1 spec semantics vs EvalPredOnFact.
+  if (auto prog =
+          vm::PredProgram::Compile(mo, pred, vm::SpecAtomOracle(mo, now))) {
+    ++*cases;
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      const double w = prog->Eval(mo.FactCoords(f));
+      ASSERT_NE(w, vm::PredProgram::kOutOfRange) << "stale table";
+      ASSERT_EQ(w != 0.0, EvalPredOnFact(pred, mo, f, now))
+          << "spec semantics diverged on fact " << f << " for "
+          << pred.ToString(mo) << " at now=" << now;
+    }
+  }
+  // Query semantics vs EvalQueryPredOnFact under all three approaches.
+  for (SelectionApproach ap :
+       {SelectionApproach::kConservative, SelectionApproach::kLiberal,
+        SelectionApproach::kWeighted}) {
+    auto prog = vm::PredProgram::Compile(mo, pred, QueryAtomOracle(now, ap));
+    if (!prog) continue;
+    ++*cases;
+    for (FactId f = 0; f < mo.num_facts(); ++f) {
+      const double got = prog->Eval(mo.FactCoords(f));
+      ASSERT_NE(got, vm::PredProgram::kOutOfRange) << "stale table";
+      const double want = EvalQueryPredOnFact(pred, mo, f, now, ap);
+      ASSERT_EQ(got, want)  // exact: EXPECT_EQ on doubles is bitwise here
+          << SelectionApproachName(ap) << " weight diverged on fact " << f
+          << " for " << pred.ToString(mo) << " at now=" << now;
+    }
+  }
+}
+
+ReductionSpecification MustSpec(Result<ReductionSpecification> r) {
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r.value());
+}
+
+// Layer 1: ≥500 seeded per-row weight cases across two schemas (clickstream
+// and retail), sound-chain and random specs, flat and composed predicates,
+// spec + {conservative, liberal, weighted} semantics.
+TEST(VmDifferential, PerRowWeightsMatchInterpreterAcrossSeeds) {
+  int64_t compiles_before = CounterValue("dwred_vm_compiles");
+  int cases = 0;
+  for (uint64_t seed = 1; seed <= 24 && !::testing::Test::HasFatalFailure();
+       ++seed) {
+    // Alternate schemas so the corpus spans 2-dim and 3-dim universes.
+    std::unique_ptr<MultidimensionalObject> mo_hold;
+    int64_t start = 0;
+    if (seed % 2 == 0) {
+      ClickstreamConfig cfg;
+      cfg.seed = 100 + seed;
+      cfg.num_domains = 4 + static_cast<size_t>(seed % 5);
+      cfg.urls_per_domain = 3;
+      cfg.num_clicks = 220;
+      cfg.span_days = 2 * 365;
+      ClickstreamWorkload w = MakeClickstream(cfg);
+      mo_hold = std::move(w.mo);
+      start = DaysFromCivil(cfg.start);
+    } else {
+      RetailConfig cfg;
+      cfg.seed = 200 + seed;
+      cfg.num_categories = 3;
+      cfg.brands_per_category = 2 + static_cast<size_t>(seed % 3);
+      cfg.skus_per_brand = 3;
+      cfg.num_sales = 220;
+      cfg.span_days = 2 * 365;
+      RetailWorkload w = MakeRetail(cfg);
+      mo_hold = std::move(w.mo);
+      start = DaysFromCivil(cfg.start);
+    }
+    const MultidimensionalObject& mo = *mo_hold;
+
+    dwred::testing::SpecGenOptions opts;
+    opts.num_actions = 3;
+    opts.sound_chain = seed % 3 != 0;  // random mode every third seed
+    opts.deletion_prob = 0.25;
+    ReductionSpecification spec =
+        MustSpec(dwred::testing::GenerateSpec(mo, seed, opts));
+    ASSERT_GT(spec.size(), 0u);
+
+    const int64_t now = start + 200 + static_cast<int64_t>((seed * 97) % 500);
+    for (const std::shared_ptr<PredExpr>& p : PredicateCorpus(spec)) {
+      CheckPredicate(mo, *p, now, &cases);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GE(cases, 500) << "differential corpus shrank below the gate";
+  EXPECT_GT(CounterValue("dwred_vm_compiles"), compiles_before)
+      << "no program ever compiled — the harness is not testing the VM";
+}
+
+// Layer 2a: Reduce bytes are identical VM on/off at 1 and 8 threads.
+TEST(VmDifferential, ReduceBytesIdenticalVmOnOffAcrossThreads) {
+  ClickstreamConfig cfg;
+  cfg.seed = 61;
+  cfg.num_domains = 10;
+  cfg.urls_per_domain = 4;
+  cfg.num_clicks = 3000;
+  cfg.span_days = 3 * 365;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  int64_t start = DaysFromCivil(cfg.start);
+
+  for (uint64_t seed : {3u, 9u}) {
+    dwred::testing::SpecGenOptions opts;
+    opts.num_actions = 3;
+    opts.sound_chain = true;
+    ReductionSpecification spec =
+        MustSpec(dwred::testing::GenerateSpec(*w.mo, seed, opts));
+    for (int64_t now : {start + 500, start + 1100}) {
+      std::string baseline;
+      for (int threads : {1, 8}) {
+        exec::ThreadPool::ResetGlobal(threads);
+        for (bool vm_on : {true, false}) {
+          VmSwitch sw(vm_on);
+          auto reduced = Reduce(*w.mo, spec, now);
+          ASSERT_TRUE(reduced.ok()) << reduced.status().message();
+          std::string got = SaveWarehouse(reduced.value(), spec);
+          if (baseline.empty()) {
+            baseline = std::move(got);
+          } else {
+            EXPECT_EQ(got, baseline)
+                << "threads=" << threads << " vm=" << vm_on << " seed=" << seed
+                << " diverged";
+          }
+        }
+      }
+    }
+  }
+  exec::ThreadPool::ResetGlobal(2);
+}
+
+// Layer 2b: Synchronize (including the deletion path) and subcube queries —
+// synchronized and stale rewrites — are byte-identical VM on/off at 1 and 8
+// threads.
+TEST(VmDifferential, SubcubeBytesIdenticalVmOnOffAcrossThreads) {
+  ClickstreamConfig cfg;
+  cfg.seed = 67;
+  cfg.num_domains = 10;
+  cfg.urls_per_domain = 4;
+  cfg.num_clicks = 2500;
+  cfg.span_days = 3 * 365;
+  ClickstreamWorkload w = MakeClickstream(cfg);
+  int64_t start = DaysFromCivil(cfg.start);
+
+  dwred::testing::SpecGenOptions opts;
+  opts.num_actions = 3;
+  opts.sound_chain = true;
+  opts.deletion_prob = 1.0;  // drive ResponsibleCube's deletion branch
+  ReductionSpecification spec =
+      MustSpec(dwred::testing::GenerateSpec(*w.mo, 7, opts));
+
+  auto pred = ParsePredicate(*w.mo, "Time.month >= NOW - 30 months");
+  ASSERT_TRUE(pred.ok()) << pred.status().message();
+  auto target = ParseGranularityList(*w.mo, "Time.month, URL.domain");
+  ASSERT_TRUE(target.ok()) << target.status().message();
+
+  std::string baseline;
+  for (int threads : {1, 8}) {
+    exec::ThreadPool::ResetGlobal(threads);
+    for (bool vm_on : {true, false}) {
+      VmSwitch sw(vm_on);
+      auto mgr = SubcubeManager::Create(
+          "Click", {w.time_dim, w.url_dim},
+          std::vector<MeasureType>(w.mo->measure_types()), spec);
+      ASSERT_TRUE(mgr.ok()) << mgr.status().message();
+      SubcubeManager& m = mgr.value();
+      ASSERT_TRUE(m.InsertBottomFacts(*w.mo).ok());
+
+      std::string fp;
+      // Query the unsynchronized warehouse first (stale rewrite + per-row
+      // responsibility filter), then synchronize twice, querying after each.
+      for (int64_t now : {start + 400, start + 900}) {
+        for (bool assume_synced : {false, true}) {
+          auto q = m.Query(pred.value().get(), &target.value(), now,
+                           assume_synced, /*parallel=*/threads > 1);
+          ASSERT_TRUE(q.ok()) << q.status().message();
+          fp += "query@" + std::to_string(now) + "/" +
+                std::to_string(assume_synced) + "\n" + Fingerprint(q.value());
+        }
+        auto migrated = m.Synchronize(now);
+        ASSERT_TRUE(migrated.ok()) << migrated.status().message();
+        fp += "sync@" + std::to_string(now) + "\n" + CubeFingerprint(m);
+      }
+      if (baseline.empty()) {
+        baseline = std::move(fp);
+      } else {
+        EXPECT_EQ(fp, baseline)
+            << "threads=" << threads << " vm=" << vm_on << " diverged";
+      }
+    }
+  }
+  exec::ThreadPool::ResetGlobal(2);
+}
+
+}  // namespace
+}  // namespace dwred

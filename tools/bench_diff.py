@@ -24,6 +24,13 @@ checks pass, 1 when a CRC or throughput check fails, 2 when the inputs are
 unusable (missing or truncated --fresh sidecar, missing --baseline-dir) — so
 CI can tell "the code regressed" from "the harness never produced numbers".
 
+The fresh sidecar is additionally checked against itself for the VM guard
+(docs/COMPILATION.md): cold rows carrying `vm` and `cold` counters are paired
+by benchmark family and thread count, and the vm=1 row must be at least
+--min-vm-speedup times faster than its vm=0 twin (default 1.0 — the compiled
+path must never lose to the interpreter it replaces) with every `_crc`
+counter identical between the two (the VM changes cost, never bytes).
+
 With --trajectory, the run is also appended to a top-level trajectory file
 (BENCH_query.json): one entry per run keyed by the sidecar's context date,
 carrying per-benchmark throughput and CRCs. The file is a time series —
@@ -33,6 +40,7 @@ committed snapshots of it record how the numbers move across PRs.
 import argparse
 import json
 import os
+import re
 import sys
 
 # Baseline files are consulted in sorted order and later files override
@@ -63,6 +71,49 @@ def time_seconds(row):
     return row["real_time"] * unit
 
 
+def vm_guard(fresh, min_speedup):
+    """Self-checks the fresh sidecar's cold VM-on/VM-off row pairs.
+
+    Rows are paired by (benchmark family, threads) where family is the
+    benchmark's base name with the Compiled/Interpreted suffix stripped —
+    this matches both the dedicated pair (BM_VmQueryColdCompiled vs
+    BM_VmQueryColdInterpreted) and sweep rows that differ only in their vm
+    argument. Returns failure strings; groups missing either side pass.
+    """
+    groups = {}
+    for name, row in fresh.items():
+        if "vm" not in row or "cold" not in row or row["cold"] != 1:
+            continue
+        family = re.sub(r"(Compiled|Interpreted)", "", name.split("/")[0])
+        key = (family, row.get("threads", 0))
+        groups.setdefault(key, {})[int(row["vm"])] = (name, row)
+
+    failures = []
+    for (family, threads), pair in sorted(groups.items()):
+        if 0 not in pair or 1 not in pair:
+            continue
+        off_name, off = pair[0]
+        on_name, on = pair[1]
+        on_t, off_t = time_seconds(on), time_seconds(off)
+        speedup = off_t / on_t if on_t > 0 else float("inf")
+        ok = speedup >= min_speedup
+        print(f"vm-guard {family} threads={threads:g}: compiled "
+              f"{on_t * 1e3:.3f}ms vs interpreted {off_t * 1e3:.3f}ms "
+              f"({speedup:.2f}x) {'ok' if ok else 'VM REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"{on_name}: VM-on cold path only {speedup:.2f}x the "
+                f"interpreter ({off_name}); floor {min_speedup:.2f}x")
+        on_crcs, off_crcs = crc_counters(on), crc_counters(off)
+        for key in sorted(set(on_crcs) | set(off_crcs)):
+            if on_crcs.get(key) != off_crcs.get(key):
+                failures.append(
+                    f"{on_name}: {key} diverges between VM on/off "
+                    f"({on_crcs.get(key)} vs {off_crcs.get(key)}) — the "
+                    f"compiled path changed bytes")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fresh", required=True,
@@ -73,6 +124,9 @@ def main():
                     help="fail when baseline/fresh throughput exceeds this")
     ap.add_argument("--trajectory", default=None,
                     help="append this run to the given trajectory json")
+    ap.add_argument("--min-vm-speedup", type=float, default=1.0,
+                    help="fail when a cold VM-on row is not at least this "
+                         "many times faster than its VM-off twin")
     args = ap.parse_args()
 
     # Input problems exit 2 with a single clear line: a missing or truncated
@@ -152,6 +206,8 @@ def main():
             failures.append(
                 f"{name}: {ratio:.2f}x slower than baseline {bfile} "
                 f"(band {args.max_slowdown}x)")
+
+    failures.extend(vm_guard(fresh, args.min_vm_speedup))
 
     if args.trajectory:
         entry = {
