@@ -193,7 +193,9 @@ void WarehouseCache::InsertQuery(
     const std::string& key,
     std::shared_ptr<const MultidimensionalObject> result) {
   if (!Enabled() || !result) return;
-  size_t bytes = result->FactBytes();
+  // Capacity-based: the budget must count what the allocator holds, not the
+  // logical fact payload (see MultidimensionalObject::ApproxBytes).
+  size_t bytes = result->ApproxBytes();
   Insert(query_, key, std::move(result), bytes);
 }
 

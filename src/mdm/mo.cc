@@ -111,6 +111,22 @@ ActionId MultidimensionalObject::ResponsibleAction(FactId f) const {
   return f < responsible_.size() ? responsible_[f] : kNoAction;
 }
 
+size_t MultidimensionalObject::ApproxBytes() const {
+  size_t bytes = sizeof(MultidimensionalObject);
+  bytes += coords_.capacity() * sizeof(ValueId);
+  bytes += meas_.capacity() * sizeof(int64_t);
+  bytes += fact_names_.capacity() * sizeof(std::string);
+  for (const std::string& n : fact_names_) bytes += n.capacity();
+  bytes += provenance_.capacity() * sizeof(std::vector<FactId>);
+  for (const std::vector<FactId>& p : provenance_) {
+    bytes += p.capacity() * sizeof(FactId);
+  }
+  bytes += responsible_.capacity() * sizeof(ActionId);
+  bytes += dims_.capacity() * sizeof(std::shared_ptr<Dimension>);
+  bytes += measures_.capacity() * sizeof(MeasureType);
+  return bytes;
+}
+
 std::string MultidimensionalObject::FormatFact(FactId f) const {
   std::string out = FactName(f);
   out += ": (";

@@ -135,10 +135,18 @@ class MultidimensionalObject {
 
   /// Approximate fact-store footprint in bytes (coords + measures), used for
   /// storage-gain accounting in benches. Dimension footprints are shared and
-  /// reported separately.
+  /// reported separately. Deliberately *size*-based: this is the logical
+  /// storage-gain metric, independent of allocator slack and physical
+  /// encodings (FactTable::Bytes reports the resident columnar footprint).
   size_t FactBytes() const {
     return coords_.size() * sizeof(ValueId) + meas_.size() * sizeof(int64_t);
   }
+
+  /// What the allocator actually holds for this MO: the *capacity* of every
+  /// buffer plus names and provenance. Cache admission charges this (the
+  /// size-only FactBytes let the query-cache budget admit more than it
+  /// should — the same undercount ScanSpec::ApproxBytes fixes).
+  size_t ApproxBytes() const;
 
   /// One-line rendering of a fact: name, coordinates, measure values.
   std::string FormatFact(FactId f) const;

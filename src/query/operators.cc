@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -10,9 +11,94 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scan/scan.h"
+#include "storage/column.h"
 #include "storage/fact_table.h"
 
 namespace dwred {
+
+namespace {
+
+/// True when no row of [first, first + n) carries positive weight — the
+/// late-materialization test that lets phase 2 skip decoding whole chunks.
+bool NoSurvivors(const std::vector<double>& weights, RowId first, size_t n) {
+  const double* w = weights.data() + first;
+  for (size_t i = 0; i < n; ++i) {
+    if (w[i] > 0.0) return false;
+  }
+  return true;
+}
+
+/// Bit offset of each dimension in a 64-bit packed cell key, or nullopt when
+/// the dimensions' interned-value ranges do not fit 64 bits together. Packing
+/// is injective (every cell coordinate is an interned ValueId of its
+/// dimension, so it fits its field), which is what lets the columnar fused
+/// fold group by one integer instead of a heap vector.
+std::optional<std::vector<int>> PackedCellShifts(
+    const std::vector<std::shared_ptr<Dimension>>& dims) {
+  std::vector<int> shifts(dims.size());
+  int used = 0;
+  for (size_t d = 0; d < dims.size(); ++d) {
+    shifts[d] = used;
+    used += std::bit_width(dims[d]->num_values() | 1);
+    if (used > 64) return std::nullopt;
+  }
+  return shifts;
+}
+
+/// Open-addressing map from packed cell key to output FactId — the hot probe
+/// of the columnar σ→α fold. Linear probing over a power-of-two table; the
+/// caller assigns Slot() its group's fact id on first occurrence, so group
+/// creation order (and therefore output bytes) is identical to the
+/// vector-keyed map it replaces.
+class PackedGroupIndex {
+ public:
+  static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+
+  PackedGroupIndex() : keys_(1024), ids_(1024, kEmpty), mask_(1023) {}
+
+  /// The id slot for `key` (kEmpty when unseen). References are invalidated
+  /// by the next Slot() call.
+  uint32_t& Slot(uint64_t key) {
+    if ((count_ + 1) * 4 >= keys_.size() * 3) Grow();
+    size_t i = Hash(key) & mask_;
+    while (ids_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask_;
+    if (ids_[i] == kEmpty) {
+      keys_[i] = key;
+      ++count_;
+    }
+    return ids_[i];
+  }
+
+ private:
+  static size_t Hash(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_ids = std::move(ids_);
+    keys_.assign(old_keys.size() * 2, 0);
+    ids_.assign(old_ids.size() * 2, kEmpty);
+    mask_ = keys_.size() - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_ids[i] == kEmpty) continue;
+      size_t j = Hash(old_keys[i]) & mask_;
+      while (ids_[j] != kEmpty) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      ids_[j] = old_ids[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> ids_;
+  size_t mask_;
+  size_t count_ = 0;
+};
+
+}  // namespace
 
 const char* AggregationApproachName(AggregationApproach a) {
   switch (a) {
@@ -121,6 +207,35 @@ Result<SelectionResult> SelectFromScan(
   if (approach == SelectionApproach::kWeighted) out.weights.reserve(survivors);
   std::vector<ValueId> coords(ndims);
   std::vector<int64_t> meas(nmeas);
+  if (storage::ColumnarEnabled()) {
+    // Late materialization: chunks with no surviving weight are skipped
+    // before their columns are ever decoded.
+    for (const exec::Shard& u : plan.units) {
+      t.ForEachBatch(
+          u.begin, u.end,
+          [&](const FactTable::BatchView& b) {
+            const RowId first = b.first_row();
+            for (size_t i = 0; i < b.rows(); ++i) {
+              const double w = weights[first + i];
+              if (w <= 0.0) continue;
+              for (size_t d = 0; d < ndims; ++d) coords[d] = b.dim_col(d)[i];
+              for (size_t m = 0; m < nmeas; ++m) meas[m] = b.meas_col(m)[i];
+              // Table rows were validated on insert against these same
+              // dimensions, so the survivors append unchecked.
+              FactId nf = out.mo.AppendFactUnchecked(coords, meas);
+              // The names Select over MaterializeMO would have produced.
+              if (materialize_names) {
+                out.mo.SetFactName(nf, "fact_" + std::to_string(first + i));
+              }
+              if (approach == SelectionApproach::kWeighted) {
+                out.weights.push_back(w);
+              }
+            }
+          },
+          [&](RowId first, size_t n) { return NoSurvivors(weights, first, n); });
+    }
+    return out;
+  }
   for (const exec::Shard& u : plan.units) {
     t.ForEachRow(u.begin, u.end, [&](RowId r, const FactTable::RowRef& row) {
       const double w = weights[r];
@@ -507,12 +622,14 @@ Result<MultidimensionalObject> AggregateFromScan(
   span.AddField("facts_in", static_cast<int64_t>(facts_in));
 
   // Phase 1 — identical to SelectFromScan: shard-parallel weights indexed by
-  // logical row id (rows in pruned segments keep weight 0).
+  // logical row id (rows in pruned segments keep weight 0). The packed
+  // columnar fold below fuses this into its single pass instead (chunk
+  // weights never leave the batch), so the table fill is deferred until a
+  // two-phase path is actually taken.
   std::vector<double> weights;
   vm::CompiledScan cs(compiled, [&](const ValueId* c) {
     return EvalQueryPredOnCoords(pred, dims, c, now_day, approach);
   });
-  cs.WeighTable(t, plan, &weights);
 
   // Phase 2 — the serial ascending pass SelectFromScan + AggregateFormation
   // would have made twice, collapsed into one: each surviving row's cell is
@@ -528,41 +645,166 @@ Result<MultidimensionalObject> AggregateFromScan(
   std::vector<ValueId> in(ndims);
   std::vector<ValueId> cell(ndims);
   std::vector<int64_t> meas(nmeas);
+  // Rolls the already-gathered `in` row up into `cell` (tables, else the
+  // walk) — shared by every iteration shape below.
+  auto roll_cell = [&]() {
+    if (rp != nullptr && rp->Map(in.data(), cell.data())) {
+      for (size_t d = 0; d < ndims; ++d) {
+        if (cell[d] == vm::RollupProgram::kNotBelow) {
+          cell[d] = in[d];  // availability: finest available level
+        }
+      }
+    } else {
+      if (rp != nullptr) vm::CountFallback();
+      for (size_t d = 0; d < ndims; ++d) {
+        const Dimension& dim = *dims[d];
+        CategoryId cf = dim.value_category(in[d]);
+        if (dim.type().Leq(cf, target[d])) {
+          cell[d] = dim.Rollup(in[d], target[d]);
+          DWRED_CHECK(cell[d] != kInvalidValue);
+        } else {
+          cell[d] = in[d];  // availability: finest available level
+        }
+      }
+    }
+  };
+  // Folds the rolled `cell`/`meas` row into its group.
+  auto fold_row = [&]() {
+    roll_cell();
+    auto it = groups.find(cell);
+    if (it == groups.end()) {
+      // Rolled-up coordinates are interned values of these same
+      // dimensions, so the group cells append unchecked.
+      groups.emplace(cell, Group{out.AppendFactUnchecked(cell, meas)});
+    } else {
+      std::span<int64_t> acc = out.MutableFactMeasures(it->second.out_id);
+      for (size_t m = 0; m < nmeas; ++m) {
+        acc[m] = CombineMeasure(measures[m].agg, acc[m], meas[m]);
+      }
+    }
+  };
+  if (storage::ColumnarEnabled()) {
+    // Late materialization, as in SelectFromScan: survivor-free chunks are
+    // skipped before any column is decoded.
+    std::optional<std::vector<int>> shifts = PackedCellShifts(dims);
+    if (shifts && rp != nullptr) {
+      // Vectorized single-pass fold: the chunk is weighed in place
+      // (EvalBatch over the batch's columns — the weights never round-trip
+      // through the table-sized vector, and each column is decoded exactly
+      // once per query), then each dimension's rollup table — pre-combined
+      // with the availability fixup and pre-shifted into its packed
+      // cell-key bit field — turns key computation into one gather + OR per
+      // (row, dimension), and the group probe hashes one integer instead of
+      // a heap vector. Row order and per-row weights are unchanged, so
+      // output bytes are identical to the two-phase paths below.
+      std::vector<std::vector<uint64_t>> packed_tab(ndims);
+      std::vector<std::vector<ValueId>> rolled_tab(ndims);
+      for (size_t d = 0; d < ndims; ++d) {
+        const size_t sz = rp->TableSize(d);
+        packed_tab[d].resize(sz);
+        rolled_tab[d].resize(sz);
+        for (ValueId v = 0; v < sz; ++v) {
+          const ValueId tv = rp->TableAt(d, v);
+          // availability: finest available level
+          const ValueId r = tv == vm::RollupProgram::kNotBelow ? v : tv;
+          rolled_tab[d][v] = r;
+          packed_tab[d][v] = static_cast<uint64_t>(r) << (*shifts)[d];
+        }
+      }
+      PackedGroupIndex packed;
+      std::vector<uint64_t> keys(FactTable::kBatchRows);
+      std::vector<uint8_t> slow(FactTable::kBatchRows);
+      std::vector<double> wbuf(FactTable::kBatchRows);
+      vm::PredProgram::BatchScratch scratch;
+      for (const exec::Shard& u : plan.units) {
+        t.ForEachBatch(
+            u.begin, u.end,
+            [&](const FactTable::BatchView& b) {
+              const size_t n = b.rows();
+              cs.WeighBatch(b, wbuf.data(), &scratch);
+              std::fill_n(keys.begin(), n, uint64_t{0});
+              std::fill_n(slow.begin(), n, uint8_t{0});
+              for (size_t d = 0; d < ndims; ++d) {
+                const ValueId* c = b.dim_col(d);
+                const uint64_t* pt = packed_tab[d].data();
+                const size_t sz = packed_tab[d].size();
+                for (size_t i = 0; i < n; ++i) {
+                  if (c[i] < sz) {
+                    keys[i] |= pt[c[i]];
+                  } else {
+                    slow[i] = 1;  // interned after compilation: walk the row
+                  }
+                }
+              }
+              for (size_t i = 0; i < n; ++i) {
+                if (wbuf[i] <= 0.0) continue;
+                uint64_t key = keys[i];
+                if (slow[i]) {
+                  vm::CountFallback();
+                  for (size_t d = 0; d < ndims; ++d) in[d] = b.dim_col(d)[i];
+                  for (size_t d = 0; d < ndims; ++d) {
+                    const Dimension& dim = *dims[d];
+                    CategoryId cf = dim.value_category(in[d]);
+                    if (dim.type().Leq(cf, target[d])) {
+                      cell[d] = dim.Rollup(in[d], target[d]);
+                      DWRED_CHECK(cell[d] != kInvalidValue);
+                    } else {
+                      cell[d] = in[d];  // availability: finest available
+                    }
+                  }
+                  key = 0;
+                  for (size_t d = 0; d < ndims; ++d) {
+                    key |= static_cast<uint64_t>(cell[d]) << (*shifts)[d];
+                  }
+                }
+                uint32_t& slot = packed.Slot(key);
+                if (slot == PackedGroupIndex::kEmpty) {
+                  if (!slow[i]) {
+                    for (size_t d = 0; d < ndims; ++d) {
+                      cell[d] = rolled_tab[d][b.dim_col(d)[i]];
+                    }
+                  }
+                  for (size_t m = 0; m < nmeas; ++m) {
+                    meas[m] = b.meas_col(m)[i];
+                  }
+                  slot = static_cast<uint32_t>(
+                      out.AppendFactUnchecked(cell, meas));
+                } else {
+                  std::span<int64_t> acc = out.MutableFactMeasures(slot);
+                  for (size_t m = 0; m < nmeas; ++m) {
+                    acc[m] = CombineMeasure(measures[m].agg, acc[m],
+                                            b.meas_col(m)[i]);
+                  }
+                }
+              }
+            });
+      }
+      return out;
+    }
+    cs.WeighTable(t, plan, &weights);
+    for (const exec::Shard& u : plan.units) {
+      t.ForEachBatch(
+          u.begin, u.end,
+          [&](const FactTable::BatchView& b) {
+            const RowId first = b.first_row();
+            for (size_t i = 0; i < b.rows(); ++i) {
+              if (weights[first + i] <= 0.0) continue;
+              for (size_t d = 0; d < ndims; ++d) in[d] = b.dim_col(d)[i];
+              for (size_t m = 0; m < nmeas; ++m) meas[m] = b.meas_col(m)[i];
+              fold_row();
+            }
+          },
+          [&](RowId first, size_t n) { return NoSurvivors(weights, first, n); });
+    }
+    return out;
+  }
+  cs.WeighTable(t, plan, &weights);
   for (const exec::Shard& u : plan.units) {
     t.ForEachRow(u.begin, u.end, [&](RowId r, const FactTable::RowRef& row) {
       if (weights[r] <= 0.0) return;
       for (size_t d = 0; d < ndims; ++d) in[d] = row.coord(d);
-      if (rp != nullptr && rp->Map(in.data(), cell.data())) {
-        for (size_t d = 0; d < ndims; ++d) {
-          if (cell[d] == vm::RollupProgram::kNotBelow) {
-            cell[d] = in[d];  // availability: finest available level
-          }
-        }
-      } else {
-        if (rp != nullptr) vm::CountFallback();
-        for (size_t d = 0; d < ndims; ++d) {
-          const Dimension& dim = *dims[d];
-          CategoryId cf = dim.value_category(in[d]);
-          if (dim.type().Leq(cf, target[d])) {
-            cell[d] = dim.Rollup(in[d], target[d]);
-            DWRED_CHECK(cell[d] != kInvalidValue);
-          } else {
-            cell[d] = in[d];  // availability: finest available level
-          }
-        }
-      }
       for (size_t m = 0; m < nmeas; ++m) meas[m] = row.measure(m);
-      auto it = groups.find(cell);
-      if (it == groups.end()) {
-        // Rolled-up coordinates are interned values of these same
-        // dimensions, so the group cells append unchecked.
-        groups.emplace(cell, Group{out.AppendFactUnchecked(cell, meas)});
-      } else {
-        std::span<int64_t> acc = out.MutableFactMeasures(it->second.out_id);
-        for (size_t m = 0; m < nmeas; ++m) {
-          acc[m] = CombineMeasure(measures[m].agg, acc[m], meas[m]);
-        }
-      }
+      fold_row();
     });
   }
   return out;

@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "runtime/cancel.h"
 #include "scan/scan.h"
+#include "storage/column.h"
 #include "storage/fact_table.h"
 #include "vm/program.h"
 
@@ -20,12 +21,15 @@ using ActionPrograms = std::vector<std::shared_ptr<const vm::PredProgram>>;
 
 /// Per-action satisfaction test: the compiled 0/1 program when one is
 /// available, the tree interpreter otherwise — byte-identical either way
-/// (docs/COMPILATION.md).
+/// (docs/COMPILATION.md). `w_pre` (when non-null) is this fact's
+/// batch-precomputed program weight (vm::PredProgram::EvalBatch over a
+/// column chunk); a kOutOfRange lane falls back exactly like per-row Eval.
 bool ActionSatisfied(const Action& a, const vm::PredProgram* prog,
                      const MultidimensionalObject& mo, FactId f,
-                     int64_t now_day) {
+                     int64_t now_day, const double* w_pre = nullptr) {
   if (prog != nullptr) {
-    const double w = prog->Eval(mo.FactCoords(f).data());
+    const double w =
+        w_pre != nullptr ? *w_pre : prog->Eval(mo.FactCoords(f).data());
     if (w != vm::PredProgram::kOutOfRange) return w != 0.0;
     vm::CountFallback();  // coordinate interned after compilation
   }
@@ -35,7 +39,7 @@ bool ActionSatisfied(const Action& a, const vm::PredProgram* prog,
 Result<std::vector<CategoryId>> MaxSpecGranImpl(
     const MultidimensionalObject& mo, const ReductionSpecification& spec,
     FactId f, int64_t now_day, ActionId* responsible, bool* deleted,
-    const ActionPrograms* progs) {
+    const ActionPrograms* progs, const double* action_w = nullptr) {
   if (deleted) *deleted = false;
   std::vector<CategoryId> fact_gran = mo.Gran(f);
 
@@ -47,7 +51,9 @@ Result<std::vector<CategoryId>> MaxSpecGranImpl(
     const Action& a = spec.action(static_cast<ActionId>(i));
     const vm::PredProgram* prog =
         progs != nullptr && i < progs->size() ? (*progs)[i].get() : nullptr;
-    if (!ActionSatisfied(a, prog, mo, f, now_day)) continue;
+    const double* w_pre =
+        action_w != nullptr && prog != nullptr ? &action_w[i] : nullptr;
+    if (!ActionSatisfied(a, prog, mo, f, now_day, w_pre)) continue;
     if (a.deletes) {
       // Deletion dominates every aggregation level.
       if (deleted) *deleted = true;
@@ -228,20 +234,23 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
         static_cast<int64_t>(end - begin));
     if (!acc.error.ok()) return;
     std::vector<ValueId> cell(ndims);
-    for (FactId f = begin; f < end; ++f) {
+    // Assigns one fact to its cell group; returns false when the shard must
+    // stop (acc.error set). `action_w` optionally carries the fact's
+    // batch-precomputed per-action program weights.
+    auto process = [&](FactId f, const double* action_w) -> bool {
       ActionId responsible = kNoAction;
       bool deleted = false;
-      auto gran_r =
-          MaxSpecGranImpl(mo, spec, f, now_day, &responsible, &deleted, progs);
+      auto gran_r = MaxSpecGranImpl(mo, spec, f, now_day, &responsible,
+                                    &deleted, progs, action_w);
       if (!gran_r.ok()) {
         acc.error = gran_r.status();
-        return;
+        return false;
       }
       if (deleted) {
         // Deletion action (Section 8 extension): the fact is physically
         // removed — no cell, no group.
         ++acc.facts_deleted;
-        continue;
+        return true;
       }
       const std::vector<CategoryId>& gran = gran_r.value();
       bool changed = false;
@@ -252,7 +261,7 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
         if (v == kInvalidValue) {
           acc.error = Status::Internal(
               "no rollup to target granularity for " + mo.FactName(f));
-          return;
+          return false;
         }
         if (v != direct) changed = true;
         cell[d] = v;
@@ -294,6 +303,41 @@ Result<MultidimensionalObject> Reduce(const MultidimensionalObject& mo,
             g.sources.push_back(f);
           }
         }
+      }
+      return true;
+    };
+    if (storage::ColumnarEnabled() && progs != nullptr && ndims > 0) {
+      // Vectorized assignment: transpose row-major MO chunks into column
+      // scratch, evaluate every compiled action predicate chunk-at-a-time,
+      // then hand each fact its precomputed lane weights. Byte-identical to
+      // the per-fact path (vm::PredProgram::EvalBatch contract).
+      constexpr size_t kChunk = FactTable::kBatchRows;
+      const size_t nact = progs->size();
+      vm::PredProgram::BatchScratch scratch;
+      std::vector<ValueId> cols(ndims * kChunk);
+      std::vector<const ValueId*> colp(ndims);
+      for (size_t d = 0; d < ndims; ++d) colp[d] = cols.data() + d * kChunk;
+      std::vector<double> lanes(nact * kChunk);
+      std::vector<double> row_w(nact);
+      for (FactId f0 = begin; f0 < end; f0 += kChunk) {
+        const size_t n = std::min<size_t>(kChunk, end - f0);
+        for (size_t i = 0; i < n; ++i) {
+          const ValueId* row = mo.FactCoords(f0 + i).data();
+          for (size_t d = 0; d < ndims; ++d) cols[d * kChunk + i] = row[d];
+        }
+        for (size_t a = 0; a < nact; ++a) {
+          if (const vm::PredProgram* p = (*progs)[a].get()) {
+            p->EvalBatch(colp.data(), n, lanes.data() + a * kChunk, &scratch);
+          }
+        }
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t a = 0; a < nact; ++a) row_w[a] = lanes[a * kChunk + i];
+          if (!process(f0 + i, row_w.data())) return;
+        }
+      }
+    } else {
+      for (FactId f = begin; f < end; ++f) {
+        if (!process(f, nullptr)) return;
       }
     }
   });

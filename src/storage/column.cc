@@ -1,0 +1,26 @@
+#include "storage/column.h"
+
+#include <cstdlib>
+
+namespace dwred::storage {
+
+const char* EncodingName(ColEncoding e) {
+  switch (e) {
+    case ColEncoding::kPlain:
+      return "plain";
+    case ColEncoding::kDict:
+      return "dict";
+    case ColEncoding::kRle:
+      return "rle";
+    case ColEncoding::kFor:
+      return "for";
+  }
+  return "?";
+}
+
+bool ColumnarEnabled() {
+  const char* v = std::getenv("DWRED_COLUMNAR_DISABLED");
+  return v == nullptr || v[0] == '\0';
+}
+
+}  // namespace dwred::storage

@@ -1,10 +1,13 @@
 #include "storage/fact_table.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/strings.h"
+#include "obs/logging.h"
 #include "obs/metrics.h"
 
 namespace dwred {
@@ -23,6 +26,71 @@ obs::Gauge& BytesGauge() {
   return g;
 }
 
+obs::Gauge& RowBytesGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "dwred_storage_bytes_row",
+      "bytes live FactTables would occupy in the un-encoded row layout");
+  return g;
+}
+
+obs::Gauge& ColumnarBytesGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "dwred_storage_bytes_columnar",
+      "resident bytes of live FactTables' columns (encoded where sealed)");
+  return g;
+}
+
+obs::Gauge& SavedBytesGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "dwred_storage_bytes_saved",
+      "bytes saved by seal-time column encodings (row - columnar)");
+  return g;
+}
+
+/// Resolves the default segment row budget: DWRED_SEGMENT_ROWS when set —
+/// validated and clamped to [kMinSegmentRows, kMaxSegmentRows] with a
+/// warning, the DWRED_THREADS convention — else kDefaultSegmentRows.
+/// Re-read on every default-budget construction; the budget is physical
+/// layout only, so it never changes logical bytes.
+size_t SegmentRowsFromEnv() {
+  const char* env = std::getenv("DWRED_SEGMENT_ROWS");
+  if (env == nullptr || env[0] == '\0') return FactTable::kDefaultSegmentRows;
+  int64_t v = 0;
+  if (!ParseInt64(Trim(env), &v)) {
+    DWRED_LOG(Warn) << "DWRED_SEGMENT_ROWS=\"" << env
+                    << "\" is not an integer; using default "
+                    << FactTable::kDefaultSegmentRows;
+    return FactTable::kDefaultSegmentRows;
+  }
+  if (v < static_cast<int64_t>(FactTable::kMinSegmentRows)) {
+    DWRED_LOG(Warn) << "DWRED_SEGMENT_ROWS=" << v << " is below "
+                    << FactTable::kMinSegmentRows << "; clamping";
+    return FactTable::kMinSegmentRows;
+  }
+  if (v > static_cast<int64_t>(FactTable::kMaxSegmentRows)) {
+    DWRED_LOG(Warn) << "DWRED_SEGMENT_ROWS=" << v << " exceeds "
+                    << FactTable::kMaxSegmentRows << "; clamping";
+    return FactTable::kMaxSegmentRows;
+  }
+  return static_cast<size_t>(v);
+}
+
+template <typename T>
+void ZoneOverColumn(const T* col, const std::vector<uint8_t>& dead,
+                    size_t phys, T* mn, T* mx) {
+  bool first = true;
+  for (size_t p = 0; p < phys; ++p) {
+    if (!dead.empty() && dead[p]) continue;
+    if (first) {
+      *mn = *mx = col[p];
+      first = false;
+    } else {
+      *mn = std::min(*mn, col[p]);
+      *mx = std::max(*mx, col[p]);
+    }
+  }
+}
+
 }  // namespace
 
 void FactTable::UpdateFootprint(int64_t row_delta) {
@@ -30,24 +98,37 @@ void FactTable::UpdateFootprint(int64_t row_delta) {
     (void)row_delta;
     return;
   }
-  size_t now_bytes = Bytes();
+  const size_t now_bytes = Bytes();
+  const size_t now_row_bytes = RowEquivalentBytes();
   RowsGauge().Add(row_delta);
-  BytesGauge().Add(static_cast<int64_t>(now_bytes) -
-                   static_cast<int64_t>(reported_bytes_));
+  const int64_t byte_delta = static_cast<int64_t>(now_bytes) -
+                             static_cast<int64_t>(reported_bytes_);
+  const int64_t row_byte_delta = static_cast<int64_t>(now_row_bytes) -
+                                 static_cast<int64_t>(reported_row_bytes_);
+  BytesGauge().Add(byte_delta);
+  ColumnarBytesGauge().Add(byte_delta);
+  RowBytesGauge().Add(row_byte_delta);
+  SavedBytesGauge().Add(row_byte_delta - byte_delta);
   reported_bytes_ = now_bytes;
+  reported_row_bytes_ = now_row_bytes;
 }
 
 void FactTable::ReleaseFootprint() {
   if constexpr (!obs::kObsEnabled) return;
   RowsGauge().Add(-static_cast<int64_t>(num_rows_));
   BytesGauge().Add(-static_cast<int64_t>(reported_bytes_));
+  ColumnarBytesGauge().Add(-static_cast<int64_t>(reported_bytes_));
+  RowBytesGauge().Add(-static_cast<int64_t>(reported_row_bytes_));
+  SavedBytesGauge().Add(static_cast<int64_t>(reported_bytes_) -
+                        static_cast<int64_t>(reported_row_bytes_));
   reported_bytes_ = 0;
+  reported_row_bytes_ = 0;
 }
 
 FactTable::FactTable(size_t num_dims, size_t num_measures, size_t segment_rows)
     : ndims_(num_dims),
       nmeas_(num_measures),
-      segment_rows_(segment_rows == 0 ? kDefaultSegmentRows : segment_rows) {}
+      segment_rows_(segment_rows == 0 ? SegmentRowsFromEnv() : segment_rows) {}
 
 FactTable::~FactTable() { ReleaseFootprint(); }
 
@@ -57,6 +138,7 @@ FactTable::FactTable(const FactTable& other)
       segment_rows_(other.segment_rows_),
       num_rows_(other.num_rows_),
       phys_rows_(other.phys_rows_),
+      data_bytes_(other.data_bytes_),
       segs_(other.segs_),
       starts_(other.starts_),
       content_version_(other.content_version_) {
@@ -71,6 +153,7 @@ FactTable& FactTable::operator=(const FactTable& other) {
   segment_rows_ = other.segment_rows_;
   num_rows_ = other.num_rows_;
   phys_rows_ = other.phys_rows_;
+  data_bytes_ = other.data_bytes_;
   segs_ = other.segs_;
   starts_ = other.starts_;
   content_version_ = other.content_version_;
@@ -84,14 +167,18 @@ FactTable::FactTable(FactTable&& other) noexcept
       segment_rows_(other.segment_rows_),
       num_rows_(other.num_rows_),
       phys_rows_(other.phys_rows_),
+      data_bytes_(other.data_bytes_),
       segs_(std::move(other.segs_)),
       starts_(std::move(other.starts_)),
       reported_bytes_(other.reported_bytes_),
+      reported_row_bytes_(other.reported_row_bytes_),
       content_version_(other.content_version_) {
   // The gauge contribution moves with the data; the source owes nothing.
   other.num_rows_ = 0;
   other.phys_rows_ = 0;
+  other.data_bytes_ = 0;
   other.reported_bytes_ = 0;
+  other.reported_row_bytes_ = 0;
   other.segs_.clear();
   other.starts_.clear();
 }
@@ -104,13 +191,17 @@ FactTable& FactTable::operator=(FactTable&& other) noexcept {
   segment_rows_ = other.segment_rows_;
   num_rows_ = other.num_rows_;
   phys_rows_ = other.phys_rows_;
+  data_bytes_ = other.data_bytes_;
   segs_ = std::move(other.segs_);
   starts_ = std::move(other.starts_);
   reported_bytes_ = other.reported_bytes_;
+  reported_row_bytes_ = other.reported_row_bytes_;
   content_version_ = other.content_version_;
   other.num_rows_ = 0;
   other.phys_rows_ = 0;
+  other.data_bytes_ = 0;
   other.reported_bytes_ = 0;
+  other.reported_row_bytes_ = 0;
   other.segs_.clear();
   other.starts_.clear();
   return *this;
@@ -124,6 +215,59 @@ std::pair<size_t, size_t> FactTable::Locate(RowId r) const {
   size_t off = static_cast<size_t>(r) - starts_[s];
   const Segment& seg = segs_[s];
   return {s, seg.dead.empty() ? off : seg.live_phys[off]};
+}
+
+size_t FactTable::SegmentDataBytesOf(const Segment& s) const {
+  if (!s.encoded) return s.phys * RowWidth();
+  size_t b = 0;
+  for (const auto& c : s.edims) b += c.DataBytes();
+  for (const auto& c : s.emeas) b += c.DataBytes();
+  return b;
+}
+
+void FactTable::EncodeSegment(Segment& s) const {
+  if (s.encoded) return;
+  s.edims.reserve(ndims_);
+  for (size_t d = 0; d < ndims_; ++d) {
+    s.edims.push_back(storage::EncodedColumn<ValueId>::Encode(
+        std::move(s.dims[d])));
+  }
+  s.emeas.reserve(nmeas_);
+  for (size_t m = 0; m < nmeas_; ++m) {
+    s.emeas.push_back(storage::EncodedColumn<int64_t>::Encode(
+        std::move(s.meas[m])));
+  }
+  s.dims.clear();
+  s.meas.clear();
+  s.encoded = true;
+}
+
+void FactTable::DecodeSegment(Segment& s) const {
+  if (!s.encoded) return;
+  s.dims.resize(ndims_);
+  for (size_t d = 0; d < ndims_; ++d) {
+    s.dims[d].resize(s.phys);
+    s.edims[d].Decode(0, s.phys, s.dims[d].data());
+  }
+  s.meas.resize(nmeas_);
+  for (size_t m = 0; m < nmeas_; ++m) {
+    s.meas[m].resize(s.phys);
+    s.emeas[m].Decode(0, s.phys, s.meas[m].data());
+  }
+  s.edims.clear();
+  s.emeas.clear();
+  s.encoded = false;
+}
+
+void FactTable::SealSegment(Segment& s) {
+  s.sealed = true;
+  // The seal is the encoding decision point: the kill switch is re-read
+  // here, so flipping DWRED_COLUMNAR_DISABLED affects future seals only.
+  if (!storage::ColumnarEnabled()) return;
+  const size_t before = SegmentDataBytesOf(s);
+  EncodeSegment(s);
+  const size_t after = SegmentDataBytesOf(s);
+  data_bytes_ = data_bytes_ - before + after;
 }
 
 RowId FactTable::Append(std::span<const ValueId> coords,
@@ -160,16 +304,15 @@ RowId FactTable::Append(std::span<const ValueId> coords,
       tail.mmax[m] = std::max(tail.mmax[m], measures[m]);
     }
   }
+  ++tail.phys;
   if (!tail.dead.empty()) {
     tail.dead.push_back(0);
-    tail.live_phys.push_back(
-        static_cast<uint32_t>(SegmentPhysicalRows(segs_.size() - 1) - 1));
+    tail.live_phys.push_back(static_cast<uint32_t>(tail.phys - 1));
   }
   ++tail.live;
   ++phys_rows_;
-  if (SegmentPhysicalRows(segs_.size() - 1) >= segment_rows_) {
-    tail.sealed = true;
-  }
+  data_bytes_ += RowWidth();
+  if (tail.phys >= segment_rows_) SealSegment(tail);
   RowId r = num_rows_++;
   ++content_version_;
   UpdateFootprint(1);
@@ -179,36 +322,114 @@ RowId FactTable::Append(std::span<const ValueId> coords,
 void FactTable::ReadCoords(RowId r, ValueId* out) const {
   auto [s, p] = Locate(r);
   const Segment& seg = segs_[s];
-  for (size_t d = 0; d < ndims_; ++d) out[d] = seg.dims[d][p];
+  if (seg.encoded) {
+    for (size_t d = 0; d < ndims_; ++d) out[d] = seg.edims[d].At(p);
+  } else {
+    for (size_t d = 0; d < ndims_; ++d) out[d] = seg.dims[d][p];
+  }
+}
+
+void FactTable::FillBatch(const Segment& seg, size_t lo, size_t n,
+                          bool need_measures, BatchView* b) const {
+  const bool dense = seg.dead.empty();
+  auto dim_scratch = [&](size_t d) {
+    if (b->dscratch_.empty()) b->dscratch_.resize(ndims_ * kBatchRows);
+    return b->dscratch_.data() + d * kBatchRows;
+  };
+  auto meas_scratch = [&](size_t m) {
+    if (b->mscratch_.empty()) b->mscratch_.resize(nmeas_ * kBatchRows);
+    return b->mscratch_.data() + m * kBatchRows;
+  };
+  for (size_t d = 0; d < ndims_; ++d) {
+    if (dense) {
+      if (!seg.encoded) {
+        b->dims_[d] = seg.dims[d].data() + lo;
+        continue;
+      }
+      if (const ValueId* p = seg.edims[d].PlainData()) {
+        b->dims_[d] = p + lo;
+        continue;
+      }
+      ValueId* out = dim_scratch(d);
+      seg.edims[d].Decode(lo, lo + n, out);
+      b->dims_[d] = out;
+    } else {
+      ValueId* out = dim_scratch(d);
+      const uint32_t* phys = seg.live_phys.data() + lo;
+      if (seg.encoded) {
+        for (size_t i = 0; i < n; ++i) out[i] = seg.edims[d].At(phys[i]);
+      } else {
+        const ValueId* col = seg.dims[d].data();
+        for (size_t i = 0; i < n; ++i) out[i] = col[phys[i]];
+      }
+      b->dims_[d] = out;
+    }
+  }
+  if (!need_measures) return;
+  for (size_t m = 0; m < nmeas_; ++m) {
+    if (dense) {
+      if (!seg.encoded) {
+        b->meas_[m] = seg.meas[m].data() + lo;
+        continue;
+      }
+      if (const int64_t* p = seg.emeas[m].PlainData()) {
+        b->meas_[m] = p + lo;
+        continue;
+      }
+      int64_t* out = meas_scratch(m);
+      seg.emeas[m].Decode(lo, lo + n, out);
+      b->meas_[m] = out;
+    } else {
+      int64_t* out = meas_scratch(m);
+      const uint32_t* phys = seg.live_phys.data() + lo;
+      if (seg.encoded) {
+        for (size_t i = 0; i < n; ++i) out[i] = seg.emeas[m].At(phys[i]);
+      } else {
+        const int64_t* col = seg.meas[m].data();
+        for (size_t i = 0; i < n; ++i) out[i] = col[phys[i]];
+      }
+      b->meas_[m] = out;
+    }
+  }
 }
 
 void FactTable::RecomputeZones(Segment& s) const {
-  bool first = true;
-  const size_t phys = s.dims.empty() ? s.meas[0].size() : s.dims[0].size();
-  for (size_t p = 0; p < phys; ++p) {
-    if (!s.dead.empty() && s.dead[p]) continue;
-    if (first) {
-      for (size_t d = 0; d < ndims_; ++d) s.dmin[d] = s.dmax[d] = s.dims[d][p];
-      for (size_t m = 0; m < nmeas_; ++m) s.mmin[m] = s.mmax[m] = s.meas[m][p];
-      first = false;
+  std::vector<ValueId> dtmp;
+  std::vector<int64_t> mtmp;
+  for (size_t d = 0; d < ndims_; ++d) {
+    const ValueId* col;
+    if (!s.encoded) {
+      col = s.dims[d].data();
+    } else if (const ValueId* p = s.edims[d].PlainData()) {
+      col = p;
     } else {
-      for (size_t d = 0; d < ndims_; ++d) {
-        s.dmin[d] = std::min(s.dmin[d], s.dims[d][p]);
-        s.dmax[d] = std::max(s.dmax[d], s.dims[d][p]);
-      }
-      for (size_t m = 0; m < nmeas_; ++m) {
-        s.mmin[m] = std::min(s.mmin[m], s.meas[m][p]);
-        s.mmax[m] = std::max(s.mmax[m], s.meas[m][p]);
-      }
+      dtmp.resize(s.phys);
+      s.edims[d].Decode(0, s.phys, dtmp.data());
+      col = dtmp.data();
     }
+    ZoneOverColumn(col, s.dead, s.phys, &s.dmin[d], &s.dmax[d]);
+  }
+  for (size_t m = 0; m < nmeas_; ++m) {
+    const int64_t* col;
+    if (!s.encoded) {
+      col = s.meas[m].data();
+    } else if (const int64_t* p = s.emeas[m].PlainData()) {
+      col = p;
+    } else {
+      mtmp.resize(s.phys);
+      s.emeas[m].Decode(0, s.phys, mtmp.data());
+      col = mtmp.data();
+    }
+    ZoneOverColumn(col, s.dead, s.phys, &s.mmin[m], &s.mmax[m]);
   }
 }
 
 void FactTable::CompactSegment(Segment& s) const {
   if (s.dead.empty()) return;
-  const size_t phys = s.dims.empty() ? s.meas[0].size() : s.dims[0].size();
+  const bool was_encoded = s.encoded;
+  DecodeSegment(s);
   size_t w = 0;
-  for (size_t p = 0; p < phys; ++p) {
+  for (size_t p = 0; p < s.phys; ++p) {
     if (s.dead[p]) continue;
     if (w != p) {
       for (auto& col : s.dims) col[w] = col[p];
@@ -227,21 +448,29 @@ void FactTable::CompactSegment(Segment& s) const {
   s.dead.clear();
   s.live_phys.clear();
   s.dead_count = 0;
+  s.phys = w;
   DWRED_CHECK(s.live == w);
+  // A compacted sealed segment re-enters the encoding decision (kill switch
+  // re-read, like the seal itself).
+  if (was_encoded || (s.sealed && storage::ColumnarEnabled())) {
+    EncodeSegment(s);
+  }
 }
 
 void FactTable::RecomputeIndex() {
   starts_.resize(segs_.size());
   size_t rows = 0;
   size_t phys = 0;
+  size_t bytes = 0;
   for (size_t s = 0; s < segs_.size(); ++s) {
     starts_[s] = rows;
     rows += segs_[s].live;
-    phys += segs_[s].dims.empty() ? segs_[s].meas[0].size()
-                                  : segs_[s].dims[0].size();
+    phys += segs_[s].phys;
+    bytes += SegmentDataBytesOf(segs_[s]);
   }
   num_rows_ = rows;
   phys_rows_ = phys;
+  data_bytes_ = bytes;
 }
 
 Status FactTable::EraseRows(const std::vector<bool>& erase) {
@@ -255,12 +484,10 @@ Status FactTable::EraseRows(const std::vector<bool>& erase) {
   RowId r = 0;
   for (size_t s = 0; s < segs_.size(); ++s) {
     Segment& seg = segs_[s];
-    const size_t phys = seg.dims.empty() ? seg.meas[0].size()
-                                         : seg.dims[0].size();
-    for (size_t p = 0; p < phys; ++p) {
+    for (size_t p = 0; p < seg.phys; ++p) {
       if (!seg.dead.empty() && seg.dead[p]) continue;
       if (erase[r]) {
-        if (seg.dead.empty()) seg.dead.assign(phys, 0);
+        if (seg.dead.empty()) seg.dead.assign(seg.phys, 0);
         seg.dead[p] = 1;
         ++seg.dead_count;
         --seg.live;
@@ -283,15 +510,13 @@ Status FactTable::EraseRows(const std::vector<bool>& erase) {
       continue;
     }
     if (seg.live == 0) continue;
-    const size_t phys = seg.dims.empty() ? seg.meas[0].size()
-                                         : seg.dims[0].size();
     if (static_cast<double>(seg.dead_count) >=
-        kCompactTombstoneRatio * static_cast<double>(phys)) {
+        kCompactTombstoneRatio * static_cast<double>(seg.phys)) {
       CompactSegment(seg);
     } else {
       seg.live_phys.clear();
       seg.live_phys.reserve(seg.live);
-      for (size_t p = 0; p < phys; ++p) {
+      for (size_t p = 0; p < seg.phys; ++p) {
         if (!seg.dead[p]) seg.live_phys.push_back(static_cast<uint32_t>(p));
       }
     }
@@ -345,14 +570,31 @@ Result<size_t> FactTable::CompactCells(std::span<const AggFn> aggs) {
   starts_.clear();
   num_rows_ = 0;
   phys_rows_ = 0;
+  data_bytes_ = 0;
   for (size_t i = 0; i < cells.size(); ++i) Append(cells[i], folded[i]);
-  // Append() tracks bytes against reported_bytes_, so the byte gauge is
+  // Append() tracks bytes against reported_bytes_, so the byte gauges are
   // already exact; rows were credited on top of the pre-rebuild contribution,
   // so withdraw that.
   if constexpr (obs::kObsEnabled) {
     RowsGauge().Add(-static_cast<int64_t>(before));
   }
   return before - num_rows_;
+}
+
+size_t FactTable::ApproxBytes() const {
+  size_t b = sizeof(FactTable) + segs_.capacity() * sizeof(Segment) +
+             starts_.capacity() * sizeof(size_t);
+  for (const Segment& seg : segs_) {
+    for (const auto& col : seg.dims) b += col.capacity() * sizeof(ValueId);
+    for (const auto& col : seg.meas) b += col.capacity() * sizeof(int64_t);
+    for (const auto& col : seg.edims) b += col.ApproxBytes();
+    for (const auto& col : seg.emeas) b += col.ApproxBytes();
+    b += seg.dead.capacity();
+    b += seg.live_phys.capacity() * sizeof(uint32_t);
+    b += (seg.dmin.capacity() + seg.dmax.capacity()) * sizeof(ValueId);
+    b += (seg.mmin.capacity() + seg.mmax.capacity()) * sizeof(int64_t);
+  }
+  return b;
 }
 
 MultidimensionalObject FactTable::ToMO(

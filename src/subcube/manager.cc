@@ -15,6 +15,7 @@
 #include "runtime/governor.h"
 #include "scan/scan.h"
 #include "spec/predicate_analysis.h"
+#include "storage/column.h"
 #include "vm/program.h"
 
 namespace dwred {
@@ -221,8 +222,8 @@ SubcubeManager::SpecPrograms SubcubeManager::CompileSpecPrograms(
 }
 
 Result<size_t> SubcubeManager::ResponsibleCubeWith(
-    std::span<const ValueId> cell, int64_t now_day,
-    const SpecPrograms* progs) const {
+    std::span<const ValueId> cell, int64_t now_day, const SpecPrograms* progs,
+    const double* action_w) const {
   std::vector<CategoryId> cell_gran = CellGranularity(dims_, cell);
   const std::vector<CategoryId>* action_gran = nullptr;
   for (ActionId a = 0; a < spec_.size(); ++a) {
@@ -231,7 +232,9 @@ Result<size_t> SubcubeManager::ResponsibleCubeWith(
     const vm::PredProgram* prog =
         progs != nullptr && a < progs->size() ? (*progs)[a].get() : nullptr;
     if (prog != nullptr) {
-      const double w = prog->Eval(cell.data());
+      // Batch-precomputed lane weight when available, else evaluate here;
+      // both are bitwise the same program on the same cell.
+      const double w = action_w != nullptr ? action_w[a] : prog->Eval(cell.data());
       if (w == vm::PredProgram::kOutOfRange) {
         vm::CountFallback();  // coordinate interned after compilation
         satisfied = EvalPredOnCell(*act.predicate, ctx_, cell, now_day);
@@ -431,28 +434,66 @@ Result<size_t> SubcubeManager::Synchronize(int64_t now_day,
       if (!plan.shard_error[si].ok()) return;
       std::vector<ValueId> row_cell(ndims);
       bool failed = false;
-      cube.table.ForEachRow(
-          begin, end, [&](RowId r, const FactTable::RowRef& row) {
-            if (failed) return;
-            for (size_t d = 0; d < ndims; ++d) row_cell[d] = row.coord(d);
-            auto target_r = ResponsibleCubeWith(row_cell, now_day, progs);
-            if (!target_r.ok()) {
-              plan.shard_error[si] = target_r.status();
-              failed = true;
-              return;
-            }
-            size_t target = target_r.value();
-            plan.target[r] = target;
-            if (target == i || target == kDeletedCell) return;
-            auto rolled_r = RollCell(row_cell, cubes_[target]->granularity);
-            if (!rolled_r.ok()) {
-              plan.shard_error[si] = rolled_r.status();
-              failed = true;
-              return;
-            }
-            std::copy(rolled_r.value().begin(), rolled_r.value().end(),
-                      plan.rolled.begin() + r * ndims);
-          });
+      // Decides one row given its gathered cell and (optionally) its
+      // batch-precomputed per-action weights.
+      auto decide = [&](RowId r, const double* action_w) {
+        auto target_r = ResponsibleCubeWith(row_cell, now_day, progs, action_w);
+        if (!target_r.ok()) {
+          plan.shard_error[si] = target_r.status();
+          failed = true;
+          return;
+        }
+        size_t target = target_r.value();
+        plan.target[r] = target;
+        if (target == i || target == kDeletedCell) return;
+        auto rolled_r = RollCell(row_cell, cubes_[target]->granularity);
+        if (!rolled_r.ok()) {
+          plan.shard_error[si] = rolled_r.status();
+          failed = true;
+          return;
+        }
+        std::copy(rolled_r.value().begin(), rolled_r.value().end(),
+                  plan.rolled.begin() + r * ndims);
+      };
+      const size_t nact = progs != nullptr ? progs->size() : 0;
+      if (storage::ColumnarEnabled() && nact > 0) {
+        // Vectorized migration planning: every compiled action predicate
+        // runs chunk-at-a-time over the segment columns; the per-row LUB
+        // walk then consumes the precomputed lanes.
+        vm::PredProgram::BatchScratch scratch;
+        std::vector<double> lanes(nact * FactTable::kBatchRows);
+        std::vector<double> row_w(nact);
+        cube.table.ForEachDimBatch(
+            begin, end, [&](const FactTable::BatchView& b) {
+              if (failed) return;
+              const size_t n = b.rows();
+              for (ActionId a = 0; a < nact; ++a) {
+                if (const vm::PredProgram* prog = (*progs)[a].get()) {
+                  prog->EvalBatch(b.dim_cols(), n,
+                                  lanes.data() + a * FactTable::kBatchRows,
+                                  &scratch);
+                }
+              }
+              const RowId first = b.first_row();
+              for (size_t k = 0; k < n; ++k) {
+                if (failed) return;
+                for (size_t d = 0; d < ndims; ++d) {
+                  row_cell[d] = b.dim_col(d)[k];
+                }
+                for (ActionId a = 0; a < nact; ++a) {
+                  row_w[a] = lanes[a * FactTable::kBatchRows + k];
+                }
+                decide(first + k, row_w.data());
+              }
+            });
+      } else {
+        cube.table.ForEachRow(
+            begin, end, [&](RowId r, const FactTable::RowRef& row) {
+              if (failed) return;
+              for (size_t d = 0; d < ndims; ++d) row_cell[d] = row.coord(d);
+              decide(r, nullptr);
+            });
+      }
     });
     // Lowest shard's error is the globally first failing row's error. Unlike
     // the serial formulation, a failed pass mutates nothing.

@@ -184,9 +184,14 @@ class SubcubeManager {
 
   /// ResponsibleCube body; `progs` (when non-null and non-empty) supplies
   /// compiled per-action predicate programs, byte-identical to interpreting.
+  /// `action_w` (when non-null) carries this cell's batch-precomputed weight
+  /// per action (vm::PredProgram::EvalBatch over a column chunk); a lane at
+  /// kOutOfRange — or an action with no program — falls back to the same
+  /// per-row evaluation the non-batch path uses.
   Result<size_t> ResponsibleCubeWith(std::span<const ValueId> cell,
                                      int64_t now_day,
-                                     const SpecPrograms* progs) const;
+                                     const SpecPrograms* progs,
+                                     const double* action_w = nullptr) const;
 
   /// The rollup tables for one target granularity, compiled once and cached
   /// per (granularity, epoch) in the program LRU. Null while DWRED_VM_DISABLED

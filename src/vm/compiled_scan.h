@@ -45,14 +45,26 @@ class CompiledScan {
 
   /// Fills `weights` (indexed by logical row id, sized to `t`; rows outside
   /// the plan keep weight 0 — pruning guarantees they cannot match) by
-  /// evaluating every planned row, shard-parallel on the global pool.
-  /// Deterministic: each shard writes a disjoint range.
+  /// evaluating every planned row, shard-parallel on the global pool. With
+  /// the columnar path enabled (storage::ColumnarEnabled) each shard runs
+  /// PredProgram::EvalBatch chunk-at-a-time over the segment columns and
+  /// late-materializes full cells only for out-of-range lanes; the kill
+  /// switch falls back to the PR-8 row-at-a-time path. Deterministic: each
+  /// shard writes a disjoint range, and both paths produce identical bits.
   void WeighTable(const FactTable& t, const scan::ScanPlan& plan,
                   std::vector<double>* weights) const;
 
   /// Fills `weights` (one slot per fact) over an MO's facts, shard-parallel.
+  /// The columnar path transposes row-major fact chunks into column scratch
+  /// and batch-evaluates them.
   void WeighMo(const MultidimensionalObject& mo,
                std::vector<double>* weights) const;
+
+  /// Evaluates one column batch into out[0..b.rows()): EvalBatch across the
+  /// lanes, then the per-row interpreter fallback for out-of-range lanes
+  /// (or for every lane when no program compiled).
+  void WeighBatch(const FactTable::BatchView& b, double* out,
+                  PredProgram::BatchScratch* scratch) const;
 
  private:
   std::shared_ptr<const PredProgram> prog_;

@@ -120,6 +120,7 @@ struct PredProgram::Compiler {
             ok = false;
             return;
           }
+          p.max_depth_ = std::max(p.max_depth_, depth);
           Emit(*e.kids[i]);
           if (!ok) return;
           p.code_.push_back({fold, 0});
@@ -190,6 +191,67 @@ double PredProgram::Eval(const ValueId* coords) const {
     }
   }
   return acc;
+}
+
+void PredProgram::EvalBatch(const ValueId* const* cols, size_t n, double* out,
+                            BatchScratch* scratch) const {
+  // Lanes accumulate in place in `out`; the pending-fold stack gets one
+  // n-wide row per depth level. Jumps are no-ops — see the header proof.
+  scratch->stack.resize(static_cast<size_t>(max_depth_) * n);
+  scratch->oor.assign(n, 0);
+  double* stack = scratch->stack.data();
+  uint8_t* oor = scratch->oor.data();
+  size_t sp = 0;
+  for (const Instr in : code_) {
+    switch (in.op) {
+      case Op::kConst: {
+        const double v = in.arg != 0 ? 1.0 : 0.0;
+        for (size_t i = 0; i < n; ++i) out[i] = v;
+        break;
+      }
+      case Op::kLoadTable: {
+        const Table& t = tables_[in.arg];
+        const ValueId* col = cols[t.dim];
+        const double* w = weights_.data() + t.offset;
+        const uint32_t size = t.size;
+        for (size_t i = 0; i < n; ++i) {
+          const ValueId v = col[i];
+          if (v >= size) {
+            oor[i] = 1;
+            out[i] = 0.0;
+          } else {
+            out[i] = w[v];
+          }
+        }
+        break;
+      }
+      case Op::kNot:
+        for (size_t i = 0; i < n; ++i) out[i] = 1.0 - out[i];
+        break;
+      case Op::kPush: {
+        double* slot = stack + sp * n;
+        for (size_t i = 0; i < n; ++i) slot[i] = out[i];
+        ++sp;
+        break;
+      }
+      case Op::kAnd: {
+        const double* slot = stack + --sp * n;
+        for (size_t i = 0; i < n; ++i) out[i] = slot[i] * out[i];
+        break;
+      }
+      case Op::kOr: {
+        const double* slot = stack + --sp * n;
+        for (size_t i = 0; i < n; ++i) out[i] = std::max(slot[i], out[i]);
+        break;
+      }
+      case Op::kJumpIfZero:
+      case Op::kJumpIfOne:
+        break;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (oor[i]) out[i] = kOutOfRange;
+  }
 }
 
 size_t PredProgram::ApproxBytes() const {

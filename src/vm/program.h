@@ -92,6 +92,32 @@ class PredProgram {
     return Eval(coords.data());
   }
 
+  /// Reused buffers of EvalBatch — allocate one per scan shard, not per
+  /// batch.
+  struct BatchScratch {
+    std::vector<double> stack;  ///< [max stack depth][lane]
+    std::vector<uint8_t> oor;   ///< per-lane out-of-range flag
+  };
+
+  /// Evaluates the program over a column chunk of `n` rows: `cols[d]` holds
+  /// lane i's coordinate of dimension d (the FactTable::BatchView::dim_cols
+  /// shape) and `out[i]` receives lane i's weight — bitwise identical to
+  /// Eval on that row's cell — or kOutOfRange when some coordinate of the
+  /// lane is not covered by the compiled tables.
+  ///
+  /// The batch interpreter runs op-at-a-time across all lanes and treats the
+  /// short-circuit jumps as no-ops, which is exact, not approximate: atom
+  /// weights live in [0, 1] with no NaN and no -0.0, so once a lane's
+  /// accumulator short-circuits an AND at 0.0 every further kAnd leaves it
+  /// at 0.0 (0.0 * w == 0.0 for w in [0, 1]), and symmetrically 1.0 absorbs
+  /// under kOr's max — executing the instructions the row path would have
+  /// jumped over cannot change the lane's bits. An out-of-range coordinate
+  /// inside a region the row path would have skipped merely over-flags the
+  /// lane: the caller's per-row interpreter fallback recomputes the exact
+  /// same weight the row path returns.
+  void EvalBatch(const ValueId* const* cols, size_t n, double* out,
+                 BatchScratch* scratch) const;
+
   /// Heap accounting for the compiled-program cache (counts capacity, like
   /// ScanSpec::ApproxBytes).
   size_t ApproxBytes() const;
@@ -125,6 +151,7 @@ class PredProgram {
   std::vector<Instr> code_;
   std::vector<Table> tables_;
   std::vector<double> weights_;  ///< all atom tables, concatenated
+  uint32_t max_depth_ = 0;  ///< deepest pending-fold stack Eval can reach
 };
 
 /// A 0/1 atom oracle over spec predicates: EvalAtomOnCell probed one
@@ -183,6 +210,14 @@ class RollupProgram {
     }
     return true;
   }
+
+  /// Raw per-dimension table access, for callers that pre-combine the tables
+  /// into their own lookup structures (the columnar fused fold pre-shifts
+  /// each dimension's rolled values into packed cell-key fields). A value id
+  /// >= TableSize(d) postdates compilation — same contract as Map returning
+  /// false.
+  size_t TableSize(size_t d) const { return sizes_[d]; }
+  ValueId TableAt(size_t d, ValueId v) const { return table_[offsets_[d] + v]; }
 
   size_t ApproxBytes() const;
 

@@ -3,6 +3,8 @@
 
 #include "storage/fact_table.h"
 
+#include <stdlib.h>
+
 #include <gtest/gtest.h>
 
 #include "mdm/paper_example.h"
@@ -293,6 +295,49 @@ TEST(FactTableTest, ErasingIntoTombstonedSegmentStaysConsistent) {
   for (size_t i = 0; i < expect.size(); ++i) {
     EXPECT_EQ(t.Coord(i, 0), expect[i]);
   }
+}
+
+TEST(FactTableTest, SegmentRowsFromEnvironment) {
+  // Restores the variable on scope exit so later tests see the default.
+  struct EnvGuard {
+    ~EnvGuard() { ::unsetenv("DWRED_SEGMENT_ROWS"); }
+  } guard;
+
+  // A valid value becomes the default row budget of env-configured tables.
+  ::setenv("DWRED_SEGMENT_ROWS", "32", /*overwrite=*/1);
+  EXPECT_EQ(FactTable(1, 1).segment_rows(), 32u);
+  // Whitespace is tolerated (the DWRED_THREADS convention).
+  ::setenv("DWRED_SEGMENT_ROWS", "  64 ", /*overwrite=*/1);
+  EXPECT_EQ(FactTable(1, 1).segment_rows(), 64u);
+  // An explicit constructor budget always wins over the environment.
+  EXPECT_EQ(FactTable(1, 1, /*segment_rows=*/8).segment_rows(), 8u);
+  // Garbage falls back to the default with a warning.
+  ::setenv("DWRED_SEGMENT_ROWS", "banana", /*overwrite=*/1);
+  EXPECT_EQ(FactTable(1, 1).segment_rows(), FactTable::kDefaultSegmentRows);
+  // Out-of-range values clamp to the validation bounds.
+  ::setenv("DWRED_SEGMENT_ROWS", "1", /*overwrite=*/1);
+  EXPECT_EQ(FactTable(1, 1).segment_rows(), FactTable::kMinSegmentRows);
+  ::setenv("DWRED_SEGMENT_ROWS", "99999999999", /*overwrite=*/1);
+  EXPECT_EQ(FactTable(1, 1).segment_rows(), FactTable::kMaxSegmentRows);
+  // Empty/unset means the built-in default.
+  ::setenv("DWRED_SEGMENT_ROWS", "", /*overwrite=*/1);
+  EXPECT_EQ(FactTable(1, 1).segment_rows(), FactTable::kDefaultSegmentRows);
+  ::unsetenv("DWRED_SEGMENT_ROWS");
+  EXPECT_EQ(FactTable(1, 1).segment_rows(), FactTable::kDefaultSegmentRows);
+
+  // The env budget really governs sealing.
+  ::setenv("DWRED_SEGMENT_ROWS", "16", /*overwrite=*/1);
+  FactTable t(1, 1);
+  std::vector<ValueId> c(1);
+  std::vector<int64_t> m(1);
+  for (int i = 0; i < 40; ++i) {
+    c[0] = static_cast<ValueId>(i);
+    m[0] = i;
+    t.Append(c, m);
+  }
+  EXPECT_EQ(t.num_segments(), 3u);
+  EXPECT_TRUE(t.SegmentSealed(0));
+  EXPECT_EQ(t.SegmentLiveRows(0), 16u);
 }
 
 TEST(FactTableTest, MoRoundTrip) {

@@ -52,6 +52,19 @@ struct VmSwitch {
   }
 };
 
+/// Flips the columnar kill switch for a scope; restores columnar on exit.
+struct ColumnarSwitch {
+  explicit ColumnarSwitch(bool enabled) { Set(enabled); }
+  ~ColumnarSwitch() { Set(true); }
+  static void Set(bool enabled) {
+    if (enabled) {
+      ::unsetenv("DWRED_COLUMNAR_DISABLED");
+    } else {
+      ::setenv("DWRED_COLUMNAR_DISABLED", "1", /*overwrite=*/1);
+    }
+  }
+};
+
 int64_t CounterValue(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name, "").Value();
 }
@@ -238,15 +251,18 @@ TEST(VmDifferential, ReduceBytesIdenticalVmOnOffAcrossThreads) {
         exec::ThreadPool::ResetGlobal(threads);
         for (bool vm_on : {true, false}) {
           VmSwitch sw(vm_on);
-          auto reduced = Reduce(*w.mo, spec, now);
-          ASSERT_TRUE(reduced.ok()) << reduced.status().message();
-          std::string got = SaveWarehouse(reduced.value(), spec);
-          if (baseline.empty()) {
-            baseline = std::move(got);
-          } else {
-            EXPECT_EQ(got, baseline)
-                << "threads=" << threads << " vm=" << vm_on << " seed=" << seed
-                << " diverged";
+          for (bool col_on : {true, false}) {
+            ColumnarSwitch cs(col_on);
+            auto reduced = Reduce(*w.mo, spec, now);
+            ASSERT_TRUE(reduced.ok()) << reduced.status().message();
+            std::string got = SaveWarehouse(reduced.value(), spec);
+            if (baseline.empty()) {
+              baseline = std::move(got);
+            } else {
+              EXPECT_EQ(got, baseline)
+                  << "threads=" << threads << " vm=" << vm_on
+                  << " columnar=" << col_on << " seed=" << seed << " diverged";
+            }
           }
         }
       }
@@ -283,8 +299,10 @@ TEST(VmDifferential, SubcubeBytesIdenticalVmOnOffAcrossThreads) {
   std::string baseline;
   for (int threads : {1, 8}) {
     exec::ThreadPool::ResetGlobal(threads);
-    for (bool vm_on : {true, false}) {
+    for (bool vm_on : {true, false})
+    for (bool col_on : {true, false}) {
       VmSwitch sw(vm_on);
+      ColumnarSwitch cs(col_on);
       auto mgr = SubcubeManager::Create(
           "Click", {w.time_dim, w.url_dim},
           std::vector<MeasureType>(w.mo->measure_types()), spec);
@@ -311,7 +329,8 @@ TEST(VmDifferential, SubcubeBytesIdenticalVmOnOffAcrossThreads) {
         baseline = std::move(fp);
       } else {
         EXPECT_EQ(fp, baseline)
-            << "threads=" << threads << " vm=" << vm_on << " diverged";
+            << "threads=" << threads << " vm=" << vm_on
+            << " columnar=" << col_on << " diverged";
       }
     }
   }

@@ -31,6 +31,12 @@ by benchmark family and thread count, and the vm=1 row must be at least
 path must never lose to the interpreter it replaces) with every `_crc`
 counter identical between the two (the VM changes cost, never bytes).
 
+The columnar guard (docs/STORAGE.md "Columnar layout") works the same way on
+cold rows carrying a `columnar` counter: the columnar=1 row must be at least
+--min-columnar-speedup times faster than its columnar=0 twin (default 1.0 —
+the batch path over encoded segments must never lose to the row path it
+replaces) with every `_crc` counter identical between the two.
+
 With --trajectory, the run is also appended to a top-level trajectory file
 (BENCH_query.json): one entry per run keyed by the sidecar's context date,
 carrying per-benchmark throughput and CRCs. The file is a time series —
@@ -114,6 +120,49 @@ def vm_guard(fresh, min_speedup):
     return failures
 
 
+def columnar_guard(fresh, min_speedup):
+    """Self-checks the fresh sidecar's cold columnar-on/off row pairs.
+
+    Mirrors vm_guard: rows are paired by (benchmark family, threads) where
+    family strips the Columnar/Row suffix — matching both the dedicated pair
+    (BM_ColumnarScanColdColumnar vs BM_ColumnarScanColdRow) and sweep rows
+    that differ only in their columnar argument. Returns failure strings;
+    groups missing either side pass.
+    """
+    groups = {}
+    for name, row in fresh.items():
+        if "columnar" not in row or "cold" not in row or row["cold"] != 1:
+            continue
+        family = re.sub(r"(Columnar|Row)$", "", name.split("/")[0])
+        key = (family, row.get("threads", 0))
+        groups.setdefault(key, {})[int(row["columnar"])] = (name, row)
+
+    failures = []
+    for (family, threads), pair in sorted(groups.items()):
+        if 0 not in pair or 1 not in pair:
+            continue
+        off_name, off = pair[0]
+        on_name, on = pair[1]
+        on_t, off_t = time_seconds(on), time_seconds(off)
+        speedup = off_t / on_t if on_t > 0 else float("inf")
+        ok = speedup >= min_speedup
+        print(f"columnar-guard {family} threads={threads:g}: columnar "
+              f"{on_t * 1e3:.3f}ms vs row {off_t * 1e3:.3f}ms "
+              f"({speedup:.2f}x) {'ok' if ok else 'COLUMNAR REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"{on_name}: columnar cold path only {speedup:.2f}x the "
+                f"row path ({off_name}); floor {min_speedup:.2f}x")
+        on_crcs, off_crcs = crc_counters(on), crc_counters(off)
+        for key in sorted(set(on_crcs) | set(off_crcs)):
+            if on_crcs.get(key) != off_crcs.get(key):
+                failures.append(
+                    f"{on_name}: {key} diverges between columnar on/off "
+                    f"({on_crcs.get(key)} vs {off_crcs.get(key)}) — the "
+                    f"columnar path changed bytes")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fresh", required=True,
@@ -127,6 +176,9 @@ def main():
     ap.add_argument("--min-vm-speedup", type=float, default=1.0,
                     help="fail when a cold VM-on row is not at least this "
                          "many times faster than its VM-off twin")
+    ap.add_argument("--min-columnar-speedup", type=float, default=1.0,
+                    help="fail when a cold columnar row is not at least this "
+                         "many times faster than its row-path twin")
     args = ap.parse_args()
 
     # Input problems exit 2 with a single clear line: a missing or truncated
@@ -208,6 +260,7 @@ def main():
                 f"(band {args.max_slowdown}x)")
 
     failures.extend(vm_guard(fresh, args.min_vm_speedup))
+    failures.extend(columnar_guard(fresh, args.min_columnar_speedup))
 
     if args.trajectory:
         entry = {

@@ -81,6 +81,7 @@
 #include "reduce/schema_reduction.h"
 #include "reduce/semantics.h"
 #include "spec/parser.h"
+#include "storage/column.h"
 #include "subcube/manager.h"
 
 using namespace dwred;
@@ -660,18 +661,24 @@ struct Shell {
           phys += t.SegmentPhysicalRows(s);
           dead += t.SegmentTombstones(s);
         }
-        std::printf("%s: %zu segments, %zu rows, %zu tombstones (%.1f%%), %s\n",
-                    cube.name.c_str(), t.num_segments(), t.num_rows(), dead,
-                    phys == 0 ? 0.0 : 100.0 * static_cast<double>(dead) /
-                                          static_cast<double>(phys),
-                    HumanBytes(t.Bytes()).c_str());
+        std::printf(
+            "%s: %zu segments, %zu rows, %zu tombstones (%.1f%%), %s "
+            "(row-equivalent %s, saved %s)\n",
+            cube.name.c_str(), t.num_segments(), t.num_rows(), dead,
+            phys == 0 ? 0.0 : 100.0 * static_cast<double>(dead) /
+                                  static_cast<double>(phys),
+            HumanBytes(t.Bytes()).c_str(),
+            HumanBytes(t.RowEquivalentBytes()).c_str(),
+            HumanBytes(t.RowEquivalentBytes() - t.Bytes()).c_str());
         constexpr size_t kMaxSegments = 8;
         for (size_t s = 0; s < t.num_segments() && s < kMaxSegments; ++s) {
           std::printf("  seg %zu [%zu, %zu) %s live=%zu/%zu",
                       s, static_cast<size_t>(t.SegmentBegin(s)),
                       static_cast<size_t>(t.SegmentBegin(s)) +
                           t.SegmentLiveRows(s),
-                      t.SegmentSealed(s) ? "sealed" : "tail",
+                      t.SegmentSealed(s)
+                          ? (t.SegmentEncoded(s) ? "sealed/columnar" : "sealed")
+                          : "tail",
                       t.SegmentLiveRows(s), t.SegmentPhysicalRows(s));
           for (DimensionId d = 0; d < t.num_dims(); ++d) {
             std::printf(" %s=[%s..%s]", dims[d]->name().c_str(),
@@ -679,6 +686,19 @@ struct Shell {
                         dims[d]->value_name(t.SegmentDimMax(s, d)).c_str());
           }
           std::printf("\n");
+          // Per-column physical layout: encoding + resident bytes.
+          std::printf("    cols:");
+          for (DimensionId d = 0; d < t.num_dims(); ++d) {
+            std::printf(" %s=%s/%zuB", dims[d]->name().c_str(),
+                        storage::EncodingName(t.SegmentDimEncoding(s, d)),
+                        t.SegmentDimBytes(s, d));
+          }
+          for (size_t mi = 0; mi < t.num_measures(); ++mi) {
+            std::printf(" m%zu=%s/%zuB", mi,
+                        storage::EncodingName(t.SegmentMeasureEncoding(s, mi)),
+                        t.SegmentMeasureBytes(s, mi));
+          }
+          std::printf(" total=%zuB\n", t.SegmentBytes(s));
         }
         if (t.num_segments() > kMaxSegments) {
           std::printf("  ... (%zu more segments)\n",

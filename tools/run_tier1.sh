@@ -55,7 +55,7 @@ case "$mode" in
     # fork (the fork-safety test self-skips the same way).
     TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
       ctest --output-on-failure \
-        -R 'exec_pool_test|parallel_differential_test|vm_differential_test|obs_test|cache_coherence_test|profile_test|cancel_test|cancel_matrix_test'
+        -R 'exec_pool_test|parallel_differential_test|vm_differential_test|columnar_test|obs_test|cache_coherence_test|profile_test|cancel_test|cancel_matrix_test'
     ;;
   plain)
     cmake -B build -S . && cmake --build build -j && cd build \
