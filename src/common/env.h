@@ -1,0 +1,75 @@
+#pragma once
+
+// One validated integer-environment-knob parser for the whole tree. Four
+// near-identical parsers had grown (thread_pool, governor, fact_table,
+// profile) and the copies drifted: the governor's strtoll-based copy accepted
+// an out-of-range literal (errno == ERANGE silently clamps to LLONG_MAX,
+// which then passes the >= 0 check), so DWRED_MAX_CONCURRENT_QUERIES=1e300's
+// worth of digits configured an effectively-unlimited gate instead of
+// warning. This helper parses with ParseInt64 (std::from_chars underneath,
+// which rejects overflow outright) and applies one of two documented
+// policies:
+//
+//   kFallback  out-of-range input warns and returns `fallback` — garbage
+//              must never silently misconfigure a knob;
+//   kClamp     out-of-range input warns and returns the violated bound — the
+//              DWRED_THREADS convention, for knobs where "as much as
+//              possible" is the evident intent.
+//
+// Header-only: the logging macro resolves against dwred_obs in the including
+// translation unit (every current consumer already links it), so dwred_common
+// itself gains no obs link dependency.
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+#include "obs/logging.h"
+
+namespace dwred {
+
+enum class EnvRangePolicy {
+  kFallback,  ///< out-of-range -> warn, return `fallback`
+  kClamp,     ///< out-of-range -> warn, return the violated bound
+};
+
+/// Reads the integer environment knob `name`. Unset or empty returns
+/// `fallback` silently. Unparseable text (including values that overflow
+/// int64, the ERANGE class) warns and returns `fallback`. Values outside
+/// [min_value, max_value] warn and resolve per `policy`. Re-read on every
+/// call — knobs stay test-flippable at runtime.
+inline int64_t EnvInt64(const char* name, int64_t fallback, int64_t min_value,
+                        int64_t max_value,
+                        EnvRangePolicy policy = EnvRangePolicy::kFallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  int64_t v = 0;
+  if (!ParseInt64(Trim(raw), &v)) {
+    DWRED_LOG(Warn) << name << "=\"" << raw
+                    << "\" is not an integer in range; using " << fallback;
+    return fallback;
+  }
+  if (v < min_value) {
+    if (policy == EnvRangePolicy::kClamp) {
+      DWRED_LOG(Warn) << name << "=" << v << " is below " << min_value
+                      << "; clamping to " << min_value;
+      return min_value;
+    }
+    DWRED_LOG(Warn) << name << "=" << v << " is below " << min_value
+                    << "; using " << fallback;
+    return fallback;
+  }
+  if (v > max_value) {
+    if (policy == EnvRangePolicy::kClamp) {
+      DWRED_LOG(Warn) << name << "=" << v << " exceeds " << max_value
+                      << "; clamping to " << max_value;
+      return max_value;
+    }
+    DWRED_LOG(Warn) << name << "=" << v << " exceeds " << max_value
+                    << "; using " << fallback;
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace dwred

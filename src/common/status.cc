@@ -15,6 +15,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kCancelled,         ///< Operation cancelled cooperatively (runtime/cancel.h).
   kDeadlineExceeded,  ///< Operation ran past its deadline (runtime/cancel.h).
   kResourceExhausted, ///< Budget exceeded or admission shed (runtime layer).
+  kUnavailable,       ///< Transport failure: peer gone, short read (src/net).
 };
 
 /// Human-readable name of a status code (for messages and logs).
@@ -72,6 +73,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/strings.h"
 #include "obs/logging.h"
 #include "obs/metrics.h"
@@ -189,30 +190,12 @@ struct ThreadPool::Impl {
 int ThreadPool::ThreadsFromEnv() {
   unsigned hw = std::thread::hardware_concurrency();
   int hw_threads = hw >= 1 ? static_cast<int>(hw) : 1;
-  const char* env = std::getenv("DWRED_THREADS");
-  if (env == nullptr) return hw_threads;
   // A pool wider than a few times the machine only adds contention; anything
   // unparseable or non-positive would silently become a 0/garbage pool size
-  // with a bare atoi, so validate and clamp instead.
-  int64_t max_threads = static_cast<int64_t>(hw_threads) * 4;
-  int64_t v = 0;
-  if (!ParseInt64(Trim(env), &v)) {
-    DWRED_LOG(Warn) << "DWRED_THREADS=\"" << env
-                    << "\" is not an integer; using hardware_concurrency="
-                    << hw_threads;
-    return hw_threads;
-  }
-  if (v < 1) {
-    DWRED_LOG(Warn) << "DWRED_THREADS=" << v << " is below 1; clamping to 1";
-    return 1;
-  }
-  if (v > max_threads) {
-    DWRED_LOG(Warn) << "DWRED_THREADS=" << v
-                    << " exceeds 4x hardware_concurrency; clamping to "
-                    << max_threads;
-    return static_cast<int>(max_threads);
-  }
-  return static_cast<int>(v);
+  // with a bare atoi, so validate and clamp instead (common/env.h).
+  return static_cast<int>(
+      EnvInt64("DWRED_THREADS", hw_threads, 1,
+               static_cast<int64_t>(hw_threads) * 4, EnvRangePolicy::kClamp));
 }
 
 ThreadPool::ThreadPool(int threads) : num_threads_(threads < 1 ? 1 : threads) {

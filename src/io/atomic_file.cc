@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -79,11 +80,16 @@ Status FsyncDir(const std::string& dir) {
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view content) {
-  // The temp name carries the pid so concurrent writers of the same path
-  // (e.g. two dwredctl runs exporting the same snapshot) never truncate each
-  // other's in-flight temp file or steal each other's rename source — each
-  // writer renames its own file and the destination ends up whole either way.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  // The temp name carries the pid (cross-process uniqueness: two dwredctl
+  // runs exporting the same snapshot) *and* a process-wide counter
+  // (same-process uniqueness: two dwredd sessions checkpointing the same
+  // destination from different threads would otherwise O_TRUNC each other's
+  // in-flight temp file and steal each other's rename source). Each writer
+  // renames its own file, so the destination ends up whole either way.
+  static std::atomic<uint64_t> g_tmp_seq{0};
+  const uint64_t seq = g_tmp_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq);
 
   DWRED_RETURN_IF_ERROR(testing::FaultPoint("atomic.tmp.write"));
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -28,10 +28,11 @@ Status FsyncFd(int fd, const std::string& what);
 /// Fault site "dir.fsync".
 Status FsyncDir(const std::string& dir);
 
-/// Replaces `path` atomically: writes `<path>.tmp.<pid>` (per-process, so
-/// concurrent writers of the same path cannot clobber each other's temp
-/// file), fsyncs it, renames it over `path`, and fsyncs the containing
-/// directory. A crash at any point leaves either the old file intact or the
+/// Replaces `path` atomically: writes `<path>.tmp.<pid>.<seq>` (pid for
+/// cross-process uniqueness, a process-wide counter for same-process
+/// concurrent writers — two threads writing one destination must not clobber
+/// each other's temp file), fsyncs it, renames it over `path`, and fsyncs
+/// the containing directory. A crash at any point leaves either the old file intact or the
 /// new file complete — never a truncated or interleaved mix. Fault sites:
 /// "atomic.tmp.write", "atomic.tmp.fsync", "atomic.rename",
 /// "atomic.dir.fsync".

@@ -1,0 +1,183 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace dwred::net {
+
+void IgnoreSigpipe() {
+  // A write to a peer that already closed must surface as EPIPE (mapped to
+  // Status::Unavailable below), not kill the process. Once is enough.
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+Result<HostPort> ParseHostPort(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + spec + "'");
+  }
+  int64_t port = 0;
+  if (!ParseInt64(spec.substr(colon + 1), &port) || port < 1 || port > 65535) {
+    return Status::InvalidArgument("invalid port in '" + spec + "'");
+  }
+  HostPort hp;
+  hp.host = spec.substr(0, colon);
+  hp.port = static_cast<uint16_t>(port);
+  return hp;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               int64_t recv_timeout_ms) {
+  IgnoreSigpipe();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(saved));
+  }
+  // Small frames dominate the warm-query path; never wait for Nagle.
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Client(fd);
+}
+
+namespace {
+
+/// Writes the whole buffer, retrying short writes and EINTR.
+Status WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Client::Send(const Request& req) { return SendPipelined(&req, 1); }
+
+Status Client::SendPipelined(const Request* reqs, size_t n) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    AppendFrame(&out, EncodeRequest(reqs[i]));
+  }
+  Status st = WriteAll(fd_, out);
+  if (!st.ok()) Close();
+  return st;
+}
+
+Result<std::string> Client::ReadFrame() {
+  std::string payload, error;
+  size_t consumed = 0;
+  for (;;) {
+    switch (ExtractFrame(buf_, &payload, &consumed, &error)) {
+      case FrameParse::kFrame:
+        buf_.erase(0, consumed);
+        return payload;
+      case FrameParse::kBad:
+        Close();
+        return Status::Unavailable("protocol error from server: " + error);
+      case FrameParse::kNeedMore:
+        break;
+    }
+    char chunk[16384];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      Close();
+      if (saved == EAGAIN || saved == EWOULDBLOCK) {
+        return Status::Unavailable("read timed out waiting for a response");
+      }
+      return Status::Unavailable(std::string("recv: ") + std::strerror(saved));
+    }
+    if (n == 0) {
+      // The documented short-read contract: a disconnect mid-response names
+      // the bytes that did arrive so supervisors can tell "server never
+      // answered" from "answer torn mid-frame".
+      size_t got = buf_.size();
+      Close();
+      return Status::Unavailable(
+          "server closed the connection mid-response (short read: " +
+          std::to_string(got) + " buffered bytes, no complete frame)");
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<Response> Client::Recv() {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  DWRED_ASSIGN_OR_RETURN(std::string payload, ReadFrame());
+  auto resp = DecodeResponse(payload);
+  if (!resp.ok()) {
+    Close();
+    return Status::Unavailable("malformed response: " +
+                               resp.status().message());
+  }
+  return resp;
+}
+
+Result<Response> Client::Call(const Request& req) {
+  DWRED_RETURN_IF_ERROR(Send(req));
+  return Recv();
+}
+
+}  // namespace dwred::net

@@ -1,0 +1,73 @@
+#pragma once
+
+// Blocking client for the dwredd wire protocol (net/protocol.h), shared by
+// dwredctl --connect, dwred_loadgen, the server tests, and the QPS bench.
+//
+// Transport failures — connect refusal, mid-stream server disconnect, short
+// reads, EPIPE after the peer vanished — surface as Status::Unavailable with
+// the syscall detail, never as a hang or a silent success (docs/SERVER.md,
+// exit-code contract). SIGPIPE is ignored process-wide on first use so a
+// write to a dead peer returns EPIPE instead of killing the process; dwredd
+// installs the same handler on boot.
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace dwred::net {
+
+/// Ignores SIGPIPE for the process (idempotent). Called by Client::Connect
+/// and dwredd's main; safe to call from tests.
+void IgnoreSigpipe();
+
+/// "host:port" -> parts. The port must be a valid TCP port (1..65535).
+struct HostPort {
+  std::string host;
+  uint16_t port = 0;
+};
+Result<HostPort> ParseHostPort(const std::string& spec);
+
+/// One blocking connection. Movable, not copyable.
+class Client {
+ public:
+  Client() = default;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Connects over IPv4. `recv_timeout_ms` bounds every read so a wedged
+  /// server surfaces as Unavailable, not a hang (0 = no timeout).
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                int64_t recv_timeout_ms = 60000);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request frame. Short writes are retried to completion;
+  /// EPIPE/ECONNRESET -> Unavailable.
+  Status Send(const Request& req);
+
+  /// Sends `n` request frames in one buffered write (pipelining).
+  Status SendPipelined(const Request* reqs, size_t n);
+
+  /// Receives one response frame. EOF or a torn frame mid-response is a
+  /// short read: Unavailable naming how many bytes arrived.
+  Result<Response> Recv();
+
+  /// Send + Recv.
+  Result<Response> Call(const Request& req);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Reads until `buf_` holds one complete frame; extracts it.
+  Result<std::string> ReadFrame();
+
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received past the last extracted frame
+};
+
+}  // namespace dwred::net

@@ -1,0 +1,117 @@
+#include "net/protocol.h"
+
+#include "io/atomic_file.h"  // Crc32
+#include "io/wire.h"
+
+namespace dwred::net {
+
+const char* CommandName(Command c) {
+  switch (c) {
+    case Command::kPing: return "ping";
+    case Command::kQuery: return "query";
+    case Command::kInsert: return "insert";
+    case Command::kSynchronize: return "synchronize";
+    case Command::kSpecChange: return "spec_change";
+    case Command::kStats: return "stats";
+    case Command::kCacheCtl: return "cache_ctl";
+    case Command::kSnapshotCrc: return "snapshot_crc";
+    case Command::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  wire::PutU32(out, static_cast<uint32_t>(payload.size()));
+  wire::PutU32(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+std::string EncodeRequest(const Request& req) {
+  std::string p;
+  wire::PutU8(&p, static_cast<uint8_t>(req.cmd));
+  wire::PutU32(&p, req.deadline_ms);
+  wire::PutU64(&p, req.max_rows);
+  wire::PutI64(&p, req.now_day);
+  wire::PutU8(&p, req.flags);
+  wire::PutStr(&p, req.a);
+  wire::PutStr(&p, req.b);
+  return p;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  wire::Cursor cur(payload, "request");
+  Request req;
+  uint8_t cmd = 0;
+  DWRED_RETURN_IF_ERROR(cur.U8(&cmd));
+  if (cmd < static_cast<uint8_t>(Command::kPing) ||
+      cmd > static_cast<uint8_t>(Command::kShutdown)) {
+    return Status::ParseError("request: unknown command " +
+                              std::to_string(cmd));
+  }
+  req.cmd = static_cast<Command>(cmd);
+  DWRED_RETURN_IF_ERROR(cur.U32(&req.deadline_ms));
+  DWRED_RETURN_IF_ERROR(cur.U64(&req.max_rows));
+  DWRED_RETURN_IF_ERROR(cur.I64(&req.now_day));
+  DWRED_RETURN_IF_ERROR(cur.U8(&req.flags));
+  DWRED_RETURN_IF_ERROR(cur.Str(&req.a));
+  DWRED_RETURN_IF_ERROR(cur.Str(&req.b));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("request: trailing bytes after payload");
+  }
+  return req;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string p;
+  wire::PutU8(&p, static_cast<uint8_t>(resp.code));
+  wire::PutStr(&p, resp.message);
+  wire::PutStr(&p, resp.body);
+  return p;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  wire::Cursor cur(payload, "response");
+  Response resp;
+  uint8_t code = 0;
+  DWRED_RETURN_IF_ERROR(cur.U8(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::ParseError("response: unknown status code " +
+                              std::to_string(code));
+  }
+  resp.code = static_cast<StatusCode>(code);
+  DWRED_RETURN_IF_ERROR(cur.Str(&resp.message));
+  DWRED_RETURN_IF_ERROR(cur.Str(&resp.body));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("response: trailing bytes after payload");
+  }
+  return resp;
+}
+
+FrameParse ExtractFrame(std::string_view buf, std::string* payload,
+                        size_t* consumed, std::string* error) {
+  if (buf.size() < kFrameHeaderBytes) return FrameParse::kNeedMore;
+  uint32_t len = 0, crc = 0;
+  wire::Cursor cur(buf, "frame");
+  (void)cur.U32(&len);
+  (void)cur.U32(&crc);
+  if (len > kMaxFrameBytes) {
+    // An oversized prefix is indistinguishable from desynchronization; do
+    // not wait for 4 GiB that will never arrive.
+    *error = "frame length " + std::to_string(len) + " exceeds cap " +
+             std::to_string(kMaxFrameBytes);
+    return FrameParse::kBad;
+  }
+  if (buf.size() < kFrameHeaderBytes + len) return FrameParse::kNeedMore;
+  std::string_view body = buf.substr(kFrameHeaderBytes, len);
+  uint32_t actual = Crc32(body);
+  if (actual != crc) {
+    *error = "frame CRC mismatch (stored " + std::to_string(crc) +
+             ", computed " + std::to_string(actual) + ")";
+    return FrameParse::kBad;
+  }
+  payload->assign(body.data(), body.size());
+  *consumed = kFrameHeaderBytes + len;
+  return FrameParse::kFrame;
+}
+
+}  // namespace dwred::net

@@ -1,0 +1,111 @@
+#pragma once
+
+// The dwredd wire protocol (docs/SERVER.md): a small length-prefixed,
+// CRC-framed command protocol over TCP, reusing the journal's framing
+// discipline (io/journal.h):
+//
+//   frame := [u32 payload_len][u32 crc32(payload)][payload]
+//
+// little-endian, no file/stream header. A frame whose length prefix exceeds
+// kMaxFrameBytes or whose CRC does not match poisons the stream (the reader
+// cannot find the next frame boundary), so the peer answers with one error
+// response when it still can and closes the connection. A *short* frame —
+// fewer bytes available than the prefix promises — is not an error, just an
+// incomplete read: the session loop keeps the bytes buffered and reads on.
+//
+// Request payload (wire.h codec):
+//
+//   u8  command        (Command)
+//   u32 deadline_ms    0 = none; server maps to runtime::Deadline
+//   u64 max_rows       0 = none; server maps to OpContext row budget
+//   i64 now_day        resolved NOW day for query/sync/spec-change
+//   u8  flags          per-command bits (kQuery*, kStats*)
+//   str a, str b       per-command texts (predicate, granularity, CSV, spec)
+//
+// Response payload:
+//
+//   u8  status_code    (StatusCode; kOk on success)
+//   str message        Status message when status_code != kOk
+//   str body           command output (facts text, metrics, EXPLAIN, ...)
+//
+// Keeping the surface operator-shaped — query / insert / synchronize /
+// spec-change, the paper's own verbs — rather than ad-hoc RPCs is deliberate;
+// every command maps 1:1 onto an existing SubcubeManager entry point.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dwred::net {
+
+/// Hard cap on one frame's payload (matches the journal's kMaxRecordBytes
+/// spirit; a length prefix above this is stream poison, not an allocation).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Bytes of framing overhead per frame: the length and CRC prefixes.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+enum class Command : uint8_t {
+  kPing = 1,         ///< liveness probe; body "pong"
+  kQuery = 2,        ///< a = predicate text ("" = none), b = granularity list
+  kInsert = 3,       ///< a = fact CSV (io/warehouse_io.h layout)
+  kSynchronize = 4,  ///< Section 7.2 pass at now_day
+  kSpecChange = 5,   ///< a = specification text (one action per line)
+  kStats = 6,        ///< metrics registry + cache stats; kStatsJson for JSON
+  kCacheCtl = 7,     ///< a = "" (stats line) | "clear"
+  kSnapshotCrc = 8,  ///< canonical warehouse CRC (differential testing)
+  kShutdown = 9,     ///< ask the daemon to stop accepting and exit
+};
+
+/// Human-readable command name ("query", "insert", ...) for metrics and logs.
+const char* CommandName(Command c);
+
+// kQuery flags.
+inline constexpr uint8_t kQuerySynchronized = 1;  ///< assume_synchronized
+inline constexpr uint8_t kQueryParallel = 2;      ///< per-subcube fan-out
+inline constexpr uint8_t kQueryExplain = 4;       ///< append EXPLAIN profile
+// kStats flags.
+inline constexpr uint8_t kStatsJson = 1;
+
+struct Request {
+  Command cmd = Command::kPing;
+  uint32_t deadline_ms = 0;
+  uint64_t max_rows = 0;
+  int64_t now_day = 0;
+  uint8_t flags = 0;
+  std::string a;
+  std::string b;
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string body;
+};
+
+/// Appends one complete frame (header + payload) to `out`. Writers batch
+/// several frames into one buffer before the syscall (pipelining).
+void AppendFrame(std::string* out, std::string_view payload);
+
+std::string EncodeRequest(const Request& req);
+Result<Request> DecodeRequest(std::string_view payload);
+std::string EncodeResponse(const Response& resp);
+Result<Response> DecodeResponse(std::string_view payload);
+
+/// Incremental frame extraction over a connection's read buffer.
+enum class FrameParse {
+  kNeedMore,  ///< buffer holds a frame prefix; read more bytes
+  kFrame,     ///< one payload extracted; `consumed` bytes may be dropped
+  kBad,       ///< oversized length or CRC mismatch — the stream is poisoned
+};
+
+/// Tries to extract the first complete frame from `buf`. On kFrame the
+/// payload is copied into `*payload` and `*consumed` is set to the frame's
+/// total size. On kBad `*error` names the defect (the caller should answer
+/// once if it can and close). On kNeedMore nothing is written.
+FrameParse ExtractFrame(std::string_view buf, std::string* payload,
+                        size_t* consumed, std::string* error);
+
+}  // namespace dwred::net

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "common/env.h"
 #include "common/strings.h"
 #include "obs/logging.h"
 
@@ -48,27 +49,10 @@ std::string HexFingerprint(uint64_t fp) {
 
 int64_t EnvInt(const char* name, int64_t fallback, int64_t min_value,
                int64_t max_value) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return fallback;
-  int64_t v = 0;
   // Garbage must not silently misconfigure the slowlog (same contract as
-  // DWRED_THREADS, thread_pool.cc): warn and fall back / clamp.
-  if (!ParseInt64(Trim(env), &v)) {
-    DWRED_LOG(Warn) << name << "=\"" << env
-                    << "\" is not an integer; using " << fallback;
-    return fallback;
-  }
-  if (v < min_value) {
-    DWRED_LOG(Warn) << name << "=" << v << " is below " << min_value
-                    << "; clamping to " << min_value;
-    return min_value;
-  }
-  if (v > max_value) {
-    DWRED_LOG(Warn) << name << "=" << v << " exceeds " << max_value
-                    << "; clamping to " << max_value;
-    return max_value;
-  }
-  return v;
+  // DWRED_THREADS): warn and fall back / clamp via the shared helper.
+  return EnvInt64(name, fallback, min_value, max_value,
+                  EnvRangePolicy::kClamp);
 }
 
 }  // namespace

@@ -1,9 +1,9 @@
 #include "runtime/governor.h"
 
 #include <chrono>
-#include <cstdlib>
+#include <limits>
 
-#include "obs/logging.h"
+#include "common/env.h"
 #include "obs/metrics.h"
 #include "runtime/cancel.h"
 
@@ -36,19 +36,11 @@ obs::Gauge& InflightGauge() {
 }
 
 /// Parses a non-negative integer environment knob; warns and returns
-/// `fallback` on garbage (same contract as DWRED_THREADS, thread_pool.cc).
+/// `fallback` on garbage or overflow (common/env.h — the previous strtoll
+/// copy let ERANGE clamp to LLONG_MAX and pass validation).
 int64_t EnvNonNegative(const char* name, int64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  long long v = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0' || v < 0) {
-    DWRED_LOG(Warn) << name << "=\"" << raw
-                    << "\" is not a non-negative integer; using "
-                    << fallback;
-    return fallback;
-  }
-  return static_cast<int64_t>(v);
+  return EnvInt64(name, fallback, 0, std::numeric_limits<int64_t>::max(),
+                  EnvRangePolicy::kFallback);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/strings.h"
 #include "obs/logging.h"
 #include "obs/metrics.h"
@@ -53,26 +54,12 @@ obs::Gauge& SavedBytesGauge() {
 /// Re-read on every default-budget construction; the budget is physical
 /// layout only, so it never changes logical bytes.
 size_t SegmentRowsFromEnv() {
-  const char* env = std::getenv("DWRED_SEGMENT_ROWS");
-  if (env == nullptr || env[0] == '\0') return FactTable::kDefaultSegmentRows;
-  int64_t v = 0;
-  if (!ParseInt64(Trim(env), &v)) {
-    DWRED_LOG(Warn) << "DWRED_SEGMENT_ROWS=\"" << env
-                    << "\" is not an integer; using default "
-                    << FactTable::kDefaultSegmentRows;
-    return FactTable::kDefaultSegmentRows;
-  }
-  if (v < static_cast<int64_t>(FactTable::kMinSegmentRows)) {
-    DWRED_LOG(Warn) << "DWRED_SEGMENT_ROWS=" << v << " is below "
-                    << FactTable::kMinSegmentRows << "; clamping";
-    return FactTable::kMinSegmentRows;
-  }
-  if (v > static_cast<int64_t>(FactTable::kMaxSegmentRows)) {
-    DWRED_LOG(Warn) << "DWRED_SEGMENT_ROWS=" << v << " exceeds "
-                    << FactTable::kMaxSegmentRows << "; clamping";
-    return FactTable::kMaxSegmentRows;
-  }
-  return static_cast<size_t>(v);
+  return static_cast<size_t>(
+      EnvInt64("DWRED_SEGMENT_ROWS",
+               static_cast<int64_t>(FactTable::kDefaultSegmentRows),
+               static_cast<int64_t>(FactTable::kMinSegmentRows),
+               static_cast<int64_t>(FactTable::kMaxSegmentRows),
+               EnvRangePolicy::kClamp));
 }
 
 template <typename T>

@@ -1,0 +1,97 @@
+// The consolidated integer-environment-knob parser (common/env.h). The
+// regression that motivated it: the governor's strtoll-based copy accepted
+// ERANGE overflow (strtoll saturates to LLONG_MAX and "succeeds"), so a
+// runaway DWRED_MAX_CONCURRENT_QUERIES silently configured an unlimited
+// admission gate. EnvInt64 must reject the whole overflow class and warn,
+// never misconfigure.
+
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+
+namespace dwred {
+namespace {
+
+constexpr const char* kKnob = "DWRED_ENV_TEST_KNOB";
+
+class EnvInt64Test : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kKnob); }
+  void Set(const char* v) { ::setenv(kKnob, v, /*overwrite=*/1); }
+};
+
+TEST_F(EnvInt64Test, UnsetReturnsFallbackSilently) {
+  ::unsetenv(kKnob);
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100), 7);
+}
+
+TEST_F(EnvInt64Test, EmptyReturnsFallbackSilently) {
+  Set("");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100), 7);
+}
+
+TEST_F(EnvInt64Test, ValidValueInRange) {
+  Set("42");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100), 42);
+  Set("  42  ");  // surrounding whitespace tolerated
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100), 42);
+  Set("-3");
+  EXPECT_EQ(EnvInt64(kKnob, 7, -10, 100), -3);
+}
+
+TEST_F(EnvInt64Test, GarbageFallsBack) {
+  for (const char* bad : {"banana", "12abc", "0x10", "1.5", "--3", "1e300"}) {
+    Set(bad);
+    EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100), 7) << "input: " << bad;
+  }
+}
+
+// The ERANGE edge itself: more digits than int64 holds. strtoll would
+// saturate to LLONG_MAX and pass a plain >= 0 check; from_chars (ParseInt64)
+// reports overflow, so the knob falls back instead of going unlimited.
+TEST_F(EnvInt64Test, OverflowDigitsFallBackNotSaturate) {
+  Set("99999999999999999999999999999999");  // > INT64_MAX
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, std::numeric_limits<int64_t>::max()), 7);
+  Set("-99999999999999999999999999999999");  // < INT64_MIN
+  EXPECT_EQ(EnvInt64(kKnob, 7, std::numeric_limits<int64_t>::min(),
+                     std::numeric_limits<int64_t>::max()),
+            7);
+  // Exactly INT64_MAX is NOT overflow and must parse.
+  Set("9223372036854775807");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, std::numeric_limits<int64_t>::max()),
+            std::numeric_limits<int64_t>::max());
+  // One past it is.
+  Set("9223372036854775808");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, std::numeric_limits<int64_t>::max()), 7);
+}
+
+TEST_F(EnvInt64Test, FallbackPolicyRejectsOutOfRange) {
+  Set("101");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100, EnvRangePolicy::kFallback), 7);
+  Set("-1");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100, EnvRangePolicy::kFallback), 7);
+}
+
+TEST_F(EnvInt64Test, ClampPolicyReturnsViolatedBound) {
+  Set("101");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100, EnvRangePolicy::kClamp), 100);
+  Set("-1");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100, EnvRangePolicy::kClamp), 0);
+  Set("50");
+  EXPECT_EQ(EnvInt64(kKnob, 7, 0, 100, EnvRangePolicy::kClamp), 50);
+}
+
+// The governor's public contract after the fix: a non-negative knob with
+// overflow digits runs at its default rather than effectively unlimited.
+TEST_F(EnvInt64Test, GovernorShapedCallRejectsErange) {
+  Set("184467440737095516160");  // 10 * 2^64, the classic runaway
+  EXPECT_EQ(
+      EnvInt64(kKnob, 64, 0, std::numeric_limits<int64_t>::max()),
+      64);
+}
+
+}  // namespace
+}  // namespace dwred

@@ -171,8 +171,13 @@ TEST(ThreadPool, ThreadsFromEnvValidatesAndClamps) {
   EXPECT_EQ(from(" 2 "), 2);
   EXPECT_TRUE(warnings.empty());
 
+  // Empty behaves as unset (the consolidated EnvInt64 contract,
+  // tests/env_test.cc): hardware default, silently.
+  EXPECT_EQ(from(""), hw_threads);
+  EXPECT_TRUE(warnings.empty());
+
   // Garbage falls back to the hardware default with a warning.
-  for (const char* bad : {"abc", "", "3x", "1.5", "0x4"}) {
+  for (const char* bad : {"abc", "3x", "1.5", "0x4"}) {
     EXPECT_EQ(from(bad), hw_threads) << "value: \"" << bad << "\"";
     ASSERT_EQ(warnings.size(), 1u) << "value: \"" << bad << "\"";
     EXPECT_NE(warnings[0].find("not an integer"), std::string::npos);
@@ -192,8 +197,8 @@ TEST(ThreadPool, ThreadsFromEnvValidatesAndClamps) {
   // Oversized values clamp to 4x hardware_concurrency with a warning.
   EXPECT_EQ(from("1000000"), max_threads);
   ASSERT_EQ(warnings.size(), 1u);
-  EXPECT_NE(warnings[0].find("exceeds 4x hardware_concurrency"),
-            std::string::npos);
+  EXPECT_NE(warnings[0].find("exceeds"), std::string::npos);
+  EXPECT_NE(warnings[0].find("clamping to"), std::string::npos);
 
   unsetenv("DWRED_THREADS");
   obs::SetLogSink(nullptr);

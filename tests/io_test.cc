@@ -6,6 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "io/atomic_file.h"
 #include "io/csv.h"
 #include "mdm/paper_example.h"
 #include "paper_actions.h"
@@ -172,6 +178,63 @@ TEST(WarehouseIoTest, SpecificationFile) {
 
   // A bad line reports a parse error.
   EXPECT_FALSE(ReadSpecificationText(*ex.mo, "oops: not an action\n").ok());
+}
+
+// Regression: AtomicWriteFile's temp name used to be pid-suffixed only, so
+// two threads of one process replacing the same path truncated each other's
+// temp file (one O_TRUNC open under the other's write) and could rename a
+// half-written mix into place. With the process-wide sequence suffix every
+// writer owns a distinct temp file, and the destination is always one
+// writer's *complete* payload.
+TEST(AtomicFileTest, ConcurrentSamePathWritersNeverInterleave) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "dwred_atomic_concurrent_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "target").string();
+
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 25;
+  // Each writer's payload is distinct in length AND content, so any
+  // interleaved or truncated mix matches no expected payload.
+  std::vector<std::string> payloads;
+  for (int w = 0; w < kWriters; ++w) {
+    payloads.push_back(std::string(1024 + 512 * w, 'a' + w) + ":" +
+                       std::to_string(w));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (!AtomicWriteFile(path, payloads[w]).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto final_content = ReadFile(path);
+  ASSERT_TRUE(final_content.ok()) << final_content.status().ToString();
+  bool is_complete_payload = false;
+  for (const std::string& p : payloads) {
+    if (final_content.value() == p) is_complete_payload = true;
+  }
+  EXPECT_TRUE(is_complete_payload)
+      << "destination holds " << final_content.value().size()
+      << " bytes matching no writer's payload (interleaved temp files)";
+
+  // No temp-file residue: every writer's temp was renamed or belongs to a
+  // writer that lost the race and still renamed a complete file.
+  size_t leftovers = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0u);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -37,6 +37,14 @@ cold rows carrying a `columnar` counter: the columnar=1 row must be at least
 the batch path over encoded segments must never lose to the row path it
 replaces) with every `_crc` counter identical between the two.
 
+The server guard (docs/SERVER.md) self-checks rows carrying both `wire_crc`
+and `embedded_crc` counters (bench_server_qps): within every row the two must
+be identical — the snapshot CRC the server reports over the wire equals the
+one computed in-process, so serving never changes bytes — and across all such
+rows the CRCs must agree (the threads x cache sweep serves one warehouse).
+With --min-server-qps > 0, every warm row (cache=1) must additionally sustain
+at least that many requests/second.
+
 With --trajectory, the run is also appended to a top-level trajectory file
 (BENCH_query.json): one entry per run keyed by the sidecar's context date,
 carrying per-benchmark throughput and CRCs. The file is a time series —
@@ -163,6 +171,45 @@ def columnar_guard(fresh, min_speedup):
     return failures
 
 
+def server_guard(fresh, min_qps):
+    """Self-checks the fresh sidecar's served-vs-embedded CRC rows.
+
+    Applies to any row carrying both `wire_crc` and `embedded_crc`
+    (bench_server_qps): the CRC reported over the wire must equal the one
+    computed in-process for that same row, and every such row in the sidecar
+    must agree — the {threads} x {cache} sweep serves one warehouse, so a
+    divergence means the serving path changed bytes. Warm rows (cache=1)
+    must sustain min_qps requests/second when a floor is configured.
+    """
+    failures = []
+    sweep_crc = None
+    for name, row in sorted(fresh.items()):
+        if "wire_crc" not in row or "embedded_crc" not in row:
+            continue
+        wire, embedded = row["wire_crc"], row["embedded_crc"]
+        ok = wire == embedded
+        print(f"server-guard {name}: wire_crc={wire:.0f} "
+              f"embedded_crc={embedded:.0f} "
+              f"{'ok' if ok else 'SERVED BYTES DIVERGED'}")
+        if not ok:
+            failures.append(
+                f"{name}: wire_crc {wire:.0f} != embedded_crc "
+                f"{embedded:.0f} — the serving path changed bytes")
+        if sweep_crc is None:
+            sweep_crc = (name, wire)
+        elif wire != sweep_crc[1]:
+            failures.append(
+                f"{name}: wire_crc {wire:.0f} != {sweep_crc[1]:.0f} from "
+                f"{sweep_crc[0]} — sweep rows served different bytes")
+        if min_qps > 0 and row.get("cache") == 1:
+            qps = row.get("items_per_second", 0.0)
+            if qps < min_qps:
+                failures.append(
+                    f"{name}: warm path sustained {qps:.0f} req/s; "
+                    f"floor {min_qps:.0f}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fresh", required=True,
@@ -179,6 +226,9 @@ def main():
     ap.add_argument("--min-columnar-speedup", type=float, default=1.0,
                     help="fail when a cold columnar row is not at least this "
                          "many times faster than its row-path twin")
+    ap.add_argument("--min-server-qps", type=float, default=0.0,
+                    help="fail when a warm served-query row sustains fewer "
+                         "requests/second than this (0 = CRC checks only)")
     args = ap.parse_args()
 
     # Input problems exit 2 with a single clear line: a missing or truncated
@@ -261,6 +311,7 @@ def main():
 
     failures.extend(vm_guard(fresh, args.min_vm_speedup))
     failures.extend(columnar_guard(fresh, args.min_columnar_speedup))
+    failures.extend(server_guard(fresh, args.min_server_qps))
 
     if args.trajectory:
         entry = {

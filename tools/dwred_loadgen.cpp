@@ -1,0 +1,236 @@
+// dwred_loadgen — pipelined load generator for dwredd (docs/SERVER.md).
+// Opens N connections, each on its own thread, and drives R requests per
+// connection in pipelined windows of K frames. Reports aggregate throughput
+// and per-connection failures.
+//
+//   $ dwred_loadgen --connect=127.0.0.1:7070 --connections=8
+//       --requests=20000 --pipeline=32
+//       --pred='URL.domain_grp = .com' --gran='Time.month, URL.domain_grp'
+//       --now-day=12300 --synchronized
+//
+// Any non-OK response or transport failure stops that connection and fails
+// the run: stderr gets the Status, the process exits 1. --expect-crc=<u32>
+// additionally fetches snapshot_crc after the load and compares — the
+// wire-vs-embedded differential anchor used by the CI server-smoke job.
+//
+// Exit codes: 0 success, 1 failed run (response/transport/CRC), 2 usage.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "net/client.h"
+
+using namespace dwred;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 8;
+  int requests = 10000;   ///< per connection
+  int pipeline = 16;      ///< frames in flight per connection
+  std::string command = "query";  ///< "query" or "ping"
+  std::string pred;
+  std::string gran;
+  int64_t now_day = 0;
+  bool synchronized = false;
+  uint32_t deadline_ms = 0;
+  bool has_expect_crc = false;
+  uint32_t expect_crc = 0;
+};
+
+net::Request BuildRequest(const Options& opt) {
+  net::Request req;
+  if (opt.command == "ping") {
+    req.cmd = net::Command::kPing;
+    return req;
+  }
+  req.cmd = net::Command::kQuery;
+  req.deadline_ms = opt.deadline_ms;
+  req.now_day = opt.now_day;
+  req.a = opt.pred;
+  req.b = opt.gran;
+  if (opt.synchronized) req.flags |= net::kQuerySynchronized;
+  return req;
+}
+
+/// One connection's worth of load. Returns false (with stderr detail) on the
+/// first non-OK response or transport failure.
+bool RunConnection(const Options& opt, int conn_id) {
+  auto client = net::Client::Connect(opt.host, opt.port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "conn %d: %s\n", conn_id,
+                 client.status().ToString().c_str());
+    return false;
+  }
+  net::Client c = client.take();
+  const net::Request req = BuildRequest(opt);
+  std::vector<net::Request> window;
+  int sent_total = 0;
+  while (sent_total < opt.requests) {
+    const int n =
+        std::min(opt.pipeline, opt.requests - sent_total);
+    window.assign(static_cast<size_t>(n), req);
+    Status st = c.SendPipelined(window.data(), window.size());
+    if (!st.ok()) {
+      std::fprintf(stderr, "conn %d: %s\n", conn_id, st.ToString().c_str());
+      return false;
+    }
+    for (int i = 0; i < n; ++i) {
+      auto resp = c.Recv();
+      if (!resp.ok()) {
+        std::fprintf(stderr, "conn %d: %s\n", conn_id,
+                     resp.status().ToString().c_str());
+        return false;
+      }
+      if (resp.value().code != StatusCode::kOk) {
+        std::fprintf(stderr, "conn %d: server: %s: %s\n", conn_id,
+                     StatusCodeName(resp.value().code),
+                     resp.value().message.c_str());
+        return false;
+      }
+    }
+    sent_total += n;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::IgnoreSigpipe();
+  Options opt;
+  std::string connect_spec;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto int_flag = [&](const char* name, int64_t lo, int64_t hi,
+                        int64_t* out) {
+      std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      int64_t v = 0;
+      if (!ParseInt64(arg.substr(prefix.size()), &v) || v < lo || v > hi) {
+        std::fprintf(stderr, "%s requires an integer in [%lld, %lld]\n",
+                     prefix.c_str(), static_cast<long long>(lo),
+                     static_cast<long long>(hi));
+        std::exit(2);
+      }
+      *out = v;
+      return true;
+    };
+    int64_t v = 0;
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s --connect=<host:port> [--connections=<n>] "
+          "[--requests=<n per conn>] [--pipeline=<k>] "
+          "[--command=query|ping] [--pred=<text>] [--gran=<list>] "
+          "[--now-day=<n>] [--synchronized] [--deadline-ms=<n>] "
+          "[--expect-crc=<u32>]\n",
+          argv[0]);
+      return 0;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_spec = arg.substr(std::string("--connect=").size());
+    } else if (int_flag("--connections", 1, 1024, &v)) {
+      opt.connections = static_cast<int>(v);
+    } else if (int_flag("--requests", 1, 100000000, &v)) {
+      opt.requests = static_cast<int>(v);
+    } else if (int_flag("--pipeline", 1, 4096, &v)) {
+      opt.pipeline = static_cast<int>(v);
+    } else if (int_flag("--now-day", 0, (int64_t)1 << 40, &v)) {
+      opt.now_day = v;
+    } else if (int_flag("--deadline-ms", 1, 3600000, &v)) {
+      opt.deadline_ms = static_cast<uint32_t>(v);
+    } else if (int_flag("--expect-crc", 0, 0xffffffffll, &v)) {
+      opt.has_expect_crc = true;
+      opt.expect_crc = static_cast<uint32_t>(v);
+    } else if (arg.rfind("--command=", 0) == 0) {
+      opt.command = arg.substr(std::string("--command=").size());
+      if (opt.command != "query" && opt.command != "ping") {
+        std::fprintf(stderr, "--command= must be query or ping\n");
+        return 2;
+      }
+    } else if (arg.rfind("--pred=", 0) == 0) {
+      opt.pred = arg.substr(std::string("--pred=").size());
+    } else if (arg.rfind("--gran=", 0) == 0) {
+      opt.gran = arg.substr(std::string("--gran=").size());
+    } else if (arg == "--synchronized") {
+      opt.synchronized = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (connect_spec.empty()) {
+    std::fprintf(stderr, "--connect=<host:port> is required (see --help)\n");
+    return 2;
+  }
+  auto hp = net::ParseHostPort(connect_spec);
+  if (!hp.ok()) {
+    std::fprintf(stderr, "--connect: %s\n", hp.status().ToString().c_str());
+    return 2;
+  }
+  opt.host = hp.value().host;
+  opt.port = hp.value().port;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < opt.connections; ++c) {
+    threads.emplace_back([&opt, &failures, c] {
+      if (!RunConnection(opt, c)) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  const long long total =
+      static_cast<long long>(opt.connections) * opt.requests;
+  std::printf("%lld %s requests over %d connections in %.3fs: %.0f req/s\n",
+              total, opt.command.c_str(), opt.connections, secs,
+              secs > 0 ? static_cast<double>(total) / secs : 0.0);
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%d of %d connections failed\n", failures.load(),
+                 opt.connections);
+    return 1;
+  }
+
+  if (opt.has_expect_crc) {
+    auto client = net::Client::Connect(opt.host, opt.port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "--expect-crc: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    net::Client c = client.take();
+    net::Request req;
+    req.cmd = net::Command::kSnapshotCrc;
+    auto resp = c.Call(req);
+    if (!resp.ok() || resp.value().code != StatusCode::kOk) {
+      std::fprintf(stderr, "--expect-crc: %s\n",
+                   (resp.ok() ? Status(resp.value().code,
+                                       resp.value().message)
+                              : resp.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    const std::string want = "crc=" + std::to_string(opt.expect_crc) + " ";
+    if (resp.value().body.rfind(want, 0) != 0) {
+      std::fprintf(stderr,
+                   "--expect-crc: warehouse diverged: expected %u, server "
+                   "says %s\n",
+                   opt.expect_crc, resp.value().body.c_str());
+      return 1;
+    }
+    std::printf("snapshot crc verified: %s\n", resp.value().body.c_str());
+  }
+  return 0;
+}

@@ -49,7 +49,8 @@
 // failing command and reports its diagnostic (Status on stderr), exiting
 // with a code that names the failure class (see --help): 1 generic command
 // failure, 2 usage / IO, 3 cancelled, 4 deadline exceeded, 5 resource
-// exhausted (budget or admission shed).
+// exhausted (budget or admission shed), 6 server unavailable (--connect
+// mode: refused, disconnected mid-command, or short read — docs/SERVER.md).
 //
 //   $ dwredctl warehouse.dwred
 //   $ dwredctl -                    # read from stdin
@@ -72,6 +73,7 @@
 #include "io/recovery.h"
 #include "io/snapshot.h"
 #include "io/warehouse_io.h"
+#include "net/client.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -748,6 +750,146 @@ struct Shell {
   }
 };
 
+/// Remote mode (--connect=host:port): the same script surface, but every
+/// command is shipped to a dwredd as one protocol request (docs/SERVER.md).
+/// Commands that build a warehouse in-process (init, attach, reduce, ...)
+/// are rejected — the server owns the warehouse. Transport failures (server
+/// gone mid-command, short read, EPIPE) surface as Status::Unavailable and
+/// exit code 6, never a hang or a silent exit 0.
+struct RemoteShell {
+  net::Client client;
+  uint32_t deadline_ms = 0;
+  uint64_t max_rows = 0;
+  std::string staged_actions;  ///< `action` lines awaiting `apply <date>`
+
+  net::Request Base(net::Command cmd) const {
+    net::Request req;
+    req.cmd = cmd;
+    req.deadline_ms = deadline_ms;
+    req.max_rows = max_rows;
+    return req;
+  }
+
+  /// Ships one request; a non-OK response becomes its Status, an OK response
+  /// prints its body.
+  Status CallAndPrint(const net::Request& req) {
+    DWRED_ASSIGN_OR_RETURN(net::Response resp, client.Call(req));
+    if (resp.code != StatusCode::kOk) {
+      return Status(resp.code, resp.message);
+    }
+    if (!resp.body.empty()) {
+      std::printf("%s%s", resp.body.c_str(),
+                  resp.body.back() == '\n' ? "" : "\n");
+    }
+    return Status::OK();
+  }
+
+  Status Run(std::string_view cmdline) {
+    std::string_view line = Trim(cmdline);
+    if (line.empty() || line[0] == '#') return Status::OK();
+    std::istringstream in{std::string(line)};
+    std::string cmd;
+    in >> cmd;
+    std::string rest;
+    std::getline(in, rest);
+    rest = std::string(Trim(rest));
+
+    if (cmd == "echo") {
+      std::printf("%s\n", rest.c_str());
+      return Status::OK();
+    }
+    if (cmd == "ping") {
+      return CallAndPrint(Base(net::Command::kPing));
+    }
+    if (cmd == "subcube-query" || cmd == "explain") {
+      // subcube-query <date> <granularity list> [where <predicate>]
+      std::string head = rest;
+      std::string pred_text;
+      size_t where_pos = rest.find(" where ");
+      if (where_pos != std::string::npos) {
+        head = rest.substr(0, where_pos);
+        pred_text = std::string(Trim(rest.substr(where_pos + 7)));
+      }
+      std::istringstream args(head);
+      std::string date;
+      args >> date;
+      std::string gran_text;
+      std::getline(args, gran_text);
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(date));
+      net::Request req = Base(net::Command::kQuery);
+      req.now_day = day.index;
+      req.a = pred_text;
+      req.b = std::string(Trim(gran_text));
+      if (cmd == "explain") {
+        // Match the local explain: the synchronized + parallel pruned path,
+        // profile rendered after the result.
+        req.flags = net::kQuerySynchronized | net::kQueryParallel |
+                    net::kQueryExplain;
+      }
+      return CallAndPrint(req);
+    }
+    if (cmd == "subcube-sync") {
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(rest));
+      if (day.unit != TimeUnit::kDay) {
+        return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
+      }
+      net::Request req = Base(net::Command::kSynchronize);
+      req.now_day = day.index;
+      return CallAndPrint(req);
+    }
+    if (cmd == "load-facts" || cmd == "subcube-load") {
+      DWRED_ASSIGN_OR_RETURN(std::string csv, ReadFile(rest));
+      net::Request req = Base(net::Command::kInsert);
+      req.a = std::move(csv);
+      return CallAndPrint(req);
+    }
+    if (cmd == "action") {
+      if (rest.empty()) return Status::InvalidArgument("action: empty text");
+      staged_actions += rest;
+      staged_actions += '\n';
+      std::printf("staged (remote): %s\n", rest.c_str());
+      return Status::OK();
+    }
+    if (cmd == "apply") {
+      DWRED_ASSIGN_OR_RETURN(TimeGranule day, ParseGranule(rest));
+      if (day.unit != TimeUnit::kDay) {
+        return Status::InvalidArgument("expected a day, e.g. 2000/11/5");
+      }
+      net::Request req = Base(net::Command::kSpecChange);
+      req.now_day = day.index;
+      req.a = staged_actions;
+      Status st = CallAndPrint(req);
+      if (st.ok()) staged_actions.clear();
+      return st;
+    }
+    if (cmd == "metrics" || cmd == "stats") {
+      return CallAndPrint(Base(net::Command::kStats));
+    }
+    if (cmd == "metrics-json") {
+      net::Request req = Base(net::Command::kStats);
+      req.flags = net::kStatsJson;
+      return CallAndPrint(req);
+    }
+    if (cmd == "cache") {
+      if (!rest.empty() && rest != "clear") {
+        return Status::InvalidArgument("usage: cache [clear]");
+      }
+      net::Request req = Base(net::Command::kCacheCtl);
+      req.a = rest;
+      return CallAndPrint(req);
+    }
+    if (cmd == "snapshot-crc") {
+      return CallAndPrint(Base(net::Command::kSnapshotCrc));
+    }
+    if (cmd == "shutdown") {
+      return CallAndPrint(Base(net::Command::kShutdown));
+    }
+    return Status::InvalidArgument(
+        "command not available over --connect (the server owns the "
+        "warehouse): " + cmd);
+  }
+};
+
 /// Maps a Status code to the process exit code documented in --help. The
 /// abort codes get distinct values so scripts and supervisors can tell a
 /// timed-out command from a plain failure without parsing stderr.
@@ -756,6 +898,7 @@ int ExitCodeFor(StatusCode code) {
     case StatusCode::kCancelled: return 3;
     case StatusCode::kDeadlineExceeded: return 4;
     case StatusCode::kResourceExhausted: return 5;
+    case StatusCode::kUnavailable: return 6;
     default: return 1;
   }
 }
@@ -763,7 +906,7 @@ int ExitCodeFor(StatusCode code) {
 void PrintHelp(const char* argv0) {
   std::printf(
       "usage: %s [stats] [--trace=<file.jsonl>] [--deadline-ms=<n>] "
-      "[--max-rows=<n>] <script.dwred | ->\n"
+      "[--max-rows=<n>] [--connect=<host:port>] <script.dwred | ->\n"
       "       %s recover <dir>\n"
       "       %s trace-tree <file.jsonl>\n"
       "\n"
@@ -774,6 +917,9 @@ void PrintHelp(const char* argv0) {
       "                     past it aborts cleanly (DeadlineExceeded)\n"
       "  --max-rows=<n>     per-command row budget: a command that charges\n"
       "                     more than n rows aborts (ResourceExhausted)\n"
+      "  --connect=<h:p>    remote mode: ship each command to a dwredd\n"
+      "                     (docs/SERVER.md); deadline/budget flags travel\n"
+      "                     in the request and are enforced server-side\n"
       "  stats              dump the metrics registry after the script\n"
       "\n"
       "exit codes:\n"
@@ -782,7 +928,9 @@ void PrintHelp(const char* argv0) {
       "  2  usage error, unreadable input, or trace-write failure\n"
       "  3  command cancelled (Cancelled)\n"
       "  4  command exceeded its deadline (DeadlineExceeded)\n"
-      "  5  budget exceeded or admission shed (ResourceExhausted)\n",
+      "  5  budget exceeded or admission shed (ResourceExhausted)\n"
+      "  6  server unavailable: connect refused, disconnect mid-command,\n"
+      "     short read, or timed-out response (Unavailable)\n",
       argv0, argv0, argv0);
 }
 
@@ -791,6 +939,7 @@ void PrintHelp(const char* argv0) {
 int main(int argc, char** argv) {
   bool dump_stats = false;
   std::string trace_path;
+  std::string connect_spec;
   int64_t deadline_ms = 0;
   int64_t max_rows = 0;
   std::vector<std::string> positional;
@@ -815,6 +964,12 @@ int main(int argc, char** argv) {
       std::string v = arg.substr(std::string("--max-rows=").size());
       if (!ParseInt64(v, &max_rows) || max_rows < 1) {
         std::fprintf(stderr, "--max-rows= requires a positive integer\n");
+        return 2;
+      }
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_spec = arg.substr(std::string("--connect=").size());
+      if (connect_spec.empty()) {
+        std::fprintf(stderr, "--connect= requires host:port\n");
         return 2;
       }
     } else if (arg == "stats" && positional.empty()) {
@@ -883,6 +1038,43 @@ int main(int argc, char** argv) {
       return 2;
     }
     script = r.take();
+  }
+
+  if (!connect_spec.empty()) {
+    // Remote mode: parse, connect, then ship the script line by line. A
+    // transport failure mid-stream (server killed, short read, EPIPE) stops
+    // the script with exit 6 and the Status on stderr — never exit 0.
+    auto hp = net::ParseHostPort(connect_spec);
+    if (!hp.ok()) {
+      std::fprintf(stderr, "--connect: %s\n", hp.status().ToString().c_str());
+      return 2;
+    }
+    auto conn = net::Client::Connect(hp.value().host, hp.value().port);
+    if (!conn.ok()) {
+      std::fprintf(stderr, "--connect: %s\n",
+                   conn.status().ToString().c_str());
+      return 6;
+    }
+    RemoteShell remote;
+    remote.client = conn.take();
+    if (deadline_ms > 0) remote.deadline_ms = static_cast<uint32_t>(deadline_ms);
+    if (max_rows > 0) remote.max_rows = static_cast<uint64_t>(max_rows);
+    int rrc = 0;
+    size_t line_no = 0;
+    for (const std::string& line : Split(script, '\n')) {
+      ++line_no;
+      Status st = remote.Run(line);
+      if (!st.ok()) {
+        std::fprintf(stderr, "line %zu: %s\n  %s\n", line_no,
+                     st.ToString().c_str(), line.c_str());
+        rrc = ExitCodeFor(st.code());
+        break;
+      }
+    }
+    if (dump_stats) {
+      std::printf("%s", obs::MetricsRegistry::Global().RenderText().c_str());
+    }
+    return rrc;
   }
 
   int rc = 0;

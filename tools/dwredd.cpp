@@ -1,0 +1,160 @@
+// dwredd — the warehouse daemon: one SubcubeManager behind a TCP listener
+// speaking the length-prefixed, CRC-framed command protocol of
+// src/net/protocol.h (docs/SERVER.md). Clients: dwredctl --connect,
+// dwred_loadgen, and anything linking src/net's Client.
+//
+//   $ dwredd --port=7070                      # paper's ISP example warehouse
+//   $ dwredd --snapshot=warehouse.dwsnap      # serve a saved warehouse
+//   $ dwredd --port=0                         # ephemeral port, printed
+//
+// Prints exactly one "dwredd listening on <host>:<port>" line on stdout once
+// the listener is bound (supervisors and the CI smoke job parse it), then
+// serves until a `shutdown` command arrives.
+//
+// Exit codes: 0 clean shutdown, 1 boot failure (Status on stderr), 2 usage.
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+#include "io/csv.h"
+#include "io/snapshot.h"
+#include "mdm/paper_example.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "subcube/manager.h"
+
+using namespace dwred;
+
+namespace {
+
+void PrintHelp(const char* argv0) {
+  std::printf(
+      "usage: %s [--host=<ip>] [--port=<n>] [--max-connections=<n>] "
+      "[--snapshot=<file.dwsnap>]\n"
+      "\n"
+      "flags:\n"
+      "  --host=<ip>             listen address (default 127.0.0.1)\n"
+      "  --port=<n>              TCP port; 0 picks an ephemeral port and\n"
+      "                          prints it (default 0)\n"
+      "  --max-connections=<n>   session cap; connections past it are shed\n"
+      "                          with ResourceExhausted (default\n"
+      "                          $DWRED_NET_MAX_CONNECTIONS or 64)\n"
+      "  --snapshot=<file>       boot from a saved warehouse snapshot\n"
+      "                          (io/snapshot.h); its facts land in the\n"
+      "                          bottom subcube — send `subcube-sync` to\n"
+      "                          migrate them under the restored spec.\n"
+      "                          Without it, the paper's ISP example\n"
+      "                          warehouse (7 facts, empty spec) is served\n"
+      "\n"
+      "protocol, sessions, deadlines, and metrics: docs/SERVER.md\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::IgnoreSigpipe();
+  net::ServerConfig config;
+  std::string snapshot_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(argv[0]);
+      return 0;
+    } else if (arg.rfind("--host=", 0) == 0) {
+      config.host = arg.substr(std::string("--host=").size());
+    } else if (arg.rfind("--port=", 0) == 0) {
+      int64_t port = -1;
+      if (!ParseInt64(arg.substr(std::string("--port=").size()), &port) ||
+          port < 0 || port > 65535) {
+        std::fprintf(stderr, "--port= requires an integer in [0, 65535]\n");
+        return 2;
+      }
+      config.port = static_cast<uint16_t>(port);
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      int64_t cap = 0;
+      if (!ParseInt64(arg.substr(std::string("--max-connections=").size()),
+                      &cap) ||
+          cap < 1) {
+        std::fprintf(stderr,
+                     "--max-connections= requires a positive integer\n");
+        return 2;
+      }
+      config.max_connections = static_cast<int>(cap);
+    } else if (arg.rfind("--snapshot=", 0) == 0) {
+      snapshot_path = arg.substr(std::string("--snapshot=").size());
+      if (snapshot_path.empty()) {
+        std::fprintf(stderr, "--snapshot= requires a file path\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<SubcubeManager> mgr;
+  if (!snapshot_path.empty()) {
+    auto bytes = ReadFile(snapshot_path);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "--snapshot: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    auto loaded = LoadWarehouse(bytes.value());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--snapshot: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    auto m = SubcubeManager::Create(
+        loaded.value().mo->fact_type(), loaded.value().mo->dimensions(),
+        loaded.value().mo->measure_types(), loaded.value().spec);
+    if (!m.ok()) {
+      std::fprintf(stderr, "--snapshot: %s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    mgr = std::make_unique<SubcubeManager>(m.take());
+    Status st = mgr->InsertBottomFacts(*loaded.value().mo);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--snapshot: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %zu facts from %s (%zu subcubes)\n",
+                loaded.value().mo->num_facts(), snapshot_path.c_str(),
+                mgr->num_subcubes());
+  } else {
+    IspExample example = MakeIspExample();
+    auto m = SubcubeManager::Create(
+        example.mo->fact_type(), example.mo->dimensions(),
+        example.mo->measure_types(), ReductionSpecification{});
+    if (!m.ok()) {
+      std::fprintf(stderr, "example warehouse: %s\n",
+                   m.status().ToString().c_str());
+      return 1;
+    }
+    mgr = std::make_unique<SubcubeManager>(m.take());
+    Status st = mgr->InsertBottomFacts(*example.mo);
+    if (!st.ok()) {
+      std::fprintf(stderr, "example warehouse: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving the paper's ISP example warehouse (%zu facts)\n",
+                example.mo->num_facts());
+  }
+
+  net::Server server(config, mgr.get());
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("dwredd listening on %s:%u\n", config.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.WaitForShutdown();
+  server.Stop();
+  std::printf("dwredd: shut down cleanly\n");
+  return 0;
+}

@@ -48,14 +48,16 @@ case "$mode" in
     cmake --build build-tsan -j
     cd build-tsan
     # The concurrency surface: pool internals under stress, the parallel
-    # reduce/synchronize/query passes, the metrics they update, and the
+    # reduce/synchronize/query passes, the metrics they update, the
     # cancellation/admission runtime (cooperative aborts racing worker
-    # shards, the oversubscribed admission gate). The crash matrix is
-    # excluded — TSan does not support threads created after a multithreaded
-    # fork (the fork-safety test self-skips the same way).
+    # shards, the oversubscribed admission gate), and the dwredd serving
+    # core (concurrent sessions, the cancel.net.* sweep, the wire-vs-
+    # embedded differential). The crash matrix is excluded — TSan does not
+    # support threads created after a multithreaded fork (the fork-safety
+    # test self-skips the same way).
     TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
       ctest --output-on-failure \
-        -R 'exec_pool_test|parallel_differential_test|vm_differential_test|columnar_test|obs_test|cache_coherence_test|profile_test|cancel_test|cancel_matrix_test'
+        -R 'exec_pool_test|parallel_differential_test|vm_differential_test|columnar_test|obs_test|cache_coherence_test|profile_test|cancel_test|cancel_matrix_test|net_protocol_test|server_test'
     ;;
   plain)
     cmake -B build -S . && cmake --build build -j && cd build \
